@@ -1,0 +1,27 @@
+"""Shared configuration for the benchmark harness.
+
+Each ``benchmarks/test_*.py`` regenerates one of the paper's figures or
+tables: the benchmark body runs the full experiment and the rendered
+rows/series are printed so the output can be compared against the paper
+(see EXPERIMENTS.md for the recorded comparison).
+
+Experiments are heavyweight (whole-suite simulations), so each benchmark
+runs one round.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def bench_once(benchmark):
+    """Run an experiment exactly once under pytest-benchmark timing and
+    print its rendered output."""
+
+    def runner(fn, *args, **kwargs):
+        result = benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                    rounds=1, iterations=1)
+        print()
+        print(result.render())
+        return result
+
+    return runner

@@ -1,0 +1,14 @@
+"""Section 6.8: area and power overheads."""
+
+from repro.experiments import run_area_overheads
+
+
+def test_area_overheads(bench_once):
+    result = bench_once(run_area_overheads)
+    # Paper: ~2% new structures; 12-17% total with SMT; +14% issued
+    # instructions; Pollack expectation 6-8% below the achieved speedup.
+    assert 1.0 < result.area.new_structures_percent < 3.0
+    assert 11.0 < result.area.total_overhead_percent_low < 13.0
+    assert 16.0 < result.area.total_overhead_percent_high < 18.0
+    assert 0.0 < result.issued_increase_percent < 60.0
+    assert 5.0 < result.pollack_low < 7.0

@@ -1,0 +1,9 @@
+"""Figure 1: IPC and commit utilisation vs front-end width."""
+
+from repro.experiments import run_fig1
+
+
+def test_fig1_width_sweep(bench_once):
+    result = bench_once(run_fig1)
+    assert result.ipc_increases_with_width
+    assert result.utilization_decreases_with_width

@@ -1,0 +1,22 @@
+"""Figure 10: sensitivity to conflict granule size."""
+
+from repro.experiments import run_fig10
+
+
+def test_fig10_granule_sweep(bench_once):
+    result = bench_once(run_fig10)
+    base = result.speedup_at(4)
+    # Paper: 1-4 B equivalent; >=16 B costs measurable speedup via false
+    # sharing; 8 B hurts only x264 (~5%).
+    assert abs(result.speedup_at(1) - base) < 1.5
+    assert abs(result.speedup_at(2) - base) < 1.5
+    assert result.speedup_at(16) < base
+    assert result.speedup_at(32) < base
+    # Paper: 8-byte granules slow only x264.  Check x264 drops and that
+    # it is the worst-affected benchmark at 8 B.
+    drops = {
+        name: result.benchmark_at(4, name) - result.benchmark_at(8, name)
+        for name in result.per_benchmark[4]
+    }
+    assert drops["x264"] > 0.25
+    assert max(drops, key=drops.get) == "x264"

@@ -1,0 +1,18 @@
+"""Figure 6: whole-program speedups, SPEC CPU 2006 and 2017."""
+
+from repro.experiments import run_fig6
+
+
+def test_fig6_whole_program_speedups(bench_once):
+    result = bench_once(run_fig6)
+    # Paper: 9.5% (2017) and 9.2% (2006) geometric means.
+    assert 7.0 < result.geomean_2017_percent < 13.0
+    assert 7.0 < result.geomean_2006_percent < 15.0
+    # Paper: imagick 87%, omnetpp 54%, nab 15%, gcc 12%, xalancbmk 11%.
+    assert result.speedup_of("imagick") > 60
+    assert result.speedup_of("omnetpp") > 35
+    assert result.speedup_of("nab") > 8
+    assert result.speedup_of("gcc") > 6
+    assert result.speedup_of("xalancbmk") > 6
+    # Paper: 34 of 47 benchmarks accelerated by >1% (we have 37 total).
+    assert len(result.profitable()) >= 24

@@ -1,0 +1,22 @@
+"""Figure 7: threadlet utilisation over time."""
+
+from repro.experiments import run_fig7, run_suite, in_region_geomean_speedup
+
+
+def test_fig7_threadlet_utilization(bench_once):
+    result = bench_once(run_fig7)
+    # Paper: >=2 threadlets active 42% (profitable) / 29% (all);
+    # 4 active 23% / 16%.  Shapes, not exact numbers.
+    assert 0.10 < result.profitable_at_least_2 < 0.75
+    assert 0.05 < result.profitable_all_4 < 0.60
+    assert result.overall_at_least_2 > 0.05
+
+
+def test_in_region_speedup(benchmark):
+    # Paper section 6.3: 43% geometric-mean in-region speedup.
+    runs = benchmark.pedantic(
+        run_suite, args=("spec2017",), rounds=1, iterations=1
+    )
+    region = (in_region_geomean_speedup(runs) - 1) * 100
+    print(f"\nin-region geomean speedup: {region:+.1f}% (paper: +43%)")
+    assert region > 15

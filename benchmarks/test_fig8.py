@@ -1,0 +1,12 @@
+"""Figure 8: committed IPC decomposition vs baseline."""
+
+from repro.experiments import run_fig8
+
+
+def test_fig8_commit_decomposition(bench_once):
+    result = bench_once(run_fig8)
+    # Paper: arch threadlet ~6% slower on average; useful IPC above 1.0x;
+    # failed speculation rides along (~31% of baseline IPC on average).
+    assert 0.75 < result.mean_arch_ratio <= 1.1
+    assert result.mean_useful_ratio > 1.0
+    assert result.mean_failed_ratio >= 0.0

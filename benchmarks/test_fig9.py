@@ -1,0 +1,12 @@
+"""Figure 9: sensitivity to SSB size."""
+
+from repro.experiments import run_fig9
+
+
+def test_fig9_ssb_size_sweep(bench_once):
+    result = bench_once(run_fig9)
+    full = result.speedup_at(8192)
+    # Paper: 32 KiB changes <0.1pp; 2 KiB costs 0.4pp; 512 B still +6.2%.
+    assert abs(result.speedup_at(32768) - full) < 2.0
+    assert result.speedup_at(2048) <= full + 0.5
+    assert result.speedup_at(512) > 0.4 * full

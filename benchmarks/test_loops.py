@@ -1,0 +1,12 @@
+"""Section 6.3: per-loop speedup distribution."""
+
+from repro.experiments import run_loops_report
+
+
+def test_loop_speedup_distribution(bench_once):
+    result = bench_once(run_loops_report)
+    # Paper: loop speedups up to 2.9x; 6 loops over 2x; 44 loops >= +20%.
+    assert result.count >= 30
+    assert result.max_speedup > 1.8
+    assert result.loops_over(1.2) >= 10
+    assert 1.05 < result.geomean < 2.0

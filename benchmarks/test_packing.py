@@ -1,0 +1,12 @@
+"""Section 6.5: iteration-packing ablation."""
+
+from repro.experiments import run_packing_ablation
+
+
+def test_packing_ablation(bench_once):
+    result = bench_once(run_packing_ablation)
+    # Paper: +0.9pp from packing, mean factor 2.1x, max 25x.
+    assert result.delta_pp > -1.0
+    assert result.mean_packing_factor > 1.2
+    assert result.max_packing_factor >= 8
+    assert result.affected

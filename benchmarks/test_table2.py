@@ -1,0 +1,32 @@
+"""Table 2: sources of performance gains."""
+
+from repro.experiments import run_table2
+from repro.workloads import (
+    CATEGORY_BRANCH_PREFETCH,
+    CATEGORY_CONTROL,
+    CATEGORY_DATA_PREFETCH,
+    CATEGORY_DEPCHAIN,
+    CATEGORY_MEMORY,
+)
+
+
+def test_table2_gain_sources(bench_once):
+    result = bench_once(run_table2)
+    # All five of the paper's categories are populated.
+    for category in (CATEGORY_MEMORY, CATEGORY_CONTROL, CATEGORY_DEPCHAIN,
+                     CATEGORY_BRANCH_PREFETCH):
+        assert result.loops_in(category) >= 1, category
+    assert result.loops_in(CATEGORY_DATA_PREFETCH) >= 1
+    # True parallelism carries most of the loop count, as in the paper.
+    true_parallel = (
+        result.loops_in(CATEGORY_MEMORY)
+        + result.loops_in(CATEGORY_CONTROL)
+        + result.loops_in(CATEGORY_DEPCHAIN)
+    )
+    prefetch = (
+        result.loops_in(CATEGORY_BRANCH_PREFETCH)
+        + result.loops_in(CATEGORY_DATA_PREFETCH)
+    )
+    assert true_parallel > prefetch
+    # The heuristic classification matches the engineered behaviours.
+    assert result.classification_agreement > 0.8

@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Watch the conflict detector at work: a loop with genuine cross-iteration
+memory dependences that speculation keeps getting wrong — and repairing.
+
+Every iteration read-modify-writes a shared accumulator behind an
+unpredictable branch, so younger threadlets regularly consume stale values.
+Algorithm 1 (paper section 4.2) catches each violation, squashes the
+offending threadlet (restarting it from its checkpoint) and the final
+memory state is bit-exact with sequential execution.
+
+Run:  python examples/conflict_recovery.py
+"""
+
+import random
+
+from repro.compiler import compile_frog
+from repro.uarch import BaselineCore, LoopFrogCore, SparseMemory
+
+SOURCE = """
+fn main(data: ptr<int>, noise: ptr<int>, n: int) {
+    #pragma loopfrog
+    for (var i: int = 0; i < n; i = i + 1) {
+        var v: int = data[0];
+        if (noise[i] % 3 == 0) {
+            data[0] = v + 2;
+        } else {
+            data[0] = v + 1;
+        }
+    }
+}
+"""
+
+DATA, NOISE, N = 0x1000, 0x4000, 200
+
+
+def main() -> None:
+    program = compile_frog(SOURCE).program
+    rng = random.Random(11)
+    noise = [rng.randrange(1 << 20) for _ in range(N)]
+    expected = sum(2 if v % 3 == 0 else 1 for v in noise)
+
+    def fresh():
+        memory = SparseMemory()
+        memory.store_int_array(NOISE, noise)
+        return memory
+
+    regs = {"r1": DATA, "r2": NOISE, "r3": N}
+    base = BaselineCore().run(program, fresh(), dict(regs))
+    memory = fresh()
+    frog = LoopFrogCore().run(program, memory, dict(regs))
+
+    got = memory.load_int(DATA)
+    print(f"sequential result: {expected}, speculative result: {got}")
+    assert got == expected, "speculation must never change semantics"
+
+    s = frog.stats
+    print(f"baseline {base.stats.cycles} cycles, LoopFrog {s.cycles} cycles "
+          f"({base.stats.cycles / s.cycles:.2f}x)")
+    print(f"threadlets spawned:   {s.threadlets_spawned}")
+    print(f"conflict squashes:    {s.squash_conflicts}")
+    print(f"failed instructions:  {s.failed_spec_instructions} "
+          f"(committed speculatively, then thrown away)")
+    print()
+    print("every stale read was caught by the conflict detector's")
+    print("read/write-set check (algorithm 1) and repaired by a")
+    print("checkpoint restart — correctness never depends on speculation")
+    print("being right.")
+
+
+if __name__ == "__main__":
+    main()

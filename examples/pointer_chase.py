@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Pointer-chasing workload (omnetpp-style): linked-list traversal with
+data-dependent branches.
+
+The list-walk (`node = next[node]`) is a register loop-carried dependence,
+so the compiler puts it in the *continuation*; the per-node work becomes
+the parallel *body* (paper section 3: "linked-list traversals" are
+canonical header/continuation content).  Threadlets leapfrog down the list
+while older nodes are still being processed.
+
+Run:  python examples/pointer_chase.py
+"""
+
+import random
+
+from repro.compiler import compile_frog
+from repro.uarch import BaselineCore, LoopFrogCore, SparseMemory
+
+SOURCE = """
+fn main(next: ptr<int>, data: ptr<int>, out: ptr<int>, node: int) {
+    var k: int = 0;
+    #pragma loopfrog
+    while (node != 0) {
+        var v: int = data[node];
+        if (v % 3 == 0) {
+            out[k] = v * 5 + 1;
+        } else {
+            if (v % 3 == 1) { out[k] = v + 7; }
+            else { out[k] = (v >> 1) - 2; }
+        }
+        k = k + 1;
+        node = next[node];
+    }
+}
+"""
+
+NEXT, DATA, OUT = 0x10000, 0x40000, 0x80000
+NODES, SPREAD = 300, 6000
+
+
+def build_list(seed: int = 42):
+    """A linked list scattered over a wide address range (cache-hostile)."""
+    rng = random.Random(seed)
+    ids = rng.sample(range(1, SPREAD), NODES)
+    memory = SparseMemory()
+    values = {}
+    for pos, node in enumerate(ids):
+        nxt = ids[pos + 1] if pos + 1 < NODES else 0
+        memory.store_int(NEXT + 8 * node, nxt)
+        values[node] = rng.randrange(1 << 30)
+        memory.store_int(DATA + 8 * node, values[node])
+    return memory, ids, values
+
+
+def expected_output(ids, values):
+    out = []
+    for node in ids:
+        v = values[node]
+        if v % 3 == 0:
+            out.append(v * 5 + 1)
+        elif v % 3 == 1:
+            out.append(v + 7)
+        else:
+            out.append((v >> 1) - 2)
+    return out
+
+
+def main() -> None:
+    program = compile_frog(SOURCE).program
+    regs = {"r1": NEXT, "r2": DATA, "r3": OUT, "r4": 0}
+
+    memory, ids, values = build_list()
+    regs["r4"] = ids[0]
+    base = BaselineCore().run(program, memory, dict(regs))
+
+    memory, ids, values = build_list()
+    frog = LoopFrogCore().run(program, memory, dict(regs))
+    assert memory.load_int_array(OUT, NODES) == expected_output(ids, values)
+
+    print(f"walked {NODES} nodes scattered over {SPREAD * 8 // 1024} KiB")
+    print(f"baseline: {base.stats.cycles:6d} cycles "
+          f"(branch MPKI {base.stats.branch_mpki:.1f}, "
+          f"L1D miss rate {base.stats.l1d_miss_rate:.0%})")
+    print(f"LoopFrog: {frog.stats.cycles:6d} cycles "
+          f"-> {base.stats.cycles / frog.stats.cycles:.2f}x")
+    print()
+    print("why it wins: each threadlet runs the walk for a different node,")
+    print("so one node's mispredicted branches and cache misses no longer")
+    print("stall the others (paper sections 6.4.1).")
+
+
+if __name__ == "__main__":
+    main()

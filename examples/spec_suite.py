@@ -1,0 +1,40 @@
+#!/usr/bin/env python3
+"""Reproduce the paper's headline result (figure 6): whole-program
+speedups across the SPEC CPU 2017 stand-in suite.
+
+Run:  python examples/spec_suite.py [spec2017|spec2006]
+"""
+
+import sys
+
+from repro.analysis import format_bars
+from repro.experiments import run_suite, suite_geomean
+
+
+def main() -> None:
+    suite_name = sys.argv[1] if len(sys.argv) > 1 else "spec2017"
+    print(f"running {suite_name} (baseline + LoopFrog per benchmark)...")
+    runs = run_suite(suite_name)
+
+    items = [
+        (run.name, run.speedup_percent)
+        for run in sorted(runs, key=lambda r: -r.speedup)
+    ]
+    geomean = (suite_geomean(runs) - 1) * 100
+    print()
+    print(format_bars(
+        items,
+        title=f"whole-program speedup, {suite_name} "
+              f"(geomean {geomean:+.1f}%; paper: +9.5% on 2017, +9.2% on 2006)",
+    ))
+    print()
+    deselected = [r.name for r in runs if r.deselected]
+    if deselected:
+        print("dynamically deselected (unprofitable loops, hints ignored):",
+              ", ".join(deselected))
+    profitable = [r for r in runs if r.speedup_percent > 1.0]
+    print(f"accelerated >1%: {len(profitable)} of {len(runs)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+"""repro — a reproduction of *LoopFrog: In-Core Hint-Based Loop
+Parallelization* (Erdős et al., MICRO 2025).
+
+The package is organised as:
+
+* :mod:`repro.isa` — the hint-extended ISA and assembler.
+* :mod:`repro.lang` — the Frog mini-language frontend.
+* :mod:`repro.compiler` — IR, loop analyses and the hint-insertion pass.
+* :mod:`repro.uarch` — functional executor, baseline out-of-order core and
+  the LoopFrog microarchitecture (threadlets, SSB, conflict detector,
+  iteration packing).
+* :mod:`repro.tls` — Multiscalar-like and STAMPede-like baselines (table 3).
+* :mod:`repro.workloads` — SPEC-stand-in kernels and suites.
+* :mod:`repro.analysis` — speedup math, gain categorisation, area model.
+* :mod:`repro.experiments` — one module per paper figure/table.
+
+Quickstart::
+
+    from repro import compile_frog, LoopFrogCore, BaselineCore
+    from repro.workloads import get_workload
+
+    wl = get_workload("imagick_2017")
+    base = BaselineCore().run(wl.program, wl.memory())
+    frog = LoopFrogCore().run(wl.program, wl.memory())
+    print(base.cycles / frog.cycles)
+"""
+
+from . import errors
+from .isa import Instruction, Opcode, Program, assemble
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "errors",
+    "Instruction",
+    "Opcode",
+    "Program",
+    "assemble",
+    "__version__",
+]
+
+
+def __getattr__(name):
+    # Lazy re-exports keep `import repro` cheap while exposing the main API.
+    if name in ("compile_frog", "CompileOptions"):
+        from .compiler import compile_frog, CompileOptions
+
+        return {"compile_frog": compile_frog, "CompileOptions": CompileOptions}[name]
+    if name in ("BaselineCore", "LoopFrogCore", "CoreConfig", "LoopFrogConfig"):
+        from .uarch import core as _core
+        from .uarch import loopfrog_core as _lf
+        from .uarch import config as _cfg
+
+        table = {
+            "BaselineCore": _core.BaselineCore,
+            "LoopFrogCore": _lf.LoopFrogCore,
+            "CoreConfig": _cfg.CoreConfig,
+            "LoopFrogConfig": _cfg.LoopFrogConfig,
+        }
+        return table[name]
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")

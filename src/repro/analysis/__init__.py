@@ -1,0 +1,46 @@
+"""Analysis utilities: speedup math, gain categorisation (table 2),
+area/power modelling (section 6.8), and report formatting."""
+
+from .area import (
+    AreaReport,
+    area_report,
+    pollack_expected_speedup_percent,
+    ssb_area_mm2,
+    ssb_energy_nj_per_access,
+)
+from .categorize import CategoryShare, categorize_runs, classify_run
+from .report import format_bars, format_series, format_table
+from .speedup import (
+    BenchmarkResult,
+    amdahl_region_speedup,
+    amdahl_whole_program,
+    count_profitable,
+    geometric_mean,
+    speedup,
+    speedup_percent,
+    suite_geomean_speedup,
+    weighted_time,
+)
+
+__all__ = [
+    "AreaReport",
+    "area_report",
+    "pollack_expected_speedup_percent",
+    "ssb_area_mm2",
+    "ssb_energy_nj_per_access",
+    "CategoryShare",
+    "categorize_runs",
+    "classify_run",
+    "format_bars",
+    "format_series",
+    "format_table",
+    "BenchmarkResult",
+    "amdahl_region_speedup",
+    "amdahl_whole_program",
+    "count_profitable",
+    "geometric_mean",
+    "speedup",
+    "speedup_percent",
+    "suite_geomean_speedup",
+    "weighted_time",
+]

@@ -1,0 +1,100 @@
+"""Area and power model for LoopFrog's additions (paper section 6.8).
+
+The paper uses CACTI at 22 nm for the SSB granule cache, a published
+Bloom-filter implementation for the conflict detector, SMT-overhead
+literature for threadlet support, and the Arm Neoverse N1 as the reference
+core.  We reproduce the arithmetic with an analytic SRAM model calibrated
+to the paper's quoted points:
+
+* four 2-KiB SSB slices ≈ 0.025 mm² at 22 nm → 0.02 mm²ish at 7 nm
+  (conservative scaling factor 5 between those nodes, after CACTI overhead);
+* conflict detector (dual-ported 8-entry, 4096-bit filters) ≈ 0.005 mm²;
+* SMT support: 10–15% core area; reference core 1.4 mm² (N1 at 7 nm).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from ..uarch.config import LoopFrogConfig
+
+# Calibration constants.
+_N1_CORE_MM2 = 1.4                     # Arm Neoverse N1 at 7 nm (paper cites)
+_SRAM_MM2_PER_KIB_22NM = 0.025 / 8.0   # from the paper's CACTI point (8 KiB)
+_NODE_SCALE_22_TO_7 = 5.0              # the paper's conservative factor
+_BLOOM_MM2_7NM = 0.005                 # Swarm-style filters (paper quote)
+_SMT_AREA_FRACTION = (0.10, 0.15)      # published SMT overhead range
+_SSB_NJ_PER_ACCESS_22NM = 0.03
+
+
+@dataclass
+class AreaReport:
+    """Area accounting for one LoopFrog configuration (mm², 7 nm)."""
+
+    ssb_mm2: float
+    conflict_mm2: float
+    smt_mm2_low: float
+    smt_mm2_high: float
+    core_mm2: float
+
+    @property
+    def new_structures_mm2(self) -> float:
+        return self.ssb_mm2 + self.conflict_mm2
+
+    @property
+    def new_structures_percent(self) -> float:
+        """The paper's 'around 2%' for SSB + conflict detection."""
+        return 100.0 * self.new_structures_mm2 / self.core_mm2
+
+    @property
+    def total_overhead_percent_low(self) -> float:
+        """Total increase vs a sequential core (paper: 12-17%)."""
+        return 100.0 * (self.new_structures_mm2 + self.smt_mm2_low) / self.core_mm2
+
+    @property
+    def total_overhead_percent_high(self) -> float:
+        return 100.0 * (self.new_structures_mm2 + self.smt_mm2_high) / self.core_mm2
+
+    @property
+    def overhead_if_smt_exists_percent(self) -> float:
+        """Extra area when the core already has SMT (paper: ~2%)."""
+        return self.new_structures_percent
+
+
+def ssb_area_mm2(config: LoopFrogConfig, node_nm: int = 7) -> float:
+    """Analytic SRAM area for the SSB granule cache at ``node_nm``."""
+    kib = config.ssb_total_bytes / 1024.0
+    area_22 = kib * _SRAM_MM2_PER_KIB_22NM
+    if node_nm == 22:
+        return area_22
+    if node_nm == 7:
+        return area_22 / _NODE_SCALE_22_TO_7 * 4.0  # paper: 0.025 -> 0.02
+    raise ValueError(f"unsupported node {node_nm} nm")
+
+
+def ssb_energy_nj_per_access(config: LoopFrogConfig) -> float:
+    """Per-access energy scaled linearly with slice capacity."""
+    return _SSB_NJ_PER_ACCESS_22NM * (config.slice_bytes / 2048.0)
+
+
+def area_report(config: LoopFrogConfig) -> AreaReport:
+    """Full section-6.8 accounting for ``config`` at 7 nm."""
+    smt_low = _N1_CORE_MM2 * _SMT_AREA_FRACTION[0]
+    smt_high = _N1_CORE_MM2 * _SMT_AREA_FRACTION[1]
+    return AreaReport(
+        ssb_mm2=ssb_area_mm2(config),
+        conflict_mm2=_BLOOM_MM2_7NM,
+        smt_mm2_low=smt_low,
+        smt_mm2_high=smt_high,
+        core_mm2=_N1_CORE_MM2,
+    )
+
+
+def pollack_expected_speedup_percent(area_increase_percent: float) -> float:
+    """Pollack's rule: performance scales with sqrt(area).
+
+    The paper uses this to argue that a 12-17% area increase would
+    traditionally buy only 6-8% performance, which LoopFrog's 9.5% beats.
+    """
+    return ((1.0 + area_increase_percent / 100.0) ** 0.5 - 1.0) * 100.0

@@ -1,0 +1,122 @@
+"""Attribution of speedups to gain categories (paper table 2).
+
+The paper sorts profitable *loops* into five subcategories by inspecting
+detailed simulator statistics (section 6.4) and attributes each loop's
+whole speedup to its best-matching category.  Our unit of attribution is
+the workload phase (one annotated loop each); the heuristics mirror the
+paper's reasoning:
+
+* a large share of committed-then-squashed speculative work, yet a speedup
+  anyway → a *prefetching* gain (side effects of failed speculation,
+  section 6.4.2); split into branch-condition vs data-value prefetch by
+  the baseline's mispredict density;
+* otherwise *true parallelism*: miss-bound baselines gain from memory-level
+  parallelism, mispredict-bound ones from independent fetch streams
+  (cutting control dependencies), the rest from splitting long dependency
+  chains across subwindows.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, Iterable, List, Tuple
+
+from ..uarch.statistics import SimStats
+from ..workloads.base import (
+    ALL_CATEGORIES,
+    CATEGORY_BRANCH_PREFETCH,
+    CATEGORY_CONTROL,
+    CATEGORY_DATA_PREFETCH,
+    CATEGORY_DEPCHAIN,
+    CATEGORY_MEMORY,
+)
+
+if TYPE_CHECKING:  # avoid a circular import; runs are duck-typed
+    from ..experiments.runner import BenchmarkRun
+
+
+@dataclass
+class CategoryShare:
+    """One row of table 2."""
+
+    category: str
+    loops: int
+    speedup_fraction: float  # share of total log-speedup
+
+
+def classify_phase(base: SimStats, frog: SimStats) -> str:
+    """Dominant gain category for one annotated loop (workload phase)."""
+    spec = frog.spec_committed_instructions
+    failed = frog.failed_spec_instructions
+    failed_ratio = failed / (spec + failed) if (spec + failed) else 0.0
+
+    mpki = base.branch_mpki
+    miss_rate = base.l1d_miss_rate
+    l2_mpki = 1000.0 * base.l2_misses / max(1, base.arch_instructions)
+
+    if failed_ratio > 0.40:
+        # Most speculative work dies, yet the loop speeds up: prefetch
+        # side effects dominate (section 6.4.2).
+        if mpki > 5.0:
+            return CATEGORY_BRANCH_PREFETCH
+        return CATEGORY_DATA_PREFETCH
+
+    # Heavily mispredict-bound loops gain from independent fetch streams
+    # even when they also miss the cache (paper footnote 2: attribute to
+    # the dominant cause).
+    if mpki > 15.0:
+        return CATEGORY_CONTROL
+    if miss_rate > 0.15 or l2_mpki > 2.0:
+        return CATEGORY_MEMORY
+    if mpki > 5.0:
+        return CATEGORY_CONTROL
+    return CATEGORY_DEPCHAIN
+
+
+def classify_run(run: "BenchmarkRun") -> str:
+    """Dominant category for a whole benchmark: its biggest-gain phase."""
+    best: Tuple[float, str] = (0.0, CATEGORY_DEPCHAIN)
+    for phase in run.phases:
+        gain = phase.baseline.cycles / phase.loopfrog.cycles
+        if gain > best[0]:
+            best = (gain, classify_phase(phase.baseline, phase.loopfrog))
+    return best[1]
+
+
+def categorize_runs(
+    runs: Iterable["BenchmarkRun"], min_speedup_percent: float = 1.0
+) -> List[CategoryShare]:
+    """Build table 2 from profitable runs, one attribution per phase whose
+    loop sped up by more than ``min_speedup_percent``."""
+    per_category: Dict[str, List[float]] = {c: [] for c in ALL_CATEGORIES}
+    for run in runs:
+        if run.speedup_percent <= min_speedup_percent:
+            continue
+        for phase in run.phases:
+            gain = phase.baseline.cycles / phase.loopfrog.cycles
+            if (gain - 1.0) * 100.0 <= min_speedup_percent:
+                continue
+            category = classify_phase(phase.baseline, phase.loopfrog)
+            # Weight the phase's contribution by its share of the
+            # benchmark's time, so table fractions add up sensibly.
+            per_category[category].append(phase.weight * math.log(gain))
+
+    total = sum(sum(v) for v in per_category.values())
+    rows = []
+    for category in ALL_CATEGORIES:
+        gains = per_category[category]
+        fraction = (sum(gains) / total) if total > 0 else 0.0
+        rows.append(CategoryShare(category, len(gains), fraction))
+    return rows
+
+
+def phase_classifications(runs: Iterable["BenchmarkRun"]) -> Dict[str, str]:
+    """Map of workload-phase name -> classified category (diagnostics)."""
+    result = {}
+    for run in runs:
+        for phase in run.phases:
+            result[phase.workload] = classify_phase(
+                phase.baseline, phase.loopfrog
+            )
+    return result

@@ -1,0 +1,78 @@
+"""Plain-text table and bar-chart rendering for experiment outputs.
+
+Every experiment module renders its result through these helpers so the
+benchmark harness prints the same rows/series the paper's figures and
+tables report.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Render an aligned ASCII table."""
+    rendered_rows: List[List[str]] = [[_fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(c.ljust(w) for c, w in zip(cells, widths)).rstrip()
+
+    parts = []
+    if title:
+        parts.append(title)
+    parts.append(line(headers))
+    parts.append(line(["-" * w for w in widths]))
+    parts.extend(line(row) for row in rendered_rows)
+    return "\n".join(parts)
+
+
+def format_bars(
+    items: Sequence[Tuple[str, float]],
+    title: str = "",
+    unit: str = "%",
+    width: int = 46,
+    baseline: float = 0.0,
+) -> str:
+    """Render a horizontal ASCII bar chart (one bar per benchmark),
+    matching the look of the paper's per-benchmark figures."""
+    if not items:
+        return title
+    max_value = max(abs(v - baseline) for _, v in items) or 1.0
+    label_width = max(len(name) for name, _ in items)
+    lines = [title] if title else []
+    for name, value in items:
+        magnitude = abs(value - baseline) / max_value
+        bar = "#" * max(0, int(round(magnitude * width)))
+        sign = "-" if value < baseline else ""
+        lines.append(
+            f"{name.ljust(label_width)} | {sign}{bar} {value:+.1f}{unit}"
+        )
+    return "\n".join(lines)
+
+
+def format_series(
+    x_label: str,
+    y_label: str,
+    points: Sequence[Tuple[object, float]],
+    title: str = "",
+) -> str:
+    """Render an x/y sweep (sensitivity figures) as a small table."""
+    return format_table(
+        [x_label, y_label],
+        [(x, f"{y:.2f}") for x, y in points],
+        title=title,
+    )
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)

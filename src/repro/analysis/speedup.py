@@ -1,0 +1,101 @@
+"""Speedup arithmetic: geometric means, SimPoint-style weighting, Amdahl.
+
+These helpers mirror the paper's methodology (section 6.1): run each
+binary twice (hints-as-nops baseline vs. LoopFrog), weight phases, divide
+total run times, and aggregate with geometric means.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean; raises ValueError on empty or non-positive input."""
+    values = list(values)
+    if not values:
+        raise ValueError("geometric mean of empty sequence")
+    if any(v <= 0 for v in values):
+        raise ValueError("geometric mean requires positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def weighted_time(cycles_and_weights: Sequence[Tuple[float, float]]) -> float:
+    """SimPoint-style estimate: Σ weight_i × cycles_i (section 6.1)."""
+    total_weight = sum(w for _, w in cycles_and_weights)
+    if total_weight <= 0:
+        raise ValueError("weights must sum to a positive value")
+    return sum(c * w for c, w in cycles_and_weights) / total_weight
+
+
+def speedup(baseline_cycles: float, new_cycles: float) -> float:
+    if new_cycles <= 0:
+        raise ValueError("cycles must be positive")
+    return baseline_cycles / new_cycles
+
+
+def speedup_percent(baseline_cycles: float, new_cycles: float) -> float:
+    """Speedup expressed the paper's way: (base/new - 1) * 100."""
+    return (speedup(baseline_cycles, new_cycles) - 1.0) * 100.0
+
+
+def amdahl_region_speedup(
+    whole_program_speedup: float, parallel_fraction: float
+) -> float:
+    """Invert Amdahl's law: the in-region speedup needed to produce the
+    observed whole-program speedup given the fraction of time spent in
+    parallel regions (used for the paper's 43% in-region figure, 6.3)."""
+    if not 0 < parallel_fraction <= 1:
+        raise ValueError("parallel fraction must be in (0, 1]")
+    if whole_program_speedup <= 0:
+        raise ValueError("speedup must be positive")
+    # 1/S = (1 - f) + f / s  =>  s = f / (1/S - (1 - f))
+    inv = 1.0 / whole_program_speedup
+    denom = inv - (1.0 - parallel_fraction)
+    if denom <= 0:
+        return float("inf")
+    return parallel_fraction / denom
+
+
+def amdahl_whole_program(region_speedup: float, parallel_fraction: float) -> float:
+    """Forward Amdahl: whole-program speedup from in-region speedup."""
+    if not 0 <= parallel_fraction <= 1:
+        raise ValueError("parallel fraction must be in [0, 1]")
+    if region_speedup <= 0:
+        raise ValueError("region speedup must be positive")
+    return 1.0 / ((1.0 - parallel_fraction) + parallel_fraction / region_speedup)
+
+
+@dataclass
+class BenchmarkResult:
+    """Baseline-vs-LoopFrog outcome for one benchmark."""
+
+    name: str
+    suite: str
+    baseline_cycles: float
+    loopfrog_cycles: float
+    profitable_expected: bool = True
+    category: str = ""
+    region_speedups: Dict[str, float] = None  # per-loop (region label)
+    parallel_fraction: float = 0.0            # of baseline time
+
+    @property
+    def speedup(self) -> float:
+        return self.baseline_cycles / self.loopfrog_cycles
+
+    @property
+    def speedup_percent(self) -> float:
+        return (self.speedup - 1.0) * 100.0
+
+
+def suite_geomean_speedup(results: Iterable[BenchmarkResult]) -> float:
+    """Geometric-mean speedup across a suite (paper's headline metric)."""
+    return geometric_mean([r.speedup for r in results])
+
+
+def count_profitable(results: Iterable[BenchmarkResult],
+                     threshold_percent: float = 1.0) -> List[BenchmarkResult]:
+    """Benchmarks accelerated by more than ``threshold_percent``."""
+    return [r for r in results if r.speedup_percent > threshold_percent]

@@ -1,0 +1,193 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+    compile FILE        compile a Frog source file and print the listing
+                        and hint-insertion report
+    run FILE            compile and simulate a Frog file on the baseline
+                        and LoopFrog cores, printing the comparison
+    suite NAME          run a SPEC stand-in suite (figure-6 style output)
+    experiment ID       regenerate one paper artefact (fig1..fig10,
+                        table2, table3, packing, assoc, area)
+    workloads           list available benchmarks and their phases
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Dict, List, Optional
+
+from .analysis import format_bars
+from .compiler import CompileOptions, compile_frog
+from .errors import ReproError
+from .uarch import BaselineCore, LoopFrogCore, SparseMemory
+
+
+def _parse_regs(text: Optional[str]) -> Dict[str, float]:
+    """Parse ``r1=100,f1=2.5`` into an initial-register dict."""
+    regs: Dict[str, float] = {}
+    if not text:
+        return regs
+    for pair in text.split(","):
+        name, _, value = pair.partition("=")
+        name = name.strip()
+        if not name or not value:
+            raise ReproError(f"bad register assignment {pair!r}")
+        regs[name] = float(value) if name.startswith("f") else int(value, 0)
+    return regs
+
+
+def cmd_compile(args: argparse.Namespace) -> int:
+    with open(args.file) as fh:
+        source = fh.read()
+    options = CompileOptions(insert_hints=not args.no_hints,
+                             mark_all_loops=args.mark_all_loops)
+    result = compile_frog(source, options)
+    if result.hint_reports:
+        print("hint insertion:")
+        for report in result.hint_reports:
+            if report.annotated:
+                print(f"  {report.header}: annotated (region {report.region})")
+            else:
+                print(f"  {report.header}: rejected — {report.reason}")
+        print()
+    if args.ir:
+        print(result.ir)
+        print()
+    print(result.program.disassemble())
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    with open(args.file) as fh:
+        source = fh.read()
+    result = compile_frog(source)
+    regs = _parse_regs(args.regs)
+
+    def simulate(core):
+        return core.run(result.program, SparseMemory(), dict(regs),
+                        max_cycles=args.max_cycles)
+
+    base = simulate(BaselineCore())
+    print("baseline:")
+    print("  " + base.stats.summary().replace("\n", "\n  "))
+    if not args.baseline_only:
+        frog = simulate(LoopFrogCore())
+        print("LoopFrog:")
+        print("  " + frog.stats.summary().replace("\n", "\n  "))
+        print(f"speedup: {base.stats.cycles / frog.stats.cycles:.2f}x")
+    return 0
+
+
+def cmd_suite(args: argparse.Namespace) -> int:
+    from .experiments import run_suite, suite_geomean
+
+    runs = run_suite(args.name, only=args.only.split(",") if args.only else None)
+    items = [(r.name, r.speedup_percent)
+             for r in sorted(runs, key=lambda r: -r.speedup)]
+    geomean = (suite_geomean(runs) - 1) * 100
+    print(format_bars(items, title=f"{args.name}: whole-program speedup "
+                                   f"(geomean {geomean:+.1f}%)"))
+    return 0
+
+
+_EXPERIMENTS = {
+    "fig1": "run_fig1",
+    "fig6": "run_fig6",
+    "fig7": "run_fig7",
+    "fig8": "run_fig8",
+    "fig9": "run_fig9",
+    "fig10": "run_fig10",
+    "table2": "run_table2",
+    "table3": "run_table3",
+    "packing": "run_packing_ablation",
+    "assoc": "run_assoc_sensitivity",
+    "area": "run_area_overheads",
+    "threadlets": "run_threadlet_sweep",
+    "bloom": "run_bloom_ablation",
+}
+
+
+def cmd_experiment(args: argparse.Namespace) -> int:
+    from . import experiments
+
+    ids = list(_EXPERIMENTS) if args.id == "all" else [args.id]
+    for exp_id in ids:
+        if exp_id not in _EXPERIMENTS:
+            print(f"unknown experiment {exp_id!r}; choose from: "
+                  f"{', '.join(_EXPERIMENTS)} or 'all'", file=sys.stderr)
+            return 2
+        runner = getattr(experiments, _EXPERIMENTS[exp_id])
+        print(runner().render())
+        print()
+    return 0
+
+
+def cmd_workloads(args: argparse.Namespace) -> int:
+    from .workloads import suite
+
+    for suite_name in ("spec2017", "spec2006"):
+        print(f"{suite_name}:")
+        for bench in suite(suite_name):
+            flag = "profitable" if bench.profitable else "no-speedup"
+            phases = ", ".join(
+                f"{w.name} (w={weight:.2f})" for w, weight in bench.phases
+            )
+            print(f"  {bench.name:14s} [{flag:10s}] {phases}")
+        print()
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="LoopFrog reproduction: compile, simulate, reproduce.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("compile", help="compile a Frog file")
+    p.add_argument("file")
+    p.add_argument("--no-hints", action="store_true",
+                   help="skip LoopFrog hint insertion")
+    p.add_argument("--mark-all-loops", action="store_true",
+                   help="annotate every loop regardless of pragmas")
+    p.add_argument("--ir", action="store_true", help="also print the IR")
+    p.set_defaults(func=cmd_compile)
+
+    p = sub.add_parser("run", help="simulate a Frog file on both cores")
+    p.add_argument("file")
+    p.add_argument("--regs", help="initial registers, e.g. r1=0x1000,r2=64")
+    p.add_argument("--baseline-only", action="store_true")
+    p.add_argument("--max-cycles", type=int, default=50_000_000)
+    p.set_defaults(func=cmd_run)
+
+    p = sub.add_parser("suite", help="run a SPEC stand-in suite")
+    p.add_argument("name", choices=["spec2017", "spec2006"])
+    p.add_argument("--only", help="comma-separated benchmark names")
+    p.set_defaults(func=cmd_suite)
+
+    p = sub.add_parser("experiment", help="regenerate a paper artefact")
+    p.add_argument("id", help=f"one of: {', '.join(_EXPERIMENTS)}, all")
+    p.set_defaults(func=cmd_experiment)
+
+    p = sub.add_parser("workloads", help="list benchmarks and phases")
+    p.set_defaults(func=cmd_workloads)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

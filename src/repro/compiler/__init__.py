@@ -1,0 +1,72 @@
+"""The Frog compiler: IR, loop analyses, LoopFrog hint insertion, codegen.
+
+The main entry point is :func:`compile_frog`, which takes Frog source text
+and produces a runnable :class:`~repro.isa.program.Program` with LoopFrog
+hints inserted into ``#pragma loopfrog`` loops (paper section 5).
+"""
+
+from .cfg import CFG
+from .hints import HintOptions, HintReport, insert_hints
+from .ir import (
+    BasicBlock,
+    Branch,
+    CondBranch,
+    Const,
+    Function,
+    IRInstr,
+    IROp,
+    Module,
+    Ret,
+    VReg,
+)
+from .licm import fold_constants, hoist_invariants
+from .liveness import Liveness
+from .loops import Loop, find_loops, loop_preheader
+from .lowering import lower_module
+from .optimize import optimize
+from .pipeline import CompileOptions, CompileResult, compile_ast, compile_frog
+from .profiling import (
+    LoopProfile,
+    apply_selection,
+    profile_and_select,
+    profile_program,
+    select_profitable,
+)
+from .regalloc import Allocation, allocate, apply_allocation
+
+__all__ = [
+    "CFG",
+    "HintOptions",
+    "HintReport",
+    "insert_hints",
+    "BasicBlock",
+    "Branch",
+    "CondBranch",
+    "Const",
+    "Function",
+    "IRInstr",
+    "IROp",
+    "Module",
+    "Ret",
+    "VReg",
+    "fold_constants",
+    "hoist_invariants",
+    "Liveness",
+    "Loop",
+    "find_loops",
+    "loop_preheader",
+    "lower_module",
+    "optimize",
+    "CompileOptions",
+    "CompileResult",
+    "compile_ast",
+    "compile_frog",
+    "LoopProfile",
+    "apply_selection",
+    "profile_and_select",
+    "profile_program",
+    "select_profitable",
+    "Allocation",
+    "allocate",
+    "apply_allocation",
+]

@@ -1,0 +1,118 @@
+"""Control-flow-graph analyses: predecessors, reverse postorder, dominators.
+
+Dominators use the Cooper–Harvey–Kennedy iterative algorithm, which is simple
+and fast for the small functions the Frog compiler produces.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from ..errors import CompilerError
+from .ir import Function
+
+
+class CFG:
+    """Derived CFG facts for one function (recompute after mutation)."""
+
+    def __init__(self, func: Function):
+        self.func = func
+        func.validate()
+        self.succs: Dict[str, List[str]] = {}
+        self.preds: Dict[str, List[str]] = {b.name: [] for b in func.blocks}
+        for block in func.blocks:
+            succs = list(block.successors())
+            self.succs[block.name] = succs
+            for s in succs:
+                self.preds[s].append(block.name)
+        self.rpo: List[str] = self._reverse_postorder()
+        self.rpo_index: Dict[str, int] = {n: i for i, n in enumerate(self.rpo)}
+        self.idom: Dict[str, Optional[str]] = self._dominators()
+
+    def _reverse_postorder(self) -> List[str]:
+        seen: Set[str] = set()
+        order: List[str] = []
+        # Iterative DFS to avoid recursion limits on long CFG chains.
+        stack = [(self.func.entry.name, iter(self.succs[self.func.entry.name]))]
+        seen.add(self.func.entry.name)
+        while stack:
+            node, it = stack[-1]
+            advanced = False
+            for succ in it:
+                if succ not in seen:
+                    seen.add(succ)
+                    stack.append((succ, iter(self.succs[succ])))
+                    advanced = True
+                    break
+            if not advanced:
+                order.append(node)
+                stack.pop()
+        order.reverse()
+        return order
+
+    @property
+    def reachable(self) -> Set[str]:
+        return set(self.rpo)
+
+    def _dominators(self) -> Dict[str, Optional[str]]:
+        """Immediate dominators (Cooper–Harvey–Kennedy)."""
+        entry = self.func.entry.name
+        idom: Dict[str, Optional[str]] = {entry: entry}
+        changed = True
+        while changed:
+            changed = False
+            for node in self.rpo:
+                if node == entry:
+                    continue
+                processed = [p for p in self.preds[node] if p in idom]
+                if not processed:
+                    continue
+                new_idom = processed[0]
+                for p in processed[1:]:
+                    new_idom = self._intersect(p, new_idom, idom)
+                if idom.get(node) != new_idom:
+                    idom[node] = new_idom
+                    changed = True
+        result: Dict[str, Optional[str]] = {}
+        for node in self.rpo:
+            result[node] = None if node == entry else idom.get(node)
+        return result
+
+    def _intersect(self, a: str, b: str, idom: Dict[str, Optional[str]]) -> str:
+        index = self.rpo_index
+        while a != b:
+            while index[a] > index[b]:
+                a = idom[a]  # type: ignore[assignment]
+            while index[b] > index[a]:
+                b = idom[b]  # type: ignore[assignment]
+        return a
+
+    def dominates(self, a: str, b: str) -> bool:
+        """True if block ``a`` dominates block ``b``."""
+        if a == b:
+            return True
+        node: Optional[str] = b
+        entry = self.func.entry.name
+        while node is not None and node != entry:
+            node = self.idom[node]
+            if node == a:
+                return True
+        return a == entry
+
+    def back_edges(self) -> List[tuple]:
+        """Edges (tail, head) where head dominates tail — loop back edges."""
+        edges = []
+        for block in self.func.blocks:
+            if block.name not in self.rpo_index:
+                continue  # unreachable
+            for succ in self.succs[block.name]:
+                if self.dominates(succ, block.name):
+                    edges.append((block.name, succ))
+        return edges
+
+    def validate_reachability(self) -> None:
+        unreachable = {b.name for b in self.func.blocks} - self.reachable
+        if unreachable:
+            raise CompilerError(
+                f"{self.func.name}: unreachable blocks {sorted(unreachable)}"
+            )

@@ -1,0 +1,266 @@
+"""Code generation: physical-register IR -> ISA :class:`Program`.
+
+Blocks are emitted in layout order with fall-through optimisation for
+unconditional branches.  The function's return value lands in ``r1``/``f1``
+and the program ends with ``halt`` (kernels are whole programs; the ISA's
+``call``/``ret`` are reserved for hand-written assembly).
+
+The stack pointer is initialised to :data:`STACK_BASE` for spill slots.
+LoopFrog hint regions (continuation block names) become labels in the
+emitted program, so hint instructions resolve to continuation addresses
+exactly as in the paper's ISA extension (section 3.1).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..errors import CompilerError
+from ..isa import registers as regdefs
+from ..isa.instructions import Instruction, Opcode
+from ..isa.program import Program
+from .ir import Branch, CondBranch, Const, Function, IRInstr, IROp, Ret, Value, VReg
+
+# Spill slots live at the top of the address space, far away from workload
+# data laid out from low addresses.
+STACK_BASE = 0x7000_0000
+
+_SIMPLE_OPS: Dict[IROp, Opcode] = {
+    IROp.ADD: Opcode.ADD, IROp.SUB: Opcode.SUB, IROp.MUL: Opcode.MUL,
+    IROp.DIV: Opcode.DIV, IROp.REM: Opcode.REM, IROp.AND: Opcode.AND,
+    IROp.OR: Opcode.OR, IROp.XOR: Opcode.XOR, IROp.SHL: Opcode.SHL,
+    IROp.SHR: Opcode.SHR, IROp.SLT: Opcode.SLT, IROp.SLE: Opcode.SLE,
+    IROp.SEQ: Opcode.SEQ, IROp.SNE: Opcode.SNE, IROp.MIN: Opcode.MIN,
+    IROp.MAX: Opcode.MAX,
+    IROp.FADD: Opcode.FADD, IROp.FSUB: Opcode.FSUB, IROp.FMUL: Opcode.FMUL,
+    IROp.FDIV: Opcode.FDIV, IROp.FMIN: Opcode.FMIN, IROp.FMAX: Opcode.FMAX,
+    IROp.FSLT: Opcode.FSLT, IROp.FSLE: Opcode.FSLE, IROp.FSEQ: Opcode.FSEQ,
+}
+_UNARY_OPS: Dict[IROp, Opcode] = {
+    IROp.FSQRT: Opcode.FSQRT,
+    IROp.FABS: Opcode.FABS,
+    IROp.CVT_IF: Opcode.FCVT,
+    IROp.CVT_FI: Opcode.ICVT,
+}
+_HINT_OPS: Dict[IROp, Opcode] = {
+    IROp.DETACH: Opcode.DETACH,
+    IROp.REATTACH: Opcode.REATTACH,
+    IROp.SYNC: Opcode.SYNC,
+}
+
+_MATERIALIZE_SCRATCH = {"int": "r29", "float": "f13"}
+
+
+class CodeGenerator:
+    """Emits one function as a complete program.
+
+    ``param_locations`` maps each parameter VReg to either a physical
+    register name or an integer spill-slot index (from the allocator).
+    """
+
+    def __init__(self, func: Function, frame_slots: int = 0, param_locations=None):
+        self.func = func
+        self.frame_slots = frame_slots
+        self.param_locations = param_locations or {}
+        self.instructions: List[Instruction] = []
+        self.pending_label: Optional[str] = None
+
+    def emit(self, instr: Instruction) -> None:
+        if self.pending_label is not None:
+            instr.label = self.pending_label
+            self.pending_label = None
+        self.instructions.append(instr)
+
+    def set_label(self, name: str) -> None:
+        if self.pending_label is not None:
+            # Two labels on the same spot: pin the first with a nop.
+            self.emit(Instruction(Opcode.NOP))
+        self.pending_label = name
+
+    # -- operand helpers ----------------------------------------------------
+
+    def _phys(self, value: VReg) -> str:
+        name = value.name
+        if name not in regdefs.ALL_REGS:
+            raise CompilerError(
+                f"codegen saw unallocated virtual register %{name}"
+            )
+        return name
+
+    def _materialize(self, value: Value, cls: str) -> str:
+        """Return a physical register holding ``value``."""
+        if isinstance(value, VReg):
+            return self._phys(value)
+        scratch = _MATERIALIZE_SCRATCH[cls]
+        if cls == "float":
+            self.emit(Instruction(Opcode.FLI, dest=scratch, imm=float(value.value)))
+        else:
+            self.emit(Instruction(Opcode.LI, dest=scratch, imm=int(value.value)))
+        return scratch
+
+    # -- main ---------------------------------------------------------------
+
+    def generate(self) -> Program:
+        self._emit_prologue()
+        layout = self.func.blocks
+        next_name = {
+            layout[i].name: layout[i + 1].name if i + 1 < len(layout) else None
+            for i in range(len(layout))
+        }
+        for block in layout:
+            self.set_label(block.name)
+            for instr in block.instrs:
+                self._emit_instr(instr)
+            self._emit_terminator(block.terminator, next_name[block.name])
+        if self.pending_label is not None:
+            self.emit(Instruction(Opcode.HALT))
+        return Program(self.instructions, name=self.func.name)
+
+    def _emit_prologue(self) -> None:
+        if self.frame_slots:
+            self.emit(Instruction(Opcode.LI, dest="sp", imm=STACK_BASE))
+        # ABI: parameters arrive in r1..r4 / f1..f4 in declaration order.
+        int_args = iter(regdefs.ARG_REGS)
+        fp_args = iter(regdefs.FP_ARG_REGS)
+        for param, ptype in self.func.params:
+            try:
+                src = next(fp_args if param.cls == "float" else int_args)
+            except StopIteration:
+                raise CompilerError(
+                    f"too many {param.cls} parameters in {self.func.name}"
+                )
+            location = self.param_locations.get(param, param.name)
+            if isinstance(location, int):
+                # Parameter was spilled: store the incoming value to its slot.
+                opcode = Opcode.FSTORE if param.cls == "float" else Opcode.STORE
+                self.emit(
+                    Instruction(opcode, srcs=(src, "sp"), imm=location * 8, size=8)
+                )
+                continue
+            if location != src:
+                op = Opcode.FMOV if param.cls == "float" else Opcode.MOV
+                self.emit(Instruction(op, dest=location, srcs=(src,)))
+
+    def _emit_instr(self, instr: IRInstr) -> None:
+        op = instr.op
+
+        if op in _HINT_OPS:
+            self.emit(Instruction(_HINT_OPS[op], region=instr.region))
+            return
+
+        if op is IROp.LOAD:
+            base = self._materialize(instr.operands[0], "int")
+            opcode = Opcode.FLOAD if instr.is_float else Opcode.LOAD
+            self.emit(
+                Instruction(
+                    opcode,
+                    dest=self._phys(instr.dest),
+                    srcs=(base,),
+                    imm=instr.offset,
+                    size=instr.size,
+                )
+            )
+            return
+
+        if op is IROp.STORE:
+            value_cls = "float" if instr.is_float else "int"
+            value = self._materialize(instr.operands[0], value_cls)
+            base = self._materialize(instr.operands[1], "int")
+            opcode = Opcode.FSTORE if instr.is_float else Opcode.STORE
+            self.emit(
+                Instruction(
+                    opcode, srcs=(value, base), imm=instr.offset, size=instr.size
+                )
+            )
+            return
+
+        if op in (IROp.MOV, IROp.FMOV):
+            dest = self._phys(instr.dest)
+            source = instr.operands[0]
+            if isinstance(source, Const):
+                opcode = Opcode.FLI if op is IROp.FMOV else Opcode.LI
+                imm = float(source.value) if op is IROp.FMOV else int(source.value)
+                self.emit(Instruction(opcode, dest=dest, imm=imm))
+            else:
+                opcode = Opcode.FMOV if op is IROp.FMOV else Opcode.MOV
+                self.emit(Instruction(opcode, dest=dest, srcs=(self._phys(source),)))
+            return
+
+        if op in _UNARY_OPS:
+            cls = "float" if op in (IROp.FSQRT, IROp.FABS, IROp.CVT_FI) else "int"
+            src = self._materialize(instr.operands[0], cls)
+            self.emit(
+                Instruction(_UNARY_OPS[op], dest=self._phys(instr.dest), srcs=(src,))
+            )
+            return
+
+        if op in _SIMPLE_OPS:
+            cls = "float" if instr.operands and _is_float_op(op) else "int"
+            first = self._materialize(instr.operands[0], cls)
+            second = instr.operands[1] if len(instr.operands) > 1 else None
+            if isinstance(second, Const):
+                self.emit(
+                    Instruction(
+                        _SIMPLE_OPS[op],
+                        dest=self._phys(instr.dest),
+                        srcs=(first,),
+                        imm=second.value,
+                    )
+                )
+            else:
+                srcs = (first,) if second is None else (first, self._phys(second))
+                self.emit(
+                    Instruction(_SIMPLE_OPS[op], dest=self._phys(instr.dest), srcs=srcs)
+                )
+            return
+
+        raise CompilerError(f"codegen: unhandled IR op {op!r}")
+
+    def _emit_terminator(self, term, fallthrough: Optional[str]) -> None:
+        if isinstance(term, Branch):
+            if term.target != fallthrough:
+                self.emit(Instruction(Opcode.JMP, target=term.target))
+            elif self.pending_label is not None:
+                # Keep the label anchored even when the jump is elided.
+                self.emit(Instruction(Opcode.NOP))
+            return
+        if isinstance(term, CondBranch):
+            cond = self._phys(term.cond)
+            if term.iffalse == fallthrough:
+                self.emit(Instruction(Opcode.BNEZ, srcs=(cond,), target=term.iftrue))
+            elif term.iftrue == fallthrough:
+                self.emit(Instruction(Opcode.BEQZ, srcs=(cond,), target=term.iffalse))
+            else:
+                self.emit(Instruction(Opcode.BNEZ, srcs=(cond,), target=term.iftrue))
+                self.emit(Instruction(Opcode.JMP, target=term.iffalse))
+            return
+        if isinstance(term, Ret):
+            if term.value is not None:
+                if isinstance(term.value, Const):
+                    cls = term.value.cls
+                    dest = (
+                        regdefs.FP_RETURN_REG if cls == "float" else regdefs.RETURN_REG
+                    )
+                    opcode = Opcode.FLI if cls == "float" else Opcode.LI
+                    self.emit(Instruction(opcode, dest=dest, imm=term.value.value))
+                else:
+                    cls = term.value.cls
+                    dest = (
+                        regdefs.FP_RETURN_REG if cls == "float" else regdefs.RETURN_REG
+                    )
+                    src = self._phys(term.value)
+                    if src != dest:
+                        opcode = Opcode.FMOV if cls == "float" else Opcode.MOV
+                        self.emit(Instruction(opcode, dest=dest, srcs=(src,)))
+            self.emit(Instruction(Opcode.HALT))
+            return
+        raise CompilerError(f"codegen: unhandled terminator {term!r}")
+
+
+def _is_float_op(op: IROp) -> bool:
+    return op.value.startswith("f")
+
+
+def generate(func: Function, frame_slots: int = 0, param_locations=None) -> Program:
+    """Generate an ISA program for an allocated IR function."""
+    return CodeGenerator(func, frame_slots, param_locations).generate()

@@ -1,0 +1,254 @@
+"""LoopFrog hint insertion (paper section 5.3).
+
+For every ``#pragma loopfrog``-marked loop the pass tries to place a
+``detach``/``reattach`` pair and per-exit ``sync`` hints so that:
+
+* the *header* (everything above ``detach`` in the iteration — in our
+  lowering, the loop's condition test) and the *continuation* (everything
+  below ``reattach`` — the induction updates and the branch back) contain
+  **all register loop-carried dependencies**, and
+* the *body* (between ``detach`` and ``reattach``) defines **no register
+  that is live into the continuation** — i.e. no register dataflow from the
+  body to the continuation or to any later iteration (paper section 3).
+
+The pass never reorders instructions; it only chooses hint placement, and
+maximises the body by choosing the latest legal split point inside the
+latch block.  Loops where no legal placement exists (e.g. register
+reductions in the body — the paper's "complex cross-iteration dependencies")
+are left unannotated, with a diagnostic explaining why.
+
+Through-memory loop-carried dependencies are deliberately ignored, exactly
+as in the paper's prototype: the microarchitecture's conflict detector
+handles them at run time by squashing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from .cfg import CFG
+from .ir import (
+    BasicBlock,
+    Branch,
+    CondBranch,
+    Function,
+    IRInstr,
+    IROp,
+    VReg,
+)
+from .liveness import Liveness
+from .loops import Loop, find_loops
+
+
+@dataclass
+class HintReport:
+    """Outcome of attempting to annotate one marked loop."""
+
+    header: str
+    annotated: bool
+    reason: str = ""
+    region: Optional[str] = None  # continuation block name (the region ID)
+    body_blocks: List[str] = field(default_factory=list)
+    split_index: int = 0
+
+
+@dataclass
+class HintOptions:
+    """Tunables for the hint-insertion pass."""
+
+    # Smallest body (in IR instructions) worth annotating.  The paper's
+    # compiler "blindly maximises the body"; static deselection of tiny
+    # bodies is the cheap part of loop selection (section 5.1).
+    min_body_instrs: int = 1
+
+
+def insert_hints(func: Function, options: Optional[HintOptions] = None) -> List[HintReport]:
+    """Annotate all marked loops of ``func`` in place; returns reports."""
+    options = options or HintOptions()
+    reports: List[HintReport] = []
+    # Deeper loops first so outer transforms see settled inner structure.
+    pending = list(dict.fromkeys(func.marked_loops))
+    while pending:
+        cfg = CFG(func)
+        loops = find_loops(func, cfg)
+        ordered = sorted(
+            (h for h in pending if h in loops),
+            key=lambda h: -loops[h].depth,
+        )
+        missing = [h for h in pending if h not in loops]
+        for h in missing:
+            reports.append(
+                HintReport(h, False, reason="marked block is not a loop header")
+            )
+        if not ordered:
+            break
+        header = ordered[0]
+        pending = [h for h in pending if h != header and h not in missing]
+        reports.append(_annotate_loop(func, cfg, loops[header], options))
+    return reports
+
+
+def _annotate_loop(
+    func: Function, cfg: CFG, loop: Loop, options: HintOptions
+) -> HintReport:
+    header = loop.header
+
+    if len(loop.latches) != 1:
+        return HintReport(
+            header, False,
+            reason=f"loop has {len(loop.latches)} latches (irreducible iteration "
+            "tail, e.g. `continue` in a while loop)",
+        )
+    latch_name = loop.latches[0]
+    latch = func.block(latch_name)
+
+    header_block = func.block(header)
+    term = header_block.terminator
+    if not isinstance(term, CondBranch):
+        return HintReport(
+            header, False, reason="loop header does not end in a conditional exit"
+        )
+    if (term.iftrue in loop.blocks) == (term.iffalse in loop.blocks):
+        return HintReport(
+            header, False, reason="loop header test does not guard the loop exit"
+        )
+    body_entry = term.iftrue if term.iftrue in loop.blocks else term.iffalse
+
+    liveness = Liveness(func, cfg)
+
+    # Registers defined by the body region (all loop blocks except the
+    # header and the latch; the latch's contribution depends on the split).
+    region_defs: Set[VReg] = set()
+    body_blocks = sorted(loop.blocks - {header, latch_name})
+    for name in body_blocks:
+        for instr in func.block(name).instrs:
+            region_defs.update(instr.defs())
+
+    split = _find_split(func, latch, region_defs, liveness)
+    if split is None:
+        return HintReport(
+            header, False,
+            reason="body defines a register consumed by the continuation or a "
+            "later iteration (register loop-carried dependence in the body)",
+        )
+
+    body_size = sum(len(func.block(b).instrs) for b in body_blocks) + split
+    if body_size < options.min_body_instrs:
+        return HintReport(
+            header, False,
+            reason=f"parallel body would contain {body_size} instruction(s), "
+            f"below the minimum of {options.min_body_instrs}",
+        )
+
+    region = _transform(func, cfg, loop, header_block, term, body_entry, latch, split)
+    return HintReport(
+        header, True, region=region,
+        body_blocks=body_blocks + [latch.name], split_index=split,
+    )
+
+
+def _find_split(
+    func: Function,
+    latch: BasicBlock,
+    region_defs: Set[VReg],
+    liveness: Liveness,
+) -> Optional[int]:
+    """Largest k such that body = region + latch[:k] is legal, else None.
+
+    Legal means: no register defined in the body is live immediately before
+    ``latch.instrs[k]`` (the continuation start).
+    """
+    # Live sets walking backward through the latch.
+    live_after: List[Set[VReg]] = [set() for _ in range(len(latch.instrs) + 1)]
+    live = set(liveness.live_out[latch.name])
+    if latch.terminator is not None:
+        live |= set(latch.terminator.uses())
+    live_after[len(latch.instrs)] = set(live)
+    for i in range(len(latch.instrs) - 1, -1, -1):
+        instr = latch.instrs[i]
+        live -= set(instr.defs())
+        live |= set(instr.uses())
+        live_after[i] = set(live)
+
+    # Continuation starts before latch.instrs[k]; the live set there is
+    # live_after[k].  Prefer the largest legal k (maximal body).
+    for k in range(len(latch.instrs), -1, -1):
+        defs_k = set(region_defs)
+        for instr in latch.instrs[:k]:
+            defs_k |= set(instr.defs())
+        if not (defs_k & live_after[k]):
+            return k
+    return None
+
+
+def _transform(
+    func: Function,
+    cfg: CFG,
+    loop: Loop,
+    header_block: BasicBlock,
+    term: CondBranch,
+    body_entry: str,
+    latch: BasicBlock,
+    split: int,
+) -> str:
+    """Rewire the loop with detach/reattach/sync blocks; returns region ID."""
+    # 1. Continuation block K: the tail of the latch plus its back edge.
+    cont = func.new_block("frog.cont")
+    cont.instrs = latch.instrs[split:]
+    cont.terminator = latch.terminator
+    region = cont.name
+
+    # 2. Reattach block: body -> continuation boundary.
+    reattach = func.new_block("frog.reattach")
+    reattach.instrs = [IRInstr(IROp.REATTACH, region=region)]
+    reattach.terminator = Branch(cont.name)
+
+    latch.instrs = latch.instrs[:split]
+    latch.terminator = Branch(reattach.name)
+
+    # 3. Detach block on the header -> body edge.
+    detach = func.new_block("frog.detach")
+    detach.instrs = [IRInstr(IROp.DETACH, region=region)]
+    detach.terminator = Branch(body_entry)
+    if term.iftrue == body_entry:
+        term.iftrue = detach.name
+    else:
+        term.iffalse = detach.name
+
+    # 4. Sync blocks on every loop exit edge (paper: "annotates every loop
+    #    exit edge with a sync", enabling early exits via `break`).
+    for from_name, to_name in loop.exits:
+        block = func.block(from_name)
+        sync = func.new_block("frog.sync")
+        sync.instrs = [IRInstr(IROp.SYNC, region=region)]
+        sync.terminator = Branch(to_name)
+        _retarget(block, to_name, sync.name)
+
+    # 5. Layout: make latch -> reattach -> continuation and
+    #    header -> detach -> body fall-throughs, so the dynamic instruction
+    #    stream is identical to the unhinted program (hints are the only
+    #    additions; codegen elides the fall-through branches).
+    for block in (reattach, cont):
+        func.blocks.remove(block)
+    latch_index = func.blocks.index(latch)
+    func.blocks.insert(latch_index + 1, reattach)
+    func.blocks.insert(latch_index + 2, cont)
+    func.blocks.remove(detach)
+    entry_index = func.blocks.index(func.block(body_entry))
+    func.blocks.insert(entry_index, detach)
+
+    func.validate()
+    return region
+
+
+def _retarget(block: BasicBlock, old: str, new: str) -> None:
+    term = block.terminator
+    if isinstance(term, Branch):
+        if term.target == old:
+            term.target = new
+    elif isinstance(term, CondBranch):
+        if term.iftrue == old:
+            term.iftrue = new
+        if term.iffalse == old:
+            term.iffalse = new

@@ -1,0 +1,330 @@
+"""Intermediate representation for the Frog compiler.
+
+A conventional three-address, basic-block IR over an unbounded set of typed
+virtual registers.  It intentionally resembles a small slice of LLVM: enough
+to host the CFG/dominator/loop/liveness analyses the LoopFrog hint-insertion
+pass needs (paper section 5.3), without SSA construction.
+
+Value operands are either :class:`VReg` or :class:`Const`.  Terminators are
+stored separately from the instruction list (``block.terminator``).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
+
+from ..errors import CompilerError
+
+
+@dataclass(frozen=True)
+class VReg:
+    """A virtual register.  ``cls`` is ``"int"`` or ``"float"``."""
+
+    name: str
+    cls: str = "int"
+
+    def __str__(self) -> str:
+        return f"%{self.name}"
+
+
+@dataclass(frozen=True)
+class Const:
+    """An immediate operand."""
+
+    value: Union[int, float]
+
+    @property
+    def cls(self) -> str:
+        return "float" if isinstance(self.value, float) else "int"
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+
+Value = Union[VReg, Const]
+
+
+class IROp(enum.Enum):
+    # Integer arithmetic / logic (map 1:1 onto ISA opcodes).
+    ADD = "add"
+    SUB = "sub"
+    MUL = "mul"
+    DIV = "div"
+    REM = "rem"
+    AND = "and"
+    OR = "or"
+    XOR = "xor"
+    SHL = "shl"
+    SHR = "shr"
+    SLT = "slt"
+    SLE = "sle"
+    SEQ = "seq"
+    SNE = "sne"
+    MIN = "min"
+    MAX = "max"
+    MOV = "mov"
+
+    # Floating point.
+    FADD = "fadd"
+    FSUB = "fsub"
+    FMUL = "fmul"
+    FDIV = "fdiv"
+    FSQRT = "fsqrt"
+    FABS = "fabs"
+    FMIN = "fmin"
+    FMAX = "fmax"
+    FMOV = "fmov"
+    FSLT = "fslt"
+    FSLE = "fsle"
+    FSEQ = "fseq"
+    CVT_IF = "cvt_if"  # int -> float
+    CVT_FI = "cvt_fi"  # float -> int
+
+    # Memory.  LOAD: dest, [base, offset_const], size.  STORE: value first.
+    LOAD = "load"
+    STORE = "store"
+
+    # LoopFrog hints (region = continuation block name).
+    DETACH = "detach"
+    REATTACH = "reattach"
+    SYNC = "sync"
+
+
+FLOAT_RESULT_OPS = frozenset(
+    {
+        IROp.FADD, IROp.FSUB, IROp.FMUL, IROp.FDIV, IROp.FSQRT, IROp.FABS,
+        IROp.FMIN, IROp.FMAX, IROp.FMOV, IROp.CVT_IF,
+    }
+)
+HINT_OPS = frozenset({IROp.DETACH, IROp.REATTACH, IROp.SYNC})
+
+
+@dataclass
+class IRInstr:
+    """One IR instruction.
+
+    * arithmetic: ``dest``, ``operands`` = (a,) or (a, b)
+    * ``LOAD``: ``dest``, ``operands`` = (base,), ``offset``, ``size``,
+      ``is_float``
+    * ``STORE``: ``operands`` = (value, base), ``offset``, ``size``
+    * hints: ``region`` = continuation block name
+    """
+
+    op: IROp
+    dest: Optional[VReg] = None
+    operands: Tuple[Value, ...] = ()
+    offset: int = 0
+    size: int = 8
+    is_float: bool = False
+    region: Optional[str] = None
+
+    def uses(self) -> Tuple[VReg, ...]:
+        return tuple(v for v in self.operands if isinstance(v, VReg))
+
+    def defs(self) -> Tuple[VReg, ...]:
+        return (self.dest,) if self.dest is not None else ()
+
+    @property
+    def is_memory(self) -> bool:
+        return self.op in (IROp.LOAD, IROp.STORE)
+
+    @property
+    def is_hint(self) -> bool:
+        return self.op in HINT_OPS
+
+    def __str__(self) -> str:
+        if self.op is IROp.LOAD:
+            kind = "f" if self.is_float else ""
+            return (
+                f"{self.dest} = {kind}load{self.size} "
+                f"[{self.operands[0]} + {self.offset}]"
+            )
+        if self.op is IROp.STORE:
+            kind = "f" if self.is_float else ""
+            return (
+                f"{kind}store{self.size} {self.operands[0]}, "
+                f"[{self.operands[1]} + {self.offset}]"
+            )
+        if self.is_hint:
+            return f"{self.op.value} @{self.region}"
+        rhs = ", ".join(str(v) for v in self.operands)
+        if self.dest is None:
+            return f"{self.op.value} {rhs}"
+        return f"{self.dest} = {self.op.value} {rhs}"
+
+
+# ---------------------------------------------------------------------------
+# Terminators
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Branch:
+    """Unconditional branch to ``target`` (a block name)."""
+
+    target: str
+
+    def successors(self) -> Tuple[str, ...]:
+        return (self.target,)
+
+    def uses(self) -> Tuple[VReg, ...]:
+        return ()
+
+    def __str__(self) -> str:
+        return f"br {self.target}"
+
+
+@dataclass
+class CondBranch:
+    """Branch to ``iftrue`` when ``cond`` is nonzero, else ``iffalse``."""
+
+    cond: VReg
+    iftrue: str
+    iffalse: str
+
+    def successors(self) -> Tuple[str, ...]:
+        return (self.iftrue, self.iffalse)
+
+    def uses(self) -> Tuple[VReg, ...]:
+        return (self.cond,)
+
+    def __str__(self) -> str:
+        return f"cbr {self.cond}, {self.iftrue}, {self.iffalse}"
+
+
+@dataclass
+class Ret:
+    value: Optional[Value] = None
+
+    def successors(self) -> Tuple[str, ...]:
+        return ()
+
+    def uses(self) -> Tuple[VReg, ...]:
+        return (self.value,) if isinstance(self.value, VReg) else ()
+
+    def __str__(self) -> str:
+        return f"ret {self.value}" if self.value is not None else "ret"
+
+
+Terminator = Union[Branch, CondBranch, Ret]
+
+
+@dataclass
+class BasicBlock:
+    name: str
+    instrs: List[IRInstr] = field(default_factory=list)
+    terminator: Optional[Terminator] = None
+
+    def successors(self) -> Tuple[str, ...]:
+        if self.terminator is None:
+            return ()
+        return self.terminator.successors()
+
+    def __str__(self) -> str:
+        lines = [f"{self.name}:"]
+        lines.extend(f"  {i}" for i in self.instrs)
+        if self.terminator is not None:
+            lines.append(f"  {self.terminator}")
+        return "\n".join(lines)
+
+
+class Function:
+    """An IR function: ordered blocks, entry first."""
+
+    def __init__(self, name: str, params: Sequence[Tuple[VReg, object]] = ()):
+        self.name = name
+        self.params: List[Tuple[VReg, object]] = list(params)
+        self.blocks: List[BasicBlock] = []
+        self._block_map: Dict[str, BasicBlock] = {}
+        self._vreg_counter = 0
+        self._block_counter = 0
+        # Loops the frontend marked with #pragma loopfrog: header block names.
+        self.marked_loops: List[str] = []
+
+    # -- construction helpers ----------------------------------------------
+
+    def new_vreg(self, cls: str = "int", hint: str = "t") -> VReg:
+        self._vreg_counter += 1
+        return VReg(f"{hint}{self._vreg_counter}", cls)
+
+    def new_block(self, hint: str = "bb") -> BasicBlock:
+        self._block_counter += 1
+        name = f"{hint}.{self._block_counter}"
+        while name in self._block_map:
+            self._block_counter += 1
+            name = f"{hint}.{self._block_counter}"
+        block = BasicBlock(name)
+        self.blocks.append(block)
+        self._block_map[name] = block
+        return block
+
+    def add_block(self, block: BasicBlock, after: Optional[str] = None) -> None:
+        if block.name in self._block_map:
+            raise CompilerError(f"duplicate block {block.name!r}")
+        if after is None:
+            self.blocks.append(block)
+        else:
+            idx = self.blocks.index(self._block_map[after])
+            self.blocks.insert(idx + 1, block)
+        self._block_map[block.name] = block
+
+    def block(self, name: str) -> BasicBlock:
+        try:
+            return self._block_map[name]
+        except KeyError:
+            raise CompilerError(f"no block named {name!r} in {self.name}")
+
+    @property
+    def entry(self) -> BasicBlock:
+        if not self.blocks:
+            raise CompilerError(f"function {self.name} has no blocks")
+        return self.blocks[0]
+
+    def __iter__(self) -> Iterator[BasicBlock]:
+        return iter(self.blocks)
+
+    def instructions(self) -> Iterable[IRInstr]:
+        for block in self.blocks:
+            yield from block.instrs
+
+    def validate(self) -> None:
+        """Check structural invariants; raises CompilerError on violation."""
+        for block in self.blocks:
+            if block.terminator is None:
+                raise CompilerError(
+                    f"{self.name}: block {block.name} has no terminator"
+                )
+            for succ in block.successors():
+                if succ not in self._block_map:
+                    raise CompilerError(
+                        f"{self.name}: block {block.name} branches to "
+                        f"unknown block {succ!r}"
+                    )
+
+    def __str__(self) -> str:
+        header = ", ".join(str(p) for p, _ in self.params)
+        body = "\n".join(str(b) for b in self.blocks)
+        return f"fn {self.name}({header}):\n{body}"
+
+
+class Module:
+    """A collection of IR functions; ``main`` is the program entry."""
+
+    def __init__(self):
+        self.functions: Dict[str, Function] = {}
+
+    def add(self, func: Function) -> None:
+        if func.name in self.functions:
+            raise CompilerError(f"duplicate function {func.name!r}")
+        self.functions[func.name] = func
+
+    def __getitem__(self, name: str) -> Function:
+        return self.functions[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.functions
+
+    def __str__(self) -> str:
+        return "\n\n".join(str(f) for f in self.functions.values())

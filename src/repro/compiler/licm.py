@@ -1,0 +1,202 @@
+"""Optional optimisation passes: constant folding and loop-invariant code
+motion (LICM).
+
+The paper compiles its baseline with full ``-O3`` and notes that further
+"optimizing transformations ... could increase the size of the parallel
+body" (section 5.2).  These two passes are the classic enablers:
+
+* :func:`fold_constants` — evaluates integer/float operations whose
+  operands are all constants (using the executor's exact semantics, so
+  folding can never change behaviour).
+* :func:`hoist_invariants` — moves pure instructions whose operands are
+  invariant in a loop to the loop's preheader.  Hoisting shrinks loop
+  *headers* (address computations and the like), which directly grows the
+  relative share of the parallel body.
+
+Both passes are off by default (``CompileOptions(licm=True)`` /
+``fold=True`` enable them) so the default pipeline matches the
+configuration every experiment was tuned with.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from ..isa.instructions import Opcode
+from ..uarch.executor import execute_one
+from ..isa.instructions import Instruction
+from .cfg import CFG
+from .ir import Branch, Const, Function, IRInstr, IROp, VReg
+from .loops import Loop, find_loops, loop_preheader
+
+# IR ops safe to fold/hoist: pure and non-trapping.
+_PURE = {
+    IROp.ADD, IROp.SUB, IROp.MUL, IROp.AND, IROp.OR, IROp.XOR,
+    IROp.SHL, IROp.SHR, IROp.SLT, IROp.SLE, IROp.SEQ, IROp.SNE,
+    IROp.MIN, IROp.MAX, IROp.MOV,
+    IROp.FADD, IROp.FSUB, IROp.FMUL, IROp.FABS, IROp.FMIN, IROp.FMAX,
+    IROp.FMOV, IROp.FSLT, IROp.FSLE, IROp.FSEQ, IROp.CVT_IF, IROp.CVT_FI,
+}
+
+_IR_TO_ISA = {
+    IROp.ADD: Opcode.ADD, IROp.SUB: Opcode.SUB, IROp.MUL: Opcode.MUL,
+    IROp.AND: Opcode.AND, IROp.OR: Opcode.OR, IROp.XOR: Opcode.XOR,
+    IROp.SHL: Opcode.SHL, IROp.SHR: Opcode.SHR, IROp.SLT: Opcode.SLT,
+    IROp.SLE: Opcode.SLE, IROp.SEQ: Opcode.SEQ, IROp.SNE: Opcode.SNE,
+    IROp.MIN: Opcode.MIN, IROp.MAX: Opcode.MAX,
+    IROp.FADD: Opcode.FADD, IROp.FSUB: Opcode.FSUB, IROp.FMUL: Opcode.FMUL,
+    IROp.FABS: Opcode.FABS, IROp.FMIN: Opcode.FMIN, IROp.FMAX: Opcode.FMAX,
+    IROp.FSLT: Opcode.FSLT, IROp.FSLE: Opcode.FSLE, IROp.FSEQ: Opcode.FSEQ,
+    IROp.CVT_IF: Opcode.FCVT, IROp.CVT_FI: Opcode.ICVT,
+}
+
+
+def _evaluate(instr: IRInstr):
+    """Evaluate a pure IR op on constant operands via the executor."""
+    opcode = _IR_TO_ISA.get(instr.op)
+    if opcode is None:
+        return None
+    values = [v.value for v in instr.operands]
+    regs = {"r10": 0, "f10": 0.0}
+    srcs = []
+    for i, v in enumerate(values):
+        name = f"f{i+1}" if isinstance(v, float) else f"r{i+1}"
+        regs[name] = v
+        srcs.append(name)
+    is_float_dest = instr.op in (
+        IROp.FADD, IROp.FSUB, IROp.FMUL, IROp.FABS, IROp.FMIN, IROp.FMAX,
+        IROp.FMOV, IROp.CVT_IF,
+    )
+    dest = "f10" if is_float_dest else "r10"
+    machine = Instruction(opcode, dest=dest, srcs=tuple(srcs))
+    execute_one(machine, regs, _NoMemory(), 0)
+    return regs[dest]
+
+
+class _NoMemory:
+    def load(self, addr, size):  # pragma: no cover - never reached
+        raise AssertionError("pure ops do not touch memory")
+
+    def store(self, addr, size, value):  # pragma: no cover
+        raise AssertionError("pure ops do not touch memory")
+
+
+def fold_constants(func: Function) -> int:
+    """Fold pure ops with all-constant operands; returns folds performed.
+
+    Folded instructions become ``mov dest, <const>``; a following
+    copy-fusion/DCE pass cleans those up.  Constants propagate across
+    instructions within each block via a local environment.
+    """
+    folded = 0
+    for block in func.blocks:
+        env: Dict[VReg, Const] = {}
+        for instr in block.instrs:
+            # Substitute known-constant operands.
+            if instr.op in _PURE or instr.op in (IROp.LOAD, IROp.STORE):
+                instr.operands = tuple(
+                    env.get(v, v) if isinstance(v, VReg) else v
+                    for v in instr.operands
+                )
+            if (
+                instr.op in _PURE
+                and instr.op not in (IROp.MOV, IROp.FMOV)
+                and instr.operands
+                and all(isinstance(v, Const) for v in instr.operands)
+            ):
+                value = _evaluate(instr)
+                if value is not None:
+                    is_float = isinstance(value, float)
+                    instr.op = IROp.FMOV if is_float else IROp.MOV
+                    instr.operands = (Const(value),)
+                    folded += 1
+            # Track constants created by moves.
+            if (
+                instr.op in (IROp.MOV, IROp.FMOV)
+                and isinstance(instr.operands[0], Const)
+                and instr.dest is not None
+            ):
+                env[instr.dest] = instr.operands[0]
+            elif instr.dest is not None:
+                env.pop(instr.dest, None)
+    return folded
+
+
+def hoist_invariants(func: Function) -> int:
+    """Hoist loop-invariant pure instructions to preheaders; returns count.
+
+    A candidate must (a) be pure, (b) have all operands defined outside the
+    loop (or by already-hoisted instructions), (c) be the loop's *only*
+    definition of its destination, and (d) sit in a block that executes on
+    every iteration (we conservatively require the loop header or a block
+    dominating every latch).  Condition (c) matters because the IR is not
+    SSA.
+    """
+    hoisted_total = 0
+    changed = True
+    while changed:
+        changed = False
+        cfg = CFG(func)
+        loops = find_loops(func, cfg)
+        for loop in sorted(loops.values(), key=lambda l: -l.depth):
+            hoisted_total += _hoist_one_loop(func, cfg, loop) or 0
+            # Structure changed if anything was hoisted; recompute CFG.
+        break  # a single fixpoint round per call keeps this predictable
+    return hoisted_total
+
+
+def _hoist_one_loop(func: Function, cfg: CFG, loop: Loop) -> int:
+    from .liveness import Liveness
+
+    pre_name = loop_preheader(func, cfg, loop)
+    if pre_name is None:
+        return 0
+    preheader = func.block(pre_name)
+    if not isinstance(preheader.terminator, Branch):
+        return 0
+
+    # Registers live into the header carry pre-loop values (the IR is not
+    # SSA): hoisting a redefinition would clobber them on zero-trip paths
+    # or before their first in-loop use.
+    live_at_header = Liveness(func, cfg).live_in[loop.header]
+
+    # Definitions inside the loop, per register.
+    def_counts: Dict[VReg, int] = {}
+    for name in loop.blocks:
+        for instr in func.block(name).instrs:
+            for d in instr.defs():
+                def_counts[d] = def_counts.get(d, 0) + 1
+
+    # Blocks guaranteed to run every iteration: dominate every latch.
+    always_run = {
+        name for name in loop.blocks
+        if all(cfg.dominates(name, latch) for latch in loop.latches)
+    }
+
+    invariant: Set[VReg] = set()
+    hoisted = 0
+    for name in sorted(always_run, key=lambda n: cfg.rpo_index.get(n, 0)):
+        block = func.block(name)
+        keep: List[IRInstr] = []
+        for instr in block.instrs:
+            movable = (
+                instr.op in _PURE
+                and instr.dest is not None
+                and def_counts.get(instr.dest, 0) == 1
+                and instr.dest not in live_at_header
+                and all(
+                    not isinstance(v, VReg)
+                    or v not in def_counts
+                    or v in invariant
+                    for v in instr.operands
+                )
+            )
+            if movable:
+                preheader.instrs.append(instr)
+                invariant.add(instr.dest)
+                def_counts.pop(instr.dest, None)
+                hoisted += 1
+            else:
+                keep.append(instr)
+        block.instrs = keep
+    return hoisted

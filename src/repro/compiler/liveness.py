@@ -1,0 +1,80 @@
+"""Backward liveness dataflow over virtual registers.
+
+Used by the hint-insertion pass (which register values cross an iteration
+boundary — the paper's register loop-carried dependencies, section 3) and by
+the linear-scan register allocator.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Set
+
+from .cfg import CFG
+from .ir import BasicBlock, Function, VReg
+
+
+class Liveness:
+    """Per-block live-in / live-out sets for one function."""
+
+    def __init__(self, func: Function, cfg: CFG):
+        self.func = func
+        self.cfg = cfg
+        self.use: Dict[str, Set[VReg]] = {}
+        self.defs: Dict[str, Set[VReg]] = {}
+        self.live_in: Dict[str, Set[VReg]] = {}
+        self.live_out: Dict[str, Set[VReg]] = {}
+        self._compute()
+
+    def _block_use_def(self, block: BasicBlock) -> None:
+        use: Set[VReg] = set()
+        defined: Set[VReg] = set()
+        for instr in block.instrs:
+            for v in instr.uses():
+                if v not in defined:
+                    use.add(v)
+            for v in instr.defs():
+                defined.add(v)
+        if block.terminator is not None:
+            for v in block.terminator.uses():
+                if v not in defined:
+                    use.add(v)
+        self.use[block.name] = use
+        self.defs[block.name] = defined
+
+    def _compute(self) -> None:
+        for block in self.func.blocks:
+            self._block_use_def(block)
+            self.live_in[block.name] = set()
+            self.live_out[block.name] = set()
+
+        # Iterate to fixpoint, visiting blocks in reverse RPO for speed.
+        order = list(reversed(self.cfg.rpo))
+        changed = True
+        while changed:
+            changed = False
+            for name in order:
+                out: Set[VReg] = set()
+                for succ in self.cfg.succs[name]:
+                    out |= self.live_in[succ]
+                new_in = self.use[name] | (out - self.defs[name])
+                if out != self.live_out[name] or new_in != self.live_in[name]:
+                    self.live_out[name] = out
+                    self.live_in[name] = new_in
+                    changed = True
+
+    def live_at_block_entry(self, name: str) -> FrozenSet[VReg]:
+        return frozenset(self.live_in[name])
+
+    def live_after_index(self, block: BasicBlock, index: int) -> Set[VReg]:
+        """Registers live immediately *after* ``block.instrs[index]``.
+
+        Walks backward from the block's live-out through the instructions
+        following ``index``.
+        """
+        live = set(self.live_out[block.name])
+        if block.terminator is not None:
+            live |= set(block.terminator.uses())
+        for instr in reversed(block.instrs[index + 1 :]):
+            live -= set(instr.defs())
+            live |= set(instr.uses())
+        return live

@@ -1,0 +1,101 @@
+"""Natural-loop detection on the IR CFG.
+
+A natural loop is identified by a back edge (latch → header) where the
+header dominates the latch; the loop body is everything that can reach the
+latch without passing through the header.  Loops sharing a header are merged
+(standard practice).  Nesting is recovered by body containment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from .cfg import CFG
+from .ir import Function
+
+
+@dataclass
+class Loop:
+    """One natural loop.
+
+    Attributes:
+        header: loop header block name (the unique entry).
+        blocks: all block names in the loop, including the header.
+        latches: blocks with a back edge to the header.
+        exits: (from_block, to_block) edges leaving the loop.
+        parent: enclosing loop header, if nested.
+        depth: nesting depth (1 = outermost).
+    """
+
+    header: str
+    blocks: Set[str] = field(default_factory=set)
+    latches: List[str] = field(default_factory=list)
+    exits: List[Tuple[str, str]] = field(default_factory=list)
+    parent: Optional[str] = None
+    depth: int = 1
+
+    def __contains__(self, block_name: str) -> bool:
+        return block_name in self.blocks
+
+
+def find_loops(func: Function, cfg: Optional[CFG] = None) -> Dict[str, Loop]:
+    """All natural loops of ``func``, keyed by header block name."""
+    cfg = cfg or CFG(func)
+    loops: Dict[str, Loop] = {}
+
+    for latch, header in cfg.back_edges():
+        loop = loops.setdefault(header, Loop(header=header, blocks={header}))
+        loop.latches.append(latch)
+        # Walk predecessors from the latch until we hit the header.
+        stack = [latch]
+        while stack:
+            node = stack.pop()
+            if node in loop.blocks:
+                continue
+            loop.blocks.add(node)
+            stack.extend(p for p in cfg.preds[node] if p in cfg.reachable)
+
+    for loop in loops.values():
+        loop.exits = [
+            (b, s)
+            for b in sorted(loop.blocks)
+            for s in cfg.succs[b]
+            if s not in loop.blocks
+        ]
+
+    _assign_nesting(loops)
+    return loops
+
+
+def _assign_nesting(loops: Dict[str, Loop]) -> None:
+    headers = list(loops)
+    for h in headers:
+        inner = loops[h]
+        best: Optional[Loop] = None
+        for other_h in headers:
+            if other_h == h:
+                continue
+            outer = loops[other_h]
+            if h in outer.blocks and inner.blocks < outer.blocks:
+                if best is None or len(outer.blocks) < len(best.blocks):
+                    best = outer
+        inner.parent = best.header if best else None
+    # Depths via parent chains.
+    for loop in loops.values():
+        depth = 1
+        node = loop.parent
+        while node is not None:
+            depth += 1
+            node = loops[node].parent
+        loop.depth = depth
+
+
+def loop_preheader(func: Function, cfg: CFG, loop: Loop) -> Optional[str]:
+    """The unique out-of-loop predecessor of the header, if there is one."""
+    outside = [
+        p for p in cfg.preds[loop.header] if p not in loop.blocks and p in cfg.reachable
+    ]
+    if len(outside) == 1:
+        return outside[0]
+    return None

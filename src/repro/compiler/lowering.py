@@ -1,0 +1,661 @@
+"""Lowering from the Frog AST to the compiler IR.
+
+Design notes:
+
+* Variables are *not* SSA: each source variable gets one stable virtual
+  register and assignments ``mov`` into it.  This keeps loop-carried
+  dependencies visible to the liveness analysis exactly as the
+  hint-insertion pass needs them.
+* All user-function calls are inlined (the reproduction ISA keeps
+  ``call``/``ret`` for hand-written assembly, but the Frog compiler avoids a
+  calling convention entirely).  Recursion is rejected.
+* ``#pragma loopfrog`` loops are recorded in ``Function.marked_loops`` by
+  header block name, which is what the hint-insertion pass consumes
+  (paper section 5.1: manual loop selection, automatic hint insertion).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import CompilerError
+from ..lang import ast
+from .ir import (
+    Branch,
+    CondBranch,
+    Const,
+    Function,
+    IRInstr,
+    IROp,
+    Module,
+    Ret,
+    Value,
+    VReg,
+)
+
+_INT_BINOPS = {
+    "+": IROp.ADD, "-": IROp.SUB, "*": IROp.MUL, "/": IROp.DIV, "%": IROp.REM,
+    "&": IROp.AND, "|": IROp.OR, "^": IROp.XOR, "<<": IROp.SHL, ">>": IROp.SHR,
+    "<": IROp.SLT, "<=": IROp.SLE, "==": IROp.SEQ, "!=": IROp.SNE,
+}
+_FLOAT_BINOPS = {
+    "+": IROp.FADD, "-": IROp.FSUB, "*": IROp.FMUL, "/": IROp.FDIV,
+    "<": IROp.FSLT, "<=": IROp.FSLE, "==": IROp.FSEQ,
+}
+_CMP_OPS = {"<", "<=", ">", ">=", "==", "!="}
+
+_MAX_INLINE_DEPTH = 16
+
+
+@dataclass
+class _LoopContext:
+    break_target: str
+    continue_target: str
+
+
+@dataclass
+class _InlineContext:
+    """Return plumbing for an inlined function body."""
+
+    join_block: str
+    result: Optional[VReg]
+    result_type: Optional[ast.Type]
+
+
+class _Scope:
+    def __init__(self, parent: Optional["_Scope"] = None):
+        self.parent = parent
+        self.vars: Dict[str, Tuple[VReg, ast.Type]] = {}
+
+    def declare(self, name: str, reg: VReg, typ: ast.Type) -> None:
+        if name in self.vars:
+            raise CompilerError(f"redeclaration of {name!r}")
+        self.vars[name] = (reg, typ)
+
+    def lookup(self, name: str) -> Tuple[VReg, ast.Type]:
+        scope: Optional[_Scope] = self
+        while scope is not None:
+            if name in scope.vars:
+                return scope.vars[name]
+            scope = scope.parent
+        raise CompilerError(f"undefined variable {name!r}")
+
+
+class Lowerer:
+    """Lowers one entry function (plus anything it calls) to IR."""
+
+    def __init__(self, module: ast.Module, entry: str = "main",
+                 mark_all_loops: bool = False):
+        self.ast_module = module
+        self.entry_name = entry
+        self.mark_all_loops = mark_all_loops
+        try:
+            self.entry_decl = module.function(entry)
+        except KeyError:
+            raise CompilerError(f"no function named {entry!r}")
+        self.func = Function(entry)
+        self.current = self.func.new_block("entry")
+        self.loop_stack: List[_LoopContext] = []
+        self.inline_stack: List[str] = []
+        self.inline_ctx: List[_InlineContext] = []
+
+    # -- emit helpers -------------------------------------------------------
+
+    def emit(self, instr: IRInstr) -> None:
+        if self.current.terminator is not None:
+            # Dead code after return/break: drop it silently.
+            return
+        self.current.instrs.append(instr)
+
+    def terminate(self, term) -> None:
+        if self.current.terminator is None:
+            self.current.terminator = term
+
+    def start_block(self, block) -> None:
+        self.current = block
+
+    def _fresh(self, cls: str) -> VReg:
+        return self.func.new_vreg(cls)
+
+    # -- top level ----------------------------------------------------------
+
+    def lower(self) -> Function:
+        # Parameters become stable vregs in the outer scope.
+        scope = _Scope()
+        for pname, ptype in self.entry_decl.params:
+            reg = self.func.new_vreg(ptype.reg_class, hint=f"arg_{pname}_")
+            self.func.params.append((reg, ptype))
+            scope.declare(pname, reg, ptype)
+        self.lower_block(self.entry_decl.body, scope)
+        # Implicit return for void functions.
+        self.terminate(Ret(None))
+        self._seal_dangling_blocks()
+        self.func.validate()
+        return self.func
+
+    def _seal_dangling_blocks(self) -> None:
+        for block in self.func.blocks:
+            if block.terminator is None:
+                block.terminator = Ret(None)
+
+    # -- statements ---------------------------------------------------------
+
+    def lower_block(self, block: ast.Block, scope: _Scope) -> None:
+        inner = _Scope(scope)
+        for stmt in block.stmts:
+            self.lower_stmt(stmt, inner)
+
+    def lower_stmt(self, stmt: ast.Stmt, scope: _Scope) -> None:
+        if isinstance(stmt, ast.VarDecl):
+            self._lower_var_decl(stmt, scope)
+        elif isinstance(stmt, ast.Assign):
+            self._lower_assign(stmt, scope)
+        elif isinstance(stmt, ast.If):
+            self._lower_if(stmt, scope)
+        elif isinstance(stmt, ast.While):
+            self._lower_while(stmt, scope)
+        elif isinstance(stmt, ast.For):
+            self._lower_for(stmt, scope)
+        elif isinstance(stmt, ast.Return):
+            self._lower_return(stmt, scope)
+        elif isinstance(stmt, ast.Break):
+            self._lower_break(stmt)
+        elif isinstance(stmt, ast.Continue):
+            self._lower_continue(stmt)
+        elif isinstance(stmt, ast.ExprStmt):
+            self.lower_expr(stmt.expr, scope)
+        elif isinstance(stmt, ast.Block):
+            self.lower_block(stmt, scope)
+        else:
+            raise CompilerError(f"unhandled statement {type(stmt).__name__}")
+
+    def _lower_var_decl(self, stmt: ast.VarDecl, scope: _Scope) -> None:
+        reg = self.func.new_vreg(stmt.type.reg_class, hint=f"{stmt.name}_")
+        scope.declare(stmt.name, reg, stmt.type)
+        if stmt.init is not None:
+            value, vtype = self.lower_expr(stmt.init, scope)
+            value = self._convert(value, vtype, stmt.type)
+            self._move_into(reg, value, stmt.type.reg_class)
+        else:
+            zero = Const(0.0) if stmt.type.reg_class == "float" else Const(0)
+            self._move_into(reg, zero, stmt.type.reg_class)
+
+    def _move_into(self, dest: VReg, value: Value, cls: str) -> None:
+        op = IROp.FMOV if cls == "float" else IROp.MOV
+        self.emit(IRInstr(op, dest=dest, operands=(value,)))
+
+    def _lower_assign(self, stmt: ast.Assign, scope: _Scope) -> None:
+        if isinstance(stmt.target, ast.Name):
+            reg, vtype = scope.lookup(stmt.target.ident)
+            value, etype = self.lower_expr(stmt.value, scope)
+            value = self._convert(value, etype, vtype)
+            self._move_into(reg, value, vtype.reg_class)
+            return
+        if isinstance(stmt.target, ast.Index):
+            base, offset, elem = self._lower_address(stmt.target, scope)
+            value, etype = self.lower_expr(stmt.value, scope)
+            value = self._convert(value, etype, elem)
+            value = self._ensure_reg(value, elem.reg_class)
+            self.emit(
+                IRInstr(
+                    IROp.STORE,
+                    operands=(value, base),
+                    offset=offset,
+                    size=elem.size,
+                    is_float=elem.reg_class == "float",
+                )
+            )
+            return
+        raise CompilerError("invalid assignment target")
+
+    def _lower_if(self, stmt: ast.If, scope: _Scope) -> None:
+        cond = self._lower_condition(stmt.cond, scope)
+        then_block = self.func.new_block("if.then")
+        join_block = self.func.new_block("if.join")
+        else_block = self.func.new_block("if.else") if stmt.els else join_block
+        self.terminate(CondBranch(cond, then_block.name, else_block.name))
+
+        self.start_block(then_block)
+        self.lower_block(stmt.then, scope)
+        self.terminate(Branch(join_block.name))
+
+        if stmt.els is not None:
+            self.start_block(else_block)
+            self.lower_block(stmt.els, scope)
+            self.terminate(Branch(join_block.name))
+
+        self.start_block(join_block)
+
+    def _lower_while(self, stmt: ast.While, scope: _Scope) -> None:
+        cond_block = self.func.new_block("while.cond")
+        body_block = self.func.new_block("while.body")
+        end_block = self.func.new_block("while.end")
+        self.terminate(Branch(cond_block.name))
+
+        self.start_block(cond_block)
+        cond = self._lower_condition(stmt.cond, scope)
+        self.terminate(CondBranch(cond, body_block.name, end_block.name))
+
+        self.loop_stack.append(_LoopContext(end_block.name, cond_block.name))
+        self.start_block(body_block)
+        self.lower_block(stmt.body, scope)
+        self.terminate(Branch(cond_block.name))
+        self.loop_stack.pop()
+
+        if self.mark_all_loops or (stmt.pragma and "loopfrog" in stmt.pragma):
+            self.func.marked_loops.append(cond_block.name)
+        self.start_block(end_block)
+
+    def _lower_for(self, stmt: ast.For, scope: _Scope) -> None:
+        outer = _Scope(scope)  # the induction variable's scope
+        if stmt.init is not None:
+            self.lower_stmt(stmt.init, outer)
+
+        cond_block = self.func.new_block("for.cond")
+        body_block = self.func.new_block("for.body")
+        inc_block = self.func.new_block("for.inc")
+        end_block = self.func.new_block("for.end")
+        self.terminate(Branch(cond_block.name))
+
+        self.start_block(cond_block)
+        if stmt.cond is not None:
+            cond = self._lower_condition(stmt.cond, outer)
+            self.terminate(CondBranch(cond, body_block.name, end_block.name))
+        else:
+            self.terminate(Branch(body_block.name))
+
+        self.loop_stack.append(_LoopContext(end_block.name, inc_block.name))
+        self.start_block(body_block)
+        self.lower_block(stmt.body, outer)
+        self.terminate(Branch(inc_block.name))
+        self.loop_stack.pop()
+
+        self.start_block(inc_block)
+        if stmt.step is not None:
+            self.lower_stmt(stmt.step, outer)
+        self.terminate(Branch(cond_block.name))
+
+        if self.mark_all_loops or (stmt.pragma and "loopfrog" in stmt.pragma):
+            self.func.marked_loops.append(cond_block.name)
+        self.start_block(end_block)
+
+    def _lower_return(self, stmt: ast.Return, scope: _Scope) -> None:
+        if self.inline_ctx:
+            ctx = self.inline_ctx[-1]
+            if stmt.value is not None:
+                if ctx.result is None or ctx.result_type is None:
+                    raise CompilerError("returning a value from a void function")
+                value, etype = self.lower_expr(stmt.value, scope)
+                value = self._convert(value, etype, ctx.result_type)
+                self._move_into(ctx.result, value, ctx.result_type.reg_class)
+            self.terminate(Branch(ctx.join_block))
+            # Continue lowering into a fresh dead block (dropped later if
+            # unreachable code follows the return).
+            self.start_block(self.func.new_block("post.ret"))
+            self.terminate(Branch(ctx.join_block))
+            self.start_block(self.func.new_block("dead"))
+            return
+        if stmt.value is not None:
+            value, _ = self.lower_expr(stmt.value, scope)
+            self.terminate(Ret(value))
+        else:
+            self.terminate(Ret(None))
+        self.start_block(self.func.new_block("dead"))
+
+    def _lower_break(self, stmt: ast.Break) -> None:
+        if not self.loop_stack:
+            raise CompilerError("break outside a loop")
+        self.terminate(Branch(self.loop_stack[-1].break_target))
+        self.start_block(self.func.new_block("dead"))
+
+    def _lower_continue(self, stmt: ast.Continue) -> None:
+        if not self.loop_stack:
+            raise CompilerError("continue outside a loop")
+        self.terminate(Branch(self.loop_stack[-1].continue_target))
+        self.start_block(self.func.new_block("dead"))
+
+    # -- expressions ---------------------------------------------------------
+
+    def _lower_condition(self, expr: ast.Expr, scope: _Scope) -> VReg:
+        value, vtype = self.lower_expr(expr, scope)
+        if vtype.reg_class == "float":
+            # Nonzero test on a float: f != 0.0.
+            reg = self._fresh("int")
+            fval = self._ensure_reg(value, "float")
+            zero = self._ensure_reg(Const(0.0), "float")
+            eq = self._fresh("int")
+            self.emit(IRInstr(IROp.FSEQ, dest=eq, operands=(fval, zero)))
+            self.emit(IRInstr(IROp.SEQ, dest=reg, operands=(eq, Const(0))))
+            return reg
+        return self._ensure_reg(value, "int")
+
+    def lower_expr(self, expr: ast.Expr, scope: _Scope) -> Tuple[Value, ast.Type]:
+        if isinstance(expr, ast.IntLit):
+            return Const(expr.value), ast.INT
+        if isinstance(expr, ast.FloatLit):
+            return Const(float(expr.value)), ast.FLOAT
+        if isinstance(expr, ast.Name):
+            reg, vtype = scope.lookup(expr.ident)
+            return reg, vtype
+        if isinstance(expr, ast.BinOp):
+            return self._lower_binop(expr, scope)
+        if isinstance(expr, ast.UnOp):
+            return self._lower_unop(expr, scope)
+        if isinstance(expr, ast.Index):
+            return self._lower_load(expr, scope)
+        if isinstance(expr, ast.Call):
+            return self._lower_call(expr, scope)
+        if isinstance(expr, ast.Cast):
+            value, vtype = self.lower_expr(expr.operand, scope)
+            return self._convert(value, vtype, expr.type), expr.type
+        raise CompilerError(f"unhandled expression {type(expr).__name__}")
+
+    def _lower_binop(self, expr: ast.BinOp, scope: _Scope) -> Tuple[Value, ast.Type]:
+        if expr.op in ("&&", "||"):
+            return self._lower_short_circuit(expr, scope)
+
+        left, ltype = self.lower_expr(expr.left, scope)
+        right, rtype = self.lower_expr(expr.right, scope)
+
+        use_float = ltype.reg_class == "float" or rtype.reg_class == "float"
+        if use_float:
+            left = self._convert(left, ltype, ast.FLOAT)
+            right = self._convert(right, rtype, ast.FLOAT)
+            return self._emit_float_binop(expr.op, left, right)
+        return self._emit_int_binop(expr.op, left, right, ltype, rtype)
+
+    def _emit_int_binop(
+        self, op: str, left: Value, right: Value, ltype: ast.Type, rtype: ast.Type
+    ) -> Tuple[Value, ast.Type]:
+        # Normalise > and >= by swapping operands.
+        if op == ">":
+            op, left, right = "<", right, left
+        elif op == ">=":
+            op, left, right = "<=", right, left
+        irop = _INT_BINOPS.get(op)
+        if irop is None:
+            raise CompilerError(f"unsupported integer operator {op!r}")
+        left = self._ensure_reg(left, "int")
+        dest = self._fresh("int")
+        self.emit(IRInstr(irop, dest=dest, operands=(left, right)))
+        if op in _CMP_OPS:
+            return dest, ast.INT
+        # Pointer arithmetic keeps the pointer type (byte offsets).
+        result_type = ltype if ltype.is_ptr else (rtype if rtype.is_ptr else ast.INT)
+        return dest, result_type
+
+    def _emit_float_binop(
+        self, op: str, left: Value, right: Value
+    ) -> Tuple[Value, ast.Type]:
+        if op == ">":
+            op, left, right = "<", right, left
+        elif op == ">=":
+            op, left, right = "<=", right, left
+        if op == "!=":
+            value, _ = self._emit_float_binop("==", left, right)
+            dest = self._fresh("int")
+            self.emit(IRInstr(IROp.SEQ, dest=dest, operands=(self._ensure_reg(value, "int"), Const(0))))
+            return dest, ast.INT
+        irop = _FLOAT_BINOPS.get(op)
+        if irop is None:
+            raise CompilerError(f"unsupported float operator {op!r}")
+        left = self._ensure_reg(left, "float")
+        is_cmp = op in _CMP_OPS
+        dest = self._fresh("int" if is_cmp else "float")
+        self.emit(IRInstr(irop, dest=dest, operands=(left, right)))
+        return dest, ast.INT if is_cmp else ast.FLOAT
+
+    def _lower_short_circuit(
+        self, expr: ast.BinOp, scope: _Scope
+    ) -> Tuple[Value, ast.Type]:
+        result = self._fresh("int")
+        rhs_block = self.func.new_block("sc.rhs")
+        short_block = self.func.new_block("sc.short")
+        join_block = self.func.new_block("sc.join")
+
+        left = self._lower_condition(expr.left, scope)
+        if expr.op == "&&":
+            self.terminate(CondBranch(left, rhs_block.name, short_block.name))
+            short_value = Const(0)
+        else:
+            self.terminate(CondBranch(left, short_block.name, rhs_block.name))
+            short_value = Const(1)
+
+        self.start_block(rhs_block)
+        right = self._lower_condition(expr.right, scope)
+        self.emit(IRInstr(IROp.SNE, dest=result, operands=(right, Const(0))))
+        self.terminate(Branch(join_block.name))
+
+        self.start_block(short_block)
+        self.emit(IRInstr(IROp.MOV, dest=result, operands=(short_value,)))
+        self.terminate(Branch(join_block.name))
+
+        self.start_block(join_block)
+        return result, ast.INT
+
+    def _lower_unop(self, expr: ast.UnOp, scope: _Scope) -> Tuple[Value, ast.Type]:
+        value, vtype = self.lower_expr(expr.operand, scope)
+        if expr.op == "-":
+            if vtype.reg_class == "float":
+                zero = self._ensure_reg(Const(0.0), "float")
+                dest = self._fresh("float")
+                self.emit(IRInstr(IROp.FSUB, dest=dest, operands=(zero, value)))
+                return dest, ast.FLOAT
+            if isinstance(value, Const):
+                return Const(-int(value.value)), ast.INT
+            zero = self._ensure_reg(Const(0), "int")
+            dest = self._fresh("int")
+            self.emit(IRInstr(IROp.SUB, dest=dest, operands=(zero, value)))
+            return dest, ast.INT
+        if expr.op == "!":
+            cond = self._lower_condition(expr.operand, scope)
+            dest = self._fresh("int")
+            self.emit(IRInstr(IROp.SEQ, dest=dest, operands=(cond, Const(0))))
+            return dest, ast.INT
+        raise CompilerError(f"unsupported unary operator {expr.op!r}")
+
+    def _lower_address(
+        self, expr: ast.Index, scope: _Scope
+    ) -> Tuple[VReg, int, ast.Type]:
+        """Compute (base_reg, const_offset, elem_type) for ``base[index]``."""
+        base_value, base_type = self.lower_expr(expr.base, scope)
+        if not base_type.is_ptr or base_type.elem is None:
+            raise CompilerError(f"indexing a non-pointer value of type {base_type}")
+        elem = base_type.elem
+        base_reg = self._ensure_reg(base_value, "int")
+
+        index_value, index_type = self.lower_expr(expr.index, scope)
+        if index_type.reg_class != "int":
+            raise CompilerError("array index must be an integer")
+        if isinstance(index_value, Const):
+            return base_reg, int(index_value.value) * elem.size, elem
+        scaled = self._fresh("int")
+        if elem.size == 1:
+            scaled = self._ensure_reg(index_value, "int")
+        else:
+            shift = {2: 1, 4: 2, 8: 3}.get(elem.size)
+            if shift is not None:
+                self.emit(
+                    IRInstr(IROp.SHL, dest=scaled, operands=(index_value, Const(shift)))
+                )
+            else:
+                self.emit(
+                    IRInstr(
+                        IROp.MUL, dest=scaled, operands=(index_value, Const(elem.size))
+                    )
+                )
+        addr = self._fresh("int")
+        self.emit(IRInstr(IROp.ADD, dest=addr, operands=(base_reg, scaled)))
+        return addr, 0, elem
+
+    def _lower_load(self, expr: ast.Index, scope: _Scope) -> Tuple[Value, ast.Type]:
+        base, offset, elem = self._lower_address(expr, scope)
+        dest = self._fresh(elem.reg_class)
+        self.emit(
+            IRInstr(
+                IROp.LOAD,
+                dest=dest,
+                operands=(base,),
+                offset=offset,
+                size=elem.size,
+                is_float=elem.reg_class == "float",
+            )
+        )
+        # Loaded sub-word ints are sign-extended; type becomes plain int/float.
+        return dest, ast.FLOAT if elem.reg_class == "float" else (
+            elem if elem.is_ptr else ast.INT
+        )
+
+    # -- calls / intrinsics ---------------------------------------------------
+
+    _FLOAT_INTRINSICS = {
+        "sqrt": IROp.FSQRT,
+        "fabs": IROp.FABS,
+    }
+
+    def _lower_call(self, expr: ast.Call, scope: _Scope) -> Tuple[Value, ast.Type]:
+        name = expr.func
+
+        if name in self._FLOAT_INTRINSICS:
+            (arg,) = self._lower_args(expr, scope, 1)
+            value = self._convert(arg[0], arg[1], ast.FLOAT)
+            dest = self._fresh("float")
+            self.emit(
+                IRInstr(
+                    self._FLOAT_INTRINSICS[name],
+                    dest=dest,
+                    operands=(self._ensure_reg(value, "float"),),
+                )
+            )
+            return dest, ast.FLOAT
+
+        if name in ("min", "max", "fmin", "fmax"):
+            args = self._lower_args(expr, scope, 2)
+            is_float = name.startswith("f") or any(
+                a[1].reg_class == "float" for a in args
+            )
+            target_type = ast.FLOAT if is_float else ast.INT
+            ops = tuple(
+                self._convert(v, t, target_type) for v, t in args
+            )
+            base = name.lstrip("f")
+            irop = {
+                ("min", False): IROp.MIN, ("max", False): IROp.MAX,
+                ("min", True): IROp.FMIN, ("max", True): IROp.FMAX,
+            }[(base, is_float)]
+            dest = self._fresh(target_type.reg_class)
+            first = self._ensure_reg(ops[0], target_type.reg_class)
+            self.emit(IRInstr(irop, dest=dest, operands=(first, ops[1])))
+            return dest, target_type
+
+        if name == "abs":
+            (arg,) = self._lower_args(expr, scope, 1)
+            if arg[1].reg_class == "float":
+                dest = self._fresh("float")
+                self.emit(
+                    IRInstr(
+                        IROp.FABS,
+                        dest=dest,
+                        operands=(self._ensure_reg(arg[0], "float"),),
+                    )
+                )
+                return dest, ast.FLOAT
+            value = self._ensure_reg(arg[0], "int")
+            neg = self._fresh("int")
+            zero = self._ensure_reg(Const(0), "int")
+            self.emit(IRInstr(IROp.SUB, dest=neg, operands=(zero, value)))
+            dest = self._fresh("int")
+            self.emit(IRInstr(IROp.MAX, dest=dest, operands=(value, neg)))
+            return dest, ast.INT
+
+        return self._inline_user_call(expr, scope)
+
+    def _lower_args(self, expr: ast.Call, scope: _Scope, count: int):
+        if len(expr.args) != count:
+            raise CompilerError(
+                f"{expr.func} expects {count} argument(s), got {len(expr.args)}"
+            )
+        return [self.lower_expr(a, scope) for a in expr.args]
+
+    def _inline_user_call(
+        self, expr: ast.Call, scope: _Scope
+    ) -> Tuple[Value, ast.Type]:
+        try:
+            decl = self.ast_module.function(expr.func)
+        except KeyError:
+            raise CompilerError(f"call to undefined function {expr.func!r}")
+        if expr.func in self.inline_stack:
+            raise CompilerError(f"recursive call to {expr.func!r} cannot be inlined")
+        if len(self.inline_stack) >= _MAX_INLINE_DEPTH:
+            raise CompilerError("inline depth limit exceeded")
+        if len(expr.args) != len(decl.params):
+            raise CompilerError(
+                f"{expr.func} expects {len(decl.params)} argument(s), "
+                f"got {len(expr.args)}"
+            )
+
+        callee_scope = _Scope()
+        for (pname, ptype), arg in zip(decl.params, expr.args):
+            value, atype = self.lower_expr(arg, scope)
+            value = self._convert(value, atype, ptype)
+            reg = self.func.new_vreg(ptype.reg_class, hint=f"in_{pname}_")
+            self._move_into(reg, value, ptype.reg_class)
+            callee_scope.declare(pname, reg, ptype)
+
+        join = self.func.new_block(f"ret.{decl.name}")
+        result: Optional[VReg] = None
+        if decl.ret_type is not None:
+            result = self.func.new_vreg(decl.ret_type.reg_class, hint="retval_")
+
+        self.inline_stack.append(expr.func)
+        self.inline_ctx.append(_InlineContext(join.name, result, decl.ret_type))
+        # Suspend the caller's loop context: break/continue may not escape.
+        saved_loops, self.loop_stack = self.loop_stack, []
+        self.lower_block(decl.body, callee_scope)
+        self.terminate(Branch(join.name))
+        self.loop_stack = saved_loops
+        self.inline_ctx.pop()
+        self.inline_stack.pop()
+
+        self.start_block(join)
+        if result is not None and decl.ret_type is not None:
+            return result, decl.ret_type
+        return Const(0), ast.INT
+
+    # -- conversions ----------------------------------------------------------
+
+    def _convert(self, value: Value, have: ast.Type, want: ast.Type) -> Value:
+        if have.reg_class == want.reg_class:
+            return value
+        if have.reg_class == "int" and want.reg_class == "float":
+            if isinstance(value, Const):
+                return Const(float(value.value))
+            dest = self._fresh("float")
+            self.emit(IRInstr(IROp.CVT_IF, dest=dest, operands=(value,)))
+            return dest
+        if isinstance(value, Const):
+            return Const(int(value.value))
+        dest = self._fresh("int")
+        self.emit(IRInstr(IROp.CVT_FI, dest=dest, operands=(value,)))
+        return dest
+
+    def _ensure_reg(self, value: Value, cls: str) -> VReg:
+        if isinstance(value, VReg):
+            return value
+        dest = self._fresh(cls)
+        op = IROp.FMOV if cls == "float" else IROp.MOV
+        self.emit(IRInstr(op, dest=dest, operands=(value,)))
+        return dest
+
+
+def lower_module(
+    module: ast.Module, entry: str = "main", mark_all_loops: bool = False
+) -> Module:
+    """Lower the Frog AST ``module`` into an IR module with one entry
+    function (callees are inlined).  ``mark_all_loops`` marks every loop
+    for hint insertion, regardless of pragmas (used by the section-5.1
+    profiling workflow)."""
+    ir_module = Module()
+    ir_module.add(Lowerer(module, entry, mark_all_loops).lower())
+    return ir_module

@@ -1,0 +1,123 @@
+"""Lightweight IR clean-up passes.
+
+The Frog lowering is deliberately naive (stable registers per variable,
+fresh temporaries everywhere), so a couple of local passes recover most of
+the obvious redundancy before register allocation:
+
+* :func:`remove_unreachable_blocks` — drop blocks the CFG cannot reach.
+* :func:`fuse_copies` — fold ``t = op ...; v = mov t`` into ``v = op ...``
+  when ``t`` has exactly one use.
+* :func:`eliminate_dead_code` — delete side-effect-free instructions whose
+  results are never used (iterates with copy fusion to a fixpoint).
+
+These roughly stand in for the ``-O3`` baseline the paper compiles against;
+no LoopFrog-specific optimisation is performed (paper section 5.2).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Set
+
+from .cfg import CFG
+from .ir import Function, IROp, VReg
+
+_PURE_OPS = {
+    IROp.ADD, IROp.SUB, IROp.MUL, IROp.AND, IROp.OR, IROp.XOR,
+    IROp.SHL, IROp.SHR, IROp.SLT, IROp.SLE, IROp.SEQ, IROp.SNE,
+    IROp.MIN, IROp.MAX, IROp.MOV,
+    IROp.FADD, IROp.FSUB, IROp.FMUL, IROp.FABS, IROp.FMIN, IROp.FMAX,
+    IROp.FMOV, IROp.FSLT, IROp.FSLE, IROp.FSEQ, IROp.CVT_IF, IROp.CVT_FI,
+}
+# DIV/REM/FDIV/FSQRT can trap (divide by zero, sqrt of negative), so they are
+# not removable even when dead.
+
+
+def remove_unreachable_blocks(func: Function) -> int:
+    """Delete unreachable blocks; returns how many were removed."""
+    cfg = CFG(func)
+    reachable = cfg.reachable
+    dead = [b for b in func.blocks if b.name not in reachable]
+    for block in dead:
+        func.blocks.remove(block)
+        del func._block_map[block.name]
+    return len(dead)
+
+
+def _use_counts(func: Function) -> Dict[VReg, int]:
+    counts: Dict[VReg, int] = {}
+    for block in func.blocks:
+        for instr in block.instrs:
+            for v in instr.uses():
+                counts[v] = counts.get(v, 0) + 1
+        if block.terminator is not None:
+            for v in block.terminator.uses():
+                counts[v] = counts.get(v, 0) + 1
+    return counts
+
+
+def fuse_copies(func: Function) -> int:
+    """Fold single-use temporaries into the following move; returns count."""
+    counts = _use_counts(func)
+    fused = 0
+    for block in func.blocks:
+        new_instrs = []
+        i = 0
+        instrs = block.instrs
+        while i < len(instrs):
+            instr = instrs[i]
+            nxt = instrs[i + 1] if i + 1 < len(instrs) else None
+            if (
+                nxt is not None
+                and nxt.op in (IROp.MOV, IROp.FMOV)
+                and instr.dest is not None
+                and nxt.operands == (instr.dest,)
+                and counts.get(instr.dest, 0) == 1
+                and instr.dest != nxt.dest
+                # Register classes must agree (mov vs fmov mismatch means a
+                # conversion is involved; leave those alone).
+                and instr.dest.cls == (nxt.dest.cls if nxt.dest else None)
+            ):
+                instr.dest = nxt.dest
+                new_instrs.append(instr)
+                i += 2
+                fused += 1
+                continue
+            new_instrs.append(instr)
+            i += 1
+        block.instrs = new_instrs
+    return fused
+
+
+def eliminate_dead_code(func: Function) -> int:
+    """Remove pure instructions whose destinations are never used."""
+    removed = 0
+    changed = True
+    while changed:
+        changed = False
+        counts = _use_counts(func)
+        for block in func.blocks:
+            keep = []
+            for instr in block.instrs:
+                dead = (
+                    instr.op in _PURE_OPS
+                    and instr.dest is not None
+                    and counts.get(instr.dest, 0) == 0
+                )
+                if dead:
+                    removed += 1
+                    changed = True
+                else:
+                    keep.append(instr)
+            block.instrs = keep
+    return removed
+
+
+def optimize(func: Function) -> None:
+    """Run the standard clean-up pipeline to a fixpoint."""
+    remove_unreachable_blocks(func)
+    for _ in range(4):
+        a = fuse_copies(func)
+        b = eliminate_dead_code(func)
+        if a == 0 and b == 0:
+            break
+    func.validate()

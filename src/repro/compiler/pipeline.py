@@ -1,0 +1,126 @@
+"""The Frog compilation pipeline.
+
+``compile_frog`` runs: parse → lower (inline calls) → clean-up passes →
+LoopFrog hint insertion (for ``#pragma loopfrog`` loops) → linear-scan
+register allocation → code generation.  The result bundles the final
+:class:`~repro.isa.program.Program` with the hint-insertion reports so
+callers can see which loops were annotated and why others were rejected.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..isa.program import Program
+from ..lang import ast as frog_ast
+from ..lang import parse
+from .hints import HintOptions, HintReport, insert_hints
+from .ir import Function
+from .lowering import lower_module
+from .optimize import optimize
+from .regalloc import allocate, apply_allocation
+from . import codegen
+
+
+@dataclass
+class CompileOptions:
+    """Knobs for :func:`compile_frog`."""
+
+    entry: str = "main"
+    insert_hints: bool = True
+    # Mark every loop for hint insertion regardless of pragmas (used by
+    # profiling-based loop selection, paper section 5.1).
+    mark_all_loops: bool = False
+    optimize: bool = True
+    # Optional extra optimisations (paper section 5.2 leaves these to
+    # future work; they are off by default to match the tuned baseline).
+    fold_constants: bool = False
+    licm: bool = False
+    hint_options: HintOptions = field(default_factory=HintOptions)
+    name: Optional[str] = None  # program name override
+
+
+@dataclass
+class CompileResult:
+    """A compiled kernel plus compilation metadata."""
+
+    program: Program
+    ir: Function
+    hint_reports: List[HintReport]
+
+    @property
+    def annotated_loops(self) -> List[HintReport]:
+        return [r for r in self.hint_reports if r.annotated]
+
+    @property
+    def rejected_loops(self) -> List[HintReport]:
+        return [r for r in self.hint_reports if not r.annotated]
+
+
+def compile_frog(
+    source: str, options: Optional[CompileOptions] = None
+) -> CompileResult:
+    """Compile Frog source text to machine code.
+
+    Args:
+        source: Frog program text; must define the entry function.
+        options: compilation options (defaults compile ``main`` with hints).
+
+    Returns:
+        A :class:`CompileResult`; ``result.program`` is runnable on the
+        functional executor and both timing models.
+    """
+    options = options or CompileOptions()
+    module = parse(source)
+    return compile_ast(module, options)
+
+
+def compile_ast(
+    module: frog_ast.Module, options: Optional[CompileOptions] = None
+) -> CompileResult:
+    """Compile an already-parsed Frog module (see :func:`compile_frog`)."""
+    options = options or CompileOptions()
+    ir_module = lower_module(module, options.entry, options.mark_all_loops)
+    func = ir_module[options.entry]
+
+    if options.optimize:
+        optimize(func)
+    if options.fold_constants:
+        from .licm import fold_constants
+
+        fold_constants(func)
+        if options.optimize:
+            optimize(func)
+    if options.licm:
+        from .licm import hoist_invariants
+
+        hoist_invariants(func)
+
+    reports: List[HintReport] = []
+    if options.insert_hints:
+        reports = insert_hints(func, options.hint_options)
+        if options.optimize:
+            # Hint insertion adds blocks; re-run block clean-up only (copy
+            # fusion/DCE could disturb the chosen split, so skip them).
+            from .optimize import remove_unreachable_blocks
+
+            remove_unreachable_blocks(func)
+
+    alloc = allocate(func)
+    param_locations = {
+        param: (
+            alloc.mapping[param].slot
+            if alloc.mapping[param].spilled
+            else alloc.mapping[param].phys
+        )
+        for param, _ in func.params
+        if param in alloc.mapping
+    }
+    apply_allocation(func, alloc)
+    program = codegen.generate(
+        func, frame_slots=alloc.frame_slots, param_locations=param_locations
+    )
+    if options.name:
+        program.name = options.name
+    return CompileResult(program=program, ir=func, hint_reports=reports)

@@ -1,0 +1,233 @@
+"""Linear-scan register allocation from virtual to physical registers.
+
+Intervals are computed on the block layout order, extended to cover any
+block where the register is live-in or live-out (safe for loops).  When the
+pool runs dry, the interval with the furthest end is spilled to a stack
+slot; spill loads/stores go through ``sp``-relative memory.  Spilled
+loop-carried values therefore become through-memory dependencies — the same
+artefact the paper notes for register-pressure lowering (section 5.3) — and
+are handled at run time by the SSB/conflict detector.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import CompilerError
+from ..isa import registers as regdefs
+from .cfg import CFG
+from .ir import BasicBlock, Function, IRInstr, IROp, VReg
+from .liveness import Liveness
+
+# Scratch registers reserved for spill-code sequencing.
+INT_SCRATCH = ("r30", "r31")
+FP_SCRATCH = ("f14", "f15")
+
+INT_POOL = [r for r in regdefs.ALLOCATABLE_INT if r not in INT_SCRATCH]
+FP_POOL = [f for f in regdefs.ALLOCATABLE_FP if f not in FP_SCRATCH]
+
+
+@dataclass
+class Interval:
+    vreg: VReg
+    start: int
+    end: int
+    phys: Optional[str] = None
+    slot: Optional[int] = None  # stack slot index if spilled
+
+    @property
+    def spilled(self) -> bool:
+        return self.slot is not None
+
+
+@dataclass
+class Allocation:
+    """Result of register allocation for one function."""
+
+    mapping: Dict[VReg, Interval]
+    frame_slots: int  # number of 8-byte spill slots
+
+    def location(self, vreg: VReg) -> Interval:
+        return self.mapping[vreg]
+
+
+def _number_positions(func: Function) -> Dict[str, Tuple[int, int]]:
+    """Assign (start, end) numbering per block over a linear layout."""
+    positions: Dict[str, Tuple[int, int]] = {}
+    pos = 0
+    for block in func.blocks:
+        start = pos
+        pos += max(1, len(block.instrs)) + 1  # +1 for the terminator
+        positions[block.name] = (start, pos - 1)
+    return positions
+
+
+def compute_intervals(func: Function) -> List[Interval]:
+    cfg = CFG(func)
+    liveness = Liveness(func, cfg)
+    block_pos = _number_positions(func)
+
+    intervals: Dict[VReg, Interval] = {}
+
+    def touch(vreg: VReg, pos: int) -> None:
+        iv = intervals.get(vreg)
+        if iv is None:
+            intervals[vreg] = Interval(vreg, pos, pos)
+        else:
+            iv.start = min(iv.start, pos)
+            iv.end = max(iv.end, pos)
+
+    for param, _ in func.params:
+        touch(param, 0)
+
+    for block in func.blocks:
+        start, end = block_pos[block.name]
+        for v in liveness.live_in[block.name]:
+            touch(v, start)
+        for v in liveness.live_out[block.name]:
+            touch(v, end)
+        pos = start
+        for instr in block.instrs:
+            for v in instr.uses():
+                touch(v, pos)
+            for v in instr.defs():
+                touch(v, pos)
+            pos += 1
+        if block.terminator is not None:
+            for v in block.terminator.uses():
+                touch(v, pos)
+
+    return sorted(intervals.values(), key=lambda iv: (iv.start, iv.end))
+
+
+def allocate(func: Function) -> Allocation:
+    """Run linear scan; returns the vreg -> location mapping."""
+    intervals = compute_intervals(func)
+    pools = {"int": list(INT_POOL), "float": list(FP_POOL)}
+    active: Dict[str, List[Interval]] = {"int": [], "float": []}
+    mapping: Dict[VReg, Interval] = {}
+    next_slot = 0
+
+    for iv in intervals:
+        cls = iv.vreg.cls
+        act = active[cls]
+        # Expire old intervals.
+        act[:] = [a for a in act if a.end >= iv.start or _release(a, pools[cls])]
+        if pools[cls]:
+            iv.phys = pools[cls].pop()
+            act.append(iv)
+        else:
+            # Spill the active interval with the furthest end (or this one).
+            victim = max(act, key=lambda a: a.end) if act else None
+            if victim is not None and victim.end > iv.end:
+                iv.phys = victim.phys
+                victim.phys = None
+                victim.slot = next_slot
+                next_slot += 1
+                act.remove(victim)
+                act.append(iv)
+            else:
+                iv.slot = next_slot
+                next_slot += 1
+        mapping[iv.vreg] = iv
+
+    return Allocation(mapping, next_slot)
+
+
+def _release(interval: Interval, pool: List[str]) -> bool:
+    """Return an expired interval's register to the pool; always False so it
+    can be used inside a filtering comprehension."""
+    if interval.phys is not None:
+        pool.append(interval.phys)
+    return False
+
+
+def apply_allocation(func: Function, alloc: Allocation) -> None:
+    """Rewrite the IR in place: vregs -> physical names, with spill code.
+
+    After this pass every operand VReg name is a physical register name; the
+    ``cls`` field is preserved so codegen can still distinguish int/float.
+    """
+    for block in func.blocks:
+        new_instrs: List[IRInstr] = []
+        for instr in block.instrs:
+            scratch_in = {"int": iter(INT_SCRATCH), "float": iter(FP_SCRATCH)}
+            replacements: Dict[VReg, VReg] = {}
+            # Reload spilled uses into scratch registers.
+            for use in dict.fromkeys(instr.uses()):
+                loc = alloc.mapping[use]
+                if loc.spilled:
+                    try:
+                        scratch = next(scratch_in[use.cls])
+                    except StopIteration:
+                        raise CompilerError(
+                            f"too many spilled operands in one instruction: {instr}"
+                        )
+                    phys = VReg(scratch, use.cls)
+                    new_instrs.append(_spill_load(phys, loc.slot, use.cls))
+                    replacements[use] = phys
+                else:
+                    replacements[use] = VReg(loc.phys, use.cls)
+            instr.operands = tuple(
+                replacements.get(v, v) if isinstance(v, VReg) else v
+                for v in instr.operands
+            )
+            # Destination.
+            store_after: Optional[IRInstr] = None
+            if instr.dest is not None:
+                loc = alloc.mapping[instr.dest]
+                if loc.spilled:
+                    scratch = (INT_SCRATCH if instr.dest.cls == "int" else FP_SCRATCH)[0]
+                    phys = VReg(scratch, instr.dest.cls)
+                    store_after = _spill_store(phys, loc.slot, instr.dest.cls)
+                    instr.dest = phys
+                else:
+                    instr.dest = VReg(loc.phys, instr.dest.cls)
+            new_instrs.append(instr)
+            if store_after is not None:
+                new_instrs.append(store_after)
+        block.instrs = new_instrs
+
+        term = block.terminator
+        if term is not None and term.uses():
+            extra: List[IRInstr] = []
+            for use in term.uses():
+                loc = alloc.mapping[use]
+                if loc.spilled:
+                    phys = VReg(INT_SCRATCH[0] if use.cls == "int" else FP_SCRATCH[0], use.cls)
+                    extra.append(_spill_load(phys, loc.slot, use.cls))
+                    _replace_term_use(term, use, phys)
+                else:
+                    _replace_term_use(term, use, VReg(loc.phys, use.cls))
+            block.instrs.extend(extra)
+
+
+def _spill_load(dest: VReg, slot: int, cls: str) -> IRInstr:
+    return IRInstr(
+        IROp.LOAD,
+        dest=dest,
+        operands=(VReg("sp", "int"),),
+        offset=slot * 8,
+        size=8,
+        is_float=cls == "float",
+    )
+
+
+def _spill_store(src: VReg, slot: int, cls: str) -> IRInstr:
+    return IRInstr(
+        IROp.STORE,
+        operands=(src, VReg("sp", "int")),
+        offset=slot * 8,
+        size=8,
+        is_float=cls == "float",
+    )
+
+
+def _replace_term_use(term, old: VReg, new: VReg) -> None:
+    from .ir import CondBranch, Ret
+
+    if isinstance(term, CondBranch) and term.cond == old:
+        term.cond = new
+    elif isinstance(term, Ret) and term.value == old:
+        term.value = new

@@ -1,0 +1,60 @@
+"""Exception hierarchy for the LoopFrog reproduction.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch one type at an API boundary.  Subsystems define narrow
+subclasses to make failures actionable (e.g. an :class:`AssemblerError`
+carries the offending source line).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class AssemblerError(ReproError):
+    """Raised when assembly text cannot be parsed or resolved.
+
+    Attributes:
+        line_no: 1-based line number of the offending line, if known.
+        line: the raw source line, if known.
+    """
+
+    def __init__(self, message: str, line_no: int = 0, line: str = ""):
+        self.line_no = line_no
+        self.line = line
+        if line_no:
+            message = f"line {line_no}: {message}: {line.strip()!r}"
+        super().__init__(message)
+
+
+class ExecutionError(ReproError):
+    """Raised when the functional executor encounters an illegal state."""
+
+
+class CompilerError(ReproError):
+    """Raised for errors in the Frog compiler (lowering, analysis, codegen)."""
+
+
+class ParseError(CompilerError):
+    """Raised when Frog source text cannot be lexed or parsed."""
+
+    def __init__(self, message: str, line_no: int = 0, col: int = 0):
+        self.line_no = line_no
+        self.col = col
+        if line_no:
+            message = f"{line_no}:{col}: {message}"
+        super().__init__(message)
+
+
+class ConfigError(ReproError):
+    """Raised when a simulator configuration is inconsistent."""
+
+
+class SimulationError(ReproError):
+    """Raised when the timing model reaches an impossible state."""
+
+
+class WorkloadError(ReproError):
+    """Raised when a named workload or suite cannot be constructed."""

@@ -1,0 +1,71 @@
+"""Experiment harnesses: one module per paper figure/table.
+
+================  ==========================================
+paper artefact    module
+================  ==========================================
+figure 1          :mod:`repro.experiments.fig1_ipc_width`
+figure 6          :mod:`repro.experiments.fig6_speedup`
+figure 7          :mod:`repro.experiments.fig7_utilization`
+figure 8          :mod:`repro.experiments.fig8_commit`
+figure 9          :mod:`repro.experiments.fig9_ssb_size`
+figure 10         :mod:`repro.experiments.fig10_granule`
+table 2           :mod:`repro.experiments.table2_sources`
+table 3           :mod:`repro.experiments.table3_comparison`
+section 6.5       :mod:`repro.experiments.packing_ablation`
+section 6.6       :mod:`repro.experiments.assoc_sensitivity`
+section 6.8       :mod:`repro.experiments.area_overheads`
+================  ==========================================
+"""
+
+from .runner import (
+    BenchmarkRun,
+    PhaseRun,
+    clear_cache,
+    run_benchmark,
+    run_suite,
+    run_workload,
+    suite_geomean,
+)
+from .fig1_ipc_width import Fig1Result, run_fig1
+from .fig6_speedup import Fig6Result, run_fig6
+from .fig7_utilization import Fig7Result, in_region_geomean_speedup, run_fig7
+from .fig8_commit import Fig8Result, run_fig8
+from .fig9_ssb_size import Fig9Result, machine_with_ssb_size, run_fig9
+from .fig10_granule import Fig10Result, machine_with_granule, run_fig10
+from .table2_sources import Table2Result, run_table2
+from .table3_comparison import Table3Result, run_table3
+from .packing_ablation import PackingResult, run_packing_ablation
+from .assoc_sensitivity import AssocResult, run_assoc_sensitivity
+from .area_overheads import OverheadResult, run_area_overheads
+from .loops_report import LoopsReport, run_loops_report
+from .ablations import (
+    BloomAblationResult,
+    ThreadletSweepResult,
+    machine_with_threadlets,
+    run_bloom_ablation,
+    run_threadlet_sweep,
+)
+
+__all__ = [
+    "BenchmarkRun",
+    "PhaseRun",
+    "clear_cache",
+    "run_benchmark",
+    "run_suite",
+    "run_workload",
+    "suite_geomean",
+    "Fig1Result", "run_fig1",
+    "Fig6Result", "run_fig6",
+    "Fig7Result", "in_region_geomean_speedup", "run_fig7",
+    "Fig8Result", "run_fig8",
+    "Fig9Result", "machine_with_ssb_size", "run_fig9",
+    "Fig10Result", "machine_with_granule", "run_fig10",
+    "Table2Result", "run_table2",
+    "Table3Result", "run_table3",
+    "PackingResult", "run_packing_ablation",
+    "AssocResult", "run_assoc_sensitivity",
+    "OverheadResult", "run_area_overheads",
+    "LoopsReport", "run_loops_report",
+    "BloomAblationResult", "ThreadletSweepResult",
+    "machine_with_threadlets", "run_bloom_ablation", "run_threadlet_sweep",
+]

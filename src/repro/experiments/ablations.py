@@ -1,0 +1,99 @@
+"""Design-choice ablations beyond the paper's own sweeps.
+
+Two knobs DESIGN.md calls out:
+
+* **Threadlet count** — the paper evaluates 4 contexts; sweeping 1/2/4/8
+  shows where the returns diminish (the SSB is resized proportionally so
+  each slice keeps the table-1 2-KiB capacity).
+* **Conflict-set implementation** — the paper idealises Bloom filters
+  (no false positives modelled, section 6.1) and argues false aliasing is
+  a second-order effect; comparing exact sets against real Bloom filters
+  checks that claim in-model.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..analysis.report import format_series, format_table
+from ..uarch.config import MachineConfig, default_machine
+from .runner import run_suite, suite_geomean
+
+
+@dataclass
+class ThreadletSweepResult:
+    points: List[Tuple[int, float]]  # (contexts, geomean speedup %)
+
+    def speedup_at(self, contexts: int) -> float:
+        for n, v in self.points:
+            if n == contexts:
+                return v
+        raise KeyError(contexts)
+
+    def render(self) -> str:
+        return format_series(
+            "threadlet contexts", "geomean speedup %",
+            [(str(n), v) for n, v in self.points],
+            title="Ablation: threadlet count (SSB scaled to 2 KiB/slice)",
+        )
+
+
+def machine_with_threadlets(contexts: int) -> MachineConfig:
+    machine = default_machine()
+    machine.loopfrog = dataclasses.replace(
+        machine.loopfrog,
+        num_threadlets=contexts,
+        ssb_total_bytes=2048 * contexts,
+    )
+    return machine
+
+
+def run_threadlet_sweep(
+    contexts=(2, 4, 8),
+    suite_name: str = "spec2017",
+    only: Optional[List[str]] = None,
+) -> ThreadletSweepResult:
+    points = []
+    for n in contexts:
+        runs = run_suite(suite_name, machine_with_threadlets(n), only=only)
+        points.append((n, (suite_geomean(runs) - 1.0) * 100.0))
+    return ThreadletSweepResult(points)
+
+
+@dataclass
+class BloomAblationResult:
+    exact_percent: float
+    bloom_percent: float
+
+    @property
+    def delta_pp(self) -> float:
+        return self.exact_percent - self.bloom_percent
+
+    def render(self) -> str:
+        return format_table(
+            ["conflict sets", "geomean speedup %"],
+            [("exact (idealised, as in the paper)", f"{self.exact_percent:+.1f}"),
+             ("4096-bit Bloom filters", f"{self.bloom_percent:+.1f}")],
+            title="Ablation: conflict-detector set implementation",
+        )
+
+
+def machine_with_bloom() -> MachineConfig:
+    machine = default_machine()
+    machine.loopfrog = dataclasses.replace(
+        machine.loopfrog, use_bloom_filters=True
+    )
+    return machine
+
+
+def run_bloom_ablation(
+    suite_name: str = "spec2017", only: Optional[List[str]] = None
+) -> BloomAblationResult:
+    exact = run_suite(suite_name, only=only)
+    bloom = run_suite(suite_name, machine_with_bloom(), only=only)
+    return BloomAblationResult(
+        exact_percent=(suite_geomean(exact) - 1.0) * 100.0,
+        bloom_percent=(suite_geomean(bloom) - 1.0) * 100.0,
+    )

@@ -1,0 +1,72 @@
+"""Figure 10: sensitivity to SSB/conflict-detector granule size.
+
+Paper: 1-4 B granules are equivalent; 8 B only slows x264 (~5%); 16 B and
+32 B introduce enough false sharing to drop the geomean to 6.5% and ~6%.
+Sub-granule stores read-modify-write the whole granule, adding the false
+read that causes those conflicts (section 4.1.1)."""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..analysis.report import format_series
+from ..uarch.config import MachineConfig, default_machine
+from .runner import run_suite, suite_geomean
+
+GRANULES = (1, 2, 4, 8, 16, 32)
+
+
+@dataclass
+class Fig10Result:
+    points: List[Tuple[int, float]]               # (granule, geomean %)
+    per_benchmark: Dict[int, Dict[str, float]]    # granule -> name -> %
+
+    def speedup_at(self, granule: int) -> float:
+        for g, v in self.points:
+            if g == granule:
+                return v
+        raise KeyError(granule)
+
+    def benchmark_at(self, granule: int, name: str) -> float:
+        return self.per_benchmark[granule][name]
+
+    def render(self) -> str:
+        body = format_series(
+            "granule", "geomean speedup %",
+            [(f"{g} B", v) for g, v in self.points],
+            title="Figure 10: sensitivity to conflict granule size "
+                  "(SPEC 2017 stand-ins)",
+        )
+        if 4 in self.per_benchmark and 8 in self.per_benchmark:
+            x264_4 = self.per_benchmark[4].get("x264")
+            x264_8 = self.per_benchmark[8].get("x264")
+            if x264_4 is not None and x264_8 is not None:
+                body += (
+                    f"\nx264 at 4 B: {x264_4:+.1f}%  at 8 B: {x264_8:+.1f}% "
+                    "(the paper's one 8-B casualty)"
+                )
+        return body
+
+
+def machine_with_granule(granule_bytes: int) -> MachineConfig:
+    machine = default_machine()
+    machine.loopfrog = dataclasses.replace(
+        machine.loopfrog, granule_bytes=granule_bytes
+    )
+    return machine
+
+
+def run_fig10(
+    granules=GRANULES,
+    suite_name: str = "spec2017",
+    only: Optional[List[str]] = None,
+) -> Fig10Result:
+    points = []
+    per_benchmark: Dict[int, Dict[str, float]] = {}
+    for granule in granules:
+        runs = run_suite(suite_name, machine_with_granule(granule), only=only)
+        points.append((granule, (suite_geomean(runs) - 1.0) * 100.0))
+        per_benchmark[granule] = {r.name: r.speedup_percent for r in runs}
+    return Fig10Result(points, per_benchmark)

@@ -1,0 +1,88 @@
+"""Figure 1: IPC and commit utilisation vs front-end width.
+
+The paper measures four commercial Intel microarchitectures of increasing
+width and finds IPC rising roughly linearly while the fraction of commit
+bandwidth actually used falls.  We reproduce the trend by sweeping the
+baseline core's width over the SPEC 2017 stand-in suite (no speculation:
+these are conventional cores)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..analysis.report import format_table
+from ..analysis.speedup import geometric_mean
+from ..uarch.config import scaled_core
+from ..workloads.suites import suite
+from .runner import run_workload
+
+# Width stand-ins for the paper's four Intel generations.
+WIDTHS = (4, 6, 8, 10)
+WIDTH_NAMES = {4: "4-wide (SKL-like)", 6: "6-wide (ICL-like)",
+               8: "8-wide (GLC-like)", 10: "10-wide (LNC-like)"}
+
+
+@dataclass
+class WidthPoint:
+    width: int
+    name: str
+    geomean_ipc: float
+    commit_utilization: float
+
+
+@dataclass
+class Fig1Result:
+    points: List[WidthPoint]
+
+    def render(self) -> str:
+        return format_table(
+            ["front-end width", "geomean IPC", "commit utilisation"],
+            [
+                (p.name, f"{p.geomean_ipc:.2f}", f"{p.commit_utilization:.1%}")
+                for p in self.points
+            ],
+            title="Figure 1: IPC and commit utilisation vs width "
+                  "(SPEC 2017 stand-ins, no speculation)",
+        )
+
+    @property
+    def ipc_increases_with_width(self) -> bool:
+        ipcs = [p.geomean_ipc for p in self.points]
+        return all(b > a for a, b in zip(ipcs, ipcs[1:]))
+
+    @property
+    def utilization_decreases_with_width(self) -> bool:
+        utils = [p.commit_utilization for p in self.points]
+        return all(b < a for a, b in zip(utils, utils[1:]))
+
+
+def run_fig1(suite_name: str = "spec2017",
+             widths=WIDTHS, only: Optional[List[str]] = None) -> Fig1Result:
+    points = []
+    for width in widths:
+        machine = scaled_core(width)
+        ipcs = []
+        utils = []
+        for benchmark in suite(suite_name):
+            if only is not None and benchmark.name not in only:
+                continue
+            per_phase = []
+            util_phase = []
+            for workload, weight in benchmark.phases:
+                stats = run_workload(workload, machine)
+                per_phase.append((stats.ipc, weight))
+                util_phase.append(
+                    (stats.commit_utilization(machine.core.commit_width), weight)
+                )
+            ipcs.append(sum(v * w for v, w in per_phase))
+            utils.append(sum(v * w for v, w in util_phase))
+        points.append(
+            WidthPoint(
+                width=width,
+                name=WIDTH_NAMES.get(width, f"{width}-wide"),
+                geomean_ipc=geometric_mean(ipcs),
+                commit_utilization=sum(utils) / len(utils),
+            )
+        )
+    return Fig1Result(points)

@@ -1,0 +1,74 @@
+"""Figure 6: whole-program speedups across SPEC CPU 2006 and 2017.
+
+Paper headline: geometric means of 9.2% (2006) and 9.5% (2017); 34/47
+benchmarks accelerated by >1%, including 13/20 in 2017; top gainers
+imagick 87%, omnetpp 54%, nab 15%, gcc 12%, xalancbmk 11%."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..analysis.report import format_bars
+from ..uarch.config import MachineConfig
+from .runner import BenchmarkRun, run_suite, suite_geomean
+
+
+@dataclass
+class Fig6Result:
+    runs_2006: List[BenchmarkRun]
+    runs_2017: List[BenchmarkRun]
+
+    @property
+    def geomean_2006_percent(self) -> float:
+        return (suite_geomean(self.runs_2006) - 1.0) * 100.0
+
+    @property
+    def geomean_2017_percent(self) -> float:
+        return (suite_geomean(self.runs_2017) - 1.0) * 100.0
+
+    def profitable(self, threshold_percent: float = 1.0) -> List[BenchmarkRun]:
+        return [
+            r
+            for r in self.runs_2006 + self.runs_2017
+            if r.speedup_percent > threshold_percent
+        ]
+
+    def speedup_of(self, name: str) -> float:
+        for run in self.runs_2006 + self.runs_2017:
+            if run.name == name:
+                return run.speedup_percent
+        raise KeyError(name)
+
+    def render(self) -> str:
+        parts = []
+        for label, runs, geomean in (
+            ("SPEC CPU 2017", self.runs_2017, self.geomean_2017_percent),
+            ("SPEC CPU 2006", self.runs_2006, self.geomean_2006_percent),
+        ):
+            items = [
+                (r.name, r.speedup_percent)
+                for r in sorted(runs, key=lambda x: -x.speedup)
+            ]
+            parts.append(
+                format_bars(
+                    items,
+                    title=f"Figure 6: whole-program speedup, {label} "
+                          f"(geomean {geomean:+.1f}%)",
+                )
+            )
+        total = len(self.runs_2006) + len(self.runs_2017)
+        parts.append(
+            f"accelerated >1%: {len(self.profitable())} of {total} benchmarks"
+        )
+        return "\n\n".join(parts)
+
+
+def run_fig6(
+    machine: Optional[MachineConfig] = None,
+    baseline: Optional[MachineConfig] = None,
+) -> Fig6Result:
+    return Fig6Result(
+        runs_2006=run_suite("spec2006", machine, baseline),
+        runs_2017=run_suite("spec2017", machine, baseline),
+    )

@@ -1,0 +1,98 @@
+"""Figure 7: threadlet utilisation over the benchmarks' lifetimes.
+
+Paper: >= 2 threadlets active 42% of the time on the 13 profitable 2017
+benchmarks (29% over all), all four active 23% (16% overall); via
+Amdahl's law, a 43% geometric-mean in-region speedup."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..analysis.report import format_table
+from ..analysis.speedup import amdahl_region_speedup, geometric_mean
+from ..uarch.config import MachineConfig
+from .runner import BenchmarkRun, run_suite
+
+
+@dataclass
+class UtilizationRow:
+    name: str
+    at_least_2: float  # fraction of cycles
+    at_least_3: float
+    all_4: float
+
+
+@dataclass
+class Fig7Result:
+    rows: List[UtilizationRow]
+    profitable_names: List[str]
+
+    def _mean(self, names, attr) -> float:
+        rows = [r for r in self.rows if r.name in names]
+        if not rows:
+            return 0.0
+        return sum(getattr(r, attr) for r in rows) / len(rows)
+
+    @property
+    def profitable_at_least_2(self) -> float:
+        return self._mean(self.profitable_names, "at_least_2")
+
+    @property
+    def overall_at_least_2(self) -> float:
+        return self._mean([r.name for r in self.rows], "at_least_2")
+
+    @property
+    def profitable_all_4(self) -> float:
+        return self._mean(self.profitable_names, "all_4")
+
+    @property
+    def overall_all_4(self) -> float:
+        return self._mean([r.name for r in self.rows], "all_4")
+
+    def render(self) -> str:
+        table = format_table(
+            ["benchmark", ">=2 active", ">=3 active", "4 active"],
+            [
+                (r.name, f"{r.at_least_2:.0%}", f"{r.at_least_3:.0%}",
+                 f"{r.all_4:.0%}")
+                for r in self.rows
+            ],
+            title="Figure 7: speculative threadlet utilisation over time",
+        )
+        summary = (
+            f"profitable benchmarks: >=2 active {self.profitable_at_least_2:.0%} "
+            f"of cycles, all 4 active {self.profitable_all_4:.0%}\n"
+            f"all benchmarks:        >=2 active {self.overall_at_least_2:.0%} "
+            f"of cycles, all 4 active {self.overall_all_4:.0%}"
+        )
+        return table + "\n" + summary
+
+
+def run_fig7(
+    machine: Optional[MachineConfig] = None, suite_name: str = "spec2017"
+) -> Fig7Result:
+    runs = run_suite(suite_name, machine)
+    rows = []
+    for run in runs:
+        stats = run.phases[0].loopfrog
+        rows.append(
+            UtilizationRow(
+                name=run.name,
+                at_least_2=stats.threadlet_utilization(2),
+                at_least_3=stats.threadlet_utilization(3),
+                all_4=stats.threadlet_utilization(4),
+            )
+        )
+    profitable = [r.name for r in runs if r.speedup_percent > 1.0]
+    return Fig7Result(rows, profitable)
+
+
+def in_region_geomean_speedup(runs: List[BenchmarkRun]) -> float:
+    """The paper's section-6.3 in-region speedup via per-loop cycles."""
+    values = []
+    for run in runs:
+        for label, value in run.region_speedups().items():
+            if value > 0:
+                values.append(value)
+    return geometric_mean(values) if values else 1.0

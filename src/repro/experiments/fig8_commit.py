@@ -1,0 +1,87 @@
+"""Figure 8: instructions committed per cycle by the architectural and
+speculative threadlets (plus failed speculation), normalised to the
+baseline IPC.
+
+Paper: the architectural threadlet loses ~6% on average to resource
+sharing; successful speculation recoups that and adds the 9.5% speedup;
+an additional ~31% of committed-then-squashed instructions ride along,
+two thirds of it from five benchmarks."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..analysis.report import format_table
+from ..uarch.config import MachineConfig
+from .runner import BenchmarkRun, run_suite
+
+
+@dataclass
+class CommitRow:
+    name: str
+    arch_ratio: float    # arch commit IPC / baseline IPC
+    spec_ratio: float    # successful speculative commits / baseline IPC
+    failed_ratio: float  # failed speculative commits / baseline IPC
+
+    @property
+    def useful_ratio(self) -> float:
+        return self.arch_ratio + self.spec_ratio
+
+
+@dataclass
+class Fig8Result:
+    rows: List[CommitRow]
+
+    @property
+    def mean_arch_ratio(self) -> float:
+        return sum(r.arch_ratio for r in self.rows) / len(self.rows)
+
+    @property
+    def mean_failed_ratio(self) -> float:
+        return sum(r.failed_ratio for r in self.rows) / len(self.rows)
+
+    @property
+    def mean_useful_ratio(self) -> float:
+        return sum(r.useful_ratio for r in self.rows) / len(self.rows)
+
+    def render(self) -> str:
+        table = format_table(
+            ["benchmark", "architectural", "+speculative", "+failed"],
+            [
+                (r.name, f"{r.arch_ratio:.2f}",
+                 f"{r.useful_ratio:.2f}",
+                 f"{r.useful_ratio + r.failed_ratio:.2f}")
+                for r in self.rows
+            ],
+            title="Figure 8: committed IPC relative to baseline "
+                  "(cumulative: arch, +spec, +failed)",
+        )
+        summary = (
+            f"mean architectural ratio {self.mean_arch_ratio:.2f} "
+            f"(paper: ~0.94), mean useful {self.mean_useful_ratio:.2f}, "
+            f"mean failed overhead {self.mean_failed_ratio:.2f} (paper: ~0.31)"
+        )
+        return table + "\n" + summary
+
+
+def run_fig8(
+    machine: Optional[MachineConfig] = None, suite_name: str = "spec2017"
+) -> Fig8Result:
+    runs = run_suite(suite_name, machine, dynamic_deselection=False)
+    rows = []
+    for run in runs:
+        base = run.phases[0].baseline
+        frog = run.phases[0].loopfrog
+        base_ipc = base.arch_instructions / base.cycles
+        rows.append(
+            CommitRow(
+                name=run.name,
+                arch_ratio=(frog.arch_instructions / frog.cycles) / base_ipc,
+                spec_ratio=(frog.spec_committed_instructions / frog.cycles)
+                / base_ipc,
+                failed_ratio=(frog.failed_spec_instructions / frog.cycles)
+                / base_ipc,
+            )
+        )
+    return Fig8Result(rows)

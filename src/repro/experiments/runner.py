@@ -1,0 +1,184 @@
+"""Benchmark runner: the evaluation methodology of paper section 6.1.
+
+Every benchmark binary is simulated twice per phase — once on the baseline
+(hints treated as nops) and once with LoopFrog speculation — and phase
+cycle counts are combined with SimPoint-style weights.  Dynamic loop
+deselection (section 5.1) is modelled by falling back to the baseline
+cycle count when speculation lost time: real hardware would stop honouring
+the hints of an unprofitable loop.
+
+Results are cached in-process keyed by (workload, machine config), since
+the figure experiments sweep configurations over the same suites.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..analysis.speedup import BenchmarkResult, geometric_mean, weighted_time
+from ..uarch.config import MachineConfig, baseline_machine, default_machine
+from ..uarch.core import Engine
+from ..uarch.statistics import SimStats
+from ..workloads.base import Benchmark, Workload
+from ..workloads.suites import suite
+
+_CACHE: Dict[Tuple[str, str], SimStats] = {}
+
+
+def _machine_key(machine: MachineConfig) -> str:
+    return repr(dataclasses.asdict(machine))
+
+
+def run_workload(
+    workload: Workload, machine: MachineConfig, use_cache: bool = True
+) -> SimStats:
+    """Simulate one workload on one machine configuration (cached)."""
+    key = (workload.name, _machine_key(machine))
+    if use_cache and key in _CACHE:
+        return _CACHE[key]
+    memory, regs = workload.fresh_input()
+    engine = Engine(machine, workload.program, memory, regs)
+    stats = engine.run(max_cycles=workload.max_cycles)
+    if use_cache:
+        _CACHE[key] = stats
+    return stats
+
+
+@dataclass
+class PhaseRun:
+    workload: str
+    weight: float
+    baseline: SimStats
+    loopfrog: SimStats
+
+
+@dataclass
+class BenchmarkRun:
+    """Everything the figure experiments need about one benchmark."""
+
+    benchmark: Benchmark
+    phases: List[PhaseRun]
+    deselected: bool = False  # dynamic deselection kicked in
+
+    @property
+    def name(self) -> str:
+        return self.benchmark.name
+
+    @property
+    def baseline_cycles(self) -> float:
+        return weighted_time([(p.baseline.cycles, p.weight) for p in self.phases])
+
+    @property
+    def raw_loopfrog_cycles(self) -> float:
+        return weighted_time([(p.loopfrog.cycles, p.weight) for p in self.phases])
+
+    @property
+    def loopfrog_cycles(self) -> float:
+        if self.deselected:
+            return self.baseline_cycles
+        return self.raw_loopfrog_cycles
+
+    @property
+    def speedup(self) -> float:
+        return self.baseline_cycles / self.loopfrog_cycles
+
+    @property
+    def speedup_percent(self) -> float:
+        return (self.speedup - 1.0) * 100.0
+
+    def region_speedups(self) -> Dict[str, float]:
+        """Per-annotated-loop speedup (baseline vs LoopFrog region cycles)."""
+        result: Dict[str, float] = {}
+        for phase in self.phases:
+            for label, base_region in phase.baseline.regions.items():
+                if label == "<none>":
+                    continue
+                frog_region = phase.loopfrog.regions.get(label)
+                if (
+                    frog_region is None
+                    or base_region.arch_cycles == 0
+                    or frog_region.arch_cycles == 0
+                ):
+                    continue
+                result[f"{phase.workload}:{label}"] = (
+                    base_region.arch_cycles / frog_region.arch_cycles
+                )
+        return result
+
+    def parallel_fraction(self) -> float:
+        """Fraction of baseline time inside annotated loops."""
+        total = 0.0
+        in_region = 0.0
+        for phase in self.phases:
+            total += phase.weight * phase.baseline.cycles
+            in_region += phase.weight * sum(
+                r.arch_cycles
+                for label, r in phase.baseline.regions.items()
+                if label != "<none>"
+            )
+        return in_region / total if total else 0.0
+
+    def to_result(self) -> BenchmarkResult:
+        return BenchmarkResult(
+            name=self.benchmark.name,
+            suite=self.benchmark.suite,
+            baseline_cycles=self.baseline_cycles,
+            loopfrog_cycles=self.loopfrog_cycles,
+            profitable_expected=self.benchmark.profitable,
+            category=self.benchmark.category,
+            region_speedups=self.region_speedups(),
+            parallel_fraction=self.parallel_fraction(),
+        )
+
+
+def run_benchmark(
+    benchmark: Benchmark,
+    machine: Optional[MachineConfig] = None,
+    baseline: Optional[MachineConfig] = None,
+    dynamic_deselection: bool = True,
+    use_cache: bool = True,
+) -> BenchmarkRun:
+    """Run one benchmark under both configurations."""
+    machine = machine or default_machine()
+    baseline = baseline or baseline_machine()
+    phases = []
+    for workload, weight in benchmark.phases:
+        base_stats = run_workload(workload, baseline, use_cache)
+        frog_stats = run_workload(workload, machine, use_cache)
+        phases.append(PhaseRun(workload.name, weight, base_stats, frog_stats))
+    run = BenchmarkRun(benchmark, phases)
+    if dynamic_deselection and run.raw_loopfrog_cycles > run.baseline_cycles:
+        run.deselected = True
+    return run
+
+
+def run_suite(
+    suite_name: str,
+    machine: Optional[MachineConfig] = None,
+    baseline: Optional[MachineConfig] = None,
+    dynamic_deselection: bool = True,
+    use_cache: bool = True,
+    only: Optional[List[str]] = None,
+) -> List[BenchmarkRun]:
+    """Run a whole suite; ``only`` restricts to the named benchmarks."""
+    runs = []
+    for benchmark in suite(suite_name):
+        if only is not None and benchmark.name not in only:
+            continue
+        runs.append(
+            run_benchmark(
+                benchmark, machine, baseline, dynamic_deselection, use_cache
+            )
+        )
+    return runs
+
+
+def suite_geomean(runs: List[BenchmarkRun]) -> float:
+    """Geometric-mean speedup across benchmark runs."""
+    return geometric_mean([r.speedup for r in runs])
+
+
+def clear_cache() -> None:
+    _CACHE.clear()

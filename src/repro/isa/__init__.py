@@ -1,0 +1,42 @@
+"""Reproduction ISA: a RISC-like register machine plus LoopFrog hints.
+
+Public surface:
+
+* :class:`~repro.isa.instructions.Instruction`, :class:`~repro.isa.instructions.Opcode`,
+  :class:`~repro.isa.instructions.OpClass` — instruction definitions.
+* :class:`~repro.isa.program.Program` — a resolved instruction sequence.
+* :func:`~repro.isa.assembler.assemble` — text assembler.
+* register-file conventions in :mod:`repro.isa.registers`.
+"""
+
+from .assembler import assemble
+from .instructions import (
+    BRANCH_OPCODES,
+    CONDITIONAL_BRANCHES,
+    DEFAULT_LATENCY,
+    HINT_OPCODES,
+    Instruction,
+    LOAD_OPCODES,
+    MEMORY_OPCODES,
+    OpClass,
+    Opcode,
+    STORE_OPCODES,
+)
+from .program import Program
+from . import registers
+
+__all__ = [
+    "Instruction",
+    "Opcode",
+    "OpClass",
+    "Program",
+    "assemble",
+    "registers",
+    "HINT_OPCODES",
+    "BRANCH_OPCODES",
+    "CONDITIONAL_BRANCHES",
+    "MEMORY_OPCODES",
+    "LOAD_OPCODES",
+    "STORE_OPCODES",
+    "DEFAULT_LATENCY",
+]

@@ -1,0 +1,208 @@
+"""Two-pass assembler for the reproduction ISA.
+
+Accepts a small, readable text format::
+
+    # comment
+        li   r1, 100          ; immediates may be decimal, hex or float
+    loop:
+        load r2, r1, 0        ; dest, base, offset (8-byte access)
+        load4 r2, r1, 0       ; 4-byte access (suffix 1/2/4/8)
+        add  r3, r3, r2
+        add  r1, r1, 8        ; reg-immediate form of ALU ops
+        sub  r4, r4, 1
+        bnez r4, loop
+        detach cont           ; LoopFrog hints carry a region label
+        halt
+
+Labels end with ``:`` and may share a line with an instruction.  Both ``#``
+and ``;`` start comments.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional, Tuple
+
+from ..errors import AssemblerError
+from .instructions import Instruction, Opcode
+from .program import Program
+from .registers import is_register
+
+_LABEL_RE = re.compile(r"^[A-Za-z_.$][A-Za-z0-9_.$]*$")
+
+# Opcodes whose ALU-style operands are ``dest, src0[, src1|imm]``.
+_ALU3 = {
+    Opcode.ADD, Opcode.SUB, Opcode.MUL, Opcode.DIV, Opcode.REM,
+    Opcode.AND, Opcode.OR, Opcode.XOR, Opcode.SHL, Opcode.SHR,
+    Opcode.SLT, Opcode.SLE, Opcode.SEQ, Opcode.SNE, Opcode.MIN, Opcode.MAX,
+    Opcode.FADD, Opcode.FSUB, Opcode.FMUL, Opcode.FDIV,
+    Opcode.FMIN, Opcode.FMAX, Opcode.FSLT, Opcode.FSLE, Opcode.FSEQ,
+}
+_ALU2 = {Opcode.MOV, Opcode.FMOV, Opcode.FSQRT, Opcode.FABS, Opcode.FCVT, Opcode.ICVT}
+_MEM_SUFFIX = {"": 8, "1": 1, "2": 2, "4": 4, "8": 8}
+
+
+def assemble(text: str, name: str = "<asm>") -> Program:
+    """Assemble ``text`` into a resolved :class:`Program`.
+
+    Raises:
+        AssemblerError: on any syntax error, unknown opcode or register, or
+            unresolved label.
+    """
+    instructions: List[Instruction] = []
+    labels = {}
+    pending_labels: List[str] = []
+
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        line = _strip_comment(raw)
+        if not line:
+            continue
+        # Peel off any leading "label:" prefixes.
+        while ":" in line:
+            head, _, rest = line.partition(":")
+            head = head.strip()
+            if not _LABEL_RE.match(head):
+                break
+            if head in labels:
+                raise AssemblerError(f"duplicate label {head!r}", line_no, raw)
+            labels[head] = len(instructions)
+            pending_labels.append(head)
+            line = rest.strip()
+        if not line:
+            continue
+        instr = _parse_instruction(line, line_no, raw)
+        if pending_labels:
+            instr.label = pending_labels[0]
+            pending_labels = []
+        instructions.append(instr)
+
+    if pending_labels:
+        # Trailing label: attach to an implicit halt so jumps to it resolve.
+        instr = Instruction(Opcode.HALT, label=pending_labels[0])
+        instructions.append(instr)
+
+    return Program(instructions, labels, name=name)
+
+
+def _strip_comment(line: str) -> str:
+    for marker in ("#", ";"):
+        pos = line.find(marker)
+        if pos >= 0:
+            line = line[:pos]
+    return line.strip()
+
+
+def _parse_instruction(line: str, line_no: int, raw: str) -> Instruction:
+    parts = line.split(None, 1)
+    mnemonic = parts[0].lower()
+    operand_text = parts[1] if len(parts) > 1 else ""
+    operands = [o.strip() for o in operand_text.split(",")] if operand_text else []
+
+    opcode, size = _lookup_opcode(mnemonic, line_no, raw)
+
+    try:
+        return _build(opcode, size, operands, line_no, raw)
+    except AssemblerError:
+        raise
+    except (ValueError, IndexError) as exc:
+        raise AssemblerError(f"bad operands ({exc})", line_no, raw)
+
+
+def _lookup_opcode(mnemonic: str, line_no: int, raw: str) -> Tuple[Opcode, int]:
+    # Memory mnemonics may carry a size suffix: load4, store2, fload8 ...
+    for base in ("fload", "fstore", "load", "store"):
+        if mnemonic.startswith(base):
+            suffix = mnemonic[len(base):]
+            if suffix in _MEM_SUFFIX:
+                return Opcode(base), _MEM_SUFFIX[suffix]
+    try:
+        return Opcode(mnemonic), 8
+    except ValueError:
+        raise AssemblerError(f"unknown opcode {mnemonic!r}", line_no, raw)
+
+
+def _build(
+    opcode: Opcode, size: int, ops: List[str], line_no: int, raw: str
+) -> Instruction:
+    def reg(text: str) -> str:
+        if not is_register(text):
+            raise AssemblerError(f"not a register: {text!r}", line_no, raw)
+        return text
+
+    def reg_or_imm(text: str) -> Tuple[Optional[str], Optional[float]]:
+        if is_register(text):
+            return text, None
+        return None, _parse_number(text, line_no, raw)
+
+    def expect(n: int) -> None:
+        if len(ops) != n:
+            raise AssemblerError(
+                f"{opcode.value} expects {n} operands, got {len(ops)}", line_no, raw
+            )
+
+    if opcode in _ALU3:
+        expect(3)
+        src1, imm = reg_or_imm(ops[2])
+        srcs = (reg(ops[1]),) if src1 is None else (reg(ops[1]), src1)
+        return Instruction(opcode, dest=reg(ops[0]), srcs=srcs, imm=imm)
+
+    if opcode in _ALU2:
+        expect(2)
+        return Instruction(opcode, dest=reg(ops[0]), srcs=(reg(ops[1]),))
+
+    if opcode in (Opcode.LI, Opcode.FLI):
+        expect(2)
+        return Instruction(opcode, dest=reg(ops[0]), imm=_parse_number(ops[1], line_no, raw))
+
+    if opcode in (Opcode.LOAD, Opcode.FLOAD):
+        expect(3)
+        return Instruction(
+            opcode,
+            dest=reg(ops[0]),
+            srcs=(reg(ops[1]),),
+            imm=_parse_number(ops[2], line_no, raw),
+            size=size,
+        )
+
+    if opcode in (Opcode.STORE, Opcode.FSTORE):
+        expect(3)
+        return Instruction(
+            opcode,
+            srcs=(reg(ops[0]), reg(ops[1])),
+            imm=_parse_number(ops[2], line_no, raw),
+            size=size,
+        )
+
+    if opcode in (Opcode.JMP, Opcode.CALL):
+        expect(1)
+        return Instruction(opcode, target=ops[0])
+
+    if opcode in (Opcode.BEQZ, Opcode.BNEZ):
+        expect(2)
+        return Instruction(opcode, srcs=(reg(ops[0]),), target=ops[1])
+
+    if opcode is Opcode.RET:
+        expect(0)
+        return Instruction(opcode)
+
+    if opcode in (Opcode.DETACH, Opcode.REATTACH, Opcode.SYNC):
+        expect(1)
+        return Instruction(opcode, region=ops[0])
+
+    if opcode in (Opcode.NOP, Opcode.HALT):
+        expect(0)
+        return Instruction(opcode)
+
+    raise AssemblerError(f"unhandled opcode {opcode!r}", line_no, raw)
+
+
+def _parse_number(text: str, line_no: int, raw: str) -> float:
+    text = text.strip()
+    try:
+        if text.lower().startswith("0x") or text.lower().startswith("-0x"):
+            return int(text, 16)
+        if any(c in text for c in ".eE") and not text.lower().startswith("0x"):
+            return float(text)
+        return int(text)
+    except ValueError:
+        raise AssemblerError(f"bad number {text!r}", line_no, raw)

@@ -1,0 +1,276 @@
+"""Instruction definitions for the reproduction ISA.
+
+The ISA is a small, RISC-like register machine extended with the three
+LoopFrog hint instructions (``detach``, ``reattach``, ``sync``) described in
+section 3.1 of the paper.  It is deliberately simple: enough to express the
+loop kernels the evaluation needs, while keeping the functional executor and
+the timing model tractable.
+
+Register namespaces
+    ``r0``..``r31``   64-bit integer registers (``r0`` is *not* hardwired;
+                      the compiler treats it as a normal register).
+    ``f0``..``f15``   IEEE-754 double registers.
+    ``ra``            link register written by ``call`` and read by ``ret``.
+    ``sp``            stack pointer, used by the Frog calling convention.
+
+Memory is byte addressed; loads and stores carry an access ``size`` of 1, 2,
+4 or 8 bytes.  This matters for the SSB, whose conflict granularity (paper
+section 4.1.1) is measured in bytes.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+
+class OpClass(enum.Enum):
+    """Functional-unit class of an instruction (used by the timing model)."""
+
+    INT_ALU = "int_alu"
+    INT_MUL = "int_mul"
+    INT_DIV = "int_div"
+    FP_ADD = "fp_add"
+    FP_MUL = "fp_mul"
+    FP_DIV = "fp_div"
+    FP_SQRT = "fp_sqrt"
+    MEM_READ = "mem_read"
+    MEM_WRITE = "mem_write"
+    BRANCH = "branch"
+    HINT = "hint"
+    SYSTEM = "system"
+
+
+class Opcode(enum.Enum):
+    """All opcodes understood by the assembler and executor."""
+
+    # Integer ALU (register-register or register-immediate via ``imm``).
+    ADD = "add"
+    SUB = "sub"
+    MUL = "mul"
+    DIV = "div"
+    REM = "rem"
+    AND = "and"
+    OR = "or"
+    XOR = "xor"
+    SHL = "shl"
+    SHR = "shr"
+    SLT = "slt"  # set-less-than (signed): dest = src0 < src1
+    SLE = "sle"
+    SEQ = "seq"
+    SNE = "sne"
+    MIN = "min"
+    MAX = "max"
+    MOV = "mov"  # register copy
+    LI = "li"  # load immediate
+
+    # Floating point (double precision).
+    FADD = "fadd"
+    FSUB = "fsub"
+    FMUL = "fmul"
+    FDIV = "fdiv"
+    FSQRT = "fsqrt"
+    FMIN = "fmin"
+    FMAX = "fmax"
+    FABS = "fabs"
+    FMOV = "fmov"
+    FLI = "fli"  # load float immediate
+    FCVT = "fcvt"  # int reg -> float reg
+    ICVT = "icvt"  # float reg -> int reg (truncating)
+    FSLT = "fslt"  # float compare, integer dest
+    FSLE = "fsle"
+    FSEQ = "fseq"
+
+    # Memory.  ``load dest, base, offset`` / ``store src, base, offset``.
+    LOAD = "load"
+    STORE = "store"
+    FLOAD = "fload"
+    FSTORE = "fstore"
+
+    # Control flow.
+    JMP = "jmp"
+    BEQZ = "beqz"
+    BNEZ = "bnez"
+    CALL = "call"
+    RET = "ret"
+
+    # LoopFrog hints (section 3.1).
+    DETACH = "detach"
+    REATTACH = "reattach"
+    SYNC = "sync"
+
+    # System.
+    NOP = "nop"
+    HALT = "halt"
+
+
+_OP_CLASS = {
+    Opcode.ADD: OpClass.INT_ALU,
+    Opcode.SUB: OpClass.INT_ALU,
+    Opcode.MUL: OpClass.INT_MUL,
+    Opcode.DIV: OpClass.INT_DIV,
+    Opcode.REM: OpClass.INT_DIV,
+    Opcode.AND: OpClass.INT_ALU,
+    Opcode.OR: OpClass.INT_ALU,
+    Opcode.XOR: OpClass.INT_ALU,
+    Opcode.SHL: OpClass.INT_ALU,
+    Opcode.SHR: OpClass.INT_ALU,
+    Opcode.SLT: OpClass.INT_ALU,
+    Opcode.SLE: OpClass.INT_ALU,
+    Opcode.SEQ: OpClass.INT_ALU,
+    Opcode.SNE: OpClass.INT_ALU,
+    Opcode.MIN: OpClass.INT_ALU,
+    Opcode.MAX: OpClass.INT_ALU,
+    Opcode.MOV: OpClass.INT_ALU,
+    Opcode.LI: OpClass.INT_ALU,
+    Opcode.FADD: OpClass.FP_ADD,
+    Opcode.FSUB: OpClass.FP_ADD,
+    Opcode.FMUL: OpClass.FP_MUL,
+    Opcode.FDIV: OpClass.FP_DIV,
+    Opcode.FSQRT: OpClass.FP_SQRT,
+    Opcode.FMIN: OpClass.FP_ADD,
+    Opcode.FMAX: OpClass.FP_ADD,
+    Opcode.FABS: OpClass.FP_ADD,
+    Opcode.FMOV: OpClass.FP_ADD,
+    Opcode.FLI: OpClass.FP_ADD,
+    Opcode.FCVT: OpClass.FP_ADD,
+    Opcode.ICVT: OpClass.FP_ADD,
+    Opcode.FSLT: OpClass.FP_ADD,
+    Opcode.FSLE: OpClass.FP_ADD,
+    Opcode.FSEQ: OpClass.FP_ADD,
+    Opcode.LOAD: OpClass.MEM_READ,
+    Opcode.FLOAD: OpClass.MEM_READ,
+    Opcode.STORE: OpClass.MEM_WRITE,
+    Opcode.FSTORE: OpClass.MEM_WRITE,
+    Opcode.JMP: OpClass.BRANCH,
+    Opcode.BEQZ: OpClass.BRANCH,
+    Opcode.BNEZ: OpClass.BRANCH,
+    Opcode.CALL: OpClass.BRANCH,
+    Opcode.RET: OpClass.BRANCH,
+    Opcode.DETACH: OpClass.HINT,
+    Opcode.REATTACH: OpClass.HINT,
+    Opcode.SYNC: OpClass.HINT,
+    Opcode.NOP: OpClass.SYSTEM,
+    Opcode.HALT: OpClass.SYSTEM,
+}
+
+HINT_OPCODES = frozenset({Opcode.DETACH, Opcode.REATTACH, Opcode.SYNC})
+BRANCH_OPCODES = frozenset(
+    {Opcode.JMP, Opcode.BEQZ, Opcode.BNEZ, Opcode.CALL, Opcode.RET}
+)
+CONDITIONAL_BRANCHES = frozenset({Opcode.BEQZ, Opcode.BNEZ})
+MEMORY_OPCODES = frozenset({Opcode.LOAD, Opcode.STORE, Opcode.FLOAD, Opcode.FSTORE})
+LOAD_OPCODES = frozenset({Opcode.LOAD, Opcode.FLOAD})
+STORE_OPCODES = frozenset({Opcode.STORE, Opcode.FSTORE})
+
+
+@dataclass
+class Instruction:
+    """A single machine instruction.
+
+    Operand conventions:
+
+    * ALU ops: ``dest``, ``srcs[0]`` and either ``srcs[1]`` or ``imm``.
+    * ``load``/``fload``: ``dest``, ``srcs[0]`` = base register,
+      ``imm`` = byte offset, ``size`` = access size in bytes.
+    * ``store``/``fstore``: ``srcs[0]`` = value register, ``srcs[1]`` = base
+      register, ``imm`` = byte offset.
+    * branches: ``target`` holds the label, resolved by the assembler into
+      :attr:`target_index`.
+    * hints: ``region`` holds the continuation label (the paper's region ID),
+      resolved into :attr:`region_index`.
+    """
+
+    opcode: Opcode
+    dest: Optional[str] = None
+    srcs: Tuple[str, ...] = ()
+    imm: Optional[float] = None
+    size: int = 8
+    target: Optional[str] = None
+    target_index: Optional[int] = None
+    region: Optional[str] = None
+    region_index: Optional[int] = None
+    label: Optional[str] = None  # label attached to this instruction, if any
+    index: int = -1  # position in the program; set by Program
+    comment: str = ""
+
+    @property
+    def op_class(self) -> OpClass:
+        return _OP_CLASS[self.opcode]
+
+    @property
+    def is_branch(self) -> bool:
+        return self.opcode in BRANCH_OPCODES
+
+    @property
+    def is_conditional_branch(self) -> bool:
+        return self.opcode in CONDITIONAL_BRANCHES
+
+    @property
+    def is_memory(self) -> bool:
+        return self.opcode in MEMORY_OPCODES
+
+    @property
+    def is_load(self) -> bool:
+        return self.opcode in LOAD_OPCODES
+
+    @property
+    def is_store(self) -> bool:
+        return self.opcode in STORE_OPCODES
+
+    @property
+    def is_hint(self) -> bool:
+        return self.opcode in HINT_OPCODES
+
+    def reads(self) -> Tuple[str, ...]:
+        """Register names this instruction reads."""
+        if self.opcode is Opcode.RET:
+            return ("ra",)
+        return self.srcs
+
+    def writes(self) -> Tuple[str, ...]:
+        """Register names this instruction writes."""
+        if self.opcode is Opcode.CALL:
+            return ("ra",)
+        if self.dest is not None:
+            return (self.dest,)
+        return ()
+
+    def __str__(self) -> str:
+        parts = [self.opcode.value]
+        operands = []
+        if self.dest is not None:
+            operands.append(self.dest)
+        operands.extend(self.srcs)
+        if self.imm is not None:
+            operands.append(str(self.imm))
+        if self.target is not None:
+            operands.append(self.target)
+        if self.region is not None:
+            operands.append(self.region)
+        if operands:
+            parts.append(", ".join(operands))
+        text = " ".join(parts)
+        if self.label:
+            text = f"{self.label}: {text}"
+        return text
+
+
+# Default execution latencies (cycles) per op class, loosely following the
+# paper's aggressive 8-wide core (table 1).  Memory latencies are determined
+# by the cache hierarchy, so MEM_READ here is only the pipe latency.
+DEFAULT_LATENCY = {
+    OpClass.INT_ALU: 1,
+    OpClass.INT_MUL: 3,
+    OpClass.INT_DIV: 12,
+    OpClass.FP_ADD: 3,
+    OpClass.FP_MUL: 4,
+    OpClass.FP_DIV: 12,
+    OpClass.FP_SQRT: 16,
+    OpClass.MEM_READ: 1,
+    OpClass.MEM_WRITE: 1,
+    OpClass.BRANCH: 1,
+    OpClass.HINT: 1,
+    OpClass.SYSTEM: 1,
+}

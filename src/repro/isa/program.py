@@ -1,0 +1,180 @@
+"""Program container: a resolved sequence of instructions plus labels.
+
+A :class:`Program` is the unit everything downstream consumes — the
+functional executor, the timing models, and the TLS baseline models.  It is
+immutable after construction: labels, branch targets and hint regions are
+resolved to instruction indices exactly once.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional
+
+from ..errors import AssemblerError
+from .instructions import Instruction, Opcode
+
+
+class Program:
+    """An assembled program.
+
+    Args:
+        instructions: the instruction sequence, in layout order.
+        labels: mapping from label name to instruction index.  Labels that
+            appear on instructions (``instr.label``) are merged in.
+        name: human-readable program name (used in reports).
+    """
+
+    def __init__(
+        self,
+        instructions: Iterable[Instruction],
+        labels: Optional[Dict[str, int]] = None,
+        name: str = "<program>",
+    ):
+        self.name = name
+        self.instructions: List[Instruction] = list(instructions)
+        self.labels: Dict[str, int] = dict(labels or {})
+        for i, instr in enumerate(self.instructions):
+            instr.index = i
+            if instr.label is not None:
+                existing = self.labels.get(instr.label)
+                if existing is not None and existing != i:
+                    raise AssemblerError(f"duplicate label {instr.label!r}")
+                self.labels[instr.label] = i
+        self._resolve()
+
+    def _resolve(self) -> None:
+        """Resolve branch targets and hint regions to instruction indices."""
+        for instr in self.instructions:
+            if instr.target is not None:
+                if instr.target not in self.labels:
+                    raise AssemblerError(
+                        f"undefined branch target {instr.target!r} in {self.name}"
+                    )
+                instr.target_index = self.labels[instr.target]
+            if instr.region is not None:
+                if instr.region not in self.labels:
+                    raise AssemblerError(
+                        f"undefined hint region {instr.region!r} in {self.name}"
+                    )
+                instr.region_index = self.labels[instr.region]
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def __iter__(self) -> Iterator[Instruction]:
+        return iter(self.instructions)
+
+    def __getitem__(self, index: int) -> Instruction:
+        return self.instructions[index]
+
+    @property
+    def has_hints(self) -> bool:
+        """True if the program contains any LoopFrog hint instructions."""
+        return any(i.is_hint for i in self.instructions)
+
+    def hint_regions(self) -> Dict[str, int]:
+        """Map of region label -> continuation index for all hints present."""
+        regions: Dict[str, int] = {}
+        for instr in self.instructions:
+            if instr.is_hint and instr.region is not None:
+                regions[instr.region] = instr.region_index  # type: ignore[assignment]
+        return regions
+
+    def label_at(self, index: int) -> Optional[str]:
+        """The label attached to instruction ``index``, if any."""
+        instr = self.instructions[index]
+        if instr.label:
+            return instr.label
+        for name, target in self.labels.items():
+            if target == index:
+                return name
+        return None
+
+    def without_hints(self) -> "Program":
+        """A copy of this program with hints replaced by ``nop``.
+
+        Used to build the strict no-hint baseline binary; the normal
+        baseline run instead treats hints as nops in the pipeline, matching
+        the paper's "hints are architecturally backwards compatible" claim.
+        """
+        new_instrs = []
+        for instr in self.instructions:
+            if instr.is_hint:
+                new_instrs.append(
+                    Instruction(Opcode.NOP, label=instr.label, comment=str(instr))
+                )
+            else:
+                new_instrs.append(_copy_instruction(instr))
+        return Program(new_instrs, dict(self.labels), name=self.name + ":nohints")
+
+    def to_asm(self) -> str:
+        """Re-emittable assembly text: ``assemble(prog.to_asm())`` yields a
+        structurally identical program (see the round-trip tests)."""
+        index_to_labels: Dict[int, list] = {}
+        for name, target in self.labels.items():
+            index_to_labels.setdefault(target, []).append(name)
+        lines = []
+        for i, instr in enumerate(self.instructions):
+            for label in sorted(index_to_labels.get(i, [])):
+                lines.append(f"{label}:")
+            lines.append("    " + _asm_text(instr))
+        # Labels pointing one past the end (trailing labels).
+        for label in sorted(index_to_labels.get(len(self.instructions), [])):
+            lines.append(f"{label}:")
+        return "\n".join(lines) + "\n"
+
+    def disassemble(self) -> str:
+        """Human-readable listing with indices and labels."""
+        lines = []
+        index_to_label = {v: k for k, v in self.labels.items()}
+        for i, instr in enumerate(self.instructions):
+            label = index_to_label.get(i)
+            prefix = f"{label}:" if label else ""
+            lines.append(f"{i:5d}  {prefix:>16s}  {_render(instr)}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return f"Program({self.name!r}, {len(self.instructions)} instructions)"
+
+
+def _render(instr: Instruction) -> str:
+    text = str(instr)
+    if instr.label:
+        # Label is rendered separately by disassemble().
+        text = text.split(": ", 1)[-1]
+    return text
+
+
+def _asm_text(instr: Instruction) -> str:
+    """Assembler-compatible text for one instruction (no label)."""
+    mnemonic = instr.opcode.value
+    if instr.is_memory and instr.size != 8:
+        mnemonic = f"{mnemonic}{instr.size}"
+    operands = []
+    if instr.dest is not None:
+        operands.append(instr.dest)
+    operands.extend(instr.srcs)
+    if instr.imm is not None:
+        imm = instr.imm
+        operands.append(repr(imm) if isinstance(imm, float) else str(imm))
+    if instr.target is not None:
+        operands.append(instr.target)
+    if instr.region is not None:
+        operands.append(instr.region)
+    if operands:
+        return f"{mnemonic} {', '.join(operands)}"
+    return mnemonic
+
+
+def _copy_instruction(instr: Instruction) -> Instruction:
+    return Instruction(
+        opcode=instr.opcode,
+        dest=instr.dest,
+        srcs=instr.srcs,
+        imm=instr.imm,
+        size=instr.size,
+        target=instr.target,
+        region=instr.region,
+        label=instr.label,
+        comment=instr.comment,
+    )

@@ -1,0 +1,58 @@
+"""Register-file conventions for the reproduction ISA.
+
+The machine has 32 integer registers (``r0``..``r31``), 16 floating-point
+registers (``f0``..``f15``), a link register ``ra`` and a stack pointer
+``sp``.  The Frog compiler's calling convention (see
+:mod:`repro.compiler.regalloc`) reserves a handful of these.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+NUM_INT_REGS = 32
+NUM_FP_REGS = 16
+
+INT_REGS: List[str] = [f"r{i}" for i in range(NUM_INT_REGS)]
+FP_REGS: List[str] = [f"f{i}" for i in range(NUM_FP_REGS)]
+SPECIAL_REGS: List[str] = ["ra", "sp"]
+ALL_REGS: List[str] = INT_REGS + FP_REGS + SPECIAL_REGS
+
+# Calling convention used by the Frog compiler: first arguments in r1..r4 /
+# f1..f4, return value in r1 / f1, r20..r31 + f10..f15 are callee-saved
+# (our non-recursive compiled functions simply avoid them).
+ARG_REGS: List[str] = ["r1", "r2", "r3", "r4"]
+FP_ARG_REGS: List[str] = ["f1", "f2", "f3", "f4"]
+RETURN_REG = "r1"
+FP_RETURN_REG = "f1"
+
+# Registers the register allocator may hand out freely.
+ALLOCATABLE_INT: List[str] = [f"r{i}" for i in range(5, NUM_INT_REGS)]
+ALLOCATABLE_FP: List[str] = [f"f{i}" for i in range(5, NUM_FP_REGS)]
+
+
+def is_int_reg(name: str) -> bool:
+    """True for integer-valued registers (including ``ra`` and ``sp``)."""
+    return name.startswith("r") or name in ("ra", "sp")
+
+
+def is_fp_reg(name: str) -> bool:
+    """True for floating-point registers."""
+    return name.startswith("f") and name != "fp"
+
+
+def is_register(name: str) -> bool:
+    return name in _REG_SET
+
+
+_REG_SET = frozenset(ALL_REGS)
+
+
+def initial_register_file() -> Dict[str, float]:
+    """A fresh register file: integer registers 0, FP registers 0.0."""
+    regs: Dict[str, float] = {}
+    for r in INT_REGS + SPECIAL_REGS:
+        regs[r] = 0
+    for f in FP_REGS:
+        regs[f] = 0.0
+    return regs

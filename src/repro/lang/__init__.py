@@ -1,0 +1,11 @@
+"""Frog: the mini C-like source language for LoopFrog kernels.
+
+Use :func:`parse` to obtain an AST, or go straight to machine code with
+:func:`repro.compiler.compile_frog`.
+"""
+
+from . import ast
+from .lexer import tokenize
+from .parser import parse
+
+__all__ = ["ast", "tokenize", "parse"]

@@ -1,0 +1,228 @@
+"""Abstract syntax tree for the Frog mini-language.
+
+Frog is a tiny C-like language, just rich enough for the loop kernels the
+evaluation needs: 64-bit ints, doubles, typed pointers with element sizes of
+1/2/4/8 bytes, functions (always inlined by the compiler), ``if``/``while``/
+``for``, ``break``/``continue``, and a ``#pragma loopfrog`` annotation that
+marks a loop for LoopFrog hint insertion (paper section 5.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class Type:
+    """A Frog type.
+
+    ``kind`` is ``"int"``, ``"float"`` or ``"ptr"``.  For scalars ``size`` is
+    the in-memory size in bytes; for pointers ``elem`` is the element type
+    (pointers themselves are 8-byte ints).
+    """
+
+    kind: str
+    size: int = 8
+    elem: Optional["Type"] = None
+
+    @property
+    def is_ptr(self) -> bool:
+        return self.kind == "ptr"
+
+    @property
+    def is_float(self) -> bool:
+        return self.kind == "float"
+
+    @property
+    def reg_class(self) -> str:
+        """Register class this type lives in: ``"int"`` or ``"float"``."""
+        if self.kind == "float":
+            return "float"
+        return "int"
+
+    def __str__(self) -> str:
+        if self.is_ptr:
+            return f"ptr<{self.elem}>"
+        if self.kind == "int" and self.size != 8:
+            return f"int{self.size * 8}"
+        if self.kind == "float" and self.size != 8:
+            return f"float{self.size * 8}"
+        return self.kind
+
+
+INT = Type("int", 8)
+INT32 = Type("int", 4)
+INT16 = Type("int", 2)
+INT8 = Type("int", 1)
+FLOAT = Type("float", 8)
+FLOAT32 = Type("float", 4)
+
+
+def ptr_to(elem: Type) -> Type:
+    return Type("ptr", 8, elem)
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Expr:
+    line: int = field(default=0, kw_only=True)
+
+
+@dataclass
+class IntLit(Expr):
+    value: int
+
+
+@dataclass
+class FloatLit(Expr):
+    value: float
+
+
+@dataclass
+class Name(Expr):
+    ident: str
+
+
+@dataclass
+class BinOp(Expr):
+    """Binary operation.  ``op`` is the source operator text (e.g. ``"+"``,
+    ``"<="``, ``"&&"``)."""
+
+    op: str
+    left: Expr
+    right: Expr
+
+
+@dataclass
+class UnOp(Expr):
+    op: str  # "-" or "!"
+    operand: Expr
+
+
+@dataclass
+class Index(Expr):
+    """Pointer indexing ``base[index]``; element size from the base's type."""
+
+    base: Expr
+    index: Expr
+
+
+@dataclass
+class Call(Expr):
+    """A call to a user function (inlined) or intrinsic (sqrt/abs/min/max)."""
+
+    func: str
+    args: List[Expr]
+
+
+@dataclass
+class Cast(Expr):
+    """Explicit conversion, written ``int(e)`` or ``float(e)``."""
+
+    type: Type
+    operand: Expr
+
+
+# ---------------------------------------------------------------------------
+# Statements
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Stmt:
+    line: int = field(default=0, kw_only=True)
+
+
+@dataclass
+class Block(Stmt):
+    stmts: List[Stmt]
+
+
+@dataclass
+class VarDecl(Stmt):
+    name: str
+    type: Type
+    init: Optional[Expr]
+
+
+@dataclass
+class Assign(Stmt):
+    """Assignment to a variable or to ``ptr[index]``."""
+
+    target: Expr  # Name or Index
+    value: Expr
+
+
+@dataclass
+class If(Stmt):
+    cond: Expr
+    then: Block
+    els: Optional[Block]
+
+
+@dataclass
+class While(Stmt):
+    cond: Expr
+    body: Block
+    pragma: Optional[str] = None  # e.g. "loopfrog"
+
+
+@dataclass
+class For(Stmt):
+    """C-style for loop.  ``init`` and ``step`` are statements (or None)."""
+
+    init: Optional[Stmt]
+    cond: Optional[Expr]
+    step: Optional[Stmt]
+    body: Block
+    pragma: Optional[str] = None
+
+
+@dataclass
+class Return(Stmt):
+    value: Optional[Expr]
+
+
+@dataclass
+class Break(Stmt):
+    pass
+
+
+@dataclass
+class Continue(Stmt):
+    pass
+
+
+@dataclass
+class ExprStmt(Stmt):
+    expr: Expr
+
+
+# ---------------------------------------------------------------------------
+# Declarations
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class FuncDecl:
+    name: str
+    params: List[Tuple[str, Type]]
+    ret_type: Optional[Type]
+    body: Block
+    line: int = 0
+
+
+@dataclass
+class Module:
+    functions: List[FuncDecl]
+
+    def function(self, name: str) -> FuncDecl:
+        for f in self.functions:
+            if f.name == name:
+                return f
+        raise KeyError(name)

@@ -1,0 +1,151 @@
+"""Hand-written lexer for the Frog mini-language.
+
+Comments start with ``//`` or ``#`` and run to end of line, **except** that a
+line beginning with ``#pragma`` is lexed into a PRAGMA token whose value is
+the remainder of the line (e.g. ``loopfrog``).  This mirrors how the paper's
+prototype selects loops with source pragmas (section 5.1).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..errors import ParseError
+from .tokens import KEYWORDS, Token, TokenKind
+
+_TWO_CHAR = {
+    "->": TokenKind.ARROW,
+    "==": TokenKind.EQ,
+    "!=": TokenKind.NE,
+    "<=": TokenKind.LE,
+    ">=": TokenKind.GE,
+    "&&": TokenKind.ANDAND,
+    "||": TokenKind.OROR,
+    "<<": TokenKind.SHL,
+    ">>": TokenKind.SHR,
+}
+
+_ONE_CHAR = {
+    "(": TokenKind.LPAREN,
+    ")": TokenKind.RPAREN,
+    "{": TokenKind.LBRACE,
+    "}": TokenKind.RBRACE,
+    "[": TokenKind.LBRACKET,
+    "]": TokenKind.RBRACKET,
+    ",": TokenKind.COMMA,
+    ";": TokenKind.SEMI,
+    ":": TokenKind.COLON,
+    "=": TokenKind.ASSIGN,
+    "+": TokenKind.PLUS,
+    "-": TokenKind.MINUS,
+    "*": TokenKind.STAR,
+    "/": TokenKind.SLASH,
+    "%": TokenKind.PERCENT,
+    "&": TokenKind.AMP,
+    "|": TokenKind.PIPE,
+    "^": TokenKind.CARET,
+    "<": TokenKind.LT_GENERIC,
+    ">": TokenKind.GT_GENERIC,
+    "!": TokenKind.NOT,
+}
+
+
+def tokenize(source: str) -> List[Token]:
+    """Lex ``source`` into a token list ending with an EOF token."""
+    tokens: List[Token] = []
+    line = 1
+    col = 1
+    i = 0
+    n = len(source)
+
+    def error(message: str) -> ParseError:
+        return ParseError(message, line, col)
+
+    while i < n:
+        ch = source[i]
+
+        if ch == "\n":
+            i += 1
+            line += 1
+            col = 1
+            continue
+        if ch in " \t\r":
+            i += 1
+            col += 1
+            continue
+
+        # Comments and pragmas.
+        if ch == "#" or source.startswith("//", i):
+            start = i
+            while i < n and source[i] != "\n":
+                i += 1
+            text = source[start:i]
+            if text.startswith("#pragma"):
+                payload = text[len("#pragma"):].strip()
+                tokens.append(Token(TokenKind.PRAGMA, text, payload, line, col))
+            col += i - start
+            continue
+
+        # Numbers.
+        if ch.isdigit() or (ch == "." and i + 1 < n and source[i + 1].isdigit()):
+            start = i
+            is_float = False
+            if source.startswith("0x", i) or source.startswith("0X", i):
+                i += 2
+                while i < n and (source[i].isdigit() or source[i] in "abcdefABCDEF"):
+                    i += 1
+                text = source[start:i]
+                tokens.append(Token(TokenKind.INT, text, int(text, 16), line, col))
+                col += i - start
+                continue
+            while i < n and (source[i].isdigit() or source[i] == "."):
+                if source[i] == ".":
+                    if is_float:
+                        raise error("malformed number")
+                    is_float = True
+                i += 1
+            if i < n and source[i] in "eE":
+                is_float = True
+                i += 1
+                if i < n and source[i] in "+-":
+                    i += 1
+                while i < n and source[i].isdigit():
+                    i += 1
+            text = source[start:i]
+            try:
+                value = float(text) if is_float else int(text)
+            except ValueError:
+                raise error(f"malformed number {text!r}")
+            kind = TokenKind.FLOAT if is_float else TokenKind.INT
+            tokens.append(Token(kind, text, value, line, col))
+            col += i - start
+            continue
+
+        # Identifiers and keywords.
+        if ch.isalpha() or ch == "_":
+            start = i
+            while i < n and (source[i].isalnum() or source[i] == "_"):
+                i += 1
+            text = source[start:i]
+            kind = KEYWORDS.get(text, TokenKind.IDENT)
+            tokens.append(Token(kind, text, text, line, col))
+            col += i - start
+            continue
+
+        # Operators.
+        two = source[i : i + 2]
+        if two in _TWO_CHAR:
+            tokens.append(Token(_TWO_CHAR[two], two, None, line, col))
+            i += 2
+            col += 2
+            continue
+        if ch in _ONE_CHAR:
+            tokens.append(Token(_ONE_CHAR[ch], ch, None, line, col))
+            i += 1
+            col += 1
+            continue
+
+        raise error(f"unexpected character {ch!r}")
+
+    tokens.append(Token(TokenKind.EOF, "", None, line, col))
+    return tokens

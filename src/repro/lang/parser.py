@@ -1,0 +1,375 @@
+"""Recursive-descent parser for the Frog mini-language.
+
+Grammar (roughly)::
+
+    module      := func*
+    func        := "fn" IDENT "(" params? ")" ("->" type)? block
+    params      := param ("," param)*
+    param       := IDENT ":" type
+    type        := "int" | "float" | "int32" | "int16" | "int8" | "float32"
+                 | "ptr" "<" type ">"
+    block       := "{" stmt* "}"
+    stmt        := varDecl | if | while | for | return | break | continue
+                 | assignOrExpr ";"
+    varDecl     := "var" IDENT ":" type ("=" expr)? ";"
+    while       := [pragma] "while" "(" expr ")" block
+    for         := [pragma] "for" "(" simpleStmt? ";" expr? ";" simpleStmt? ")" block
+    assignOrExpr:= lvalue "=" expr | expr
+    expr        := orExpr
+    orExpr      := andExpr ("||" andExpr)*
+    andExpr     := bitOr ("&&" bitOr)*
+    bitOr       := bitXor ("|" bitXor)*
+    bitXor      := bitAnd ("^" bitAnd)*
+    bitAnd      := cmp ("&" cmp)*
+    cmp         := shift (("=="|"!="|"<"|"<="|">"|">=") shift)?
+    shift       := addsub (("<<"|">>") addsub)*
+    addsub      := muldiv (("+"|"-") muldiv)*
+    muldiv      := unary (("*"|"/"|"%") unary)*
+    unary       := ("-"|"!") unary | postfix
+    postfix     := primary ("[" expr "]")*
+    primary     := INT | FLOAT | IDENT | call | cast | "(" expr ")"
+
+``#pragma loopfrog`` before a loop attaches to it; the hint-insertion pass
+only considers pragma-marked loops, matching the paper's manual loop
+selection (section 5.1).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..errors import ParseError
+from . import ast
+from .lexer import tokenize
+from .tokens import Token, TokenKind
+
+_TYPE_TOKENS = {
+    TokenKind.KW_INT: ast.INT,
+    TokenKind.KW_FLOAT: ast.FLOAT,
+    TokenKind.KW_INT32: ast.INT32,
+    TokenKind.KW_INT16: ast.INT16,
+    TokenKind.KW_INT8: ast.INT8,
+    TokenKind.KW_FLOAT32: ast.FLOAT32,
+}
+
+_CMP_OPS = {
+    TokenKind.EQ: "==",
+    TokenKind.NE: "!=",
+    TokenKind.LT_GENERIC: "<",
+    TokenKind.LE: "<=",
+    TokenKind.GT_GENERIC: ">",
+    TokenKind.GE: ">=",
+}
+
+
+class Parser:
+    def __init__(self, tokens: List[Token]):
+        self.tokens = tokens
+        self.pos = 0
+
+    # -- token helpers ------------------------------------------------------
+
+    def peek(self, offset: int = 0) -> Token:
+        return self.tokens[min(self.pos + offset, len(self.tokens) - 1)]
+
+    def at(self, kind: TokenKind) -> bool:
+        return self.peek().kind is kind
+
+    def advance(self) -> Token:
+        tok = self.tokens[self.pos]
+        if tok.kind is not TokenKind.EOF:
+            self.pos += 1
+        return tok
+
+    def expect(self, kind: TokenKind, what: str = "") -> Token:
+        tok = self.peek()
+        if tok.kind is not kind:
+            wanted = what or kind.value
+            raise ParseError(
+                f"expected {wanted}, found {tok.text or tok.kind.value!r}",
+                tok.line,
+                tok.col,
+            )
+        return self.advance()
+
+    def accept(self, kind: TokenKind) -> Optional[Token]:
+        if self.at(kind):
+            return self.advance()
+        return None
+
+    # -- declarations -------------------------------------------------------
+
+    def parse_module(self) -> ast.Module:
+        functions = []
+        while not self.at(TokenKind.EOF):
+            # Stray pragmas at top level are ignored (like a real compiler).
+            if self.accept(TokenKind.PRAGMA):
+                continue
+            functions.append(self.parse_function())
+        return ast.Module(functions)
+
+    def parse_function(self) -> ast.FuncDecl:
+        start = self.expect(TokenKind.KW_FN)
+        name = self.expect(TokenKind.IDENT, "function name").text
+        self.expect(TokenKind.LPAREN)
+        params = []
+        if not self.at(TokenKind.RPAREN):
+            while True:
+                pname = self.expect(TokenKind.IDENT, "parameter name").text
+                self.expect(TokenKind.COLON)
+                params.append((pname, self.parse_type()))
+                if not self.accept(TokenKind.COMMA):
+                    break
+        self.expect(TokenKind.RPAREN)
+        ret_type = None
+        if self.accept(TokenKind.ARROW):
+            ret_type = self.parse_type()
+        body = self.parse_block()
+        return ast.FuncDecl(name, params, ret_type, body, line=start.line)
+
+    def parse_type(self) -> ast.Type:
+        tok = self.peek()
+        if tok.kind in _TYPE_TOKENS:
+            self.advance()
+            return _TYPE_TOKENS[tok.kind]
+        if tok.kind is TokenKind.KW_PTR:
+            self.advance()
+            self.expect(TokenKind.LT_GENERIC, "'<'")
+            elem = self.parse_type()
+            # Split a '>>' closing two nested ptr<> levels (the classic
+            # C++ template problem) into two '>' tokens.
+            if self.at(TokenKind.SHR):
+                shr = self.peek()
+                self.tokens[self.pos] = Token(
+                    TokenKind.GT_GENERIC, ">", None, shr.line, shr.col
+                )
+                self.tokens.insert(
+                    self.pos + 1,
+                    Token(TokenKind.GT_GENERIC, ">", None, shr.line, shr.col + 1),
+                )
+            self.expect(TokenKind.GT_GENERIC, "'>'")
+            return ast.ptr_to(elem)
+        raise ParseError(f"expected type, found {tok.text!r}", tok.line, tok.col)
+
+    # -- statements ---------------------------------------------------------
+
+    def parse_block(self) -> ast.Block:
+        brace = self.expect(TokenKind.LBRACE)
+        stmts = []
+        while not self.at(TokenKind.RBRACE):
+            if self.at(TokenKind.EOF):
+                raise ParseError("unterminated block", brace.line, brace.col)
+            stmts.append(self.parse_statement())
+        self.expect(TokenKind.RBRACE)
+        return ast.Block(stmts, line=brace.line)
+
+    def parse_statement(self) -> ast.Stmt:
+        pragma = None
+        while self.at(TokenKind.PRAGMA):
+            tok = self.advance()
+            if isinstance(tok.value, str) and tok.value.split():
+                pragma = tok.value
+        tok = self.peek()
+
+        if tok.kind is TokenKind.KW_VAR:
+            return self.parse_var_decl()
+        if tok.kind is TokenKind.KW_IF:
+            return self.parse_if()
+        if tok.kind is TokenKind.KW_WHILE:
+            return self.parse_while(pragma)
+        if tok.kind is TokenKind.KW_FOR:
+            return self.parse_for(pragma)
+        if tok.kind is TokenKind.KW_RETURN:
+            self.advance()
+            value = None if self.at(TokenKind.SEMI) else self.parse_expr()
+            self.expect(TokenKind.SEMI)
+            return ast.Return(value, line=tok.line)
+        if tok.kind is TokenKind.KW_BREAK:
+            self.advance()
+            self.expect(TokenKind.SEMI)
+            return ast.Break(line=tok.line)
+        if tok.kind is TokenKind.KW_CONTINUE:
+            self.advance()
+            self.expect(TokenKind.SEMI)
+            return ast.Continue(line=tok.line)
+        if tok.kind is TokenKind.LBRACE:
+            return self.parse_block()
+
+        stmt = self.parse_simple_statement()
+        self.expect(TokenKind.SEMI)
+        return stmt
+
+    def parse_simple_statement(self) -> ast.Stmt:
+        """Assignment or expression statement (no trailing semicolon)."""
+        tok = self.peek()
+        if tok.kind is TokenKind.KW_VAR:
+            return self.parse_var_decl(consume_semi=False)
+        expr = self.parse_expr()
+        if self.accept(TokenKind.ASSIGN):
+            if not isinstance(expr, (ast.Name, ast.Index)):
+                raise ParseError("invalid assignment target", tok.line, tok.col)
+            value = self.parse_expr()
+            return ast.Assign(expr, value, line=tok.line)
+        return ast.ExprStmt(expr, line=tok.line)
+
+    def parse_var_decl(self, consume_semi: bool = True) -> ast.VarDecl:
+        tok = self.expect(TokenKind.KW_VAR)
+        name = self.expect(TokenKind.IDENT, "variable name").text
+        self.expect(TokenKind.COLON)
+        var_type = self.parse_type()
+        init = None
+        if self.accept(TokenKind.ASSIGN):
+            init = self.parse_expr()
+        if consume_semi:
+            self.expect(TokenKind.SEMI)
+        return ast.VarDecl(name, var_type, init, line=tok.line)
+
+    def parse_if(self) -> ast.If:
+        tok = self.expect(TokenKind.KW_IF)
+        self.expect(TokenKind.LPAREN)
+        cond = self.parse_expr()
+        self.expect(TokenKind.RPAREN)
+        then = self.parse_block()
+        els = None
+        if self.accept(TokenKind.KW_ELSE):
+            if self.at(TokenKind.KW_IF):
+                els = ast.Block([self.parse_if()], line=self.peek().line)
+            else:
+                els = self.parse_block()
+        return ast.If(cond, then, els, line=tok.line)
+
+    def parse_while(self, pragma: Optional[str]) -> ast.While:
+        tok = self.expect(TokenKind.KW_WHILE)
+        self.expect(TokenKind.LPAREN)
+        cond = self.parse_expr()
+        self.expect(TokenKind.RPAREN)
+        body = self.parse_block()
+        return ast.While(cond, body, pragma=pragma, line=tok.line)
+
+    def parse_for(self, pragma: Optional[str]) -> ast.For:
+        tok = self.expect(TokenKind.KW_FOR)
+        self.expect(TokenKind.LPAREN)
+        init = None
+        if not self.at(TokenKind.SEMI):
+            init = self.parse_simple_statement()
+        self.expect(TokenKind.SEMI)
+        cond = None
+        if not self.at(TokenKind.SEMI):
+            cond = self.parse_expr()
+        self.expect(TokenKind.SEMI)
+        step = None
+        if not self.at(TokenKind.RPAREN):
+            step = self.parse_simple_statement()
+        self.expect(TokenKind.RPAREN)
+        body = self.parse_block()
+        return ast.For(init, cond, step, body, pragma=pragma, line=tok.line)
+
+    # -- expressions --------------------------------------------------------
+
+    def parse_expr(self) -> ast.Expr:
+        return self.parse_or()
+
+    def _left_assoc(self, sub, kinds) -> ast.Expr:
+        expr = sub()
+        while self.peek().kind in kinds:
+            op_tok = self.advance()
+            right = sub()
+            expr = ast.BinOp(kinds[op_tok.kind], expr, right, line=op_tok.line)
+        return expr
+
+    def parse_or(self) -> ast.Expr:
+        return self._left_assoc(self.parse_and, {TokenKind.OROR: "||"})
+
+    def parse_and(self) -> ast.Expr:
+        return self._left_assoc(self.parse_bitor, {TokenKind.ANDAND: "&&"})
+
+    def parse_bitor(self) -> ast.Expr:
+        return self._left_assoc(self.parse_bitxor, {TokenKind.PIPE: "|"})
+
+    def parse_bitxor(self) -> ast.Expr:
+        return self._left_assoc(self.parse_bitand, {TokenKind.CARET: "^"})
+
+    def parse_bitand(self) -> ast.Expr:
+        return self._left_assoc(self.parse_cmp, {TokenKind.AMP: "&"})
+
+    def parse_cmp(self) -> ast.Expr:
+        expr = self.parse_shift()
+        if self.peek().kind in _CMP_OPS:
+            op_tok = self.advance()
+            right = self.parse_shift()
+            expr = ast.BinOp(_CMP_OPS[op_tok.kind], expr, right, line=op_tok.line)
+        return expr
+
+    def parse_shift(self) -> ast.Expr:
+        return self._left_assoc(
+            self.parse_addsub, {TokenKind.SHL: "<<", TokenKind.SHR: ">>"}
+        )
+
+    def parse_addsub(self) -> ast.Expr:
+        return self._left_assoc(
+            self.parse_muldiv, {TokenKind.PLUS: "+", TokenKind.MINUS: "-"}
+        )
+
+    def parse_muldiv(self) -> ast.Expr:
+        return self._left_assoc(
+            self.parse_unary,
+            {TokenKind.STAR: "*", TokenKind.SLASH: "/", TokenKind.PERCENT: "%"},
+        )
+
+    def parse_unary(self) -> ast.Expr:
+        tok = self.peek()
+        if tok.kind is TokenKind.MINUS:
+            self.advance()
+            return ast.UnOp("-", self.parse_unary(), line=tok.line)
+        if tok.kind is TokenKind.NOT:
+            self.advance()
+            return ast.UnOp("!", self.parse_unary(), line=tok.line)
+        return self.parse_postfix()
+
+    def parse_postfix(self) -> ast.Expr:
+        expr = self.parse_primary()
+        while self.accept(TokenKind.LBRACKET):
+            index = self.parse_expr()
+            self.expect(TokenKind.RBRACKET)
+            expr = ast.Index(expr, index, line=self.peek().line)
+        return expr
+
+    def parse_primary(self) -> ast.Expr:
+        tok = self.peek()
+        if tok.kind is TokenKind.INT:
+            self.advance()
+            return ast.IntLit(int(tok.value), line=tok.line)
+        if tok.kind is TokenKind.FLOAT:
+            self.advance()
+            return ast.FloatLit(float(tok.value), line=tok.line)
+        if tok.kind in (TokenKind.KW_INT, TokenKind.KW_FLOAT):
+            # Cast syntax: int(expr), float(expr).
+            cast_type = ast.INT if tok.kind is TokenKind.KW_INT else ast.FLOAT
+            self.advance()
+            self.expect(TokenKind.LPAREN)
+            operand = self.parse_expr()
+            self.expect(TokenKind.RPAREN)
+            return ast.Cast(cast_type, operand, line=tok.line)
+        if tok.kind is TokenKind.IDENT:
+            self.advance()
+            if self.accept(TokenKind.LPAREN):
+                args = []
+                if not self.at(TokenKind.RPAREN):
+                    while True:
+                        args.append(self.parse_expr())
+                        if not self.accept(TokenKind.COMMA):
+                            break
+                self.expect(TokenKind.RPAREN)
+                return ast.Call(tok.text, args, line=tok.line)
+            return ast.Name(tok.text, line=tok.line)
+        if tok.kind is TokenKind.LPAREN:
+            self.advance()
+            expr = self.parse_expr()
+            self.expect(TokenKind.RPAREN)
+            return expr
+        raise ParseError(f"unexpected token {tok.text!r}", tok.line, tok.col)
+
+
+def parse(source: str) -> ast.Module:
+    """Parse Frog source text into a :class:`~repro.lang.ast.Module`."""
+    return Parser(tokenize(source)).parse_module()

@@ -1,0 +1,102 @@
+"""Token definitions for the Frog mini-language."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Union
+
+
+class TokenKind(enum.Enum):
+    # Literals and identifiers.
+    INT = "int_lit"
+    FLOAT = "float_lit"
+    IDENT = "ident"
+
+    # Keywords.
+    KW_FN = "fn"
+    KW_VAR = "var"
+    KW_IF = "if"
+    KW_ELSE = "else"
+    KW_WHILE = "while"
+    KW_FOR = "for"
+    KW_RETURN = "return"
+    KW_BREAK = "break"
+    KW_CONTINUE = "continue"
+    KW_INT = "int"
+    KW_FLOAT = "float"
+    KW_PTR = "ptr"
+    KW_INT32 = "int32"
+    KW_INT16 = "int16"
+    KW_INT8 = "int8"
+    KW_FLOAT32 = "float32"
+
+    # Punctuation and operators.
+    LPAREN = "("
+    RPAREN = ")"
+    LBRACE = "{"
+    RBRACE = "}"
+    LBRACKET = "["
+    RBRACKET = "]"
+    COMMA = ","
+    SEMI = ";"
+    COLON = ":"
+    ARROW = "->"
+    LT_GENERIC = "<"  # also less-than; parser disambiguates via context
+    GT_GENERIC = ">"
+
+    ASSIGN = "="
+    PLUS = "+"
+    MINUS = "-"
+    STAR = "*"
+    SLASH = "/"
+    PERCENT = "%"
+    AMP = "&"
+    PIPE = "|"
+    CARET = "^"
+    SHL = "<<"
+    SHR = ">>"
+    EQ = "=="
+    NE = "!="
+    LE = "<="
+    GE = ">="
+    ANDAND = "&&"
+    OROR = "||"
+    NOT = "!"
+
+    # Pragmas.
+    PRAGMA = "pragma"
+
+    EOF = "eof"
+
+
+KEYWORDS = {
+    "fn": TokenKind.KW_FN,
+    "var": TokenKind.KW_VAR,
+    "if": TokenKind.KW_IF,
+    "else": TokenKind.KW_ELSE,
+    "while": TokenKind.KW_WHILE,
+    "for": TokenKind.KW_FOR,
+    "return": TokenKind.KW_RETURN,
+    "break": TokenKind.KW_BREAK,
+    "continue": TokenKind.KW_CONTINUE,
+    "int": TokenKind.KW_INT,
+    "float": TokenKind.KW_FLOAT,
+    "ptr": TokenKind.KW_PTR,
+    "int32": TokenKind.KW_INT32,
+    "int16": TokenKind.KW_INT16,
+    "int8": TokenKind.KW_INT8,
+    "float32": TokenKind.KW_FLOAT32,
+}
+
+
+@dataclass
+class Token:
+    kind: TokenKind
+    text: str
+    value: Union[int, float, str, None]
+    line: int
+    col: int
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind.name}, {self.text!r}, {self.line}:{self.col})"

@@ -1,0 +1,17 @@
+"""Classic TLS scheme models for the table-3 comparison."""
+
+from .common import Task, TaskTrace, conflicts_with, extract_tasks
+from .multiscalar import MultiscalarConfig, TlsResult, simulate_multiscalar
+from .stampede import StampedeConfig, simulate_stampede
+
+__all__ = [
+    "Task",
+    "TaskTrace",
+    "conflicts_with",
+    "extract_tasks",
+    "MultiscalarConfig",
+    "TlsResult",
+    "simulate_multiscalar",
+    "StampedeConfig",
+    "simulate_stampede",
+]

@@ -1,0 +1,43 @@
+"""Microarchitecture models: functional executor, baseline OoO core, and
+the LoopFrog extensions (threadlets, SSB, conflict detection, packing)."""
+
+from .config import (
+    CoreConfig,
+    LoopFrogConfig,
+    MachineConfig,
+    MemoryConfig,
+    baseline_machine,
+    default_machine,
+    scaled_core,
+)
+from .executor import ExecResult, Executor, RunResult, execute_one, run_program
+from .loopfrog_core import (
+    BaselineCore,
+    LoopFrogCore,
+    SimulationResult,
+    run_pair,
+)
+from .memory_state import SparseMemory
+from .statistics import RegionStats, SimStats
+
+__all__ = [
+    "CoreConfig",
+    "LoopFrogConfig",
+    "MachineConfig",
+    "MemoryConfig",
+    "baseline_machine",
+    "default_machine",
+    "scaled_core",
+    "ExecResult",
+    "Executor",
+    "RunResult",
+    "execute_one",
+    "run_program",
+    "BaselineCore",
+    "LoopFrogCore",
+    "SimulationResult",
+    "run_pair",
+    "SparseMemory",
+    "RegionStats",
+    "SimStats",
+]

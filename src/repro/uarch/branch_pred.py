@@ -1,0 +1,241 @@
+"""Branch prediction: a TAGE-style predictor with loop predictor, BTB, RAS.
+
+This follows the structure of the paper's 256-Kbit LTAGE configuration
+(table 1) at reduced scale: a bimodal base predictor plus N tagged tables
+indexed by geometrically increasing global-history lengths, a dedicated
+loop-termination predictor, a branch target buffer and a return-address
+stack.  Tables are shared between threadlet contexts while each context
+keeps its own global history, exactly as the paper describes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..isa.instructions import Instruction, Opcode
+from .config import CoreConfig
+
+
+class _TaggedEntry:
+    __slots__ = ("tag", "counter", "useful")
+
+    def __init__(self, tag: int):
+        self.tag = tag
+        self.counter = 0  # -4..3 signed; >= 0 predicts taken
+        self.useful = 0
+
+
+@dataclass
+class Prediction:
+    """Outcome of a lookup: predicted direction + metadata for update."""
+
+    taken: bool
+    provider: int  # -1 = bimodal, -2 = loop predictor, else table index
+    from_loop_predictor: bool = False
+
+
+class _LoopEntry:
+    __slots__ = ("trip", "count", "confidence")
+
+    def __init__(self):
+        self.trip = -1        # learned trip count
+        self.count = 0        # current iteration counter
+        self.confidence = 0   # 0..3; predict only when saturated
+
+
+class TagePredictor:
+    """Shared-table TAGE with per-context global history."""
+
+    def __init__(self, config: CoreConfig, num_contexts: int = 1):
+        self.config = config
+        self.num_tables = config.bp_num_tables
+        self.history_lengths = list(config.bp_history_lengths[: self.num_tables])
+        self.table_size = 1 << config.bp_table_bits
+        self.tables: List[Dict[int, _TaggedEntry]] = [
+            {} for _ in range(self.num_tables)
+        ]
+        self.bimodal: Dict[int, int] = {}  # pc -> 2-bit counter (0..3)
+        self.histories: List[int] = [0] * num_contexts
+        self.loop_table: Dict[int, _LoopEntry] = {}
+        self.loop_capacity = config.loop_predictor_entries
+
+    # -- indexing -------------------------------------------------------------
+
+    def _index(self, pc: int, history: int, table: int) -> int:
+        h = history & ((1 << self.history_lengths[table]) - 1)
+        # Fold the history into the index width.
+        folded = 0
+        while h:
+            folded ^= h & (self.table_size - 1)
+            h >>= self.config.bp_table_bits
+        return (pc ^ folded ^ (table * 0x9E37)) & (self.table_size - 1)
+
+    def _tag(self, pc: int, history: int, table: int) -> int:
+        return (pc * 0x85EB ^ history ^ table) & 0xFFF
+
+    # -- prediction -----------------------------------------------------------
+
+    def predict(self, pc: int, context: int = 0) -> Prediction:
+        # Loop predictor overrides when confident.
+        loop = self.loop_table.get(pc)
+        if loop is not None and loop.confidence >= 3 and loop.trip >= 0:
+            taken = loop.count + 1 < loop.trip
+            return Prediction(taken=taken, provider=-2, from_loop_predictor=True)
+
+        history = self.histories[context]
+        for table in range(self.num_tables - 1, -1, -1):
+            idx = self._index(pc, history, table)
+            entry = self.tables[table].get(idx)
+            if entry is not None and entry.tag == self._tag(pc, history, table):
+                return Prediction(taken=entry.counter >= 0, provider=table)
+        counter = self.bimodal.get(pc, 2)
+        return Prediction(taken=counter >= 2, provider=-1)
+
+    # -- update ---------------------------------------------------------------
+
+    def update(
+        self, pc: int, taken: bool, prediction: Prediction, context: int = 0
+    ) -> None:
+        history = self.histories[context]
+        correct = prediction.taken == taken
+
+        # Loop predictor training: count consecutive taken, learn the trip.
+        loop = self.loop_table.get(pc)
+        if loop is None and len(self.loop_table) < self.loop_capacity:
+            loop = self.loop_table[pc] = _LoopEntry()
+        if loop is not None:
+            if taken:
+                loop.count += 1
+            else:
+                trip = loop.count + 1
+                if loop.trip == trip:
+                    loop.confidence = min(3, loop.confidence + 1)
+                else:
+                    loop.trip = trip
+                    loop.confidence = 0
+                loop.count = 0
+
+        if prediction.provider == -1:
+            counter = self.bimodal.get(pc, 2)
+            counter = min(3, counter + 1) if taken else max(0, counter - 1)
+            self.bimodal[pc] = counter
+        elif prediction.provider >= 0:
+            table = prediction.provider
+            idx = self._index(pc, history, table)
+            entry = self.tables[table].get(idx)
+            if entry is not None:
+                entry.counter = (
+                    min(3, entry.counter + 1) if taken else max(-4, entry.counter - 1)
+                )
+                entry.useful = min(3, entry.useful + 1) if correct else max(
+                    0, entry.useful - 1
+                )
+
+        # Allocate a longer-history entry on a mispredict (TAGE allocation).
+        if not correct and not prediction.from_loop_predictor:
+            start = prediction.provider + 1 if prediction.provider >= 0 else 0
+            for table in range(start, self.num_tables):
+                idx = self._index(pc, history, table)
+                existing = self.tables[table].get(idx)
+                if existing is None or existing.useful == 0:
+                    entry = _TaggedEntry(self._tag(pc, history, table))
+                    entry.counter = 0 if taken else -1
+                    self.tables[table][idx] = entry
+                    break
+
+        # Per-context global history (shared tables, private history).
+        self.histories[context] = ((history << 1) | int(taken)) & (1 << 256) - 1
+
+
+class BranchTargetBuffer:
+    """Direct-mapped BTB storing the last target per branch PC."""
+
+    def __init__(self, entries: int):
+        self.entries = entries
+        self.table: Dict[int, int] = {}
+
+    def lookup(self, pc: int) -> Optional[int]:
+        slot = pc % self.entries
+        cached = self.table.get(slot)
+        if cached is None:
+            return None
+        tag, target = cached
+        return target if tag == pc else None
+
+    def insert(self, pc: int, target: int) -> None:
+        self.table[pc % self.entries] = (pc, target)
+
+
+class ReturnAddressStack:
+    """Bounded RAS with wrap-around overwrite (like real hardware)."""
+
+    def __init__(self, entries: int):
+        self.entries = entries
+        self.stack: List[int] = []
+
+    def push(self, return_pc: int) -> None:
+        self.stack.append(return_pc)
+        if len(self.stack) > self.entries:
+            self.stack.pop(0)
+
+    def pop(self) -> Optional[int]:
+        if self.stack:
+            return self.stack.pop()
+        return None
+
+    def copy(self) -> "ReturnAddressStack":
+        dup = ReturnAddressStack(self.entries)
+        dup.stack = list(self.stack)
+        return dup
+
+
+class FrontEndPredictor:
+    """Bundles TAGE + BTB + RAS for the fetch stage.
+
+    ``predict_instruction`` is called with the actual (oracle) outcome so the
+    fetch model can account misprediction bubbles without simulating the
+    wrong path; it returns whether the prediction was correct and whether the
+    BTB provided the target.
+    """
+
+    def __init__(self, config: CoreConfig, num_contexts: int = 1):
+        self.tage = TagePredictor(config, num_contexts)
+        self.btb = BranchTargetBuffer(config.btb_entries)
+        self.ras = [ReturnAddressStack(config.ras_entries) for _ in range(num_contexts)]
+
+    def predict_instruction(
+        self,
+        pc: int,
+        instr: Instruction,
+        actual_taken: bool,
+        actual_target: int,
+        context: int = 0,
+    ):
+        """Returns (direction_correct, target_known)."""
+        op = instr.opcode
+        if op is Opcode.JMP:
+            known = self._check_target(pc, actual_target)
+            return True, known
+        if op is Opcode.CALL:
+            self.ras[context].push(pc + 1)
+            known = self._check_target(pc, actual_target)
+            return True, known
+        if op is Opcode.RET:
+            predicted = self.ras[context].pop()
+            return True, predicted == actual_target
+        if instr.is_conditional_branch:
+            prediction = self.tage.predict(pc, context)
+            self.tage.update(pc, actual_taken, prediction, context)
+            correct = prediction.taken == actual_taken
+            if actual_taken:
+                known = self._check_target(pc, actual_target)
+            else:
+                known = True
+            return correct, known
+        return True, True
+
+    def _check_target(self, pc: int, target: int) -> bool:
+        known = self.btb.lookup(pc) == target
+        self.btb.insert(pc, target)
+        return known

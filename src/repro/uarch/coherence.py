@@ -1,0 +1,90 @@
+"""External-observer coherence model (paper section 4.1.4).
+
+The main experiments run a single core, but LoopFrog's deployability
+argument rests on the SSB hiding speculation from the memory system: other
+cores must never observe speculative state, and a remote request that
+cannot be reconciled with a threadlet's read/write sets must squash that
+threadlet.
+
+:class:`CoherenceAgent` models the other side of the interconnect as an
+external observer issuing line-granularity read (Shared) and
+read-exclusive (Modified) requests.  It checks two properties:
+
+* *Isolation* — a remote read only ever sees architecturally committed
+  data: speculative bytes buffered in SSB slices are invisible.
+* *Conflict handling* — a remote write that hits a speculative threadlet's
+  read or write set squashes it (and everything younger); a remote read
+  that hits a write set does the same (the line was held in Modified).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from .core import Engine
+from .threadlet import Threadlet
+
+
+@dataclass
+class SnoopResult:
+    """Outcome of one remote coherence request."""
+
+    data: Optional[bytes]          # line data for reads (committed state only)
+    squashed_threadlets: List[int] = field(default_factory=list)
+
+
+class CoherenceAgent:
+    """Issues remote coherence traffic into a running :class:`Engine`."""
+
+    def __init__(self, engine: Engine, line_size: int = 64):
+        self.engine = engine
+        self.line_size = line_size
+
+    def _spec_threadlets(self) -> List[Threadlet]:
+        return [t for t in self.engine.order if not t.is_arch]
+
+    def _squash_on_conflict(self, addr: int, size: int, is_write: bool) -> List[int]:
+        """Find the oldest conflicting speculative threadlet and squash it
+        (cascading), per section 4.1.4."""
+        conflicts = self.engine.conflicts
+        for t in self._spec_threadlets():
+            hit_write = conflicts.write_set_intersects(t.slot, addr, size)
+            hit_read = is_write and conflicts.read_set_intersects(t.slot, addr, size)
+            if hit_write or hit_read:
+                victims = [x.slot for x in self.engine.order
+                           if x.epoch >= t.epoch and not x.is_arch]
+                self.engine._squash_restart(t, reason="conflict")
+                return victims
+        return []
+
+    def remote_read(self, addr: int) -> SnoopResult:
+        """A remote core requests the line in Shared state."""
+        line_start = (addr // self.line_size) * self.line_size
+        squashed = self._squash_on_conflict(line_start, self.line_size,
+                                            is_write=False)
+        data = bytes(
+            self.engine.memory.load_byte(line_start + i)
+            for i in range(self.line_size)
+        )
+        return SnoopResult(data=data, squashed_threadlets=squashed)
+
+    def remote_write(self, addr: int, data: bytes) -> SnoopResult:
+        """A remote core requests the line in Modified state and writes it."""
+        line_start = (addr // self.line_size) * self.line_size
+        squashed = self._squash_on_conflict(line_start, self.line_size,
+                                            is_write=True)
+        for i, b in enumerate(data[: self.line_size]):
+            self.engine.memory.store_byte(line_start + i, b)
+        return SnoopResult(data=None, squashed_threadlets=squashed)
+
+    def speculation_in_flight(self, addr: int, size: int) -> bool:
+        """True if any speculative threadlet currently buffers a byte of
+        [addr, addr+size) in its SSB slice.  Used by tests to demonstrate
+        isolation: even when this is True, :meth:`remote_read` returns only
+        committed memory."""
+        for t in self._spec_threadlets():
+            sl = self.engine.ssb.slice(t.slot)
+            if any(sl.read_byte(addr + i) is not None for i in range(size)):
+                return True
+        return False

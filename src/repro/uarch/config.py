@@ -1,0 +1,220 @@
+"""Simulator configuration, following table 1 of the paper.
+
+Three dataclasses compose a full machine description:
+
+* :class:`CoreConfig` — the out-of-order pipeline (widths, windows, FUs,
+  branch prediction) shared by the baseline and LoopFrog models.
+* :class:`MemoryConfig` — L1I/L1D/L2/DRAM parameters.
+* :class:`LoopFrogConfig` — threadlet count, SSB geometry, conflict-detector
+  granularity and iteration-packing knobs.
+
+``default_core()`` etc. return the paper's aggressive 8-wide configuration;
+the figure-1 experiment builds narrower/wider variants with
+:func:`scaled_core`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict
+
+from ..errors import ConfigError
+from ..isa.instructions import OpClass
+
+
+@dataclass
+class CoreConfig:
+    """Pipeline parameters (paper table 1, "Core")."""
+
+    name: str = "8wide"
+    fetch_width: int = 8
+    dispatch_width: int = 8
+    issue_width: int = 8
+    commit_width: int = 8
+    rob_size: int = 1024
+    iq_size: int = 384
+    lq_size: int = 256
+    sq_size: int = 256
+    fetch_queue_size: int = 32  # per threadlet (duplicated)
+    int_phys_regs: int = 1024
+    fp_phys_regs: int = 768
+    # Front-end redirect penalty on a branch mispredict (pipeline depth).
+    mispredict_penalty: int = 10
+    # Extra bubble when a taken branch misses in the BTB.
+    btb_miss_penalty: int = 2
+    # Functional-unit issue ports per op class and per-op latencies.
+    fu_ports: Dict[OpClass, int] = field(default_factory=lambda: {
+        OpClass.INT_ALU: 9,      # 7 ALU+Branch plus 2 ALU+Mul+Div
+        OpClass.BRANCH: 7,
+        OpClass.INT_MUL: 2,
+        OpClass.INT_DIV: 2,
+        OpClass.FP_ADD: 4,
+        OpClass.FP_MUL: 4,
+        OpClass.FP_DIV: 2,
+        OpClass.FP_SQRT: 2,
+        OpClass.MEM_READ: 4,
+        OpClass.MEM_WRITE: 2,
+        OpClass.HINT: 8,
+        OpClass.SYSTEM: 8,
+    })
+    fu_latency: Dict[OpClass, int] = field(default_factory=lambda: {
+        OpClass.INT_ALU: 1,
+        OpClass.BRANCH: 1,
+        OpClass.INT_MUL: 3,
+        OpClass.INT_DIV: 12,
+        OpClass.FP_ADD: 3,
+        OpClass.FP_MUL: 4,
+        OpClass.FP_DIV: 12,
+        OpClass.FP_SQRT: 16,
+        OpClass.MEM_READ: 1,   # address-generation; cache adds the rest
+        OpClass.MEM_WRITE: 1,
+        OpClass.HINT: 1,
+        OpClass.SYSTEM: 1,
+    })
+    # Branch predictor (TAGE-lite).
+    bp_table_bits: int = 12       # entries per tagged table = 2**bits
+    bp_num_tables: int = 6
+    bp_history_lengths: tuple = (4, 8, 16, 32, 64, 128)
+    btb_entries: int = 4096
+    ras_entries: int = 48
+    loop_predictor_entries: int = 256
+
+    def validate(self) -> None:
+        if self.fetch_width <= 0 or self.commit_width <= 0:
+            raise ConfigError("pipeline widths must be positive")
+        if self.rob_size < self.dispatch_width:
+            raise ConfigError("ROB smaller than dispatch width")
+        if len(self.bp_history_lengths) < self.bp_num_tables:
+            raise ConfigError("not enough TAGE history lengths configured")
+
+
+@dataclass
+class MemoryConfig:
+    """Cache hierarchy parameters (paper table 1, "Memory System")."""
+
+    l1i_size: int = 64 * 1024
+    l1i_assoc: int = 4
+    l1i_latency: int = 1
+    l1d_size: int = 64 * 1024
+    l1d_assoc: int = 4
+    l1d_latency: int = 2
+    l1d_mshrs: int = 10
+    l2_size: int = 4 * 1024 * 1024
+    l2_assoc: int = 8
+    l2_latency: int = 11
+    l2_mshrs: int = 32
+    dram_latency: int = 240  # ~60 ns at 4 GHz
+    line_size: int = 64
+    l1_prefetch_degree: int = 2
+    l2_prefetch_degree: int = 8
+
+    def validate(self) -> None:
+        for size, assoc, what in (
+            (self.l1d_size, self.l1d_assoc, "L1D"),
+            (self.l1i_size, self.l1i_assoc, "L1I"),
+            (self.l2_size, self.l2_assoc, "L2"),
+        ):
+            sets = size // (assoc * self.line_size)
+            if sets <= 0 or sets & (sets - 1):
+                raise ConfigError(f"{what}: set count must be a power of two")
+
+
+@dataclass
+class LoopFrogConfig:
+    """LoopFrog extensions (paper table 1, "SSB", and sections 4.1-4.3)."""
+
+    enabled: bool = True
+    num_threadlets: int = 4
+    # SSB geometry.
+    ssb_total_bytes: int = 8 * 1024   # across all slices
+    ssb_line_bytes: int = 32
+    granule_bytes: int = 4
+    ssb_associativity: int = 0        # 0 = not modelled (fully associative)
+    ssb_victim_entries: int = 0       # small shared victim buffer
+    ssb_read_latency: int = 3         # includes the parallel L1D lookup
+    ssb_write_latency: int = 1
+    conflict_check_latency: int = 4   # added before threadlet commit
+    # SSB flush: lines drained per cycle when a slice becomes architectural.
+    flush_lines_per_cycle: int = 1
+    # Conflict-detector sets: exact by default (the paper idealises its
+    # Bloom filters too); enable to model Swarm-style filters (section 4.2).
+    use_bloom_filters: bool = False
+    bloom_bits: int = 4096
+    bloom_hashes: int = 4
+    # Iteration packing (section 4.3).
+    packing_enabled: bool = True
+    packing_target_size: int = 0      # 0 = use the ROB size (paper's choice)
+    packing_max_factor: int = 32
+    packing_train_epochs: int = 3
+    packing_ema_alpha: float = 0.5
+    stride_confidence_max: int = 7
+    stride_confidence_threshold: int = 4
+
+    @property
+    def slice_bytes(self) -> int:
+        return self.ssb_total_bytes // max(1, self.num_threadlets)
+
+    @property
+    def slice_lines(self) -> int:
+        return max(1, self.slice_bytes // self.ssb_line_bytes)
+
+    def validate(self) -> None:
+        if self.num_threadlets < 1:
+            raise ConfigError("need at least one threadlet context")
+        if self.ssb_line_bytes % self.granule_bytes != 0:
+            raise ConfigError("line size must be a multiple of the granule size")
+        if self.granule_bytes not in (1, 2, 4, 8, 16, 32, 64):
+            raise ConfigError(f"unsupported granule size {self.granule_bytes}")
+
+
+@dataclass
+class MachineConfig:
+    """A complete machine: core + memory + LoopFrog extensions."""
+
+    core: CoreConfig = field(default_factory=CoreConfig)
+    memory: MemoryConfig = field(default_factory=MemoryConfig)
+    loopfrog: LoopFrogConfig = field(default_factory=LoopFrogConfig)
+
+    def validate(self) -> None:
+        self.core.validate()
+        self.memory.validate()
+        self.loopfrog.validate()
+
+
+def default_machine() -> MachineConfig:
+    """The paper's aggressive 8-wide, 4-threadlet machine (table 1)."""
+    return MachineConfig()
+
+
+def baseline_machine() -> MachineConfig:
+    """Same pipeline with LoopFrog speculation disabled (hints are nops)."""
+    machine = MachineConfig()
+    machine.loopfrog = replace(machine.loopfrog, enabled=False, num_threadlets=1)
+    return machine
+
+
+def scaled_core(width: int, name: str = "") -> MachineConfig:
+    """A machine whose front-end/back-end width is scaled to ``width``.
+
+    Used by the figure-1 experiment to model successively wider commercial
+    microarchitectures.  Window structures scale linearly with width around
+    the 8-wide reference point.
+    """
+    if width < 1:
+        raise ConfigError("width must be >= 1")
+    scale = width / 8.0
+    machine = MachineConfig()
+    core = machine.core
+    core.name = name or f"{width}wide"
+    core.fetch_width = width
+    core.dispatch_width = width
+    core.issue_width = width
+    core.commit_width = width
+    core.rob_size = max(width * 2, int(core.rob_size * scale))
+    core.iq_size = max(width, int(core.iq_size * scale))
+    core.lq_size = max(width, int(core.lq_size * scale))
+    core.sq_size = max(width, int(core.sq_size * scale))
+    for cls in core.fu_ports:
+        core.fu_ports[cls] = max(1, round(core.fu_ports[cls] * scale))
+    machine.loopfrog = replace(machine.loopfrog, enabled=False, num_threadlets=1)
+    return machine

@@ -1,0 +1,153 @@
+"""Conflict detection between threadlets (paper section 4.2, algorithm 1).
+
+The detector keeps per-threadlet read and write sets at *granule*
+granularity.  A speculative read adds the granules it did **not** forward
+from the threadlet's own write set to the read set.  Every write checks all
+younger threadlets in age order: if the forwarded set intersects a younger
+read set, that threadlet observed a stale value and must be squashed;
+otherwise the younger threadlet's write set is subtracted from the
+forwarded set before moving on (an intervening write re-sources those
+granules).
+
+Exact sets are the default — the paper likewise idealises its Bloom
+filters.  A Bloom-filter implementation with the hardware's
+no-false-negative guarantee is provided for the configuration study.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Set
+
+
+class GranuleSet:
+    """Exact set of granule IDs (the reference implementation)."""
+
+    def __init__(self):
+        self._set: Set[int] = set()
+
+    def add_many(self, granules: Iterable[int]) -> None:
+        self._set.update(granules)
+
+    def intersects(self, granules: Iterable[int]) -> bool:
+        s = self._set
+        return any(g in s for g in granules)
+
+    def contains(self, granule: int) -> bool:
+        return granule in self._set
+
+    def clear(self) -> None:
+        self._set.clear()
+
+    def __len__(self) -> int:
+        return len(self._set)
+
+    def __iter__(self):
+        return iter(self._set)
+
+
+class BloomGranuleSet:
+    """Bloom-filter granule set: possible false positives, never false
+    negatives — safe for conflict detection (section 4.2)."""
+
+    def __init__(self, bits: int = 4096, hashes: int = 4):
+        self.bits = bits
+        self.hashes = hashes
+        self._words = bytearray(bits // 8)
+        self._count = 0
+
+    def _positions(self, granule: int) -> List[int]:
+        positions = []
+        h = granule & 0xFFFFFFFFFFFFFFFF
+        for i in range(self.hashes):
+            h = (h * 0x9E3779B97F4A7C15 + 0x7F4A7C15 + i) & 0xFFFFFFFFFFFFFFFF
+            positions.append((h >> 17) % self.bits)
+        return positions
+
+    def add_many(self, granules: Iterable[int]) -> None:
+        for g in granules:
+            for pos in self._positions(g):
+                self._words[pos >> 3] |= 1 << (pos & 7)
+            self._count += 1
+
+    def contains(self, granule: int) -> bool:
+        return all(
+            self._words[pos >> 3] & (1 << (pos & 7))
+            for pos in self._positions(granule)
+        )
+
+    def intersects(self, granules: Iterable[int]) -> bool:
+        return any(self.contains(g) for g in granules)
+
+    def clear(self) -> None:
+        self._words = bytearray(self.bits // 8)
+        self._count = 0
+
+    def __len__(self) -> int:
+        return self._count
+
+
+class ConflictDetector:
+    """Algorithm 1, parameterised by granule size and set implementation."""
+
+    def __init__(self, granule_bytes: int, num_slots: int,
+                 use_bloom: bool = False, bloom_bits: int = 4096,
+                 bloom_hashes: int = 4):
+        self.granule_bytes = granule_bytes
+        self.use_bloom = use_bloom
+
+        def make_set():
+            if use_bloom:
+                return BloomGranuleSet(bloom_bits, bloom_hashes)
+            return GranuleSet()
+
+        self.rd: Dict[int, object] = {slot: make_set() for slot in range(num_slots)}
+        self.wr: Dict[int, object] = {slot: make_set() for slot in range(num_slots)}
+
+    def granules(self, addr: int, size: int) -> List[int]:
+        g = self.granule_bytes
+        return list(range(addr // g, (addr + size - 1) // g + 1))
+
+    def on_speculative_read(self, slot: int, addr: int, size: int) -> None:
+        """Algorithm 1, SPECULATIVEREAD: record forwarded granules only."""
+        wr = self.wr[slot]
+        forwarded = [g for g in self.granules(addr, size) if not wr.contains(g)]
+        self.rd[slot].add_many(forwarded)
+
+    def on_write(
+        self, slot: int, addr: int, size: int, younger_slots: List[int]
+    ) -> Optional[int]:
+        """Algorithm 1, WRITE: update the write set, then walk younger
+        threadlets oldest-to-youngest looking for a stale read.
+
+        Returns the slot of the first conflicting younger threadlet (the
+        caller squashes it and recycles everything younger), or None.
+        """
+        granules = self.granules(addr, size)
+        self.wr[slot].add_many(granules)
+
+        fwd = granules
+        for t in younger_slots:
+            if self.rd[t].intersects(fwd):
+                return t  # t observed a stale value
+            wr_t = self.wr[t]
+            fwd = [g for g in fwd if not wr_t.contains(g)]
+            if not fwd:
+                break
+        return None
+
+    def clear(self, slot: int) -> None:
+        self.rd[slot].clear()
+        self.wr[slot].clear()
+
+    def read_set_size(self, slot: int) -> int:
+        return len(self.rd[slot])
+
+    def write_set_size(self, slot: int) -> int:
+        return len(self.wr[slot])
+
+    def write_set_intersects(self, slot: int, addr: int, size: int) -> bool:
+        """Used by the coherence model: does a remote access hit our sets?"""
+        return self.wr[slot].intersects(self.granules(addr, size))
+
+    def read_set_intersects(self, slot: int, addr: int, size: int) -> bool:
+        return self.rd[slot].intersects(self.granules(addr, size))

@@ -1,0 +1,919 @@
+"""The approximate-cycle out-of-order core engine.
+
+One engine serves both the baseline and the LoopFrog configurations: with
+``LoopFrogConfig.enabled == False`` hints are treated as nops (the paper's
+backwards-compatibility guarantee) and the machine is a conventional wide
+OoO core; with it enabled, ``detach`` spawns speculative threadlets whose
+memory traffic flows through the SSB and conflict detector.
+
+Model structure (see DESIGN.md "Timing-model fidelity notes"):
+
+* **Functional execution happens at fetch.**  Each threadlet's register
+  state advances as instructions are fetched along its (locally correct)
+  path; speculative threadlets read through the SSB's versioning logic, so
+  they really do consume stale data when they out-run an older threadlet's
+  stores — which the conflict detector later catches and repairs by
+  squashing, exactly as in section 4.2.
+* **Timing is layered on top**: fetched instructions flow through dispatch
+  (ROB/IQ/LSQ allocation, renaming), issue (operand readiness, FU ports,
+  cache latencies) and in-order per-threadlet commit.  Branch mispredicts
+  stall the fetch of the offending threadlet until the branch resolves,
+  charging a variable, data-dependent penalty; other threadlets keep
+  fetching (the paper's "cutting control dependencies").
+* **Two-level commit**: instructions commit to their threadlet; the oldest
+  threadlet is architectural and its commits are the program's. When it
+  finishes its epoch, the successor becomes architectural and its SSB slice
+  is merged (section 4.1.4).
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..errors import ExecutionError, SimulationError
+from ..isa.instructions import Instruction, OpClass, Opcode
+from ..isa.program import Program
+from ..isa.registers import initial_register_file
+from .branch_pred import FrontEndPredictor
+from .caches import MemoryHierarchy
+from .config import MachineConfig
+from .conflict import ConflictDetector
+from .executor import execute_one
+from .memory_state import SparseMemory
+from .packing import IterationPacker
+from .ssb import SpeculativeStateBuffer
+from .statistics import SimStats
+from .threadlet import Threadlet, ThreadletState
+
+
+class PipelineInstr:
+    """One dynamic instruction in flight."""
+
+    __slots__ = (
+        "seq", "slot", "pc", "instr", "op_class", "consumers", "num_pending",
+        "dispatched", "issued", "ready_cycle", "committed", "squashed",
+        "mem_addr", "mem_size", "taken", "mispredicted", "dest_is_fp",
+        "mem_dep_writers", "is_load", "is_store",
+    )
+
+    def __init__(self, seq: int, slot: int, pc: int, instr: Instruction):
+        self.seq = seq
+        self.slot = slot
+        self.pc = pc
+        self.instr = instr
+        self.op_class = instr.op_class
+        self.consumers: List["PipelineInstr"] = []
+        self.num_pending = 0
+        self.dispatched = False
+        self.issued = False
+        self.ready_cycle: Optional[int] = None
+        self.committed = False
+        self.squashed = False
+        self.mem_addr: Optional[int] = None
+        self.mem_size = 0
+        self.taken = False
+        self.mispredicted = False
+        self.dest_is_fp = bool(instr.dest and instr.dest.startswith("f"))
+        self.mem_dep_writers: List["PipelineInstr"] = []
+        self.is_load = instr.is_load
+        self.is_store = instr.is_store
+
+    def done(self, cycle: int) -> bool:
+        return self.issued and self.ready_cycle is not None and self.ready_cycle <= cycle
+
+    def __repr__(self) -> str:
+        return f"PI(seq={self.seq}, slot={self.slot}, pc={self.pc}, {self.instr.opcode.value})"
+
+
+class _SpecMemView:
+    """Memory view for a speculative threadlet: reads via SSB versioning,
+    writes into the threadlet's slice.  Records access metadata for the
+    engine to pick up after ``execute_one`` returns."""
+
+    __slots__ = ("engine", "threadlet")
+
+    def __init__(self, engine: "Engine", threadlet: Threadlet):
+        self.engine = engine
+        self.threadlet = threadlet
+
+    def load(self, addr: int, size: int) -> int:
+        return self.engine._spec_load(self.threadlet, addr, size)
+
+    def store(self, addr: int, size: int, value: int) -> None:
+        self.engine._spec_store(self.threadlet, addr, size, value)
+
+
+class _ArchMemView:
+    """Memory view for the architectural threadlet: direct to memory, but
+    accesses still update the conflict detector (section 4)."""
+
+    __slots__ = ("engine", "threadlet")
+
+    def __init__(self, engine: "Engine", threadlet: Threadlet):
+        self.engine = engine
+        self.threadlet = threadlet
+
+    def load(self, addr: int, size: int) -> int:
+        return self.engine._arch_load(self.threadlet, addr, size)
+
+    def store(self, addr: int, size: int, value: int) -> None:
+        self.engine._arch_store(self.threadlet, addr, size, value)
+
+
+class Engine:
+    """Cycle-driven simulation of one core running one program."""
+
+    def __init__(
+        self,
+        machine: MachineConfig,
+        program: Program,
+        memory: Optional[SparseMemory] = None,
+        initial_regs: Optional[Dict[str, float]] = None,
+        warm_caches: bool = True,
+    ):
+        machine.validate()
+        self.machine = machine
+        self.core = machine.core
+        self.lf = machine.loopfrog
+        self.program = program
+        self.memory = memory if memory is not None else SparseMemory()
+        self.stats = SimStats()
+        self.hierarchy = MemoryHierarchy(machine.memory, self.stats)
+        if warm_caches:
+            self._warm_caches()
+        self.predictor = FrontEndPredictor(self.core, self.lf.num_threadlets)
+        self.ssb = SpeculativeStateBuffer(self.lf, self.memory)
+        self.conflicts = ConflictDetector(
+            self.lf.granule_bytes,
+            self.lf.num_threadlets,
+            use_bloom=self.lf.use_bloom_filters,
+            bloom_bits=self.lf.bloom_bits,
+            bloom_hashes=self.lf.bloom_hashes,
+        )
+        self.packer = IterationPacker(self.lf)
+
+        self.threadlets = [
+            Threadlet(slot, self.core.fetch_queue_size)
+            for slot in range(self.lf.num_threadlets)
+        ]
+        main = self.threadlets[0]
+        regs = initial_register_file()
+        if initial_regs:
+            regs.update(initial_regs)
+        main.activate(epoch=0, regs=regs, pc=0, rename={}, region=None,
+                      region_label=None)
+        main.is_arch = True
+        self.order: List[Threadlet] = [main]
+
+        self.cycle = 0
+        self.seq = 0
+        self.finished = False
+
+        # Shared back-end occupancy.
+        self.rob_used = 0
+        self.iq_used = 0
+        self.lq_used = 0
+        self.sq_used = 0
+        self.int_regs_used = 0
+        self.fp_regs_used = 0
+
+        self.ready: List[Tuple[int, PipelineInstr]] = []   # issueable heap
+        self.completions: List[Tuple[int, int, PipelineInstr]] = []
+        self._mem_views = {}
+        # Cached per-access scratch set by _spec_load/_spec_store.
+        self._last_writers: List[PipelineInstr] = []
+        self._last_forwarded = False
+        self._arch_commit_gate = 0  # conflict-check drain before commit
+
+    def _warm_caches(self) -> None:
+        """Pre-warm the L2 with the workload's initialised data and the L1I
+        with the program text, modelling a benchmark past its warmup phase
+        (the paper warms 50M instructions per SimPoint, section 6.1).
+        Untouched regions — e.g. the huge sparse spans of miss-bound
+        kernels — stay cold and pay full memory latency."""
+        line = self.machine.memory.line_size
+        for addr in self.memory.written_addresses():
+            self.hierarchy.l2.insert(addr // line)
+        for pc in range(len(self.program)):
+            self.hierarchy.l1i.insert((pc * 4) // line)
+            self.hierarchy.l2.insert((pc * 4) // line)
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+
+    def run(self, max_cycles: int = 50_000_000) -> SimStats:
+        """Simulate until the program halts; returns the statistics."""
+        while not self.finished:
+            if self.cycle >= max_cycles:
+                raise SimulationError(
+                    f"{self.program.name}: exceeded {max_cycles} cycles "
+                    f"(arch pc={self.order[0].pc})"
+                )
+            self.step()
+        self.stats.cycles = self.cycle
+        return self.stats
+
+    def step(self) -> None:
+        """Advance the machine by one cycle."""
+        self.cycle += 1
+        self._process_completions()
+        self._commit()
+        if self.finished:
+            return
+        self._threadlet_commit()
+        self._issue()
+        self._dispatch()
+        self._fetch()
+        self._per_cycle_stats()
+
+    # ------------------------------------------------------------------
+    # Memory views (functional access at fetch)
+    # ------------------------------------------------------------------
+
+    def _older_slots(self, threadlet: Threadlet) -> List[int]:
+        idx = self.order.index(threadlet)
+        return [t.slot for t in reversed(self.order[:idx])]
+
+    def _younger_slots(self, threadlet: Threadlet) -> List[int]:
+        idx = self.order.index(threadlet)
+        return [t.slot for t in self.order[idx + 1 :]]
+
+    def _spec_load(self, t: Threadlet, addr: int, size: int) -> int:
+        result = self.ssb.read(addr, size, self._older_slots(t), t.slot)
+        self.conflicts.on_speculative_read(t.slot, addr, size)
+        self.stats.ssb_reads += 1
+        if result.forwarded_from:
+            self.stats.ssb_forwards += 1
+        self._last_writers = list(result.writers)
+        return result.value
+
+    def _spec_store(self, t: Threadlet, addr: int, size: int, value: int) -> None:
+        pi_writer = self._current_pi  # the instruction being fetched
+        accepted = self.ssb.write(t.slot, addr, size, value, pi_writer)
+        if not accepted:
+            raise AssertionError("SSB overflow must be pre-checked in fetch")
+        self.stats.ssb_writes += 1
+        # Sub-granule stores read-modify-write the whole granule: the read
+        # that fills the unwritten bytes joins the read set and can cause
+        # false-sharing conflicts (section 4.1.1).  This is what makes
+        # large granules hurt in figure 10.
+        g = self.lf.granule_bytes
+        if addr % g or size % g:
+            for granule in range(addr // g, (addr + size - 1) // g + 1):
+                g_start = granule * g
+                if addr > g_start or addr + size < g_start + g:
+                    self.conflicts.on_speculative_read(t.slot, g_start, g)
+        victim = self.conflicts.on_write(
+            t.slot, addr, size, self._younger_slots(t)
+        )
+        if victim is not None:
+            self._squash_restart(self._by_slot(victim), reason="conflict")
+        g = self.lf.granule_bytes
+        for granule in range(addr // g, (addr + size - 1) // g + 1):
+            t.store_writers[granule] = pi_writer
+
+    def _arch_load(self, t: Threadlet, addr: int, size: int) -> int:
+        # Architectural reads come straight from memory; no RD-set update is
+        # needed (nothing older can write), see section 4.2.
+        return self.memory.load(addr, size)
+
+    def _arch_store(self, t: Threadlet, addr: int, size: int, value: int) -> None:
+        self.memory.store(addr, size, value)
+        victim = self.conflicts.on_write(
+            t.slot, addr, size, self._younger_slots(t)
+        )
+        if victim is not None:
+            self._squash_restart(self._by_slot(victim), reason="conflict")
+        g = self.lf.granule_bytes
+        pi_writer = self._current_pi
+        for granule in range(addr // g, (addr + size - 1) // g + 1):
+            t.store_writers[granule] = pi_writer
+
+    def _by_slot(self, slot: int) -> Threadlet:
+        return self.threadlets[slot]
+
+    # ------------------------------------------------------------------
+    # Fetch (functional execution + front-end timing)
+    # ------------------------------------------------------------------
+
+    def _fetch(self) -> None:
+        budget = self.core.fetch_width
+        for t in list(self.order):
+            if budget <= 0:
+                break
+            if not t.active or t.state is ThreadletState.HALTED:
+                continue
+            budget = self._fetch_threadlet(t, budget)
+
+    def _fetch_threadlet(self, t: Threadlet, budget: int) -> int:
+        cycle = self.cycle
+        while budget > 0:
+            if t.fetch_done or t.state is not ThreadletState.RUNNING:
+                break
+            if len(t.fetch_queue) >= t.fetch_queue_size:
+                break
+            # Mispredicted-branch gate: wait for resolution + redirect.
+            branch = t.fetch_stall_branch
+            if branch is not None:
+                if branch.squashed:
+                    t.fetch_stall_branch = None
+                elif branch.done(cycle):
+                    t.fetch_stall_branch = None
+                    t.fetch_stall_until = (
+                        branch.ready_cycle + self.core.mispredict_penalty
+                    )
+                else:
+                    break
+            if t.fetch_stall_until > cycle:
+                break
+            if not 0 <= t.pc < len(self.program):
+                t.faulted = f"pc {t.pc} out of range"
+                t.fetch_done = True
+                break
+
+            # Instruction cache: a hit (latency 1) does not stall fetch.
+            ready = self.hierarchy.access_instruction(t.pc, cycle)
+            if ready > cycle + 1:
+                t.fetch_stall_until = ready
+                break
+
+            instr = self.program[t.pc]
+
+            # SSB capacity pre-check for speculative stores: a full slice
+            # stalls the threadlet (writes can never be dropped, 4.1.2).
+            if instr.is_store and not t.is_arch and self.lf.enabled:
+                addr = int(t.regs[instr.srcs[1]]) + int(instr.imm or 0)
+                if not self._ssb_can_accept(t, addr, instr.size):
+                    t.ssb_stalled = True
+                    self._region_stats(t).ssb_stall_cycles += 1
+                    break
+            t.ssb_stalled = False
+
+            consumed = self._fetch_one(t, instr)
+            budget -= 1
+            if not consumed:
+                break
+            if t.fetch_queue and t.fetch_queue[-1].taken:
+                break  # at most one taken branch per threadlet per cycle
+        return budget
+
+    def _ssb_can_accept(self, t: Threadlet, addr: int, size: int) -> bool:
+        budget = self.ssb.victim_capacity - self.ssb._victim_in_use
+        sl = self.ssb.slice(t.slot)
+        first = addr // sl.line_bytes
+        last = (addr + size - 1) // sl.line_bytes
+        for line_addr in range(first, last + 1):
+            ok, use_victim = sl._can_take_line(line_addr, budget)
+            if not ok:
+                return False
+            if use_victim:
+                budget -= 1
+        return True
+
+    def _fetch_one(self, t: Threadlet, instr: Instruction) -> bool:
+        """Functionally execute and enqueue one instruction for ``t``."""
+        cycle = self.cycle
+        pi = PipelineInstr(self.seq, t.slot, t.pc, instr)
+        self.seq += 1
+        self._current_pi = pi
+        self._last_writers = []
+
+        t.note_register_reads(instr.reads())
+
+        op = instr.opcode
+        if op is Opcode.HALT:
+            t.fetch_done = True
+            t.fetch_queue.append(pi)
+            t.epoch_fetched += 1
+            self.stats.fetched_instructions += 1
+            return True
+
+        view = self._view_for(t)
+        try:
+            result = execute_one(instr, t.regs, view, t.pc)
+        except ExecutionError as exc:
+            t.faulted = str(exc)
+            t.fetch_done = True
+            return False
+        t.note_register_writes(instr.writes())
+
+        pi.mem_addr = result.mem_addr
+        pi.mem_size = result.mem_size
+        pi.taken = result.taken
+        if instr.is_load:
+            pi.mem_dep_writers = self._last_writers
+
+        # Branch prediction accounting.
+        if instr.is_branch:
+            self.stats.branches += 1
+            correct, target_known = self.predictor.predict_instruction(
+                t.pc, instr, result.taken, result.next_pc, t.slot
+            )
+            if not correct:
+                self.stats.branch_mispredicts += 1
+                pi.mispredicted = True
+                t.fetch_stall_branch = pi
+            elif result.taken and not target_known:
+                self.stats.btb_misses += 1
+                t.fetch_stall_until = cycle + self.core.btb_miss_penalty
+
+        t.fetch_queue.append(pi)
+        t.epoch_fetched += 1
+        self.stats.fetched_instructions += 1
+        t.pc = result.next_pc
+
+        # LoopFrog hint semantics (section 3.1).
+        if instr.is_hint:
+            self._handle_hint(t, instr)
+        return True
+
+    def _view_for(self, t: Threadlet):
+        view = self._mem_views.get((t.slot, t.is_arch))
+        if view is None:
+            view = (_ArchMemView if t.is_arch else _SpecMemView)(self, t)
+            self._mem_views[(t.slot, t.is_arch)] = view
+        return view
+
+    # ------------------------------------------------------------------
+    # Hints: detach / reattach / sync
+    # ------------------------------------------------------------------
+
+    def _handle_hint(self, t: Threadlet, instr: Instruction) -> None:
+        region = instr.region_index
+        op = instr.opcode
+
+        if op is Opcode.DETACH:
+            if t.region is None and t.stat_region is None:
+                t.stat_region = instr.region
+            if t.region is not None:
+                return  # already detached: ignore nested regions
+            if not self.lf.enabled:
+                return
+            t.detach_seq += 1
+            self._try_spawn(t, region, instr.region)
+            return
+
+        if op is Opcode.REATTACH:
+            if t.region != region or t.successor is None:
+                return  # not detached on this region: plain nop
+            if t.skip_reattaches > 0:
+                t.skip_reattaches -= 1
+                self._region_stats(t).packed_iterations += 1
+                return
+            self._halt_epoch(t)
+            return
+
+        if op is Opcode.SYNC:
+            if t.stat_region == instr.region and t.region is None:
+                t.stat_region = None
+            if t.region == region:
+                # Successors were misspeculation: recycle the whole chain.
+                self._squash_chain(t, reason="sync")
+                t.region = None
+                t.region_label = None
+                t.stat_region = None
+            return
+
+    def _try_spawn(self, t: Threadlet, region: int, region_label: str) -> None:
+        if t.successor is not None or self.order[-1] is not t:
+            return
+        state = self.packer.region(region)
+        # Observe each *new* detach exactly once: keyed by (epoch, detach
+        # sequence) so squash-restarts do not re-train the predictors but a
+        # spawn-starved threadlet flowing into the next iteration does.
+        key = (t.epoch, t.detach_seq)
+        if key > state.last_observed_key:
+            iterations = max(1, state.last_factor)
+            state.observe_detach(dict(t.regs), iterations)
+            state.last_observed_key = key
+            state.last_factor = 1  # until a packed spawn says otherwise
+
+        free = next(
+            (x for x in self.threadlets if x.state is ThreadletState.FREE), None
+        )
+        if free is None:
+            return
+
+        decision = state.decide(self.core.rob_size)
+        regs = dict(t.regs)
+        if decision.factor > 1:
+            regs.update(decision.predicted_regs)
+            t.skip_reattaches = decision.factor - 1
+            t.packed_factor = decision.factor
+            self.stats.packing_factor_sum += decision.factor
+            self.stats.packing_events += 1
+            self.stats.max_packing_factor = max(
+                self.stats.max_packing_factor, decision.factor
+            )
+            self._region_stats(t, region_label).packing_detaches += 1
+        else:
+            t.packed_factor = 1
+        state.last_factor = decision.factor
+
+        free.activate(
+            epoch=t.epoch + 1,
+            regs=regs,
+            pc=region,
+            rename=dict(t.rename),
+            region=region,
+            region_label=region_label,
+        )
+        free.packed_prediction = dict(decision.predicted_regs)
+        free.predecessor = t
+        # Duplicate the spawner's RAS so speculative returns predict well.
+        self.predictor.ras[free.slot] = self.predictor.ras[t.slot].copy()
+        t.successor = free
+        t.region = region
+        t.region_label = region_label
+        self.order.append(free)
+        self.stats.threadlets_spawned += 1
+        self._region_stats(t, region_label).epochs_spawned += 1
+
+    def _halt_epoch(self, t: Threadlet) -> None:
+        t.state = ThreadletState.HALTED
+        t.halt_cycle = self.cycle
+        if t.region is not None:
+            # Train the epoch-size EMA on the per-iteration size, and feed
+            # the IV detector the registers this epoch consumed.
+            per_iteration = max(1, t.epoch_fetched // max(1, t.packed_factor))
+            state = self.packer.region(t.region)
+            state.observe_epoch_size(per_iteration)
+            state.note_consumed(t.regs_read_before_write)
+        if t.packed_factor > 1 and t.successor is not None:
+            self._verify_packing(t)
+
+    def _verify_packing(self, t: Threadlet) -> None:
+        """Check the successor's predicted start state (section 4.3)."""
+        s = t.successor
+        assert s is not None
+        consumed_mismatch = any(
+            s.start_regs.get(r) != t.regs.get(r)
+            for r in s.regs_read_before_write
+            if r in s.start_regs
+        )
+        if consumed_mismatch:
+            assert s.checkpoint is not None
+            s.checkpoint.regs = dict(t.regs)
+            self.packer.region(t.region).note_misprediction()
+            self._squash_restart(s, reason="packing")
+            return
+        for reg in s.packed_prediction:
+            actual = t.regs.get(reg)
+            if actual is None or s.start_regs.get(reg) == actual:
+                continue
+            # Safe update: the stale value has not been consumed.
+            if reg not in s.regs_written:
+                s.regs[reg] = actual
+            s.start_regs[reg] = actual
+            if s.checkpoint is not None:
+                s.checkpoint.regs[reg] = actual
+
+    # ------------------------------------------------------------------
+    # Squashing
+    # ------------------------------------------------------------------
+
+    def _squash_chain(self, t: Threadlet, reason: str) -> None:
+        """Recycle all successors of ``t`` (no restart): sync semantics."""
+        victim = t.successor
+        count = 0
+        while victim is not None:
+            nxt = victim.successor
+            self._drop_threadlet(victim, reason)
+            victim.recycle()
+            count += 1
+            victim = nxt
+        t.successor = None
+        if count:
+            self._refresh_order()
+
+    def _squash_restart(self, victim: Threadlet, reason: str) -> None:
+        """Squash ``victim`` and everything younger; restart only ``victim``
+        (section 4: "only the oldest one is restarted")."""
+        if not victim.active:
+            return
+        chain = victim.successor
+        while chain is not None:
+            nxt = chain.successor
+            self._drop_threadlet(chain, reason)
+            chain.recycle()
+            chain = nxt
+        self._drop_threadlet(victim, reason)
+        victim.restart_from_checkpoint()
+        victim.successor = None
+        self._refresh_order()
+
+    def _drop_threadlet(self, t: Threadlet, reason: str) -> None:
+        """Release a threadlet's pipeline and speculative state."""
+        region = self._region_stats(t)
+        if reason != "end":
+            self.stats.threadlets_squashed += 1
+            region.epochs_squashed += 1
+        self.stats.failed_spec_instructions += t.epoch_committed
+        if reason == "conflict":
+            self.stats.squash_conflicts += 1
+            region.squash_conflicts += 1
+        elif reason == "sync":
+            self.stats.squash_syncs += 1
+            region.squash_syncs += 1
+        elif reason == "packing":
+            self.stats.squash_packing += 1
+            region.squash_packing += 1
+        elif reason == "overflow":
+            self.stats.squash_overflow += 1
+
+        for pi in t.inflight:
+            self._release_entry(pi, committed=False)
+            pi.squashed = True
+        for pi in t.fetch_queue:
+            pi.squashed = True
+        t.inflight.clear()
+        t.fetch_queue.clear()
+        self.ssb.squash(t.slot)
+        self.conflicts.clear(t.slot)
+        t.store_writers.clear()
+
+    def _refresh_order(self) -> None:
+        self.order = [t for t in self.order if t.active]
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+
+    def _dispatch(self) -> None:
+        budget = self.core.dispatch_width
+        core = self.core
+        for t in list(self.order):
+            while budget > 0 and t.fetch_queue:
+                pi = t.fetch_queue[0]
+                if self.rob_used >= core.rob_size:
+                    return
+                if self.iq_used >= core.iq_size:
+                    return
+                if pi.is_load and self.lq_used >= core.lq_size:
+                    break
+                if pi.is_store and self.sq_used >= core.sq_size:
+                    break
+                if pi.instr.dest is not None:
+                    if pi.dest_is_fp:
+                        if self.fp_regs_used >= core.fp_phys_regs:
+                            return
+                    elif self.int_regs_used >= core.int_phys_regs:
+                        return
+                t.fetch_queue.popleft()
+                self._dispatch_one(t, pi)
+                budget -= 1
+
+    def _dispatch_one(self, t: Threadlet, pi: PipelineInstr) -> None:
+        self.rob_used += 1
+        self.iq_used += 1
+        if pi.is_load:
+            self.lq_used += 1
+        if pi.is_store:
+            self.sq_used += 1
+        if pi.instr.dest is not None:
+            if pi.dest_is_fp:
+                self.fp_regs_used += 1
+            else:
+                self.int_regs_used += 1
+
+        deps: List[PipelineInstr] = []
+        cycle = self.cycle
+        for reg in pi.instr.reads():
+            producer = t.rename.get(reg)
+            if producer is not None and not producer.squashed and not producer.done(cycle):
+                deps.append(producer)
+        if pi.is_load:
+            # Store->load forwarding: wait for the producing store.  The
+            # granule map is updated at fetch, which runs ahead of dispatch,
+            # so only stores *older in program order* are real producers.
+            g = self.lf.granule_bytes
+            for granule in range(
+                pi.mem_addr // g, (pi.mem_addr + pi.mem_size - 1) // g + 1
+            ):
+                writer = t.store_writers.get(granule)
+                if (
+                    writer is not None
+                    and writer.seq < pi.seq
+                    and not writer.squashed
+                    and not writer.done(cycle)
+                ):
+                    deps.append(writer)
+            for writer in pi.mem_dep_writers:
+                if (
+                    writer is not None
+                    and writer.seq < pi.seq
+                    and not writer.squashed
+                    and not writer.done(cycle)
+                ):
+                    deps.append(writer)
+
+        unique_deps = []
+        seen: Set[int] = set()
+        for d in deps:
+            if id(d) not in seen:
+                seen.add(id(d))
+                unique_deps.append(d)
+        pi.num_pending = len(unique_deps)
+        for d in unique_deps:
+            d.consumers.append(pi)
+
+        for reg in pi.instr.writes():
+            t.rename[reg] = pi
+
+        pi.dispatched = True
+        t.inflight.append(pi)
+        self.stats.dispatched_instructions += 1
+        if pi.num_pending == 0:
+            heapq.heappush(self.ready, (pi.seq, pi))
+
+    # ------------------------------------------------------------------
+    # Issue / completion
+    # ------------------------------------------------------------------
+
+    def _issue(self) -> None:
+        budget = self.core.issue_width
+        ports = dict(self.core.fu_ports)
+        retry: List[Tuple[int, PipelineInstr]] = []
+        cycle = self.cycle
+        while budget > 0 and self.ready:
+            seq, pi = heapq.heappop(self.ready)
+            if pi.squashed or pi.issued:
+                continue
+            cls = pi.op_class
+            if ports.get(cls, 8) <= 0:
+                retry.append((seq, pi))
+                continue
+            ports[cls] = ports.get(cls, 8) - 1
+            budget -= 1
+            self._issue_one(pi, cycle)
+        for item in retry:
+            heapq.heappush(self.ready, item)
+
+    def _issue_one(self, pi: PipelineInstr, cycle: int) -> None:
+        pi.issued = True
+        self.iq_used -= 1
+        self.stats.issued_instructions += 1
+        latency = self.core.fu_latency.get(pi.op_class, 1)
+        done_at = cycle + latency
+
+        if pi.is_load:
+            fill = self.hierarchy.access_data(
+                pi.mem_addr, cycle, is_write=False, pc=pi.pc
+            )
+            t = self.threadlets[pi.slot]
+            if self.lf.enabled and not t.is_arch:
+                done_at = max(cycle + self.lf.ssb_read_latency, fill)
+            else:
+                done_at = max(done_at, fill)
+        elif pi.is_store:
+            t = self.threadlets[pi.slot]
+            if self.lf.enabled and not t.is_arch:
+                done_at = cycle + self.lf.ssb_write_latency
+            else:
+                # Architectural stores go to the L1D write path.
+                self.hierarchy.access_data(pi.mem_addr, cycle, is_write=True, pc=pi.pc)
+                done_at = cycle + 1
+
+        pi.ready_cycle = done_at
+        heapq.heappush(self.completions, (done_at, pi.seq, pi))
+
+    def _process_completions(self) -> None:
+        cycle = self.cycle
+        while self.completions and self.completions[0][0] <= cycle:
+            _, _, pi = heapq.heappop(self.completions)
+            if pi.squashed:
+                continue
+            for consumer in pi.consumers:
+                if consumer.squashed or consumer.issued:
+                    continue
+                consumer.num_pending -= 1
+                if consumer.num_pending <= 0 and consumer.dispatched:
+                    heapq.heappush(self.ready, (consumer.seq, consumer))
+
+    # ------------------------------------------------------------------
+    # Commit (instruction level and threadlet level)
+    # ------------------------------------------------------------------
+
+    def _commit(self) -> None:
+        budget = self.core.commit_width
+        cycle = self.cycle
+        for t in list(self.order):
+            while budget > 0 and t.inflight:
+                pi = t.inflight[0]
+                if not pi.done(cycle):
+                    break
+                t.inflight.popleft()
+                self._release_entry(pi, committed=True)
+                t.epoch_committed += 1
+                budget -= 1
+                if t.is_arch:
+                    self.stats.arch_instructions += 1
+                    region = t.stat_region
+                    if region is not None:
+                        self.stats.region(region).arch_instructions += 1
+                    if pi.instr.opcode is Opcode.HALT:
+                        self._finish()
+                        return
+                else:
+                    t.committed_while_spec += 1
+            if t.faulted and t.is_arch and not t.inflight and t.fetch_done:
+                raise ExecutionError(
+                    f"{self.program.name}: architectural fault: {t.faulted}"
+                )
+
+    def _release_entry(self, pi: PipelineInstr, committed: bool) -> None:
+        self.rob_used -= 1
+        if not pi.issued:
+            self.iq_used -= 1
+        if pi.is_load:
+            self.lq_used -= 1
+        if pi.is_store:
+            self.sq_used -= 1
+        if pi.instr.dest is not None:
+            if pi.dest_is_fp:
+                self.fp_regs_used -= 1
+            else:
+                self.int_regs_used -= 1
+        pi.committed = committed
+
+    def _threadlet_commit(self) -> None:
+        """Advance S_arch when the oldest threadlet finishes its epoch."""
+        while True:
+            t = self.order[0]
+            # The threadlet that leaves the parallel region runs to the end
+            # of the program; it may commit HALT to itself while still
+            # speculative, so detect program end when it drains as arch.
+            if (
+                t.fetch_done
+                and t.faulted is None
+                and not t.inflight
+                and not t.fetch_queue
+            ):
+                self._finish()
+                return
+            if (
+                t.state is not ThreadletState.HALTED
+                or t.inflight
+                or t.fetch_queue
+            ):
+                return
+            # Small delay for in-progress conflict checks (section 4.2).
+            if self.cycle < t.halt_cycle + self.lf.conflict_check_latency:
+                return
+            successor = t.successor
+            if successor is None:
+                return
+            self._region_stats(t).epochs_committed += 1
+            self.stats.threadlets_committed += 1
+            # Retire the old architectural threadlet's context.
+            self.conflicts.clear(t.slot)
+            self.ssb.squash(t.slot)  # slice is empty (arch wrote directly)
+            t.recycle()
+            self.order.pop(0)
+            # The successor becomes architectural: merge its slice (atomic
+            # commit, section 4.1.4) and expose its lines to the cache.
+            new_arch = self.order[0]
+            new_arch.is_arch = True
+            self.stats.spec_committed_instructions += new_arch.committed_while_spec
+            flushed = self._flush_slice_to_caches(new_arch.slot)
+            successor.predecessor = None
+
+    def _flush_slice_to_caches(self, slot: int) -> int:
+        sl = self.ssb.slice(slot)
+        line_addrs = {
+            addr // self.machine.memory.line_size for addr in sl.data
+        }
+        flushed = self.ssb.commit(slot)
+        for line in line_addrs:
+            self.hierarchy.l1d.insert(line)
+        return flushed
+
+    def _finish(self) -> None:
+        self.finished = True
+        # Outstanding speculative threadlets die with the program.
+        for t in self.order[1:]:
+            self._drop_threadlet(t, reason="end")
+            t.recycle()
+        self.order = self.order[:1]
+
+    # ------------------------------------------------------------------
+    # Per-cycle statistics
+    # ------------------------------------------------------------------
+
+    def _region_stats(self, t: Threadlet, label: Optional[str] = None):
+        name = label or t.stat_region or t.region_label or "<none>"
+        return self.stats.region(name)
+
+    def _per_cycle_stats(self) -> None:
+        active = sum(1 for t in self.threadlets if t.active)
+        self.stats.note_active_threadlets(active)
+        region = self.order[0].stat_region
+        if region is not None:
+            self.stats.region(region).arch_cycles += 1
+
+    # Current PipelineInstr whose functional execution is in progress; used
+    # by the memory views to attribute SSB writes to instructions.
+    _current_pi: Optional[PipelineInstr] = None

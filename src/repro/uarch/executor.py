@@ -1,0 +1,319 @@
+"""Functional (architectural) executor for the reproduction ISA.
+
+This is the golden reference model: the timing simulators and the TLS
+baselines all execute instructions through :func:`execute_one`, differing
+only in *when* instructions execute and *which memory view* they see.
+Speculative threadlets pass an SSB-backed memory view; the architectural
+path passes :class:`~repro.uarch.memory_state.SparseMemory` directly.
+
+The executor treats LoopFrog hints as nops, matching the paper's guarantee
+that hint instructions never change sequential semantics (section 3).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Protocol
+
+from ..errors import ExecutionError
+from ..isa.instructions import Instruction, Opcode
+from ..isa.program import Program
+from ..isa.registers import initial_register_file
+from .memory_state import (
+    MASK64,
+    SparseMemory,
+    bits_to_float,
+    float_to_bits,
+    to_signed,
+    to_unsigned,
+)
+
+
+class MemoryView(Protocol):
+    """Interface the executor needs from memory.
+
+    ``SparseMemory`` satisfies it directly; the LoopFrog model substitutes a
+    threadlet-specific view that routes accesses through the SSB.
+    """
+
+    def load(self, addr: int, size: int) -> int: ...
+
+    def store(self, addr: int, size: int, value: int) -> None: ...
+
+
+@dataclass
+class ExecResult:
+    """Outcome of executing a single instruction."""
+
+    next_pc: int
+    taken: bool = False  # branch taken (branches only)
+    mem_addr: Optional[int] = None  # effective address (memory ops only)
+    mem_size: int = 0
+
+
+def _as_int(value: float) -> int:
+    return to_signed(int(value) & MASK64)
+
+
+def execute_one(
+    instr: Instruction,
+    regs: Dict[str, float],
+    memory: MemoryView,
+    pc: int,
+) -> ExecResult:
+    """Execute ``instr`` against ``regs``/``memory``; return control outcome.
+
+    Integer registers hold signed 64-bit Python ints (wrapped on overflow);
+    FP registers hold Python floats.  Raises :class:`ExecutionError` on
+    division by zero or malformed instructions.
+    """
+    op = instr.opcode
+    srcs = instr.srcs
+
+    # Fast path: integer ALU with optional immediate second operand.
+    if op is Opcode.ADD:
+        b = regs[srcs[1]] if len(srcs) > 1 else instr.imm
+        regs[instr.dest] = to_signed((regs[srcs[0]] + b) & MASK64)
+        return ExecResult(pc + 1)
+    if op is Opcode.SUB:
+        b = regs[srcs[1]] if len(srcs) > 1 else instr.imm
+        regs[instr.dest] = to_signed((regs[srcs[0]] - b) & MASK64)
+        return ExecResult(pc + 1)
+    if op is Opcode.MUL:
+        b = regs[srcs[1]] if len(srcs) > 1 else instr.imm
+        regs[instr.dest] = to_signed((regs[srcs[0]] * b) & MASK64)
+        return ExecResult(pc + 1)
+    if op in (Opcode.DIV, Opcode.REM):
+        a = int(regs[srcs[0]])
+        b = int(regs[srcs[1]] if len(srcs) > 1 else instr.imm)
+        if b == 0:
+            raise ExecutionError(f"division by zero at pc={pc}: {instr}")
+        q = abs(a) // abs(b)
+        if (a < 0) != (b < 0):
+            q = -q
+        r = a - q * b
+        regs[instr.dest] = to_signed((q if op is Opcode.DIV else r) & MASK64)
+        return ExecResult(pc + 1)
+    if op in (Opcode.AND, Opcode.OR, Opcode.XOR, Opcode.SHL, Opcode.SHR):
+        a = to_unsigned(int(regs[srcs[0]]))
+        b = int(regs[srcs[1]] if len(srcs) > 1 else instr.imm)
+        if op is Opcode.AND:
+            v = a & to_unsigned(b)
+        elif op is Opcode.OR:
+            v = a | to_unsigned(b)
+        elif op is Opcode.XOR:
+            v = a ^ to_unsigned(b)
+        elif op is Opcode.SHL:
+            v = (a << (b & 63)) & MASK64
+        else:  # SHR, logical
+            v = a >> (b & 63)
+        regs[instr.dest] = to_signed(v)
+        return ExecResult(pc + 1)
+    if op in (Opcode.SLT, Opcode.SLE, Opcode.SEQ, Opcode.SNE):
+        a = regs[srcs[0]]
+        b = regs[srcs[1]] if len(srcs) > 1 else instr.imm
+        if op is Opcode.SLT:
+            v = a < b
+        elif op is Opcode.SLE:
+            v = a <= b
+        elif op is Opcode.SEQ:
+            v = a == b
+        else:
+            v = a != b
+        regs[instr.dest] = int(v)
+        return ExecResult(pc + 1)
+    if op in (Opcode.MIN, Opcode.MAX):
+        a = regs[srcs[0]]
+        b = regs[srcs[1]] if len(srcs) > 1 else instr.imm
+        regs[instr.dest] = min(a, b) if op is Opcode.MIN else max(a, b)
+        return ExecResult(pc + 1)
+    if op is Opcode.MOV:
+        regs[instr.dest] = regs[srcs[0]]
+        return ExecResult(pc + 1)
+    if op is Opcode.LI:
+        regs[instr.dest] = _as_int(instr.imm)
+        return ExecResult(pc + 1)
+
+    # Floating point.
+    if op is Opcode.FADD:
+        b = regs[srcs[1]] if len(srcs) > 1 else instr.imm
+        regs[instr.dest] = regs[srcs[0]] + b
+        return ExecResult(pc + 1)
+    if op is Opcode.FSUB:
+        b = regs[srcs[1]] if len(srcs) > 1 else instr.imm
+        regs[instr.dest] = regs[srcs[0]] - b
+        return ExecResult(pc + 1)
+    if op is Opcode.FMUL:
+        b = regs[srcs[1]] if len(srcs) > 1 else instr.imm
+        regs[instr.dest] = regs[srcs[0]] * b
+        return ExecResult(pc + 1)
+    if op is Opcode.FDIV:
+        b = regs[srcs[1]] if len(srcs) > 1 else instr.imm
+        if b == 0.0:
+            raise ExecutionError(f"float division by zero at pc={pc}: {instr}")
+        regs[instr.dest] = regs[srcs[0]] / b
+        return ExecResult(pc + 1)
+    if op is Opcode.FSQRT:
+        a = regs[srcs[0]]
+        if a < 0.0:
+            raise ExecutionError(f"sqrt of negative at pc={pc}: {instr}")
+        regs[instr.dest] = math.sqrt(a)
+        return ExecResult(pc + 1)
+    if op in (Opcode.FMIN, Opcode.FMAX):
+        a = regs[srcs[0]]
+        b = regs[srcs[1]] if len(srcs) > 1 else instr.imm
+        regs[instr.dest] = min(a, b) if op is Opcode.FMIN else max(a, b)
+        return ExecResult(pc + 1)
+    if op is Opcode.FABS:
+        regs[instr.dest] = abs(regs[srcs[0]])
+        return ExecResult(pc + 1)
+    if op is Opcode.FMOV:
+        regs[instr.dest] = regs[srcs[0]]
+        return ExecResult(pc + 1)
+    if op is Opcode.FLI:
+        regs[instr.dest] = float(instr.imm)
+        return ExecResult(pc + 1)
+    if op is Opcode.FCVT:
+        regs[instr.dest] = float(regs[srcs[0]])
+        return ExecResult(pc + 1)
+    if op is Opcode.ICVT:
+        regs[instr.dest] = _as_int(regs[srcs[0]])
+        return ExecResult(pc + 1)
+    if op in (Opcode.FSLT, Opcode.FSLE, Opcode.FSEQ):
+        a = regs[srcs[0]]
+        b = regs[srcs[1]] if len(srcs) > 1 else instr.imm
+        if op is Opcode.FSLT:
+            v = a < b
+        elif op is Opcode.FSLE:
+            v = a <= b
+        else:
+            v = a == b
+        regs[instr.dest] = int(v)
+        return ExecResult(pc + 1)
+
+    # Memory.
+    if op is Opcode.LOAD:
+        addr = int(regs[srcs[0]]) + int(instr.imm or 0)
+        raw = memory.load(addr, instr.size)
+        regs[instr.dest] = to_signed(raw, 8 * instr.size)
+        return ExecResult(pc + 1, mem_addr=addr, mem_size=instr.size)
+    if op is Opcode.STORE:
+        addr = int(regs[srcs[1]]) + int(instr.imm or 0)
+        memory.store(addr, instr.size, to_unsigned(int(regs[srcs[0]]), 8 * instr.size))
+        return ExecResult(pc + 1, mem_addr=addr, mem_size=instr.size)
+    if op is Opcode.FLOAD:
+        addr = int(regs[srcs[0]]) + int(instr.imm or 0)
+        regs[instr.dest] = bits_to_float(memory.load(addr, instr.size), instr.size)
+        return ExecResult(pc + 1, mem_addr=addr, mem_size=instr.size)
+    if op is Opcode.FSTORE:
+        addr = int(regs[srcs[1]]) + int(instr.imm or 0)
+        memory.store(addr, instr.size, float_to_bits(regs[srcs[0]], instr.size))
+        return ExecResult(pc + 1, mem_addr=addr, mem_size=instr.size)
+
+    # Control flow.
+    if op is Opcode.JMP:
+        return ExecResult(instr.target_index, taken=True)
+    if op is Opcode.BEQZ:
+        if regs[srcs[0]] == 0:
+            return ExecResult(instr.target_index, taken=True)
+        return ExecResult(pc + 1, taken=False)
+    if op is Opcode.BNEZ:
+        if regs[srcs[0]] != 0:
+            return ExecResult(instr.target_index, taken=True)
+        return ExecResult(pc + 1, taken=False)
+    if op is Opcode.CALL:
+        regs["ra"] = pc + 1
+        return ExecResult(instr.target_index, taken=True)
+    if op is Opcode.RET:
+        return ExecResult(int(regs["ra"]), taken=True)
+
+    # Hints and system ops are functional nops; HALT is handled by callers.
+    if op in (Opcode.DETACH, Opcode.REATTACH, Opcode.SYNC, Opcode.NOP, Opcode.HALT):
+        return ExecResult(pc + 1)
+
+    raise ExecutionError(f"unimplemented opcode {op!r} at pc={pc}")
+
+
+@dataclass
+class RunResult:
+    """Summary of a whole-program functional run."""
+
+    instructions: int
+    registers: Dict[str, float]
+    memory: SparseMemory
+    halted: bool
+    dynamic_counts: Dict[Opcode, int] = field(default_factory=dict)
+
+
+class Executor:
+    """Convenience wrapper: run a whole :class:`Program` to completion.
+
+    Args:
+        program: the program to run.
+        memory: optional pre-initialised memory (workload inputs).
+        trace_hook: optional callable invoked per retired instruction with
+            ``(pc, instr, result)``; used by profiling and by tests.
+    """
+
+    def __init__(
+        self,
+        program: Program,
+        memory: Optional[SparseMemory] = None,
+        trace_hook: Optional[Callable[[int, Instruction, ExecResult], None]] = None,
+    ):
+        self.program = program
+        self.memory = memory if memory is not None else SparseMemory()
+        self.regs = initial_register_file()
+        self.pc = 0
+        self.halted = False
+        self.instruction_count = 0
+        self.dynamic_counts: Dict[Opcode, int] = {}
+        self._trace_hook = trace_hook
+
+    def step(self) -> Optional[Instruction]:
+        """Execute one instruction; returns it, or ``None`` once halted."""
+        if self.halted:
+            return None
+        if not 0 <= self.pc < len(self.program):
+            raise ExecutionError(
+                f"pc {self.pc} out of range in {self.program.name}"
+            )
+        instr = self.program[self.pc]
+        if instr.opcode is Opcode.HALT:
+            self.halted = True
+            self.instruction_count += 1
+            return instr
+        result = execute_one(instr, self.regs, self.memory, self.pc)
+        self.instruction_count += 1
+        counts = self.dynamic_counts
+        counts[instr.opcode] = counts.get(instr.opcode, 0) + 1
+        if self._trace_hook is not None:
+            self._trace_hook(self.pc, instr, result)
+        self.pc = result.next_pc
+        return instr
+
+    def run(self, max_instructions: int = 50_000_000) -> RunResult:
+        """Run until ``halt`` or the instruction budget is exhausted."""
+        while not self.halted:
+            if self.instruction_count >= max_instructions:
+                raise ExecutionError(
+                    f"{self.program.name} exceeded {max_instructions} instructions"
+                )
+            self.step()
+        return RunResult(
+            instructions=self.instruction_count,
+            registers=dict(self.regs),
+            memory=self.memory,
+            halted=self.halted,
+            dynamic_counts=dict(self.dynamic_counts),
+        )
+
+
+def run_program(
+    program: Program,
+    memory: Optional[SparseMemory] = None,
+    max_instructions: int = 50_000_000,
+) -> RunResult:
+    """Run ``program`` functionally and return its :class:`RunResult`."""
+    return Executor(program, memory).run(max_instructions=max_instructions)

@@ -1,0 +1,110 @@
+"""Public simulation API: :class:`BaselineCore` and :class:`LoopFrogCore`.
+
+Both wrap the same :class:`~repro.uarch.core.Engine`; the baseline treats
+hints as nops (speculation disabled), matching the paper's evaluation
+methodology of running every binary twice (section 6.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..isa.program import Program
+from .config import MachineConfig, baseline_machine, default_machine
+from .core import Engine
+from .memory_state import SparseMemory
+from .statistics import SimStats
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of one timing simulation."""
+
+    stats: SimStats
+    memory: SparseMemory
+    registers: Dict[str, float]
+    program_name: str
+
+    @property
+    def cycles(self) -> int:
+        return self.stats.cycles
+
+    @property
+    def instructions(self) -> int:
+        return (
+            self.stats.arch_instructions + self.stats.spec_committed_instructions
+        )
+
+    @property
+    def ipc(self) -> float:
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+
+class _CoreBase:
+    def __init__(self, machine: MachineConfig):
+        self.machine = machine
+
+    def run(
+        self,
+        program: Program,
+        memory: Optional[SparseMemory] = None,
+        initial_regs: Optional[Dict[str, float]] = None,
+        max_cycles: int = 50_000_000,
+    ) -> SimulationResult:
+        """Simulate ``program`` to completion and return the results.
+
+        ``memory`` is mutated in place (it ends up holding the program's
+        final architectural memory state).
+        """
+        engine = Engine(self.machine, program, memory, initial_regs)
+        stats = engine.run(max_cycles=max_cycles)
+        return SimulationResult(
+            stats=stats,
+            memory=engine.memory,
+            registers=dict(engine.order[0].regs),
+            program_name=program.name,
+        )
+
+
+class BaselineCore(_CoreBase):
+    """The paper's 8-wide out-of-order baseline; hints behave as nops."""
+
+    def __init__(self, machine: Optional[MachineConfig] = None):
+        super().__init__(machine or baseline_machine())
+
+
+class LoopFrogCore(_CoreBase):
+    """The same core with LoopFrog threadlets, SSB and conflict detection."""
+
+    def __init__(self, machine: Optional[MachineConfig] = None):
+        machine = machine or default_machine()
+        if not machine.loopfrog.enabled:
+            raise ValueError(
+                "LoopFrogCore needs loopfrog.enabled=True; use BaselineCore "
+                "for the no-speculation configuration"
+            )
+        super().__init__(machine)
+
+
+def run_pair(
+    program: Program,
+    make_memory,
+    machine: Optional[MachineConfig] = None,
+    baseline: Optional[MachineConfig] = None,
+    initial_regs: Optional[Dict[str, float]] = None,
+    max_cycles: int = 50_000_000,
+):
+    """Run baseline and LoopFrog on fresh copies of the same input.
+
+    ``make_memory`` is a zero-argument callable producing the initial
+    memory (each run needs its own copy).  Returns
+    ``(baseline_result, loopfrog_result)``.
+    """
+    base_result = BaselineCore(baseline).run(
+        program, make_memory(), initial_regs, max_cycles
+    )
+    frog_result = LoopFrogCore(machine).run(
+        program, make_memory(), initial_regs, max_cycles
+    )
+    return base_result, frog_result

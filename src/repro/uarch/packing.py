@@ -1,0 +1,193 @@
+"""Iteration packing (paper section 4.3).
+
+Three cooperating predictors control how many loop iterations are packed
+into one epoch:
+
+1. an exponential moving average of epoch sizes (``S ← αS + (1-α)I``) that
+   picks the smallest packing factor ``P`` with ``P × S`` above the target
+   (the ROB size, per the paper);
+2. an induction-variable detector that watches which registers change
+   between consecutive detaches of the same region; and
+3. a strided value predictor per (region, register) with a saturating
+   confidence counter (small reward on success, large penalty on failure).
+
+Packing is attempted only when *every* changing register has a confident
+stride.  The caller verifies the predicted start state when the predecessor
+halts and squashes (or patches) the successor on a mismatch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from .config import LoopFrogConfig
+
+_SUCCESS_REWARD = 1
+_FAILURE_PENALTY = 4
+
+
+@dataclass
+class StrideEntry:
+    """Strided value predictor state for one register in one region."""
+
+    last_value: float = 0.0
+    stride: float = 0.0
+    confidence: int = 0
+    seen: int = 0
+
+    def observe(self, value: float, conf_max: int, iterations: int = 1) -> None:
+        """Record the value at a detach, ``iterations`` loop iterations
+        after the previous observation (more than 1 under packing)."""
+        if self.seen == 0:
+            self.last_value = value
+            self.seen = 1
+            return
+        delta = value - self.last_value
+        if isinstance(delta, int) and iterations > 1 and delta % iterations != 0:
+            # Not expressible as a constant per-iteration integer stride.
+            self.confidence = max(0, self.confidence - _FAILURE_PENALTY)
+            self.last_value = value
+            self.seen += 1
+            return
+        stride = delta / iterations if iterations > 1 else delta
+        if isinstance(delta, int) and iterations > 1:
+            stride = delta // iterations
+        if self.seen >= 2 and stride == self.stride:
+            self.confidence = min(conf_max, self.confidence + _SUCCESS_REWARD)
+        else:
+            self.confidence = max(0, self.confidence - _FAILURE_PENALTY)
+            if self.confidence == 0:
+                # Reset base and stride when confidence bottoms out.
+                self.stride = stride
+        if self.seen == 1:
+            self.stride = stride
+        self.last_value = value
+        self.seen += 1
+
+    def predict(self, iterations_ahead: int) -> float:
+        return self.last_value + self.stride * iterations_ahead
+
+
+@dataclass
+class PackingDecision:
+    """What the packer decided at one detach."""
+
+    factor: int  # 1 = no packing
+    predicted_regs: Dict[str, float] = field(default_factory=dict)
+
+
+class RegionPackingState:
+    """All packing state for one parallel region (loop)."""
+
+    def __init__(self, region: int, config: LoopFrogConfig):
+        self.region = region
+        self.config = config
+        self.ema_size: float = 0.0
+        self.epochs_seen = 0
+        self.strides: Dict[str, StrideEntry] = {}
+        self.changing_regs: set = set()
+        # Registers epochs read before writing: the paper's "new value is
+        # consumed in a later iteration" test.  Only changing registers
+        # that are *consumed* need confident predictions; changing registers
+        # nobody consumes are dead body temporaries.
+        self.consumed_regs: set = set()
+        self.last_snapshot: Optional[Dict[str, float]] = None
+        self.unpackable = False
+        self.misprediction_count = 0
+        # Engine bookkeeping: which (epoch, detach-sequence) was last
+        # observed, and what packing factor that detach chose (the
+        # iteration distance to the next observation).
+        self.last_observed_key = (-1, -1)
+        self.last_factor = 1
+
+    # -- training ---------------------------------------------------------------
+
+    def observe_detach(
+        self, reg_snapshot: Dict[str, float], iterations: int = 1
+    ) -> None:
+        """Called at every detach of this region with the register state.
+
+        ``iterations`` is the loop-iteration distance since the previous
+        observation (the previous epoch's packing factor).
+        """
+        if self.last_snapshot is not None:
+            for reg, value in reg_snapshot.items():
+                if value != self.last_snapshot.get(reg, value):
+                    self.changing_regs.add(reg)
+        for reg in self.changing_regs:
+            entry = self.strides.setdefault(reg, StrideEntry())
+            entry.observe(
+                reg_snapshot.get(reg, 0.0),
+                self.config.stride_confidence_max,
+                iterations,
+            )
+        self.last_snapshot = dict(reg_snapshot)
+
+    def observe_epoch_size(self, instructions: int) -> None:
+        alpha = self.config.packing_ema_alpha
+        if self.epochs_seen == 0:
+            self.ema_size = float(instructions)
+        else:
+            self.ema_size = alpha * self.ema_size + (1 - alpha) * instructions
+        self.epochs_seen += 1
+
+    def note_consumed(self, regs) -> None:
+        """Record registers an epoch read before writing (its live inputs)."""
+        self.consumed_regs.update(regs)
+
+    def note_misprediction(self) -> None:
+        """Large penalty after a packing-caused squash; regions that keep
+        mispredicting give up on packing entirely (the paper notes the
+        microarchitecture "may choose to omit" packing per loop)."""
+        self.misprediction_count += 1
+        if self.misprediction_count >= 4:
+            self.unpackable = True
+        for entry in self.strides.values():
+            entry.confidence = max(0, entry.confidence - _FAILURE_PENALTY)
+
+    # -- decision ----------------------------------------------------------------
+
+    def decide(self, rob_size: int) -> PackingDecision:
+        """Packing decision for the detach that was just observed."""
+        config = self.config
+        if (
+            not config.packing_enabled
+            or self.unpackable
+            or self.epochs_seen < config.packing_train_epochs
+            or self.ema_size <= 0
+        ):
+            return PackingDecision(factor=1)
+        threshold = config.stride_confidence_threshold
+        # Induction variables: registers that change between iterations AND
+        # whose values later iterations consume (paper's IV definition).
+        ivs = self.changing_regs & self.consumed_regs
+        if not ivs:
+            return PackingDecision(factor=1)
+        for reg in ivs:
+            entry = self.strides.get(reg)
+            if entry is None or entry.confidence < threshold:
+                return PackingDecision(factor=1)
+        target = config.packing_target_size or rob_size
+        factor = 1
+        while factor * self.ema_size <= target and factor < config.packing_max_factor:
+            factor += 1
+        if factor < 2:
+            return PackingDecision(factor=1)
+        predicted = {reg: self.strides[reg].predict(factor - 1) for reg in ivs}
+        return PackingDecision(factor=factor, predicted_regs=predicted)
+
+
+class IterationPacker:
+    """Per-region packing state, owned by the LoopFrog engine."""
+
+    def __init__(self, config: LoopFrogConfig):
+        self.config = config
+        self.regions: Dict[int, RegionPackingState] = {}
+
+    def region(self, region_id: int) -> RegionPackingState:
+        state = self.regions.get(region_id)
+        if state is None:
+            state = RegionPackingState(region_id, self.config)
+            self.regions[region_id] = state
+        return state

@@ -1,0 +1,231 @@
+"""The Speculative State Buffer (paper section 4.1).
+
+The SSB sits between the memory pipe and the L1D.  It holds one *slice* per
+threadlet containing the bytes that threadlet has speculatively written.
+Data is organised into cache lines made of *granules* (section 4.1.1): a
+line carries a valid-granule bitmask, capacity is counted in lines, and an
+optional set-associative organisation with a small shared victim buffer
+models the constrained geometries of section 6.6.
+
+Reads implement the versioning logic of section 4.1.3 / figure 5: for each
+granule the newest value among the reader's own slice, all older slices and
+main memory is returned; younger threadlets' values are ignored.  Writes go
+to the writer's slice only.  When a threadlet commits, its slice is flushed
+to main memory; when it is squashed, the slice is bulk-invalidated.
+
+Functionally the slice stores bytes; for timing, each granule remembers the
+writing instruction so the pipeline can model cross-threadlet value
+forwarding latency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from .config import LoopFrogConfig
+from .memory_state import SparseMemory
+
+
+@dataclass
+class SSBReadResult:
+    """Outcome of a speculative read."""
+
+    value: int                      # little-endian unsigned value
+    forwarded_from: Set[int] = field(default_factory=set)  # older slice slots
+    hit_own_slice: bool = False
+    writers: List[object] = field(default_factory=list)  # producing instrs
+
+
+class SSBSlice:
+    """Per-threadlet speculative store buffer slice."""
+
+    def __init__(self, slot: int, config: LoopFrogConfig):
+        self.slot = slot
+        self.config = config
+        self.data: Dict[int, int] = {}          # byte address -> value
+        self.writers: Dict[int, object] = {}    # granule id -> writing instr
+        self.lines: Dict[int, int] = {}         # line addr -> valid granule mask
+        self.line_bytes = config.ssb_line_bytes
+        self.granule_bytes = config.granule_bytes
+        self.capacity_lines = config.slice_lines
+        assoc = config.ssb_associativity
+        self.num_sets = 0
+        if assoc:
+            self.num_sets = max(1, self.capacity_lines // assoc)
+        self.victim_lines: Set[int] = set()     # lines parked in victim buffer
+
+    # -- capacity -------------------------------------------------------------
+
+    def _can_take_line(self, line_addr: int, victim_budget: int) -> Tuple[bool, bool]:
+        """(accepted, used_victim) for allocating a new line."""
+        if line_addr in self.lines or line_addr in self.victim_lines:
+            return True, False
+        if len(self.lines) + len(self.victim_lines) >= self.capacity_lines:
+            return False, False
+        if self.num_sets:
+            set_index = line_addr % self.num_sets
+            occupancy = sum(
+                1 for a in self.lines if a % self.num_sets == set_index
+            )
+            if occupancy >= self.config.ssb_associativity:
+                if victim_budget > 0:
+                    return True, True
+                return False, False
+        return True, False
+
+    def write(self, addr: int, size: int, value: int, writer: object,
+              victim_budget: int = 0) -> Tuple[bool, bool]:
+        """Store ``size`` bytes; returns (accepted, used_victim_entry).
+
+        Speculative writes can never be dropped (section 4.1.2), so a
+        rejected write means the threadlet must stall.
+        """
+        # All lines touched must be allocatable before any byte is written.
+        first_line = addr // self.line_bytes
+        last_line = (addr + size - 1) // self.line_bytes
+        used_victim = False
+        budget = victim_budget
+        allocations = []
+        for line_addr in range(first_line, last_line + 1):
+            ok, use_victim = self._can_take_line(line_addr, budget)
+            if not ok:
+                return False, False
+            if use_victim:
+                budget -= 1
+                used_victim = True
+            allocations.append((line_addr, use_victim))
+
+        for line_addr, use_victim in allocations:
+            if use_victim and line_addr not in self.lines:
+                self.victim_lines.add(line_addr)
+            elif line_addr not in self.victim_lines:
+                self.lines.setdefault(line_addr, 0)
+
+        value &= (1 << (8 * size)) - 1
+        for i in range(size):
+            self.data[addr + i] = (value >> (8 * i)) & 0xFF
+        g0 = addr // self.granule_bytes
+        g1 = (addr + size - 1) // self.granule_bytes
+        for g in range(g0, g1 + 1):
+            self.writers[g] = writer
+            line_addr = (g * self.granule_bytes) // self.line_bytes
+            if line_addr in self.lines:
+                offset = (g * self.granule_bytes - line_addr * self.line_bytes) // self.granule_bytes
+                self.lines[line_addr] |= 1 << offset
+        return True, used_victim
+
+    def read_byte(self, addr: int) -> Optional[int]:
+        return self.data.get(addr)
+
+    def writer_of(self, granule: int) -> Optional[object]:
+        return self.writers.get(granule)
+
+    @property
+    def line_count(self) -> int:
+        return len(self.lines) + len(self.victim_lines)
+
+    def clear(self) -> None:
+        """Bulk invalidation on squash (section 4.1.2)."""
+        self.data.clear()
+        self.writers.clear()
+        self.lines.clear()
+        self.victim_lines.clear()
+
+    def flush_to(self, memory: SparseMemory) -> int:
+        """Merge all buffered bytes into main memory; returns line count.
+
+        Functionally instantaneous; the caller models drain bandwidth with
+        the returned line count (section 4.1.2's per-slice counter).
+        """
+        lines = self.line_count
+        for addr, value in self.data.items():
+            memory.store_byte(addr, value)
+        self.clear()
+        return lines
+
+
+class SpeculativeStateBuffer:
+    """All slices plus the versioning read logic and S_arch bookkeeping.
+
+    The engine tells the SSB the current age order of threadlet slots; the
+    SSB itself is policy-free about threadlet lifecycle.
+    """
+
+    def __init__(self, config: LoopFrogConfig, memory: SparseMemory):
+        self.config = config
+        self.memory = memory
+        self.slices: Dict[int, SSBSlice] = {
+            slot: SSBSlice(slot, config) for slot in range(config.num_threadlets)
+        }
+        self.victim_capacity = config.ssb_victim_entries
+        self._victim_in_use = 0
+
+    def slice(self, slot: int) -> SSBSlice:
+        return self.slices[slot]
+
+    def write(self, slot: int, addr: int, size: int, value: int,
+              writer: object) -> bool:
+        """Speculative write to ``slot``'s slice; False means overflow."""
+        budget = self.victim_capacity - self._victim_in_use
+        accepted, used_victim = self.slices[slot].write(
+            addr, size, value, writer, victim_budget=budget
+        )
+        if used_victim:
+            self._victim_in_use += 1
+        return accepted
+
+    def read(
+        self, addr: int, size: int, older_slots: Iterable[int], own_slot: int
+    ) -> SSBReadResult:
+        """Versioned read: newest value per granule from own slice, then
+        older slices (newest first), then main memory (figure 5)."""
+        search_order = [own_slot] + list(older_slots)
+        slices = [self.slices[s] for s in search_order]
+        value = 0
+        forwarded: Set[int] = set()
+        hit_own = False
+        writers: List[object] = []
+        gsize = self.config.granule_bytes
+        seen_granules: Set[int] = set()
+        for i in range(size):
+            byte_addr = addr + i
+            byte_val: Optional[int] = None
+            for rank, sl in enumerate(slices):
+                got = sl.read_byte(byte_addr)
+                if got is not None:
+                    byte_val = got
+                    if rank == 0:
+                        hit_own = True
+                    else:
+                        forwarded.add(sl.slot)
+                    granule = byte_addr // gsize
+                    if granule not in seen_granules:
+                        seen_granules.add(granule)
+                        writer = sl.writer_of(granule)
+                        if writer is not None and not any(
+                            writer is w for w in writers
+                        ):
+                            writers.append(writer)
+                    break
+            if byte_val is None:
+                byte_val = self.memory.load_byte(byte_addr)
+            value |= byte_val << (8 * i)
+        return SSBReadResult(
+            value=value, forwarded_from=forwarded,
+            hit_own_slice=hit_own, writers=writers,
+        )
+
+    def squash(self, slot: int) -> None:
+        sl = self.slices[slot]
+        self._victim_in_use -= len(sl.victim_lines)
+        sl.clear()
+
+    def commit(self, slot: int) -> int:
+        """Slice becomes architectural and is merged; returns flushed lines."""
+        sl = self.slices[slot]
+        self._victim_in_use -= len(sl.victim_lines)
+        return sl.flush_to(self.memory)
+
+    def occupancy_bytes(self, slot: int) -> int:
+        return len(self.slices[slot].data)

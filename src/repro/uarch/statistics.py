@@ -1,0 +1,154 @@
+"""Statistics collected by the timing models.
+
+:class:`SimStats` is a plain counter bag with derived metrics.  The LoopFrog
+analyses (figures 7/8, table 2 attribution) read these fields; keeping them
+in one place documents exactly what each experiment consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+
+@dataclass
+class RegionStats:
+    """Per parallel-region (loop) statistics, keyed by region label."""
+
+    region: str
+    entries: int = 0                 # times the architectural thread entered
+    arch_cycles: int = 0             # cycles with this region active
+    arch_instructions: int = 0       # architectural instructions in-region
+    epochs_spawned: int = 0
+    epochs_committed: int = 0
+    epochs_squashed: int = 0
+    squash_conflicts: int = 0        # squashes due to memory conflicts
+    squash_syncs: int = 0            # squashes due to early loop exits
+    squash_packing: int = 0          # squashes due to IV mispredictions
+    ssb_stall_cycles: int = 0
+    packed_iterations: int = 0
+    packing_detaches: int = 0
+
+
+@dataclass
+class SimStats:
+    """Whole-run statistics for one timing simulation."""
+
+    cycles: int = 0
+    # Instructions committed by the architectural threadlet (== program's
+    # dynamic instruction count at the end of the run).
+    arch_instructions: int = 0
+    # Instructions committed to speculative threadlets whose threadlet later
+    # committed (successful speculation) or was squashed (failed).
+    spec_committed_instructions: int = 0
+    failed_spec_instructions: int = 0
+    issued_instructions: int = 0
+    dispatched_instructions: int = 0
+    fetched_instructions: int = 0
+
+    # Branch prediction.
+    branches: int = 0
+    branch_mispredicts: int = 0
+    btb_misses: int = 0
+
+    # Memory system.
+    l1d_accesses: int = 0
+    l1d_misses: int = 0
+    l1i_misses: int = 0
+    l2_accesses: int = 0
+    l2_misses: int = 0
+    ssb_reads: int = 0
+    ssb_writes: int = 0
+    ssb_forwards: int = 0            # reads served from an older slice
+
+    # Threadlets.
+    threadlets_spawned: int = 0
+    threadlets_committed: int = 0
+    threadlets_squashed: int = 0
+    squash_conflicts: int = 0
+    squash_syncs: int = 0
+    squash_packing: int = 0
+    squash_overflow: int = 0
+    packing_factor_sum: int = 0
+    packing_events: int = 0
+    max_packing_factor: int = 1
+
+    # Histogram: cycles with exactly k threadlets active (fig 7).
+    active_threadlet_cycles: Dict[int, int] = field(default_factory=dict)
+    # Per-region stats (loop speedups, table 2 attribution).
+    regions: Dict[str, RegionStats] = field(default_factory=dict)
+
+    def region(self, label: str) -> RegionStats:
+        stats = self.regions.get(label)
+        if stats is None:
+            stats = RegionStats(label)
+            self.regions[label] = stats
+        return stats
+
+    def note_active_threadlets(self, count: int) -> None:
+        self.active_threadlet_cycles[count] = (
+            self.active_threadlet_cycles.get(count, 0) + 1
+        )
+
+    # -- derived metrics ------------------------------------------------------
+
+    @property
+    def ipc(self) -> float:
+        """Architectural instructions per cycle."""
+        return self.arch_instructions / self.cycles if self.cycles else 0.0
+
+    @property
+    def total_committed_ipc(self) -> float:
+        """All commit activity (architectural + speculative + failed)."""
+        total = (
+            self.arch_instructions
+            + self.spec_committed_instructions
+            + self.failed_spec_instructions
+        )
+        return total / self.cycles if self.cycles else 0.0
+
+    def commit_utilization(self, commit_width: int) -> float:
+        """Fraction of commit bandwidth used (figure 1's second metric)."""
+        if self.cycles == 0 or commit_width == 0:
+            return 0.0
+        return self.arch_instructions / (self.cycles * commit_width)
+
+    @property
+    def branch_mpki(self) -> float:
+        if self.arch_instructions == 0:
+            return 0.0
+        return 1000.0 * self.branch_mispredicts / self.arch_instructions
+
+    @property
+    def l1d_miss_rate(self) -> float:
+        return self.l1d_misses / self.l1d_accesses if self.l1d_accesses else 0.0
+
+    @property
+    def mean_packing_factor(self) -> float:
+        if self.packing_events == 0:
+            return 1.0
+        return self.packing_factor_sum / self.packing_events
+
+    def threadlet_utilization(self, at_least: int) -> float:
+        """Fraction of cycles with >= ``at_least`` threadlets active."""
+        if self.cycles == 0:
+            return 0.0
+        busy = sum(
+            c for k, c in self.active_threadlet_cycles.items() if k >= at_least
+        )
+        return busy / self.cycles
+
+    def summary(self) -> str:
+        lines = [
+            f"cycles                 {self.cycles}",
+            f"arch instructions      {self.arch_instructions}",
+            f"IPC                    {self.ipc:.3f}",
+            f"spec committed         {self.spec_committed_instructions}",
+            f"failed speculation     {self.failed_spec_instructions}",
+            f"branches/mispredicts   {self.branches}/{self.branch_mispredicts}",
+            f"L1D accesses/misses    {self.l1d_accesses}/{self.l1d_misses}",
+            f"threadlets spawned     {self.threadlets_spawned}",
+            f"threadlets committed   {self.threadlets_committed}",
+            f"threadlets squashed    {self.threadlets_squashed}",
+        ]
+        return "\n".join(lines)

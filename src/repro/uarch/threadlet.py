@@ -1,0 +1,198 @@
+"""Threadlet contexts: lightweight, OS-transparent execution contexts
+internal to the core (paper section 3).
+
+A :class:`Threadlet` bundles the per-context state of figure 3: its own
+program counter and architectural registers, a fetch queue, a private slice
+of the ROB (``inflight``), a rename map, and the checkpoint taken when it
+starts an epoch (section 4: "a snapshot of register state, created when a
+threadlet starts executing a new epoch").
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Set
+
+
+class ThreadletState(enum.Enum):
+    FREE = "free"          # context available for spawning
+    RUNNING = "running"    # fetching/executing its epoch
+    HALTED = "halted"      # reached its reattach; waiting to commit
+    DRAINING = "draining"  # slot flushing its slice after commit
+
+
+@dataclass
+class Checkpoint:
+    """Register snapshot for squash-and-restart (section 4)."""
+
+    regs: Dict[str, float]
+    pc: int
+    rename: Dict[str, object]
+    epoch: int
+    region: Optional[int]
+    region_label: Optional[str]
+
+
+class Threadlet:
+    """One threadlet context.  The engine owns the lifecycle."""
+
+    def __init__(self, slot: int, fetch_queue_size: int):
+        self.slot = slot
+        self.fetch_queue_size = fetch_queue_size
+        self.state = ThreadletState.FREE
+        self.is_arch = False
+        self.epoch = 0
+        self.regs: Dict[str, float] = {}
+        self.pc = 0
+
+        # Front end.
+        self.fetch_queue: Deque[object] = deque()
+        self.fetch_done = False          # fetched HALT (or faulted)
+        self.fetch_stall_until = 0       # cycle gate (icache / BTB bubbles)
+        self.fetch_stall_branch: Optional[object] = None  # mispredicted branch
+        self.ssb_stalled = False
+
+        # Back end: this threadlet's logical ROB slice, in program order.
+        self.inflight: Deque[object] = deque()
+        self.rename: Dict[str, object] = {}
+        # Last speculative store per granule, for store->load timing deps.
+        self.store_writers: Dict[int, object] = {}
+
+        # LoopFrog state.
+        self.region: Optional[int] = None        # detached-on region ID
+        self.region_label: Optional[str] = None
+        self.stat_region: Optional[str] = None   # for per-loop attribution
+        self.successor: Optional["Threadlet"] = None
+        self.predecessor: Optional["Threadlet"] = None
+        self.checkpoint: Optional[Checkpoint] = None
+        self.skip_reattaches = 0                 # iteration packing
+        self.packed_factor = 1
+        self.packed_prediction: Dict[str, float] = {}  # regs predicted at spawn
+        self.start_regs: Dict[str, float] = {}   # epoch-start register values
+        self.regs_read_before_write: Set[str] = set()
+        self.regs_written: Set[str] = set()
+
+        # Bookkeeping.
+        self.epoch_fetched = 0
+        self.epoch_committed = 0
+        self.committed_while_spec = 0
+        self.halt_cycle = 0                      # cycle the epoch drained
+        self.faulted: Optional[str] = None
+        self.detach_seq = 0                      # detaches seen this epoch
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def activate(
+        self,
+        epoch: int,
+        regs: Dict[str, float],
+        pc: int,
+        rename: Dict[str, object],
+        region: Optional[int],
+        region_label: Optional[str],
+    ) -> None:
+        """Begin a new epoch in this context (spawn)."""
+        self.state = ThreadletState.RUNNING
+        self.is_arch = False
+        self.epoch = epoch
+        self.regs = dict(regs)
+        self.pc = pc
+        self.rename = dict(rename)
+        self.fetch_queue.clear()
+        self.fetch_done = False
+        self.fetch_stall_until = 0
+        self.fetch_stall_branch = None
+        self.ssb_stalled = False
+        self.inflight.clear()
+        self.store_writers.clear()
+        self.region = None
+        self.region_label = None
+        self.stat_region = region_label
+        self.successor = None
+        self.skip_reattaches = 0
+        self.packed_factor = 1
+        self.packed_prediction = {}
+        self.start_regs = dict(regs)
+        self.regs_read_before_write = set()
+        self.regs_written = set()
+        self.epoch_fetched = 0
+        self.epoch_committed = 0
+        self.committed_while_spec = 0
+        self.faulted = None
+        self.detach_seq = 0
+        self.checkpoint = Checkpoint(
+            regs=dict(regs), pc=pc, rename=dict(rename),
+            epoch=epoch, region=region, region_label=region_label,
+        )
+
+    def restart_from_checkpoint(self) -> None:
+        """Squash-and-restart: reload the epoch-start snapshot."""
+        cp = self.checkpoint
+        assert cp is not None
+        self.state = ThreadletState.RUNNING
+        self.regs = dict(cp.regs)
+        self.pc = cp.pc
+        self.rename = dict(cp.rename)
+        self.fetch_queue.clear()
+        self.fetch_done = False
+        self.fetch_stall_until = 0
+        self.fetch_stall_branch = None
+        self.ssb_stalled = False
+        self.inflight.clear()
+        self.store_writers.clear()
+        self.region = None
+        self.region_label = None
+        self.stat_region = cp.region_label
+        self.successor = None
+        self.skip_reattaches = 0
+        self.packed_factor = 1
+        self.packed_prediction = {}
+        self.start_regs = dict(cp.regs)
+        self.regs_read_before_write = set()
+        self.regs_written = set()
+        self.epoch_fetched = 0
+        self.epoch_committed = 0
+        self.committed_while_spec = 0
+        self.faulted = None
+        self.detach_seq = 0
+
+    def recycle(self) -> None:
+        """Free the context entirely (sync squash or threadlet commit)."""
+        self.state = ThreadletState.FREE
+        self.is_arch = False
+        self.fetch_queue.clear()
+        self.inflight.clear()
+        self.rename = {}
+        self.store_writers.clear()
+        self.region = None
+        self.region_label = None
+        self.stat_region = None
+        self.successor = None
+        self.predecessor = None
+        self.checkpoint = None
+        self.packed_prediction = {}
+        self.faulted = None
+        self.fetch_done = False
+        self.ssb_stalled = False
+
+    # -- register tracking -------------------------------------------------------
+
+    def note_register_reads(self, regs) -> None:
+        for r in regs:
+            if r not in self.regs_written:
+                self.regs_read_before_write.add(r)
+
+    def note_register_writes(self, regs) -> None:
+        self.regs_written.update(regs)
+
+    @property
+    def active(self) -> bool:
+        return self.state in (ThreadletState.RUNNING, ThreadletState.HALTED)
+
+    def __repr__(self) -> str:
+        return (
+            f"Threadlet(slot={self.slot}, epoch={self.epoch}, "
+            f"state={self.state.value}, arch={self.is_arch}, pc={self.pc})"
+        )

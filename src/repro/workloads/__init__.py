@@ -1,0 +1,37 @@
+"""SPEC-stand-in workloads: kernels, benchmarks, and suite definitions."""
+
+from .base import (
+    ALL_CATEGORIES,
+    Benchmark,
+    CATEGORY_BRANCH_PREFETCH,
+    CATEGORY_CONTROL,
+    CATEGORY_DATA_PREFETCH,
+    CATEGORY_DEPCHAIN,
+    CATEGORY_MEMORY,
+    CATEGORY_NONE,
+    Workload,
+)
+from .suites import (
+    get_benchmark,
+    get_workload,
+    profitable_2017,
+    suite,
+)
+from . import generators
+
+__all__ = [
+    "ALL_CATEGORIES",
+    "Benchmark",
+    "CATEGORY_BRANCH_PREFETCH",
+    "CATEGORY_CONTROL",
+    "CATEGORY_DATA_PREFETCH",
+    "CATEGORY_DEPCHAIN",
+    "CATEGORY_MEMORY",
+    "CATEGORY_NONE",
+    "Workload",
+    "get_benchmark",
+    "get_workload",
+    "profitable_2017",
+    "suite",
+    "generators",
+]

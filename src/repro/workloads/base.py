@@ -1,0 +1,100 @@
+"""Workload infrastructure: kernels, benchmarks and compiled caching.
+
+A :class:`Workload` is one Frog kernel plus a deterministic input
+generator.  A :class:`Benchmark` is a SPEC-stand-in: one or more weighted
+workload *phases* (our analogue of the paper's SimPoints, section 6.1) and
+metadata recording which behaviour of the original SPEC benchmark the
+kernel reproduces and why (the paper's section 6.4 analysis).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..compiler import CompileOptions, CompileResult, compile_frog
+from ..errors import WorkloadError
+from ..uarch.memory_state import SparseMemory
+
+# Table 2 gain categories (paper section 6.4).
+CATEGORY_MEMORY = "memory_parallelism"
+CATEGORY_CONTROL = "control_dependencies"
+CATEGORY_DEPCHAIN = "dependency_chains"
+CATEGORY_BRANCH_PREFETCH = "branch_condition_prefetch"
+CATEGORY_DATA_PREFETCH = "data_value_prefetch"
+CATEGORY_NONE = "none"
+
+ALL_CATEGORIES = (
+    CATEGORY_MEMORY,
+    CATEGORY_CONTROL,
+    CATEGORY_DEPCHAIN,
+    CATEGORY_BRANCH_PREFETCH,
+    CATEGORY_DATA_PREFETCH,
+)
+
+SetupFn = Callable[[SparseMemory, random.Random], Dict[str, float]]
+
+
+@dataclass
+class Workload:
+    """One runnable kernel: Frog source + deterministic input setup."""
+
+    name: str
+    source: str
+    setup: SetupFn
+    description: str = ""
+    seed: int = 1234
+    max_cycles: int = 8_000_000
+    # Expected table-2 gain category for this kernel's annotated loop
+    # (filled from the owning benchmark when left empty).
+    category: str = ""
+
+    _compiled: Optional[CompileResult] = field(default=None, repr=False)
+    _compiled_nohints: Optional[CompileResult] = field(default=None, repr=False)
+
+    def compiled(self, hints: bool = True) -> CompileResult:
+        """Compile (cached).  ``hints=False`` strips the pragma effect."""
+        if hints:
+            if self._compiled is None:
+                self._compiled = compile_frog(
+                    self.source, CompileOptions(name=self.name)
+                )
+            return self._compiled
+        if self._compiled_nohints is None:
+            self._compiled_nohints = compile_frog(
+                self.source,
+                CompileOptions(insert_hints=False, name=self.name + ":nohints"),
+            )
+        return self._compiled_nohints
+
+    @property
+    def program(self):
+        return self.compiled().program
+
+    def fresh_input(self) -> Tuple[SparseMemory, Dict[str, float]]:
+        """A fresh (memory, initial_registers) pair for one run."""
+        rng = random.Random(self.seed)
+        memory = SparseMemory()
+        regs = self.setup(memory, rng)
+        return memory, regs
+
+
+@dataclass
+class Benchmark:
+    """A SPEC-stand-in benchmark: weighted workload phases + metadata."""
+
+    name: str
+    suite: str  # "spec2017" or "spec2006"
+    phases: List[Tuple[Workload, float]]
+    category: str = CATEGORY_NONE   # dominant table-2 gain category
+    profitable: bool = True         # does the paper report >1% for it?
+    spec_behaviour: str = ""        # what the kernel mimics and why
+
+    def __post_init__(self):
+        if not self.phases:
+            raise WorkloadError(f"benchmark {self.name} has no phases")
+        total = sum(w for _, w in self.phases)
+        if total <= 0:
+            raise WorkloadError(f"benchmark {self.name} has zero total weight")
+        self.phases = [(wl, w / total) for wl, w in self.phases]

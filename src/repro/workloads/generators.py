@@ -1,0 +1,825 @@
+"""Kernel templates: one parameterised generator per SPEC behaviour class.
+
+Each generator returns a :class:`~repro.workloads.base.Workload` whose Frog
+source and input data are engineered to exhibit one of the loop behaviours
+the paper's section 6.4 attributes to the SPEC benchmarks: memory-level
+parallelism, hard-to-predict data-dependent branches, long dependency
+chains, prefetch-dominated loops — plus the pathologies of the no-speedup
+set (tiny bodies, low trip counts, saturated pipelines, cross-iteration
+memory dependencies).
+
+All inputs are deterministic (seeded); array placements are fixed constants
+spread across the address space.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict
+
+from ..uarch.memory_state import SparseMemory
+from .base import Workload
+
+# Fixed array bases, far enough apart that kernels never overlap regions.
+A0 = 0x0001_0000
+A1 = 0x0020_0000
+A2 = 0x0040_0000
+A3 = 0x0060_0000
+A4 = 0x0080_0000
+BIG = 0x0100_0000  # base of the "huge" sparse region for miss-heavy kernels
+SINK = 0x00F0_0000  # where serial-prologue results are stored
+
+
+def serial_section(iters: int, tag: int = 0) -> str:
+    """An inherently serial code section: an FP-divide dependency chain.
+
+    Stands in for a benchmark's sequential regions (which LoopFrog does not
+    accelerate).  Each iteration costs a divide plus an add on the critical
+    path (~15 cycles), so the serial time is tunable independently of the
+    instruction count.  The result is stored so the chain cannot be
+    dead-code-eliminated.
+    """
+    if iters <= 0:
+        return ""
+    return f"""
+        var zserial{tag}: float = 1.5;
+        var zsink{tag}: ptr<float> = {SINK + 16 * tag};
+        for (var zs{tag}: int = 0; zs{tag} < {iters}; zs{tag} = zs{tag} + 1) {{
+            zserial{tag} = zserial{tag} / 1.0001 + 0.25;
+        }}
+        zsink{tag}[0] = zserial{tag};
+    """
+
+
+def convolution(name: str, width: int = 22, height: int = 22,
+                sequential: int = 40, seed: int = 11) -> Workload:
+    """Thresholded 3x3 image kernel (imagick-like): independent rows with a
+    hard-to-predict per-pixel branch.  In the baseline every mispredict
+    freezes the single fetch stream; LoopFrog's independent threadlet
+    streams keep fetching (the paper's "cutting control dependencies")."""
+    source = f"""
+    fn main(img: ptr<float>, out: ptr<float>, acc0: ptr<float>) {{
+        var w: int = {width};
+        var h: int = {height};
+        // Serial fraction of the benchmark (not annotated).
+{serial_section(sequential)}
+        acc0[0] = 1.0;
+        #pragma loopfrog
+        for (var y: int = 1; y < h - 1; y = y + 1) {{
+            for (var x: int = 1; x < w - 1; x = x + 1) {{
+                var p: int = y * w + x;
+                var acc: float = img[p] * 4.0;
+                acc = acc - img[p - 1] - img[p + 1];
+                acc = acc - img[p - w] - img[p + w];
+                if (acc > 0.0) {{
+                    out[p] = acc * 0.25;
+                }} else {{
+                    out[p] = 0.0 - acc * 0.125;
+                }}
+            }}
+        }}
+    }}
+    """
+
+    def setup(mem: SparseMemory, rng: random.Random) -> Dict[str, float]:
+        n = width * height
+        mem.store_float_array(A0, [rng.uniform(-1, 1) for _ in range(n)])
+        return {"r1": A0, "r2": A1, "r3": A2}
+
+    return Workload(name, source, setup, seed=seed,
+                    description="thresholded 3x3 kernel, independent rows")
+
+
+def event_queue(name: str, nodes: int = 220, spread: int = 4096,
+                sequential: int = 60, seed: int = 23) -> Workload:
+    """Linked-list event processing with data-dependent branches
+    (omnetpp-like): pointer chase in the continuation, branchy body."""
+    source = f"""
+    fn main(next: ptr<int>, data: ptr<int>, out: ptr<int>, node: int) {{
+{serial_section(sequential)}
+        var k: int = 0;
+        #pragma loopfrog
+        while (node != 0) {{
+            var v: int = data[node];
+            if (v % 3 == 0) {{
+                out[k] = v * 5 + 1;
+            }} else {{
+                if (v % 3 == 1) {{ out[k] = v + 7; }}
+                else {{ out[k] = (v >> 1) - 2; }}
+            }}
+            k = k + 1;
+            node = next[node];
+        }}
+    }}
+    """
+
+    def setup(mem: SparseMemory, rng: random.Random) -> Dict[str, float]:
+        ids = rng.sample(range(1, spread), nodes)
+        for pos, node in enumerate(ids):
+            nxt = ids[pos + 1] if pos + 1 < nodes else 0
+            mem.store_int(A0 + 8 * node, nxt)
+            mem.store_int(A1 + 8 * node, rng.randrange(1 << 30))
+        return {"r1": A0, "r2": A1, "r3": A2, "r4": ids[0]}
+
+    return Workload(name, source, setup, seed=seed,
+                    description="linked-list walk with data-dependent branches")
+
+
+def md_force(name: str, n: int = 200, sequential: int = 50,
+             seed: int = 31) -> Workload:
+    """Pairwise force loop with sqrt/div chains (nab-like): long FP
+    dependency chains per iteration, fully parallel across iterations."""
+    source = f"""
+    fn main(px: ptr<float>, py: ptr<float>, f: ptr<float>) {{
+        var cx: float = 0.25;
+        var cy: float = -0.5;
+{serial_section(sequential)}
+        #pragma loopfrog
+        for (var i: int = 0; i < {n}; i = i + 1) {{
+            var dx: float = px[i] - cx;
+            var dy: float = py[i] - cy;
+            var r2: float = dx * dx + dy * dy + 0.5;
+            var inv: float = 1.0 / sqrt(r2);
+            var s3: float = inv * inv * inv;
+            f[i] = f[i] + s3 * dx - s3 * dy;
+        }}
+    }}
+    """
+
+    def setup(mem: SparseMemory, rng: random.Random) -> Dict[str, float]:
+        mem.store_float_array(A0, [rng.uniform(-2, 2) for _ in range(n)])
+        mem.store_float_array(A1, [rng.uniform(-2, 2) for _ in range(n)])
+        mem.store_float_array(A2, [0.0] * (n + 1))
+        return {"r1": A0, "r2": A1, "r3": A2}
+
+    return Workload(name, source, setup, seed=seed,
+                    description="MD force loop: sqrt/div dependency chains")
+
+
+def saturated_fp(name: str, n: int = 120, sequential: int = 0,
+                 seed: int = 37) -> Workload:
+    """High-IPC dense FP kernel (namd-like): the baseline pipeline is
+    already近 saturated, leaving no headroom for threadlets."""
+    source = f"""
+    fn main(a: ptr<float>, b: ptr<float>, out: ptr<float>) {{
+{serial_section(sequential)}
+        #pragma loopfrog
+        for (var i: int = 0; i < {n}; i = i + 1) {{
+            var p: int = i * 8;
+            out[p] = a[p] * b[p] + 1.0;
+            out[p + 1] = a[p + 1] * b[p + 1] + 1.0;
+            out[p + 2] = a[p + 2] * b[p + 2] + 1.0;
+            out[p + 3] = a[p + 3] * b[p + 3] + 1.0;
+            out[p + 4] = a[p + 4] * b[p + 4] + 1.0;
+            out[p + 5] = a[p + 5] * b[p + 5] + 1.0;
+            out[p + 6] = a[p + 6] * b[p + 6] + 1.0;
+            out[p + 7] = a[p + 7] * b[p + 7] + 1.0;
+        }}
+    }}
+    """
+
+    def setup(mem: SparseMemory, rng: random.Random) -> Dict[str, float]:
+        total = n * 8
+        mem.store_float_array(A0, [rng.uniform(0, 1) for _ in range(total)])
+        mem.store_float_array(A1, [rng.uniform(0, 1) for _ in range(total)])
+        return {"r1": A0, "r2": A1, "r3": A2}
+
+    return Workload(name, source, setup, seed=seed,
+                    description="dense independent FP, saturated baseline")
+
+
+def hash_probe(name: str, queries: int = 150, table_bits: int = 10,
+               fill: float = 0.5, sequential: int = 60,
+               seed: int = 41) -> Workload:
+    """Open-addressing hash probes (gcc/perlbench-like): irregular inner
+    trip counts and data-dependent branches."""
+    size = 1 << table_bits
+    mask = size - 1
+    source = f"""
+    fn main(keys: ptr<int>, table: ptr<int>, out: ptr<int>) {{
+{serial_section(sequential)}
+        #pragma loopfrog
+        for (var q: int = 0; q < {queries}; q = q + 1) {{
+            var key: int = keys[q];
+            var h: int = (key * 40503) & {mask};
+            var probes: int = 0;
+            while (table[h] != key) {{
+                h = (h + 1) & {mask};
+                probes = probes + 1;
+                if (probes > 12) {{ break; }}
+            }}
+            out[q] = h + probes * {size};
+        }}
+    }}
+    """
+
+    def setup(mem: SparseMemory, rng: random.Random) -> Dict[str, float]:
+        table = [0] * size
+        keys = []
+        for _ in range(int(size * fill)):
+            key = rng.randrange(1, 1 << 40)
+            h = (key * 40503) & mask
+            while table[h]:
+                h = (h + 1) & mask
+            table[h] = key
+            keys.append(key)
+        query_keys = [rng.choice(keys) if rng.random() < 0.8
+                      else rng.randrange(1, 1 << 40) for _ in range(queries)]
+        mem.store_int_array(A0, query_keys)
+        mem.store_int_array(A1, table)
+        return {"r1": A0, "r2": A1, "r3": A2}
+
+    return Workload(name, source, setup, seed=seed,
+                    description="hash-table probing, irregular trips")
+
+
+def sad_block(name: str, blocks: int = 120, sequential: int = 0,
+              seed: int = 43) -> Workload:
+    """Sum-of-absolute-differences over blocks with adjacent 4-byte result
+    stores (x264-like).  The int32 output layout is what makes this kernel
+    sensitive to >=8-byte conflict granules (figure 10)."""
+    source = f"""
+    fn main(cur: ptr<int32>, ref: ptr<int32>, sad: ptr<int32>) {{
+{serial_section(sequential)}
+        #pragma loopfrog
+        for (var b: int = 0; b < {blocks}; b = b + 1) {{
+            var base: int = b * 16;
+            var acc: int = 0;
+            for (var p: int = 0; p < 16; p = p + 1) {{
+                acc = acc + abs(cur[base + p] - ref[base + p]);
+            }}
+            // Smoothing reads a block finished two epochs ago: at 4-byte
+            // granules there is enough slack that forwarding always wins,
+            // but the adjacent int32 stores share 8-byte granules, whose
+            // read-modify-write false reads conflict under misordering.
+            var smooth: int = 0;
+            if (b > 1) {{ smooth = sad[b - 2]; }}
+            if (acc & 1 == 1) {{
+                sad[b] = acc + (smooth >> 3);
+            }} else {{
+                sad[b] = acc - (smooth >> 4);
+            }}
+        }}
+    }}
+    """
+
+    def setup(mem: SparseMemory, rng: random.Random) -> Dict[str, float]:
+        total = blocks * 16
+        mem.store_int_array(A0, [rng.randrange(256) for _ in range(total)], size=4)
+        mem.store_int_array(A1, [rng.randrange(256) for _ in range(total)], size=4)
+        return {"r1": A0, "r2": A1, "r3": A2}
+
+    return Workload(name, source, setup, seed=seed,
+                    description="block SAD with adjacent int32 stores")
+
+
+def network_flow(name: str, n: int = 160, chain: int = 12, span: int = 0xFFFF,
+                 sequential: int = 50, seed: int = 47) -> Workload:
+    """Late-discovered long-latency misses (mcf-like).
+
+    Each iteration runs a serial hash chain and only then loads from the
+    cold region at the hashed address: the miss cannot issue before the
+    chain resolves, so the baseline's reorder buffer covers only a handful
+    of outstanding misses.  Threadlets keep retiring into their own ROB
+    slices and run far ahead, discovering future misses early — the paper's
+    "memory parallelism" win."""
+    source = f"""
+    fn main(seeds: ptr<int>, cost: ptr<int>, out: ptr<int>) {{
+{serial_section(sequential)}
+        #pragma loopfrog
+        for (var i: int = 0; i < {n}; i = i + 1) {{
+            var h: int = seeds[i];
+            for (var k: int = 0; k < {chain}; k = k + 1) {{
+                h = (h * 1103515245 + 12345) & 0x7fffffff;
+            }}
+            var a: int = (h & {span}) * 16;
+            var c: int = cost[a];
+            if (c < 0) {{ out[i] = c - h % 7; }}
+            else {{ out[i] = c + h % 9 + 1; }}
+        }}
+    }}
+    """
+
+    def setup(mem: SparseMemory, rng: random.Random) -> Dict[str, float]:
+        mem.store_int_array(A0, [rng.randrange(1 << 30) for _ in range(n)])
+        # The cost region (BIG) stays unwritten: every access is a cold miss.
+        return {"r1": A0, "r2": BIG, "r3": A2}
+
+    return Workload(name, source, setup, seed=seed,
+                    description="hash-chained far misses: late-discovered MLP")
+
+
+def stencil_rows(name: str, width: int = 64, rows: int = 24,
+                 sequential: int = 30, seed: int = 53) -> Workload:
+    """Row-wise 3-point stencil (bwaves/cactuBSSN-like): streaming FP."""
+    source = f"""
+    fn main(grid: ptr<float>, out: ptr<float>) {{
+        var w: int = {width};
+{serial_section(sequential)}
+        #pragma loopfrog
+        for (var r: int = 0; r < {rows}; r = r + 1) {{
+            var base: int = r * w;
+            for (var x: int = 1; x < w - 1; x = x + 1) {{
+                out[base + x] = (grid[base + x - 1] + grid[base + x] * 2.0
+                                 + grid[base + x + 1]) * 0.25;
+            }}
+        }}
+    }}
+    """
+
+    def setup(mem: SparseMemory, rng: random.Random) -> Dict[str, float]:
+        n = rows * width
+        mem.store_float_array(A0, [rng.uniform(0, 4) for _ in range(n)])
+        return {"r1": A0, "r2": A1}
+
+    return Workload(name, source, setup, seed=seed,
+                    description="row-parallel 3-point stencil")
+
+
+def huge_body(name: str, n: int = 30, points: int = 36,
+              sequential: int = 0, seed: int = 59) -> Workload:
+    """Very large loop bodies with heavy store traffic (lbm-like): one
+    iteration's contiguous distribution writes exceed the threadlet's
+    2-KiB SSB slice, so speculative epochs stall mid-body and
+    parallelization gains little (paper 6.4.3)."""
+    body_lines = "\n".join(
+        f"            out[base + {p}] = grid[base + {p}] * 0.9 + grid[base + {p + 1}] * 0.05 + w{p % 4};"
+        for p in range(points)
+    )
+    source = f"""
+    fn main(grid: ptr<float>, out: ptr<float>) {{
+{serial_section(sequential)}
+        var w0: float = 0.01;
+        var w1: float = 0.02;
+        var w2: float = 0.03;
+        var w3: float = 0.04;
+        #pragma loopfrog
+        for (var i: int = 0; i < {n}; i = i + 1) {{
+            var base: int = i * {points + 1};
+{body_lines}
+        }}
+    }}
+    """
+
+    def setup(mem: SparseMemory, rng: random.Random) -> Dict[str, float]:
+        total = n * (points + 1) + 1
+        mem.store_float_array(A0, [rng.uniform(0, 1) for _ in range(total)])
+        return {"r1": A0, "r2": A1}
+
+    return Workload(name, source, setup, seed=seed,
+                    description="huge loop body, SSB-overflowing stores")
+
+
+def tiny_loop(name: str, outer: int = 60, trip: int = 6,
+              vary_trip: bool = False, seed: int = 61) -> Workload:
+    """Very small inner loops with low trip counts (leela/deepsjeng-like):
+    spawning overhead eats the parallelism.  With ``vary_trip`` the trip
+    count is data dependent, defeating the loop predictor and iteration
+    packing (gobmk-like)."""
+    trip_expr = f"{trip} + (a[base] & 3)" if vary_trip else str(trip)
+    source = f"""
+    fn main(a: ptr<int>, out: ptr<int>) {{
+        for (var o: int = 0; o < {outer}; o = o + 1) {{
+            var base: int = o * {trip};
+            // sequential glue between the tiny parallel loops
+            var bias: int = a[base] * 3 - o;
+            out[{outer * (trip + 4)} + o] = bias;
+            var trips: int = {trip_expr};
+            #pragma loopfrog
+            for (var i: int = 0; i < trips; i = i + 1) {{
+                out[base + i] = a[base + i] + (a[base + i] >> 2);
+            }}
+        }}
+    }}
+    """
+
+    def setup(mem: SparseMemory, rng: random.Random) -> Dict[str, float]:
+        total = outer * trip
+        mem.store_int_array(A0, [rng.randrange(1 << 20) for _ in range(total)])
+        return {"r1": A0, "r2": A1}
+
+    return Workload(name, source, setup, seed=seed,
+                    description="tiny low-trip parallel loops")
+
+
+def lz_match(name: str, n: int = 150, window: int = 24,
+             sequential: int = 0, seed: int = 67) -> Workload:
+    """Sliding-window dependent rewriting (xz-like): iterations read bytes
+    recently written by earlier iterations — frequent true conflicts."""
+    source = f"""
+    fn main(buf: ptr<int>, dist: ptr<int>) {{
+{serial_section(sequential)}
+        #pragma loopfrog
+        for (var i: int = 0; i < {n}; i = i + 1) {{
+            var d: int = dist[i];
+            var src: int = i + {window} - d;
+            buf[i + {window}] = buf[src] + 1;
+        }}
+    }}
+    """
+
+    def setup(mem: SparseMemory, rng: random.Random) -> Dict[str, float]:
+        mem.store_int_array(A0, [rng.randrange(64) for _ in range(window)])
+        mem.store_int_array(A1, [rng.randrange(1, window // 2) for _ in range(n)])
+        return {"r1": A0, "r2": A1}
+
+    return Workload(name, source, setup, seed=seed,
+                    description="overlapping window: cross-iteration deps")
+
+
+def stream_op(name: str, n: int = 300, stride: int = 8,
+              sequential: int = 30, seed: int = 71) -> Workload:
+    """Quantum gate application (libquantum-like): a single streaming pass
+    where a *data-dependent branch* tests a control bit of each freshly
+    missing amplitude.  The baseline's fetch stalls on every mispredict
+    until the missing load resolves; LoopFrog's four independent streams
+    overlap those stalls — the classic TLS win on this benchmark."""
+    source = f"""
+    fn main(state: ptr<int>, out: ptr<int>) {{
+{serial_section(sequential)}
+        #pragma loopfrog
+        for (var i: int = 0; i < {n}; i = i + 1) {{
+            var p: int = i * {stride};
+            var amp: int = state[p];
+            if ((amp >> 3) & 1 == 1) {{
+                state[p] = amp ^ 2731;
+            }} else {{
+                state[p] = amp + 1;
+            }}
+        }}
+    }}
+    """
+
+    def setup(mem: SparseMemory, rng: random.Random) -> Dict[str, float]:
+        # One 64-bit amplitude per cache line: no reuse, every access is an
+        # L1 miss (only the L2 is warmed by the engine).
+        for i in range(n):
+            mem.store_int(A0 + 8 * i * stride, rng.randrange(1 << 40))
+        return {"r1": A0, "r2": A1}
+
+    return Workload(name, source, setup, seed=seed,
+                    description="gate application with control-bit branches")
+
+
+def dp_row(name: str, cols: int = 48, rows: int = 12,
+           sequential: int = 0, seed: int = 73) -> Workload:
+    """Dynamic-programming rows (hmmer-like): row-internal parallelism."""
+    source = f"""
+    fn main(prev: ptr<int>, cur: ptr<int>, score: ptr<int>) {{
+{serial_section(sequential)}
+        for (var r: int = 0; r < {rows}; r = r + 1) {{
+            var prow: int = (r % 2) * {cols};
+            var crow: int = ((r + 1) % 2) * {cols};
+            #pragma loopfrog
+            for (var j: int = 1; j < {cols}; j = j + 1) {{
+                var up: int = prev[prow + j] - 3;
+                var diag: int = prev[prow + j - 1] + score[r * {cols} + j];
+                // Data-dependent selection: mispredicts gate the baseline.
+                if (diag > up) {{
+                    cur[crow + j] = diag;
+                }} else {{
+                    cur[crow + j] = up - (up >> 4);
+                }}
+            }}
+        }}
+    }}
+    """
+
+    def setup(mem: SparseMemory, rng: random.Random) -> Dict[str, float]:
+        mem.store_int_array(A0, [rng.randrange(20) for _ in range(2 * cols)])
+        mem.store_int_array(A1, [0] * (2 * cols))
+        mem.store_int_array(A2, [rng.randrange(-5, 15) for _ in range(rows * cols)])
+        return {"r1": A0, "r2": A0, "r3": A2}
+
+    return Workload(name, source, setup, seed=seed,
+                    description="DP rows: in-row parallel, cross-row serial")
+
+
+def sparse_matvec(name: str, nrows: int = 60, nnz_per_row: int = 6,
+                  xspan: int = 20000, sequential: int = 0,
+                  seed: int = 79) -> Workload:
+    """CSR sparse matrix-vector product (parest/milc-like): indirection."""
+    source = f"""
+    fn main(rowptr: ptr<int>, col: ptr<int>, val: ptr<float>,
+            x: ptr<float>, y: ptr<float>) {{
+{serial_section(sequential)}
+        #pragma loopfrog
+        for (var r: int = 0; r < {nrows}; r = r + 1) {{
+            var start: int = rowptr[r];
+            var stop: int = rowptr[r + 1];
+            var acc: float = 0.0;
+            for (var k: int = start; k < stop; k = k + 1) {{
+                acc = acc + val[k] * x[col[k]];
+            }}
+            y[r] = acc;
+        }}
+    }}
+    """
+
+    def setup(mem: SparseMemory, rng: random.Random) -> Dict[str, float]:
+        rowptr = [0]
+        cols, vals = [], []
+        for _ in range(nrows):
+            for _ in range(nnz_per_row):
+                cols.append(rng.randrange(xspan))
+                vals.append(rng.uniform(-1, 1))
+            rowptr.append(len(cols))
+        mem.store_int_array(A0, rowptr)
+        mem.store_int_array(A1, cols)
+        mem.store_float_array(A2, vals)
+        for c in set(cols):
+            mem.store_float(A3 + 8 * c, rng.uniform(0, 1))
+        return {"r1": A0, "r2": A1, "r3": A2, "r4": A3, "f1": 0.0}
+
+    # The 5th argument (y) exceeds the 4-register int ABI; pack it by
+    # pre-writing the base into a fixed location... simpler: y shares A4 via
+    # a constant below.
+    source = source.replace(
+        "fn main(rowptr: ptr<int>, col: ptr<int>, val: ptr<float>,\n"
+        "            x: ptr<float>, y: ptr<float>) {",
+        f"fn main(rowptr: ptr<int>, col: ptr<int>, val: ptr<float>, x: ptr<float>) {{\n"
+        f"        var y: ptr<float> = {A4};",
+    )
+    return Workload(name, source, setup, seed=seed,
+                    description="CSR SpMV: gather indirection")
+
+
+def ray_sphere(name: str, rays: int = 160, hit_rate: float = 0.45,
+               sequential: int = 0, seed: int = 83) -> Workload:
+    """FP intersection tests with data-dependent branch (povray-like)."""
+    source = f"""
+    fn main(bx: ptr<float>, cs: ptr<float>, out: ptr<float>) {{
+{serial_section(sequential)}
+        #pragma loopfrog
+        for (var i: int = 0; i < {rays}; i = i + 1) {{
+            var b: float = bx[i];
+            var c: float = cs[i];
+            var disc: float = b * b - c;
+            if (disc > 0.0) {{
+                out[i] = 0.0 - b - sqrt(disc);
+            }} else {{
+                out[i] = -1.0;
+            }}
+        }}
+    }}
+    """
+
+    def setup(mem: SparseMemory, rng: random.Random) -> Dict[str, float]:
+        bs, cs = [], []
+        for _ in range(rays):
+            b = rng.uniform(-2, 2)
+            hit = rng.random() < hit_rate
+            c = b * b - rng.uniform(0.01, 2.0) if hit else b * b + rng.uniform(0.01, 2.0)
+            bs.append(b)
+            cs.append(c)
+        mem.store_float_array(A0, bs)
+        mem.store_float_array(A1, cs)
+        return {"r1": A0, "r2": A1, "r3": A2}
+
+    return Workload(name, source, setup, seed=seed,
+                    description="ray-sphere tests: data-dependent FP branch")
+
+
+def branchy_count(name: str, n: int = 180, sequential: int = 40,
+                  seed: int = 89) -> Workload:
+    """Digit/permutation counting with data-dependent control
+    (exchange2-like): gains come from resolving branch conditions early."""
+    source = f"""
+    fn main(digits: ptr<int>, out: ptr<int>) {{
+{serial_section(sequential)}
+        #pragma loopfrog
+        for (var i: int = 0; i < {n}; i = i + 1) {{
+            var d: int = digits[i];
+            var score: int = 0;
+            if (d & 1 == 1) {{ score = score + 3; }}
+            if (d & 2 == 2) {{ score = score - 1; }}
+            if (d % 5 == 0) {{ score = score * 2; }}
+            if (d % 7 == 3) {{ score = score + d; }}
+            out[i] = score;
+        }}
+    }}
+    """
+
+    def setup(mem: SparseMemory, rng: random.Random) -> Dict[str, float]:
+        mem.store_int_array(A0, [rng.randrange(1 << 24) for _ in range(n)])
+        return {"r1": A0, "r2": A1}
+
+    return Workload(name, source, setup, seed=seed,
+                    description="branchy scoring: data-dependent control")
+
+
+def grid_relax(name: str, cells: int = 140, width: int = 32,
+               sequential: int = 0, seed: int = 97) -> Workload:
+    """Grid neighbour relaxation (astar-like): branchy memory updates over
+    disjoint output cells."""
+    source = f"""
+    fn main(dist: ptr<int>, cost: ptr<int>, out: ptr<int>) {{
+{serial_section(sequential)}
+        #pragma loopfrog
+        for (var i: int = 0; i < {cells}; i = i + 1) {{
+            var p: int = i + {width};
+            var best: int = dist[p - 1];
+            var up: int = dist[p - {width}];
+            if (up < best) {{ best = up; }}
+            var right: int = dist[p + 1];
+            if (right < best) {{ best = right; }}
+            out[p] = best + cost[p];
+        }}
+    }}
+    """
+
+    def setup(mem: SparseMemory, rng: random.Random) -> Dict[str, float]:
+        total = cells + 2 * width
+        mem.store_int_array(A0, [rng.randrange(100) for _ in range(total)])
+        mem.store_int_array(A1, [rng.randrange(10) for _ in range(total)])
+        return {"r1": A0, "r2": A1, "r3": A2}
+
+    return Workload(name, source, setup, seed=seed,
+                    description="neighbour relaxation with branchy mins")
+
+
+def gauss_mix(name: str, senones: int = 60, features: int = 16,
+              sequential: int = 0, seed: int = 101) -> Workload:
+    """Gaussian distance scoring (sphinx3-like): FP accumulate per senone."""
+    source = f"""
+    fn main(feat: ptr<float>, mean: ptr<float>, var_: ptr<float>,
+            score: ptr<float>) {{
+{serial_section(sequential)}
+        #pragma loopfrog
+        for (var s: int = 0; s < {senones}; s = s + 1) {{
+            var base: int = s * {features};
+            var acc: float = 0.0;
+            for (var d: int = 0; d < {features}; d = d + 1) {{
+                var diff: float = feat[d] - mean[base + d];
+                acc = acc + diff * diff * var_[base + d];
+            }}
+            score[s] = acc;
+        }}
+    }}
+    """
+
+    def setup(mem: SparseMemory, rng: random.Random) -> Dict[str, float]:
+        mem.store_float_array(A0, [rng.uniform(-1, 1) for _ in range(features)])
+        total = senones * features
+        mem.store_float_array(A1, [rng.uniform(-1, 1) for _ in range(total)])
+        mem.store_float_array(A2, [rng.uniform(0.5, 2) for _ in range(total)])
+        return {"r1": A0, "r2": A1, "r3": A2, "r4": A3}
+
+    return Workload(name, source, setup, seed=seed,
+                    description="per-senone Gaussian distances")
+
+
+def low_trip_blocks(name: str, groups: int = 50, trip: int = 3,
+                    work: int = 25, seed: int = 103) -> Workload:
+    """Mostly-sequential work with occasional 3-trip loops (blender-like)."""
+    source = f"""
+    fn main(v: ptr<float>, out: ptr<float>) {{
+        for (var g: int = 0; g < {groups}; g = g + 1) {{
+            // long sequential section per group
+            var t: float = 1.0;
+            for (var s: int = 0; s < {work}; s = s + 1) {{
+                t = t * 0.99 + v[g];
+            }}
+            out[{groups * trip} + g] = t;
+            var base: int = g * {trip};
+            #pragma loopfrog
+            for (var i: int = 0; i < {trip}; i = i + 1) {{
+                out[base + i] = v[base + i] * 2.0 + 1.0;
+            }}
+        }}
+    }}
+    """
+
+    def setup(mem: SparseMemory, rng: random.Random) -> Dict[str, float]:
+        total = groups * trip
+        mem.store_float_array(A0, [rng.uniform(0, 1) for _ in range(total)])
+        return {"r1": A0, "r2": A1}
+
+    return Workload(name, source, setup, seed=seed,
+                    description="low-trip loops buried in sequential code")
+
+
+def hist_prefetch(name: str, n: int = 150, slots: int = 8,
+                  branchy: bool = True, span: int = 60000,
+                  sequential: int = 0, seed: int = 109) -> Workload:
+    """A loop whose speculation mostly *fails* but still pays off
+    (paper section 6.4.2: prefetching).
+
+    Every iteration loads from a cold far region and folds the value into a
+    tiny shared histogram; the histogram writes conflict between epochs, so
+    most threadlets are squashed — but their far loads have already warmed
+    the caches (and, in the ``branchy`` variant, resolved the
+    data-dependent branch conditions), so the restarted architectural
+    execution runs much faster."""
+    if branchy:
+        body = """
+            var slot: int = c & {mask};
+            if (c > 512) {{
+                hist[slot] = hist[slot] + c;
+            }} else {{
+                hist[slot + {slots}] = hist[slot + {slots}] + 1;
+            }}"""
+    else:
+        body = """
+            var slot: int = c & {mask};
+            hist[slot] = hist[slot] + c;"""
+    body = body.format(mask=slots - 1, slots=slots)
+    source = f"""
+    fn main(idx: ptr<int>, cost: ptr<int>, hist: ptr<int>) {{
+{serial_section(sequential)}
+        #pragma loopfrog
+        for (var i: int = 0; i < {n}; i = i + 1) {{
+            var a: int = idx[i];
+            var c: int = cost[a];
+{body}
+        }}
+    }}
+    """
+
+    def setup(mem: SparseMemory, rng: random.Random) -> Dict[str, float]:
+        indices = [rng.randrange(span) * 16 for _ in range(n)]
+        mem.store_int_array(A0, indices)
+        # Sparse-populate the far region so branch outcomes vary (~50/50);
+        # the lines are spread too widely for the L2 warmup to matter.
+        for a in indices:
+            if rng.random() < 0.5:
+                mem.store_int(BIG + 8 * a, rng.randrange(513, 4096))
+        return {"r1": A0, "r2": BIG, "r3": A2}
+
+    return Workload(name, source, setup, seed=seed,
+                    description="conflict-heavy histogram over far loads")
+
+
+def scan_prefetch(name: str, queries: int = 10, span: int = 80,
+                  stride: int = 8, sequential: int = 0,
+                  seed: int = 113) -> Workload:
+    """Repeated linear scans with early exit (data-value prefetching).
+
+    Each query scans a cold strided region until it finds its key and
+    breaks.  Speculative threadlets past the break are squashed by the
+    ``sync``, but they have already fetched the lines the *next* query's
+    scan will read — failed speculation acting as a data prefetcher
+    (paper section 6.4.2, "speeding up the delivery of data")."""
+    source = f"""
+    fn main(keys: ptr<int>, far: ptr<int>, out: ptr<int>) {{
+        for (var q: int = 0; q < {queries}; q = q + 1) {{
+            var key: int = keys[q];
+            out[q] = -1;
+            #pragma loopfrog
+            for (var j: int = 0; j < {span}; j = j + 1) {{
+                var v: int = far[j * {stride}];
+                if (v == key) {{
+                    out[q] = j;
+                    break;
+                }}
+            }}
+        }}
+        // Serial tail (after the scans, so their pipeline dynamics are
+        // not hidden behind a slowly draining prologue).
+{serial_section(sequential)}
+    }}
+    """
+
+    def setup(mem: SparseMemory, rng: random.Random) -> Dict[str, float]:
+        values = [rng.randrange(1, 1 << 30) for _ in range(span)]
+        # One 8-byte element per cache line across a region the L2 warmup
+        # covers but the L1 does not.
+        for j, v in enumerate(values):
+            mem.store_int(A3 + 8 * j * stride, v)
+        # Keys found at increasing depths so every scan goes a bit further.
+        depths = sorted(rng.sample(range(span // 4, span), queries))
+        mem.store_int_array(A0, [values[d] for d in depths])
+        return {"r1": A0, "r2": A3, "r3": A2}
+
+    return Workload(name, source, setup, seed=seed,
+                    description="early-exit scans warmed by failed speculation")
+
+
+def transpose(name: str, rows: int = 20, cols: int = 16, col_stride: int = 32,
+              sequential: int = 0, seed: int = 127) -> Workload:
+    """Column-major image writes (imagick transpose/rotate-like).
+
+    Each epoch writes one output row of the transposed image: ``cols``
+    stores separated by ``col_stride`` elements (256 B at the default),
+    which alias to a handful of SSB sets.  With unconstrained associativity
+    the writes fit easily; at 4-way the slice overflows a set and the
+    threadlet stalls — the associativity sensitivity of paper section 6.6,
+    which its victim buffer partially recovers."""
+    source = f"""
+    fn main(img: ptr<float>, out: ptr<float>) {{
+{serial_section(sequential)}
+        #pragma loopfrog
+        for (var y: int = 0; y < {rows}; y = y + 1) {{
+            for (var x: int = 0; x < {cols}; x = x + 1) {{
+                out[x * {col_stride} + y] = img[y * {cols} + x] * 0.5 + 1.0;
+            }}
+        }}
+    }}
+    """
+
+    def setup(mem: SparseMemory, rng: random.Random) -> Dict[str, float]:
+        mem.store_float_array(A0, [rng.uniform(0, 2) for _ in range(rows * cols)])
+        return {"r1": A0, "r2": A1}
+
+    return Workload(name, source, setup, seed=seed,
+                    description="column-major writes: SSB set-aliasing")

@@ -1,0 +1,355 @@
+"""SPEC CPU 2006 / 2017 stand-in suites.
+
+Each entry names a SPEC benchmark the paper evaluates, the kernel template
+that reproduces its documented loop behaviour (section 6.4 and 6.4.3), the
+dominant table-2 gain category, and whether the paper reports it as
+profitable (>1% whole-program speedup).
+
+The workloads are synthetic stand-ins — see DESIGN.md for the substitution
+argument.  Benchmarks may have several weighted phases, standing in for the
+paper's SimPoint-weighted evaluation (section 6.1).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..errors import WorkloadError
+from . import generators as g
+from .base import (
+    Benchmark,
+    CATEGORY_BRANCH_PREFETCH,
+    CATEGORY_CONTROL,
+    CATEGORY_DATA_PREFETCH,
+    CATEGORY_DEPCHAIN,
+    CATEGORY_MEMORY,
+    CATEGORY_NONE,
+    Workload,
+)
+
+
+def _spec2017() -> List[Benchmark]:
+    return [
+        Benchmark(
+            "imagick", "spec2017",
+            [(g.convolution("imagick_conv", width=26, height=26,
+                            sequential=414), 0.7),
+             (g.transpose("imagick_rotate", rows=48, cols=6, col_stride=64,
+                          sequential=60), 0.3)],
+            category=CATEGORY_CONTROL, profitable=True,
+            spec_behaviour="dense image kernels with independent pixels; the"
+            " paper's biggest winner (87%)",
+        ),
+        Benchmark(
+            "omnetpp", "spec2017",
+            [(g.event_queue("omnetpp_events", nodes=240, spread=6000,
+                            sequential=234), 1.0)],
+            category=CATEGORY_CONTROL, profitable=True,
+            spec_behaviour="discrete-event queue walks: pointer chasing with"
+            " data-dependent branches (paper: branch-condition prefetch)",
+        ),
+        Benchmark(
+            "nab", "spec2017",
+            [(g.md_force("nab_force", n=200, sequential=375), 1.0)],
+            category=CATEGORY_DEPCHAIN, profitable=True,
+            spec_behaviour="molecular-dynamics force loops: sqrt/div chains",
+        ),
+        Benchmark(
+            "gcc", "spec2017",
+            [(g.hash_probe("gcc_symtab", queries=140, sequential=2296), 0.55),
+             (g.branchy_count("gcc_fold", n=120, sequential=880), 0.3),
+             (g.hist_prefetch("gcc_alias", n=130, branchy=True,
+                              sequential=600, seed=311), 0.15)],
+            category=CATEGORY_CONTROL, profitable=True,
+            spec_behaviour="symbol-table probing and branchy folding passes",
+        ),
+        Benchmark(
+            "xalancbmk", "spec2017",
+            [(g.event_queue("xalanc_dom", nodes=180, spread=3000,
+                            sequential=1822), 1.0)],
+            category=CATEGORY_MEMORY, profitable=True,
+            spec_behaviour="DOM tree traversal: pointer chases, moderate"
+            " sequential fraction",
+        ),
+        Benchmark(
+            "mcf", "spec2017",
+            [(g.network_flow("mcf_arcs", n=160, sequential=1644), 1.0)],
+            category=CATEGORY_MEMORY, profitable=True,
+            spec_behaviour="network-simplex arc scans: cache-miss bound",
+        ),
+        Benchmark(
+            "perlbench", "spec2017",
+            [(g.hash_probe("perl_hash", queries=120, table_bits=9,
+                           sequential=5952), 1.0)],
+            category=CATEGORY_DEPCHAIN, profitable=True,
+            spec_behaviour="hash-heavy interpreter loops, large serial part",
+        ),
+        Benchmark(
+            "x264", "spec2017",
+            [(g.sad_block("x264_sad", blocks=130, sequential=2716), 1.0)],
+            category=CATEGORY_DEPCHAIN, profitable=True,
+            spec_behaviour="block SAD with adjacent int32 stores (the"
+            " benchmark that degrades at 8-byte granules, fig. 10)",
+        ),
+        Benchmark(
+            "exchange2", "spec2017",
+            [(g.branchy_count("exchange2_digits", n=200, sequential=3723), 0.8),
+             (g.hist_prefetch("exchange2_perm", n=120, branchy=True,
+                              sequential=700, seed=313), 0.2)],
+            category=CATEGORY_CONTROL, profitable=True,
+            spec_behaviour="puzzle digit counting: data-dependent branches",
+        ),
+        Benchmark(
+            "povray", "spec2017",
+            [(g.ray_sphere("povray_isect", rays=170, sequential=3283), 0.8),
+             (g.scan_prefetch("povray_texture", queries=10, span=80,
+                              sequential=650, seed=317), 0.2)],
+            category=CATEGORY_DEPCHAIN, profitable=True,
+            spec_behaviour="ray-object intersection tests: FP + branch",
+        ),
+        Benchmark(
+            "bwaves", "spec2017",
+            [(g.stencil_rows("bwaves_stencil", width=72, rows=22,
+                             sequential=777), 1.0)],
+            category=CATEGORY_MEMORY, profitable=True,
+            spec_behaviour="structured-grid FP streams",
+        ),
+        Benchmark(
+            "parest", "spec2017",
+            [(g.sparse_matvec("parest_spmv", nrows=64, sequential=2228), 1.0)],
+            category=CATEGORY_MEMORY, profitable=True,
+            spec_behaviour="sparse linear algebra gathers",
+        ),
+        Benchmark(
+            "cactuBSSN", "spec2017",
+            [(g.stencil_rows("cactu_stencil", width=60, rows=20,
+                             sequential=1766), 1.0)],
+            category=CATEGORY_DEPCHAIN, profitable=True,
+            spec_behaviour="relativity stencils: FP chains per point",
+        ),
+        # ---- the no-speedup set (section 6.4.3) ----
+        Benchmark(
+            "namd", "spec2017",
+            [(g.saturated_fp("namd_fma", n=110), 1.0)],
+            category=CATEGORY_NONE, profitable=False,
+            spec_behaviour="high IPC with a saturated pipeline (paper 6.4.3)",
+        ),
+        Benchmark(
+            "lbm", "spec2017",
+            [(g.huge_body("lbm_collide", n=8, points=280), 1.0)],
+            category=CATEGORY_NONE, profitable=False,
+            spec_behaviour="extremely large loop bodies (paper 6.4.3)",
+        ),
+        Benchmark(
+            "blender", "spec2017",
+            [(g.low_trip_blocks("blender_verts", groups=46), 1.0)],
+            category=CATEGORY_NONE, profitable=False,
+            spec_behaviour="low trip counts (paper 6.4.3)",
+        ),
+        Benchmark(
+            "deepsjeng", "spec2017",
+            [(g.tiny_loop("deepsjeng_eval", outer=50, trip=5), 1.0)],
+            category=CATEGORY_NONE, profitable=False,
+            spec_behaviour="low trip count, high-IPC search (paper 6.4.3)",
+        ),
+        Benchmark(
+            "leela", "spec2017",
+            [(g.tiny_loop("leela_playout", outer=60, trip=4), 1.0)],
+            category=CATEGORY_NONE, profitable=False,
+            spec_behaviour="very small loops (paper 6.4.3)",
+        ),
+        Benchmark(
+            "xz", "spec2017",
+            [(g.lz_match("xz_match", n=160, window=24), 1.0)],
+            category=CATEGORY_NONE, profitable=False,
+            spec_behaviour="frequent cross-iteration dependencies needing"
+            " DoACROSS (paper 6.4.3)",
+        ),
+        Benchmark(
+            "wrf", "spec2017",
+            [(g.stencil_rows("wrf_phys", width=40, rows=8,
+                             sequential=2420), 1.0)],
+            category=CATEGORY_NONE, profitable=False,
+            spec_behaviour="grid physics dominated by serial sections"
+            " (below the 1% cut in the paper)",
+        ),
+    ]
+
+
+def _spec2006() -> List[Benchmark]:
+    return [
+        Benchmark(
+            "perlbench06", "spec2006",
+            [(g.hash_probe("perl06_hash", queries=150, table_bits=9,
+                           sequential=2294, seed=211), 1.0)],
+            category=CATEGORY_CONTROL, profitable=True,
+            spec_behaviour="interpreter hash loops",
+        ),
+        Benchmark(
+            "bzip2", "spec2006",
+            [(g.lz_match("bzip2_sort", n=140, window=40, seed=223), 1.0)],
+            category=CATEGORY_NONE, profitable=False,
+            spec_behaviour="block-sort with cross-iteration deps",
+        ),
+        Benchmark(
+            "gcc06", "spec2006",
+            [(g.hash_probe("gcc06_symtab", queries=160, sequential=2178,
+                           seed=227), 0.85),
+             (g.hist_prefetch("gcc06_alias", n=120, branchy=True,
+                              sequential=550, seed=331), 0.15)],
+            category=CATEGORY_CONTROL, profitable=True,
+            spec_behaviour="symbol-table probing",
+        ),
+        Benchmark(
+            "mcf06", "spec2006",
+            [(g.network_flow("mcf06_arcs", n=180, chain=10,
+                             sequential=326, seed=229), 1.0)],
+            category=CATEGORY_MEMORY, profitable=True,
+            spec_behaviour="pointer-heavy arc scans, miss bound",
+        ),
+        Benchmark(
+            "gobmk", "spec2006",
+            [(g.tiny_loop("gobmk_board", outer=55, trip=4, vary_trip=True,
+                         seed=233), 1.0)],
+            category=CATEGORY_NONE, profitable=False,
+            spec_behaviour="small branchy board loops",
+        ),
+        Benchmark(
+            "hmmer", "spec2006",
+            [(g.dp_row("hmmer_viterbi", cols=52, rows=12, sequential=1817,
+                      seed=239), 1.0)],
+            category=CATEGORY_BRANCH_PREFETCH, profitable=True,
+            spec_behaviour="profile-HMM DP rows",
+        ),
+        Benchmark(
+            "sjeng", "spec2006",
+            [(g.tiny_loop("sjeng_eval", outer=48, trip=5, seed=241), 1.0)],
+            category=CATEGORY_NONE, profitable=False,
+            spec_behaviour="search eval, low trip counts",
+        ),
+        Benchmark(
+            "libquantum", "spec2006",
+            [(g.stream_op("libq_toffoli", n=380, sequential=554,
+                          seed=251), 1.0)],
+            category=CATEGORY_CONTROL, profitable=True,
+            spec_behaviour="streaming gate application: classic TLS winner",
+        ),
+        Benchmark(
+            "h264ref", "spec2006",
+            [(g.sad_block("h264_sad", blocks=140, sequential=927, seed=257), 1.0)],
+            category=CATEGORY_DEPCHAIN, profitable=True,
+            spec_behaviour="motion-estimation SAD blocks",
+        ),
+        Benchmark(
+            "omnetpp06", "spec2006",
+            [(g.event_queue("omnetpp06_events", nodes=200, spread=5000,
+                            sequential=357, seed=263), 1.0)],
+            category=CATEGORY_CONTROL, profitable=True,
+            spec_behaviour="event queue walks",
+        ),
+        Benchmark(
+            "astar", "spec2006",
+            [(g.grid_relax("astar_relax", cells=150, sequential=1234, seed=269), 1.0)],
+            category=CATEGORY_CONTROL, profitable=True,
+            spec_behaviour="grid relaxation with branchy mins",
+        ),
+        Benchmark(
+            "xalancbmk06", "spec2006",
+            [(g.event_queue("xalanc06_dom", nodes=170, spread=2500,
+                            sequential=1506, seed=271), 1.0)],
+            category=CATEGORY_MEMORY, profitable=True,
+            spec_behaviour="DOM traversal",
+        ),
+        Benchmark(
+            "milc", "spec2006",
+            [(g.sparse_matvec("milc_su3", nrows=56, nnz_per_row=8,
+                              sequential=789, seed=277), 1.0)],
+            category=CATEGORY_MEMORY, profitable=True,
+            spec_behaviour="lattice gathers",
+        ),
+        Benchmark(
+            "namd06", "spec2006",
+            [(g.saturated_fp("namd06_fma", n=100, seed=281), 1.0)],
+            category=CATEGORY_NONE, profitable=False,
+            spec_behaviour="saturated FP pipeline",
+        ),
+        Benchmark(
+            "povray06", "spec2006",
+            [(g.ray_sphere("povray06_isect", rays=150, sequential=3264,
+                           seed=283), 0.85),
+             (g.scan_prefetch("povray06_media", queries=9, span=70,
+                              sequential=600, seed=337), 0.15)],
+            category=CATEGORY_DEPCHAIN, profitable=True,
+            spec_behaviour="intersection tests",
+        ),
+        Benchmark(
+            "lbm06", "spec2006",
+            [(g.huge_body("lbm06_collide", n=8, points=270, seed=293), 1.0)],
+            category=CATEGORY_NONE, profitable=False,
+            spec_behaviour="huge loop bodies",
+        ),
+        Benchmark(
+            "sphinx3", "spec2006",
+            [(g.gauss_mix("sphinx_gauss", senones=56, sequential=997, seed=307), 1.0)],
+            category=CATEGORY_DEPCHAIN, profitable=True,
+            spec_behaviour="Gaussian scoring loops",
+        ),
+    ]
+
+
+def _fill_categories(benchmarks: List[Benchmark]) -> List[Benchmark]:
+    """Default each phase's expected gain category from its benchmark.
+
+    The dedicated prefetch phases carry their own category (they are the
+    table-2 "prefetching" loops inside otherwise true-parallelism
+    benchmarks, mirroring the paper's footnote 2)."""
+    explicit = {
+        "gcc_alias": CATEGORY_BRANCH_PREFETCH,
+        "exchange2_perm": CATEGORY_BRANCH_PREFETCH,
+        "gcc06_alias": CATEGORY_BRANCH_PREFETCH,
+        "povray_texture": CATEGORY_DATA_PREFETCH,
+        "povray06_media": CATEGORY_DATA_PREFETCH,
+    }
+    for bench in benchmarks:
+        for workload, _ in bench.phases:
+            if not workload.category:
+                workload.category = explicit.get(workload.name, bench.category)
+    return benchmarks
+
+
+_SUITES: Dict[str, List[Benchmark]] = {}
+
+
+def suite(name: str) -> List[Benchmark]:
+    """The benchmarks of ``"spec2017"`` or ``"spec2006"`` (cached)."""
+    if name not in _SUITES:
+        if name == "spec2017":
+            _SUITES[name] = _fill_categories(_spec2017())
+        elif name == "spec2006":
+            _SUITES[name] = _fill_categories(_spec2006())
+        else:
+            raise WorkloadError(f"unknown suite {name!r}")
+    return _SUITES[name]
+
+
+def get_benchmark(name: str) -> Benchmark:
+    for suite_name in ("spec2017", "spec2006"):
+        for bench in suite(suite_name):
+            if bench.name == name:
+                return bench
+    raise WorkloadError(f"unknown benchmark {name!r}")
+
+
+def get_workload(name: str) -> Workload:
+    """Find a workload (phase) by name across both suites."""
+    for suite_name in ("spec2017", "spec2006"):
+        for bench in suite(suite_name):
+            for workload, _ in bench.phases:
+                if workload.name == name:
+                    return workload
+    raise WorkloadError(f"unknown workload {name!r}")
+
+
+def profitable_2017() -> List[Benchmark]:
+    """The paper's 13 profitable SPEC CPU 2017 benchmarks (section 6.2)."""
+    return [b for b in suite("spec2017") if b.profitable]

@@ -1,0 +1,123 @@
+"""Unit tests for the analysis package: speedup math, area model, reports."""
+
+import math
+
+import pytest
+
+from repro.analysis import (
+    amdahl_region_speedup,
+    amdahl_whole_program,
+    area_report,
+    format_bars,
+    format_series,
+    format_table,
+    geometric_mean,
+    pollack_expected_speedup_percent,
+    speedup_percent,
+    ssb_area_mm2,
+    ssb_energy_nj_per_access,
+    weighted_time,
+)
+from repro.uarch.config import LoopFrogConfig
+
+
+def test_geometric_mean_basic():
+    assert geometric_mean([2.0, 8.0]) == pytest.approx(4.0)
+    assert geometric_mean([1.0]) == 1.0
+
+
+def test_geometric_mean_rejects_bad_input():
+    with pytest.raises(ValueError):
+        geometric_mean([])
+    with pytest.raises(ValueError):
+        geometric_mean([1.0, -1.0])
+
+
+def test_weighted_time_simpoint_style():
+    assert weighted_time([(100, 0.25), (200, 0.75)]) == pytest.approx(175)
+    # Weights are normalised.
+    assert weighted_time([(100, 1), (200, 3)]) == pytest.approx(175)
+
+
+def test_speedup_percent():
+    assert speedup_percent(110, 100) == pytest.approx(10.0)
+
+
+def test_amdahl_inversion_roundtrip():
+    whole = amdahl_whole_program(region_speedup=1.43, parallel_fraction=0.4)
+    back = amdahl_region_speedup(whole, parallel_fraction=0.4)
+    assert back == pytest.approx(1.43)
+
+
+def test_amdahl_paper_figures_consistent():
+    # Paper 6.3: 43% in-region speedup and the observed utilisation imply a
+    # whole-program speedup in the reported range.
+    whole = amdahl_whole_program(1.43, 0.35)
+    assert 1.05 < whole < 1.15
+
+
+def test_amdahl_validates_inputs():
+    with pytest.raises(ValueError):
+        amdahl_region_speedup(1.1, 0.0)
+    with pytest.raises(ValueError):
+        amdahl_whole_program(-1.0, 0.5)
+
+
+# ---------------------------------------------------------------------------
+# Area model (section 6.8)
+# ---------------------------------------------------------------------------
+
+
+def test_ssb_area_matches_paper_at_22nm():
+    # The paper quotes 0.025 mm^2 for the four 2-KiB slices at 22 nm.
+    assert ssb_area_mm2(LoopFrogConfig(), node_nm=22) == pytest.approx(0.025)
+
+
+def test_ssb_area_7nm_matches_paper():
+    assert ssb_area_mm2(LoopFrogConfig(), node_nm=7) == pytest.approx(0.02)
+
+
+def test_area_report_headline_percentages():
+    report = area_report(LoopFrogConfig())
+    # Paper: new structures ~2% of an N1 core; total 12-17% with SMT.
+    assert 1.0 < report.new_structures_percent < 3.0
+    assert 11.0 < report.total_overhead_percent_low < 13.0
+    assert 16.0 < report.total_overhead_percent_high < 18.0
+
+
+def test_pollack_rule_range():
+    # Paper: 12-17% area -> ~6-8% expected traditional speedup.
+    assert 5.5 < pollack_expected_speedup_percent(12) < 6.5
+    assert 7.5 < pollack_expected_speedup_percent(17) < 8.5
+
+
+def test_energy_scales_with_capacity():
+    small = ssb_energy_nj_per_access(LoopFrogConfig(ssb_total_bytes=4096))
+    large = ssb_energy_nj_per_access(LoopFrogConfig(ssb_total_bytes=16384))
+    assert large == pytest.approx(small * 4)
+
+
+# ---------------------------------------------------------------------------
+# Report rendering
+# ---------------------------------------------------------------------------
+
+
+def test_format_table_alignment():
+    text = format_table(["a", "bb"], [(1, 2), ("xxx", 4.5)], title="T")
+    lines = text.splitlines()
+    assert lines[0] == "T"
+    assert "a" in lines[1] and "bb" in lines[1]
+    assert "xxx" in text and "4.50" in text
+
+
+def test_format_bars_scales():
+    text = format_bars([("one", 10.0), ("two", 5.0)], unit="%")
+    one_line = next(l for l in text.splitlines() if l.startswith("one"))
+    two_line = next(l for l in text.splitlines() if l.startswith("two"))
+    assert one_line.count("#") > two_line.count("#")
+    assert "+10.0%" in one_line
+
+
+def test_format_series():
+    text = format_series("x", "y", [("a", 1.0), ("b", 2.0)], title="S")
+    assert "S" in text and "a" in text and "2.00" in text

@@ -1,0 +1,101 @@
+"""Round-trip property: Program -> to_asm() -> assemble() is structurally
+identical, for hand-written asm and for every compiled workload."""
+
+import pytest
+
+from repro.compiler import compile_frog
+from repro.isa import Program, assemble
+from repro.uarch import SparseMemory
+from repro.uarch.executor import Executor
+from repro.workloads import suite
+
+
+def structurally_equal(a: Program, b: Program) -> bool:
+    if len(a) != len(b):
+        return False
+    for x, y in zip(a.instructions, b.instructions):
+        if (
+            x.opcode != y.opcode
+            or x.dest != y.dest
+            or x.srcs != y.srcs
+            or x.imm != y.imm
+            or x.size != y.size
+            or x.target_index != y.target_index
+            or x.region_index != y.region_index
+        ):
+            return False
+    return True
+
+
+def test_roundtrip_simple_asm():
+    prog = assemble(
+        """
+        li r1, 10
+        loop:
+        sub r1, r1, 1
+        bnez r1, loop
+        fstore4 f1, r2, 16
+        load2 r3, r2, -4
+        halt
+        """
+    )
+    again = assemble(prog.to_asm())
+    assert structurally_equal(prog, again)
+
+
+def test_roundtrip_hints():
+    prog = assemble(
+        """
+        detach cont
+        nop
+        reattach cont
+        cont: sync cont
+        halt
+        """
+    )
+    again = assemble(prog.to_asm())
+    assert structurally_equal(prog, again)
+    assert again[0].region_index == prog[0].region_index
+
+
+def test_roundtrip_float_immediates():
+    prog = assemble("fli f1, 2.5\nfadd f2, f1, 0.125\nhalt\n")
+    again = assemble(prog.to_asm())
+    assert structurally_equal(prog, again)
+
+
+@pytest.mark.parametrize("name", ["imagick_conv", "omnetpp_events",
+                                  "xz_match", "hmmer_viterbi"])
+def test_roundtrip_compiled_workloads(name):
+    from repro.workloads import get_workload
+
+    wl = get_workload(name)
+    prog = wl.program
+    again = assemble(prog.to_asm())
+    assert structurally_equal(prog, again)
+
+
+def test_roundtrip_preserves_behaviour():
+    source = """
+    fn main(dst: ptr<int>, n: int) -> int {
+        var acc: int = 0;
+        #pragma loopfrog
+        for (var i: int = 0; i < n; i = i + 1) {
+            dst[i] = i * 7;
+        }
+        for (var j: int = 0; j < n; j = j + 1) {
+            acc = acc + dst[j];
+        }
+        return acc;
+    }
+    """
+    prog = compile_frog(source).program
+    again = assemble(prog.to_asm())
+
+    def run(p):
+        ex = Executor(p, SparseMemory())
+        ex.regs.update({"r1": 0x1000, "r2": 16})
+        ex.run()
+        return ex.regs["r1"]
+
+    assert run(prog) == run(again) == 7 * sum(range(16))

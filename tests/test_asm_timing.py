@@ -1,0 +1,120 @@
+"""Hand-written assembly on the timing cores: call/ret (RAS), hint
+handling in raw asm, and baseline-vs-functional agreement."""
+
+import pytest
+
+from repro.isa import assemble
+from repro.uarch import BaselineCore, LoopFrogCore, SparseMemory, run_program
+
+
+def test_call_ret_program_on_baseline():
+    prog = assemble(
+        """
+        li r5, 0
+        li r6, 20
+        loop:
+        mov r1, r6
+        call double
+        add r5, r5, r1
+        sub r6, r6, 1
+        bnez r6, loop
+        mov r1, r5
+        halt
+        double:
+        add r1, r1, r1
+        ret
+        """
+    )
+    func = run_program(prog)
+    sim = BaselineCore().run(prog)
+    assert sim.registers["r1"] == func.registers["r1"] == 2 * sum(range(1, 21))
+    # Returns should be RAS-predicted: mispredicts stay low.
+    assert sim.stats.branch_mispredicts < 10
+
+
+def test_hand_written_hinted_loop():
+    # The LoopFrog hints can be used from raw assembly too.
+    prog = assemble(
+        """
+        li r5, 0          ; base
+        li r6, 64         ; trip count
+        li r7, 4096       ; output base
+        loop:
+        slt r8, r5, r6
+        beqz r8, exit
+        detach cont
+        shl r9, r5, 3
+        add r9, r9, r7
+        mul r10, r5, r5
+        store r10, r9, 0
+        reattach cont
+        cont:
+        add r5, r5, 1
+        jmp loop
+        exit:
+        sync cont
+        halt
+        """
+    )
+    mem = SparseMemory()
+    sim = LoopFrogCore().run(prog, mem)
+    assert mem.load_int_array(4096, 64) == [i * i for i in range(64)]
+    assert sim.stats.threadlets_spawned > 0
+
+    base = BaselineCore().run(prog, SparseMemory())
+    assert base.stats.cycles > sim.stats.cycles * 0.8  # sanity
+
+
+def test_simulation_result_accessors():
+    prog = assemble("li r1, 5\nadd r1, r1, 2\nhalt\n")
+    sim = BaselineCore().run(prog)
+    assert sim.instructions == 3
+    assert sim.cycles > 0
+    assert 0 < sim.ipc <= 8
+    assert sim.program_name == "<asm>"
+
+
+def test_run_pair_helper():
+    from repro.uarch import run_pair
+
+    prog = assemble(
+        """
+        li r5, 0
+        li r6, 32
+        li r7, 8192
+        loop:
+        slt r8, r5, r6
+        beqz r8, exit
+        detach cont
+        shl r9, r5, 3
+        add r9, r9, r7
+        store r5, r9, 0
+        reattach cont
+        cont:
+        add r5, r5, 1
+        jmp loop
+        exit:
+        sync cont
+        halt
+        """
+    )
+    base, frog = run_pair(prog, SparseMemory)
+    assert base.memory.load_int_array(8192, 32) == list(range(32))
+    assert frog.memory.load_int_array(8192, 32) == list(range(32))
+    assert base.instructions == frog.instructions
+
+
+def test_max_cycles_guard():
+    from repro.errors import SimulationError
+
+    prog = assemble("spin: jmp spin\n")
+    with pytest.raises(SimulationError):
+        BaselineCore().run(prog, max_cycles=500)
+
+
+def test_architectural_fault_surfaces():
+    from repro.errors import ExecutionError
+
+    prog = assemble("li r1, 1\nli r2, 0\ndiv r3, r1, r2\nhalt\n")
+    with pytest.raises(ExecutionError):
+        BaselineCore().run(prog)

@@ -1,0 +1,173 @@
+"""Unit tests for the assembler and Program container."""
+
+import pytest
+
+from repro.errors import AssemblerError
+from repro.isa import Instruction, OpClass, Opcode, Program, assemble
+
+
+def test_assemble_simple_program():
+    prog = assemble(
+        """
+        # sum the numbers 1..10
+        li r1, 0
+        li r2, 10
+        loop:
+        add r1, r1, r2
+        sub r2, r2, 1
+        bnez r2, loop
+        halt
+        """
+    )
+    assert len(prog) == 6
+    assert prog.labels["loop"] == 2
+    assert prog[4].target_index == 2
+
+
+def test_labels_share_line_with_instruction():
+    prog = assemble("start: li r1, 5\n jmp start\n")
+    assert prog.labels["start"] == 0
+    assert prog[1].target_index == 0
+
+
+def test_comments_and_blank_lines_ignored():
+    prog = assemble("\n# full comment\n  li r1, 1 ; trailing\n\nhalt\n")
+    assert len(prog) == 2
+    assert prog[0].opcode is Opcode.LI
+
+
+def test_memory_size_suffixes():
+    prog = assemble(
+        """
+        load r1, r2, 0
+        load4 r1, r2, 4
+        load2 r1, r2, 8
+        load1 r1, r2, 12
+        store8 r1, r2, 16
+        fstore4 f1, r2, 24
+        halt
+        """
+    )
+    assert [i.size for i in prog][:6] == [8, 4, 2, 1, 8, 4]
+    assert prog[5].opcode is Opcode.FSTORE
+
+
+def test_alu_immediate_form():
+    prog = assemble("add r1, r2, 42\nhalt\n")
+    assert prog[0].imm == 42
+    assert prog[0].srcs == ("r2",)
+
+
+def test_alu_register_form():
+    prog = assemble("add r1, r2, r3\nhalt\n")
+    assert prog[0].imm is None
+    assert prog[0].srcs == ("r2", "r3")
+
+
+def test_hint_instructions_resolve_region():
+    prog = assemble(
+        """
+        detach cont
+        nop
+        cont:
+        reattach cont
+        sync cont
+        halt
+        """
+    )
+    assert prog[0].opcode is Opcode.DETACH
+    assert prog[0].region_index == prog.labels["cont"]
+    assert prog.has_hints
+    assert prog.hint_regions() == {"cont": prog.labels["cont"]}
+
+
+def test_hex_and_float_immediates():
+    prog = assemble("li r1, 0x10\nfli f1, 2.5\nhalt\n")
+    assert prog[0].imm == 16
+    assert prog[1].imm == 2.5
+
+
+def test_negative_immediates():
+    prog = assemble("li r1, -3\nadd r1, r1, -5\nhalt\n")
+    assert prog[0].imm == -3
+    assert prog[1].imm == -5
+
+
+def test_undefined_label_raises():
+    with pytest.raises(AssemblerError):
+        assemble("jmp nowhere\nhalt\n")
+
+
+def test_duplicate_label_raises():
+    with pytest.raises(AssemblerError):
+        assemble("a: nop\na: halt\n")
+
+
+def test_unknown_opcode_raises():
+    with pytest.raises(AssemblerError):
+        assemble("frobnicate r1, r2\n")
+
+
+def test_bad_register_raises():
+    with pytest.raises(AssemblerError):
+        assemble("add r1, r99, r2\nhalt\n")
+
+
+def test_wrong_operand_count_raises():
+    with pytest.raises(AssemblerError):
+        assemble("add r1, r2\nhalt\n")
+
+
+def test_trailing_label_gets_implicit_halt():
+    prog = assemble("jmp end\nend:\n")
+    assert prog[prog.labels["end"]].opcode is Opcode.HALT
+
+
+def test_without_hints_replaces_hints_with_nops():
+    prog = assemble(
+        """
+        detach cont
+        nop
+        cont: reattach cont
+        halt
+        """
+    )
+    stripped = prog.without_hints()
+    assert not stripped.has_hints
+    assert len(stripped) == len(prog)
+    assert stripped[0].opcode is Opcode.NOP
+    # Labels survive so branches still resolve.
+    assert stripped.labels["cont"] == prog.labels["cont"]
+
+
+def test_disassemble_roundtrip_contains_labels():
+    prog = assemble("start: li r1, 1\njmp start\n")
+    listing = prog.disassemble()
+    assert "start" in listing
+    assert "li" in listing
+
+
+def test_op_classes():
+    prog = assemble(
+        "add r1, r2, r3\nmul r1, r2, r3\nfload f1, r2, 0\nbeqz r1, out\nout: halt\n"
+    )
+    assert prog[0].op_class is OpClass.INT_ALU
+    assert prog[1].op_class is OpClass.INT_MUL
+    assert prog[2].op_class is OpClass.MEM_READ
+    assert prog[3].op_class is OpClass.BRANCH
+
+
+def test_reads_and_writes_sets():
+    prog = assemble("store r1, r2, 0\ncall f\nf: ret\n")
+    store, call, ret = prog[0], prog[1], prog[2]
+    assert store.reads() == ("r1", "r2")
+    assert store.writes() == ()
+    assert call.writes() == ("ra",)
+    assert ret.reads() == ("ra",)
+
+
+def test_program_out_of_band_labels():
+    instrs = [Instruction(Opcode.NOP), Instruction(Opcode.HALT)]
+    prog = Program(instrs, {"end": 1}, name="manual")
+    assert prog.labels["end"] == 1
+    assert prog.label_at(1) == "end"

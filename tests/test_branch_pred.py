@@ -1,0 +1,130 @@
+"""Unit tests for the TAGE-lite branch predictor, BTB, RAS, loop predictor."""
+
+import pytest
+
+from repro.isa.instructions import Instruction, Opcode
+from repro.uarch.branch_pred import (
+    BranchTargetBuffer,
+    FrontEndPredictor,
+    ReturnAddressStack,
+    TagePredictor,
+)
+from repro.uarch.config import CoreConfig
+
+
+def tage(contexts=1):
+    return TagePredictor(CoreConfig(), contexts)
+
+
+def train(predictor, pc, outcomes, context=0):
+    for taken in outcomes:
+        prediction = predictor.predict(pc, context)
+        predictor.update(pc, taken, prediction, context)
+
+
+def accuracy(predictor, pc, outcomes, context=0):
+    correct = 0
+    for taken in outcomes:
+        prediction = predictor.predict(pc, context)
+        correct += prediction.taken == taken
+        predictor.update(pc, taken, prediction, context)
+    return correct / len(outcomes)
+
+
+def test_always_taken_branch_learned():
+    p = tage()
+    train(p, 100, [True] * 8)
+    assert p.predict(100).taken
+
+
+def test_never_taken_branch_learned():
+    p = tage()
+    train(p, 100, [False] * 8)
+    assert not p.predict(100).taken
+
+
+def test_alternating_pattern_learned_by_tagged_tables():
+    p = tage()
+    pattern = [True, False] * 64
+    assert accuracy(p, 200, pattern * 3) > 0.80
+
+
+def test_loop_predictor_learns_trip_count():
+    p = tage()
+    # A loop taken 7 times then not taken, repeated: classic trip count 8.
+    pattern = ([True] * 7 + [False]) * 12
+    acc = accuracy(p, 300, pattern)
+    # After the loop predictor locks on, the exit is predicted too.
+    tail = ([True] * 7 + [False]) * 4
+    assert accuracy(p, 300, tail) == 1.0
+
+
+def test_random_pattern_unpredictable():
+    import random
+
+    rng = random.Random(7)
+    p = tage()
+    pattern = [rng.random() < 0.5 for _ in range(400)]
+    assert accuracy(p, 400, pattern) < 0.75
+
+
+def test_histories_are_per_context():
+    p = tage(contexts=2)
+    train(p, 100, [True] * 10, context=0)
+    assert p.histories[0] != p.histories[1]
+
+
+def test_btb_stores_and_evicts():
+    btb = BranchTargetBuffer(entries=16)
+    btb.insert(5, 500)
+    assert btb.lookup(5) == 500
+    assert btb.lookup(6) is None
+    # Aliasing pc evicts (direct mapped).
+    btb.insert(5 + 16, 700)
+    assert btb.lookup(5) is None
+    assert btb.lookup(21) == 700
+
+
+def test_ras_push_pop_lifo():
+    ras = ReturnAddressStack(entries=4)
+    ras.push(10)
+    ras.push(20)
+    assert ras.pop() == 20
+    assert ras.pop() == 10
+    assert ras.pop() is None
+
+
+def test_ras_overflow_drops_oldest():
+    ras = ReturnAddressStack(entries=2)
+    for value in (1, 2, 3):
+        ras.push(value)
+    assert ras.pop() == 3
+    assert ras.pop() == 2
+    assert ras.pop() is None
+
+
+def test_frontend_call_ret_uses_ras():
+    fe = FrontEndPredictor(CoreConfig(), 1)
+    call = Instruction(Opcode.CALL, target="f", target_index=50)
+    ret = Instruction(Opcode.RET)
+    fe.predict_instruction(10, call, True, 50, 0)
+    correct, target_known = fe.predict_instruction(55, ret, True, 11, 0)
+    assert target_known  # RAS supplies pc+1 of the call
+
+
+def test_frontend_jmp_btb_learns_target():
+    fe = FrontEndPredictor(CoreConfig(), 1)
+    jmp = Instruction(Opcode.JMP, target="x", target_index=99)
+    _, known_first = fe.predict_instruction(20, jmp, True, 99, 0)
+    _, known_second = fe.predict_instruction(20, jmp, True, 99, 0)
+    assert not known_first
+    assert known_second
+
+
+def test_frontend_conditional_direction():
+    fe = FrontEndPredictor(CoreConfig(), 1)
+    br = Instruction(Opcode.BNEZ, srcs=("r1",), target="t", target_index=33)
+    for _ in range(8):
+        fe.predict_instruction(40, br, True, 33, 0)
+    correct, _ = fe.predict_instruction(40, br, True, 33, 0)
+    assert correct

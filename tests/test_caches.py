@@ -1,0 +1,99 @@
+"""Unit tests for the cache hierarchy timing model."""
+
+import pytest
+
+from repro.uarch.caches import MemoryHierarchy, _CacheLevel, _StridePrefetcher
+from repro.uarch.config import MemoryConfig
+from repro.uarch.statistics import SimStats
+
+
+def hierarchy(**kwargs):
+    stats = SimStats()
+    return MemoryHierarchy(MemoryConfig(**kwargs), stats), stats
+
+
+def test_cold_miss_pays_dram_latency():
+    h, stats = hierarchy()
+    ready = h.access_data(0x100000, cycle=0, is_write=False)
+    assert ready >= MemoryConfig().dram_latency
+    assert stats.l1d_misses == 1
+    assert stats.l2_misses == 1
+
+
+def test_second_access_hits_l1():
+    h, stats = hierarchy()
+    first = h.access_data(0x2000, 0, False)
+    second = h.access_data(0x2000, first, False)
+    assert second == first + MemoryConfig().l1d_latency
+    assert stats.l1d_misses == 1
+
+
+def test_same_line_misses_merge_in_flight():
+    h, _ = hierarchy()
+    a = h.access_data(0x4000, 0, False)
+    b = h.access_data(0x4008, 1, False)  # same 64B line, still in flight
+    assert b <= a
+
+
+def test_lru_eviction():
+    config = MemoryConfig()
+    level = _CacheLevel("t", size=4 * 64, assoc=2, line=64, latency=1, mshrs=4)
+    # Two sets of two ways each; fill one set then overflow it.
+    level.insert(0)
+    level.insert(2)  # same set as 0 (line_addr % 2)
+    level.insert(4)  # evicts line 0 (LRU)
+    assert not level.lookup(0)
+    assert level.lookup(2)
+    assert level.lookup(4)
+
+
+def test_mshr_limit_delays_misses():
+    h, _ = hierarchy(l1d_mshrs=2)
+    lines = [i * 0x10000 for i in range(4)]
+    times = [h.access_data(a, 0, False) for a in lines]
+    # With only 2 MSHRs the 3rd/4th miss must wait for a slot.
+    assert times[2] > times[0]
+    assert times[3] > times[1]
+
+
+def test_stride_prefetcher_detects_stride():
+    p = _StridePrefetcher(degree=2)
+    addrs = [1000 + 64 * i for i in range(5)]
+    out = []
+    for a in addrs:
+        out = p.observe(7, a)
+    assert out == [addrs[-1] + 64, addrs[-1] + 128]
+
+
+def test_stride_prefetcher_resets_on_noise():
+    p = _StridePrefetcher(degree=2)
+    for a in (0, 64, 128, 192):
+        p.observe(7, a)
+    assert p.observe(7, 5000) == []
+
+
+def test_prefetch_hides_latency_for_streaming():
+    h, stats = hierarchy()
+    # Stream through many lines; later accesses should increasingly hit.
+    latencies = []
+    cycle = 0
+    for i in range(64):
+        ready = h.access_data(0x80000 + 64 * i, cycle, False, pc=3)
+        latencies.append(ready - cycle)
+        cycle = ready
+    assert min(latencies[10:]) < latencies[0]
+
+
+def test_instruction_side_hits_after_fill():
+    h, stats = hierarchy()
+    first = h.access_instruction(100, 0)
+    second = h.access_instruction(101, first)  # same 64B line (pc*4)
+    assert second == first + MemoryConfig().l1i_latency
+    assert stats.l1i_misses == 1
+
+
+def test_writes_allocate_lines():
+    h, stats = hierarchy()
+    h.access_data(0x6000, 0, is_write=True)
+    ready = h.access_data(0x6000, 500, is_write=False)
+    assert ready == 500 + MemoryConfig().l1d_latency

@@ -1,0 +1,89 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import _parse_regs, build_parser, main
+
+
+@pytest.fixture
+def frog_file(tmp_path):
+    path = tmp_path / "kernel.frog"
+    path.write_text(
+        """
+        fn main(dst: ptr<int>, n: int) {
+            #pragma loopfrog
+            for (var i: int = 0; i < 32; i = i + 1) {
+                dst[i] = i * 3;
+            }
+        }
+        """
+    )
+    return str(path)
+
+
+def test_parse_regs():
+    regs = _parse_regs("r1=0x1000,r2=64,f1=2.5")
+    assert regs == {"r1": 0x1000, "r2": 64, "f1": 2.5}
+    assert _parse_regs(None) == {}
+    assert _parse_regs("") == {}
+
+
+def test_parse_regs_rejects_garbage():
+    from repro.errors import ReproError
+
+    with pytest.raises(ReproError):
+        _parse_regs("r1")
+
+
+def test_compile_command(frog_file, capsys):
+    assert main(["compile", frog_file]) == 0
+    out = capsys.readouterr().out
+    assert "annotated" in out
+    assert "detach" in out
+
+
+def test_compile_no_hints(frog_file, capsys):
+    assert main(["compile", frog_file, "--no-hints"]) == 0
+    out = capsys.readouterr().out
+    assert "detach" not in out
+
+
+def test_compile_with_ir(frog_file, capsys):
+    assert main(["compile", frog_file, "--ir"]) == 0
+    out = capsys.readouterr().out
+    assert "fn main" in out
+
+
+def test_run_command(frog_file, capsys):
+    assert main(["run", frog_file, "--regs", "r1=0x2000"]) == 0
+    out = capsys.readouterr().out
+    assert "baseline:" in out
+    assert "LoopFrog:" in out
+    assert "speedup:" in out
+
+
+def test_run_baseline_only(frog_file, capsys):
+    assert main(["run", frog_file, "--baseline-only"]) == 0
+    out = capsys.readouterr().out
+    assert "LoopFrog" not in out
+
+
+def test_workloads_command(capsys):
+    assert main(["workloads"]) == 0
+    out = capsys.readouterr().out
+    assert "imagick" in out
+    assert "libquantum" in out
+    assert "profitable" in out
+
+
+def test_unknown_experiment_id(capsys):
+    assert main(["experiment", "fig99"]) == 2
+
+
+def test_missing_file_is_an_error(capsys):
+    assert main(["compile", "/nonexistent.frog"]) == 1
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])

@@ -1,0 +1,118 @@
+"""Integration tests for the external-observer coherence model (4.1.4).
+
+LoopFrog's deployability claim: speculation is invisible to the memory
+system, and remote traffic that conflicts with a threadlet's read/write
+sets squashes it rather than exposing speculative state.
+"""
+
+import pytest
+
+from repro.compiler import compile_frog
+from repro.uarch import SparseMemory, default_machine
+from repro.uarch.coherence import CoherenceAgent
+from repro.uarch.core import Engine
+
+KERNEL = """
+fn main(dst: ptr<int>, src: ptr<int>, n: int) {
+    #pragma loopfrog
+    for (var i: int = 0; i < n; i = i + 1) {
+        dst[i] = src[i] + 1000;
+    }
+}
+"""
+
+DST, SRC, N = 4096, 8192, 48
+
+
+def engine_mid_speculation():
+    result = compile_frog(KERNEL)
+    mem = SparseMemory()
+    mem.store_int_array(SRC, list(range(N)))
+    engine = Engine(
+        default_machine(), result.program, mem,
+        {"r1": DST, "r2": SRC, "r3": N},
+    )
+    # Step until several threadlets are live and have buffered state.
+    for _ in range(50_000):
+        engine.step()
+        if engine.finished:
+            break
+        spec = [t for t in engine.order if not t.is_arch]
+        if len(spec) >= 2 and any(
+            engine.ssb.occupancy_bytes(t.slot) for t in spec
+        ):
+            return engine
+    pytest.skip("speculation window too short to observe")
+
+
+def test_remote_read_sees_only_committed_state():
+    engine = engine_mid_speculation()
+    agent = CoherenceAgent(engine)
+    # Find an address buffered speculatively but not yet committed.
+    spec = [t for t in engine.order if not t.is_arch]
+    target = None
+    for t in spec:
+        sl = engine.ssb.slice(t.slot)
+        if sl.data:
+            target = next(iter(sl.data))
+            break
+    assert target is not None
+    committed_byte = engine.memory.load_byte(target)
+    snoop = agent.remote_read(target)
+    line_start = (target // agent.line_size) * agent.line_size
+    assert snoop.data[target - line_start] == committed_byte
+
+
+def test_remote_write_squashes_conflicting_threadlet():
+    engine = engine_mid_speculation()
+    agent = CoherenceAgent(engine)
+    spec = [t for t in engine.order if not t.is_arch]
+    victim_addr = None
+    for t in spec:
+        sl = engine.ssb.slice(t.slot)
+        if sl.data:
+            victim_addr = next(iter(sl.data))
+            break
+    assert victim_addr is not None
+    before = engine.stats.threadlets_squashed
+    snoop = agent.remote_write(victim_addr, bytes(64))
+    assert snoop.squashed_threadlets
+    assert engine.stats.threadlets_squashed > before
+
+
+def test_remote_traffic_to_unrelated_lines_is_harmless():
+    engine = engine_mid_speculation()
+    agent = CoherenceAgent(engine)
+    before = engine.stats.threadlets_squashed
+    snoop = agent.remote_read(0x900000)
+    assert not snoop.squashed_threadlets
+    assert engine.stats.threadlets_squashed == before
+
+
+def test_execution_correct_after_remote_interference():
+    engine = engine_mid_speculation()
+    agent = CoherenceAgent(engine)
+    # Hammer the destination region with remote reads while running.
+    for k in range(10):
+        agent.remote_read(DST + 64 * k)
+        for _ in range(20):
+            if engine.finished:
+                break
+            engine.step()
+    while not engine.finished:
+        engine.step()
+    assert engine.memory.load_int_array(DST, N) == [i + 1000 for i in range(N)]
+
+
+def test_speculation_in_flight_detection():
+    engine = engine_mid_speculation()
+    agent = CoherenceAgent(engine)
+    spec = [t for t in engine.order if not t.is_arch]
+    addr = None
+    for t in spec:
+        sl = engine.ssb.slice(t.slot)
+        if sl.data:
+            addr = next(iter(sl.data))
+            break
+    assert agent.speculation_in_flight(addr, 1)
+    assert not agent.speculation_in_flight(0xDEAD0000, 8)

@@ -1,0 +1,442 @@
+"""End-to-end compiler tests: Frog source -> Program -> functional run.
+
+These check both code correctness (results match a Python oracle) and hint
+placement (pragma loops get detach/reattach/sync; unsuitable loops are
+rejected with a diagnostic).
+"""
+
+import pytest
+
+from repro.compiler import CompileOptions, compile_frog
+from repro.isa import Opcode
+from repro.uarch import SparseMemory, run_program
+
+
+def compile_and_run(source, memory=None, args=(), fargs=(), options=None):
+    result = compile_frog(source, options)
+    mem = memory if memory is not None else SparseMemory()
+    from repro.uarch.executor import Executor
+
+    ex = Executor(result.program, mem)
+    for reg, value in zip(("r1", "r2", "r3", "r4"), args):
+        ex.regs[reg] = value
+    for reg, value in zip(("f1", "f2", "f3", "f4"), fargs):
+        ex.regs[reg] = value
+    run = ex.run()
+    return result, run
+
+
+def test_simple_return():
+    _, run = compile_and_run("fn main() -> int { return 41 + 1; }")
+    assert run.registers["r1"] == 42
+
+
+def test_arithmetic_expression():
+    _, run = compile_and_run(
+        "fn main(a: int, b: int) -> int { return (a + b) * (a - b) / 2; }",
+        args=(7, 3),
+    )
+    assert run.registers["r1"] == (7 + 3) * (7 - 3) // 2
+
+
+def test_float_arithmetic():
+    _, run = compile_and_run(
+        "fn main(x: float) -> float { return sqrt(x) * 2.0 + 1.0; }", fargs=(9.0,)
+    )
+    assert run.registers["f1"] == pytest.approx(7.0)
+
+
+def test_mixed_int_float_promotion():
+    _, run = compile_and_run(
+        "fn main(a: int) -> float { return a * 1.5; }", args=(4,)
+    )
+    assert run.registers["f1"] == pytest.approx(6.0)
+
+
+def test_if_else():
+    src = "fn main(x: int) -> int { if (x > 10) { return 1; } else { return 2; } }"
+    _, run = compile_and_run(src, args=(20,))
+    assert run.registers["r1"] == 1
+    _, run = compile_and_run(src, args=(5,))
+    assert run.registers["r1"] == 2
+
+
+def test_while_loop_countdown():
+    _, run = compile_and_run(
+        """
+        fn main(n: int) -> int {
+            var s: int = 0;
+            while (n > 0) { s = s + n; n = n - 1; }
+            return s;
+        }
+        """,
+        args=(10,),
+    )
+    assert run.registers["r1"] == 55
+
+
+def test_for_loop_sum_of_squares():
+    _, run = compile_and_run(
+        """
+        fn main(n: int) -> int {
+            var s: int = 0;
+            for (var i: int = 1; i <= n; i = i + 1) { s = s + i * i; }
+            return s;
+        }
+        """,
+        args=(5,),
+    )
+    assert run.registers["r1"] == 55
+
+
+def test_array_store_and_load():
+    mem = SparseMemory()
+    mem.store_int_array(1000, [5, 7, 11], size=8)
+    _, run = compile_and_run(
+        """
+        fn main(a: ptr<int>, n: int) -> int {
+            var s: int = 0;
+            for (var i: int = 0; i < n; i = i + 1) {
+                a[i] = a[i] * 2;
+                s = s + a[i];
+            }
+            return s;
+        }
+        """,
+        memory=mem,
+        args=(1000, 3),
+    )
+    assert run.registers["r1"] == 2 * (5 + 7 + 11)
+    assert run.memory.load_int_array(1000, 3) == [10, 14, 22]
+
+
+def test_int32_array_sign_extension():
+    mem = SparseMemory()
+    mem.store_int_array(64, [-3, 4], size=4)
+    _, run = compile_and_run(
+        """
+        fn main(a: ptr<int32>) -> int { return a[0] + a[1]; }
+        """,
+        memory=mem,
+        args=(64,),
+    )
+    assert run.registers["r1"] == 1
+
+
+def test_float_array_kernel():
+    mem = SparseMemory()
+    mem.store_float_array(0, [1.0, 2.0, 3.0, 4.0])
+    _, run = compile_and_run(
+        """
+        fn main(a: ptr<float>, n: int) -> float {
+            var s: float = 0.0;
+            for (var i: int = 0; i < n; i = i + 1) { s = s + a[i] * a[i]; }
+            return s;
+        }
+        """,
+        memory=mem,
+        args=(0, 4),
+    )
+    assert run.registers["f1"] == pytest.approx(30.0)
+
+
+def test_pointer_indirection():
+    mem = SparseMemory()
+    # a[0] points at another array of ints.
+    mem.store_int(100, 200)
+    mem.store_int_array(200, [9, 8])
+    _, run = compile_and_run(
+        "fn main(a: ptr<ptr<int>>) -> int { return a[0][1]; }",
+        memory=mem,
+        args=(100,),
+    )
+    assert run.registers["r1"] == 8
+
+
+def test_break_and_continue():
+    _, run = compile_and_run(
+        """
+        fn main(n: int) -> int {
+            var s: int = 0;
+            for (var i: int = 0; i < n; i = i + 1) {
+                if (i % 2 == 0) { continue; }
+                if (i > 7) { break; }
+                s = s + i;
+            }
+            return s;
+        }
+        """,
+        args=(100,),
+    )
+    assert run.registers["r1"] == 1 + 3 + 5 + 7
+
+
+def test_short_circuit_and():
+    # A null pointer must not be dereferenced thanks to &&.
+    _, run = compile_and_run(
+        """
+        fn main(p: ptr<int>) -> int {
+            if (p != 0 && p[0] > 0) { return 1; }
+            return 0;
+        }
+        """,
+        args=(0,),
+    )
+    assert run.registers["r1"] == 0
+
+
+def test_short_circuit_or():
+    _, run = compile_and_run(
+        "fn main(a: int, b: int) -> int { if (a > 0 || b > 0) { return 1; } return 0; }",
+        args=(0, 3),
+    )
+    assert run.registers["r1"] == 1
+
+
+def test_function_inlining():
+    _, run = compile_and_run(
+        """
+        fn square(x: int) -> int { return x * x; }
+        fn main(a: int) -> int { return square(a) + square(a + 1); }
+        """,
+        args=(3,),
+    )
+    assert run.registers["r1"] == 9 + 16
+
+
+def test_inlined_function_with_loop():
+    _, run = compile_and_run(
+        """
+        fn sum_to(n: int) -> int {
+            var s: int = 0;
+            for (var i: int = 1; i <= n; i = i + 1) { s = s + i; }
+            return s;
+        }
+        fn main() -> int { return sum_to(4) + sum_to(10); }
+        """
+    )
+    assert run.registers["r1"] == 10 + 55
+
+
+def test_recursion_rejected():
+    from repro.errors import CompilerError
+
+    with pytest.raises(CompilerError):
+        compile_frog("fn f(x: int) -> int { return f(x); } fn main() -> int { return f(1); }")
+
+
+def test_intrinsics():
+    _, run = compile_and_run(
+        """
+        fn main(x: float) -> float {
+            return fabs(0.0 - x) + min(3, 5) + max(3, 5) + fmin(x, 1.0);
+        }
+        """,
+        fargs=(2.0,),
+    )
+    assert run.registers["f1"] == pytest.approx(2.0 + 3 + 5 + 1.0)
+
+
+def test_abs_intrinsic_int():
+    _, run = compile_and_run(
+        "fn main(x: int) -> int { return abs(x) + abs(0 - x); }", args=(-6,)
+    )
+    assert run.registers["r1"] == 12
+
+
+def test_casts():
+    _, run = compile_and_run(
+        "fn main(x: float) -> int { return int(x) + int(x * 2.0); }", fargs=(2.9,)
+    )
+    assert run.registers["r1"] == 2 + 5
+
+
+# ---------------------------------------------------------------------------
+# Hint insertion behaviour
+# ---------------------------------------------------------------------------
+
+MEMCOPY_KERNEL = """
+fn main(dst: ptr<int>, src: ptr<int>, n: int) {
+    #pragma loopfrog
+    for (var i: int = 0; i < n; i = i + 1) {
+        dst[i] = src[i] * 3 + 1;
+    }
+}
+"""
+
+
+def test_pragma_loop_gets_hints():
+    result = compile_frog(MEMCOPY_KERNEL)
+    assert len(result.annotated_loops) == 1
+    opcodes = [i.opcode for i in result.program]
+    assert Opcode.DETACH in opcodes
+    assert Opcode.REATTACH in opcodes
+    assert Opcode.SYNC in opcodes
+
+
+def test_hints_preserve_semantics():
+    mem1 = SparseMemory()
+    mem1.store_int_array(2000, list(range(10)))
+    mem2 = mem1.copy()
+
+    hinted = compile_frog(MEMCOPY_KERNEL)
+    plain = compile_frog(MEMCOPY_KERNEL, CompileOptions(insert_hints=False))
+    assert not plain.program.has_hints
+
+    from repro.uarch.executor import Executor
+
+    for result, mem in ((hinted, mem1), (plain, mem2)):
+        ex = Executor(result.program, mem)
+        ex.regs["r1"], ex.regs["r2"], ex.regs["r3"] = 1000, 2000, 10
+        ex.run()
+    assert mem1.load_int_array(1000, 10) == mem2.load_int_array(1000, 10)
+    assert mem1.load_int_array(1000, 10) == [i * 3 + 1 for i in range(10)]
+
+
+def test_register_reduction_loop_rejected():
+    # `s` is defined in the body and carried to later iterations: the hint
+    # pass must refuse (paper: loops with complex register LCDs in the body
+    # need DoACROSS and are unsuitable).
+    result = compile_frog(
+        """
+        fn main(a: ptr<int>, n: int) -> int {
+            var s: int = 0;
+            #pragma loopfrog
+            for (var i: int = 0; i < n; i = i + 1) {
+                s = s + a[i];
+            }
+            return s;
+        }
+        """
+    )
+    assert len(result.annotated_loops) == 0
+    assert len(result.rejected_loops) == 1
+    assert "loop-carried" in result.rejected_loops[0].reason
+
+
+def test_unmarked_loop_gets_no_hints():
+    result = compile_frog(
+        """
+        fn main(dst: ptr<int>, n: int) {
+            for (var i: int = 0; i < n; i = i + 1) { dst[i] = i; }
+        }
+        """
+    )
+    assert not result.program.has_hints
+    assert result.hint_reports == []
+
+
+def test_pointer_chase_loop_annotated():
+    # Linked-list traversal: the LCD update (node = next) is the last
+    # statement, so it lands in the continuation (paper section 3:
+    # "linked-list traversals" are canonical header/continuation content).
+    result = compile_frog(
+        """
+        fn main(next: ptr<int>, data: ptr<int>, out: ptr<int>, node: int) {
+            var k: int = 0;
+            #pragma loopfrog
+            while (node != 0) {
+                out[k] = data[node] * 2;
+                k = k + 1;
+                node = next[node];
+            }
+        }
+        """
+    )
+    # k and node updates go to the continuation; the store stays in the body.
+    assert len(result.annotated_loops) == 1
+
+
+def test_hinted_pointer_chase_executes_correctly():
+    mem = SparseMemory()
+    # Build list 1 -> 2 -> 3 -> 0 with data[i] = 10*i.
+    next_base, data_base, out_base = 1000, 2000, 3000
+    for i, nxt in ((1, 2), (2, 3), (3, 0)):
+        mem.store_int(next_base + 8 * i, nxt)
+        mem.store_int(data_base + 8 * i, 10 * i)
+    result = compile_frog(
+        """
+        fn main(next: ptr<int>, data: ptr<int>, out: ptr<int>, node: int) {
+            var k: int = 0;
+            #pragma loopfrog
+            while (node != 0) {
+                out[k] = data[node] * 2;
+                k = k + 1;
+                node = next[node];
+            }
+        }
+        """
+    )
+    from repro.uarch.executor import Executor
+
+    ex = Executor(result.program, mem)
+    ex.regs["r1"], ex.regs["r2"], ex.regs["r3"], ex.regs["r4"] = (
+        next_base, data_base, out_base, 1,
+    )
+    ex.run()
+    assert mem.load_int_array(out_base, 3) == [20, 40, 60]
+
+
+def test_loop_with_break_gets_sync_per_exit():
+    result = compile_frog(
+        """
+        fn main(a: ptr<int>, n: int, out: ptr<int>) {
+            #pragma loopfrog
+            for (var i: int = 0; i < n; i = i + 1) {
+                if (a[i] < 0) { break; }
+                out[i] = a[i] + 1;
+            }
+        }
+        """
+    )
+    assert len(result.annotated_loops) == 1
+    syncs = [i for i in result.program if i.opcode == Opcode.SYNC]
+    assert len(syncs) >= 2  # normal exit + break edge
+
+
+def test_nested_loop_outer_pragma():
+    mem = SparseMemory()
+    mem.store_int_array(0, list(range(1, 7)))  # 2x3 matrix
+    result = compile_frog(
+        """
+        fn main(a: ptr<int>, rows: int, cols: int, out: ptr<int>) {
+            #pragma loopfrog
+            for (var r: int = 0; r < rows; r = r + 1) {
+                var acc: int = 0;
+                for (var c: int = 0; c < cols; c = c + 1) {
+                    acc = acc + a[r * cols + c];
+                }
+                out[r] = acc;
+            }
+        }
+        """
+    )
+    assert len(result.annotated_loops) == 1
+    from repro.uarch.executor import Executor
+
+    ex = Executor(result.program, mem)
+    ex.regs["r1"], ex.regs["r2"], ex.regs["r3"], ex.regs["r4"] = 0, 2, 3, 100
+    ex.run()
+    assert mem.load_int_array(100, 2) == [6, 15]
+
+
+def test_compile_options_disable_optimize():
+    result = compile_frog(MEMCOPY_KERNEL, CompileOptions(optimize=False))
+    mem = SparseMemory()
+    mem.store_int_array(2000, [1, 2])
+    from repro.uarch.executor import Executor
+
+    ex = Executor(result.program, mem)
+    ex.regs["r1"], ex.regs["r2"], ex.regs["r3"] = 1000, 2000, 2
+    ex.run()
+    assert mem.load_int_array(1000, 2) == [4, 7]
+
+
+def test_many_variables_spill_correctly():
+    # More locals than allocatable registers forces spilling; results must
+    # still be correct.
+    decls = "\n".join(f"var v{i}: int = {i};" for i in range(40))
+    total = "+".join(f"v{i}" for i in range(40))
+    src = f"fn main() -> int {{ {decls} return {total}; }}"
+    _, run = compile_and_run(src)
+    assert run.registers["r1"] == sum(range(40))

@@ -1,0 +1,89 @@
+"""Unit tests for machine configuration (table 1)."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.uarch.config import (
+    CoreConfig,
+    LoopFrogConfig,
+    MachineConfig,
+    MemoryConfig,
+    baseline_machine,
+    default_machine,
+    scaled_core,
+)
+
+
+def test_default_machine_matches_table1():
+    m = default_machine()
+    assert m.core.fetch_width == 8
+    assert m.core.rob_size == 1024
+    assert m.core.iq_size == 384
+    assert m.core.lq_size == 256
+    assert m.loopfrog.num_threadlets == 4
+    assert m.loopfrog.ssb_total_bytes == 8 * 1024
+    assert m.loopfrog.ssb_line_bytes == 32
+    assert m.loopfrog.granule_bytes == 4
+    assert m.loopfrog.conflict_check_latency == 4
+    assert m.memory.l1d_size == 64 * 1024
+    assert m.memory.l2_size == 4 * 1024 * 1024
+    m.validate()
+
+
+def test_baseline_machine_disables_speculation():
+    m = baseline_machine()
+    assert not m.loopfrog.enabled
+    assert m.loopfrog.num_threadlets == 1
+    m.validate()
+
+
+def test_slice_geometry():
+    lf = LoopFrogConfig()
+    assert lf.slice_bytes == 2048
+    assert lf.slice_lines == 64
+
+
+def test_scaled_core_widths():
+    narrow = scaled_core(4)
+    wide = scaled_core(10)
+    assert narrow.core.fetch_width == 4
+    assert narrow.core.rob_size == 512
+    assert wide.core.issue_width == 10
+    assert wide.core.rob_size == 1280
+    narrow.validate()
+    wide.validate()
+
+
+def test_scaled_core_rejects_zero():
+    with pytest.raises(ConfigError):
+        scaled_core(0)
+
+
+def test_invalid_granule_rejected():
+    lf = LoopFrogConfig(granule_bytes=3)
+    with pytest.raises(ConfigError):
+        lf.validate()
+
+
+def test_granule_must_divide_line():
+    lf = LoopFrogConfig(granule_bytes=16, ssb_line_bytes=24)
+    with pytest.raises(ConfigError):
+        lf.validate()
+
+
+def test_zero_threadlets_rejected():
+    lf = LoopFrogConfig(num_threadlets=0)
+    with pytest.raises(ConfigError):
+        lf.validate()
+
+
+def test_cache_sets_must_be_power_of_two():
+    mc = MemoryConfig(l1d_size=48 * 1024)  # 192 sets: not a power of two
+    with pytest.raises(ConfigError):
+        mc.validate()
+
+
+def test_core_width_validation():
+    core = CoreConfig(fetch_width=0)
+    with pytest.raises(ConfigError):
+        core.validate()

@@ -1,0 +1,130 @@
+"""Unit tests for the conflict detector (paper algorithm 1)."""
+
+import pytest
+
+from repro.uarch.conflict import BloomGranuleSet, ConflictDetector, GranuleSet
+
+
+def detector(granule=4, slots=4, **kw):
+    return ConflictDetector(granule, slots, **kw)
+
+
+def test_granule_decomposition():
+    d = detector(granule=4)
+    assert d.granules(0, 4) == [0]
+    assert d.granules(2, 4) == [0, 1]      # straddles two granules
+    assert d.granules(8, 8) == [2, 3]
+    assert d.granules(7, 1) == [1]
+
+
+def test_read_then_older_write_conflicts():
+    # Threadlet 1 reads granule 10; then threadlet 0 (older) writes it:
+    # threadlet 1 observed a stale value and must squash.
+    d = detector()
+    d.on_speculative_read(1, 40, 4)
+    victim = d.on_write(0, 40, 4, younger_slots=[1, 2, 3])
+    assert victim == 1
+
+
+def test_disjoint_accesses_no_conflict():
+    d = detector()
+    d.on_speculative_read(1, 100, 4)
+    assert d.on_write(0, 200, 4, younger_slots=[1]) is None
+
+
+def test_own_writes_mask_reads():
+    # Algorithm 1 line 2: granules already in the threadlet's write set are
+    # forwarded from itself, so they do not join the read set.
+    d = detector()
+    d.on_write(1, 40, 4, younger_slots=[])
+    d.on_speculative_read(1, 40, 4)
+    assert d.on_write(0, 40, 4, younger_slots=[1]) is None
+
+
+def test_intervening_write_shields_younger_readers():
+    # W0 (slot 0) ... W1 (slot 1) ... R2 (slot 2 reads slot 1's value).
+    # When slot 0 writes, slot 2's read must NOT be flagged: slot 1's write
+    # re-sources the granule (algorithm 1 line 13).
+    d = detector()
+    d.on_write(1, 40, 4, younger_slots=[2, 3])
+    d.on_speculative_read(2, 40, 4)
+    victim = d.on_write(0, 40, 4, younger_slots=[1, 2, 3])
+    assert victim is None
+
+
+def test_oldest_conflicting_threadlet_reported():
+    d = detector()
+    d.on_speculative_read(1, 40, 4)
+    d.on_speculative_read(2, 40, 4)
+    assert d.on_write(0, 40, 4, younger_slots=[1, 2, 3]) == 1
+
+
+def test_partial_granule_overlap_conflicts():
+    # A 1-byte read and a 1-byte write in the same granule conflict even if
+    # the bytes differ (reads/writes on any part of a granule overlap).
+    d = detector(granule=8)
+    d.on_speculative_read(1, 40, 1)
+    assert d.on_write(0, 47, 1, younger_slots=[1]) == 1
+
+
+def test_byte_granularity_avoids_false_sharing():
+    d = detector(granule=1)
+    d.on_speculative_read(1, 40, 1)
+    assert d.on_write(0, 47, 1, younger_slots=[1]) is None
+
+
+def test_clear_resets_sets():
+    d = detector()
+    d.on_speculative_read(1, 40, 4)
+    d.clear(1)
+    assert d.on_write(0, 40, 4, younger_slots=[1]) is None
+    assert d.read_set_size(1) == 0
+
+
+def test_coherence_interface():
+    d = detector()
+    d.on_write(1, 64, 8, younger_slots=[])
+    d.on_speculative_read(2, 128, 8)
+    assert d.write_set_intersects(1, 64, 8)
+    assert not d.write_set_intersects(1, 256, 8)
+    assert d.read_set_intersects(2, 128, 4)
+
+
+# ---------------------------------------------------------------------------
+# Bloom filter variant
+# ---------------------------------------------------------------------------
+
+
+def test_bloom_no_false_negatives():
+    b = BloomGranuleSet(bits=1024, hashes=3)
+    added = list(range(0, 2000, 7))
+    b.add_many(added)
+    for g in added:
+        assert b.contains(g), "Bloom filters must never produce false negatives"
+
+
+def test_bloom_clear():
+    b = BloomGranuleSet(bits=512, hashes=3)
+    b.add_many([1, 2, 3])
+    b.clear()
+    assert not b.contains(1)
+    assert len(b) == 0
+
+
+def test_bloom_false_positive_rate_reasonable():
+    b = BloomGranuleSet(bits=4096, hashes=4)
+    b.add_many(range(100))
+    false_positives = sum(1 for g in range(10_000, 11_000) if b.contains(g))
+    assert false_positives < 50  # < 5% at this load factor
+
+
+def test_detector_with_bloom_sets_is_conservative():
+    exact = detector()
+    bloom = detector(use_bloom=True, bloom_bits=4096, bloom_hashes=4)
+    for d in (exact, bloom):
+        d.on_speculative_read(1, 40, 4)
+    # The Bloom detector must flag at least whatever the exact one flags.
+    exact_victim = exact.on_write(0, 40, 4, younger_slots=[1])
+    bloom_victim = bloom.on_write(0, 40, 4, younger_slots=[1])
+    assert exact_victim == 1
+    assert bloom_victim == 1

@@ -1,0 +1,195 @@
+"""Focused tests for the hint-insertion pass (paper section 5.3)."""
+
+import pytest
+
+from repro.compiler import (
+    CFG,
+    CompileOptions,
+    HintOptions,
+    compile_frog,
+    find_loops,
+    insert_hints,
+    lower_module,
+)
+from repro.compiler.ir import IROp
+from repro.isa import Opcode
+from repro.lang import parse
+
+
+def lower(source, entry="main"):
+    module = lower_module(parse(source), entry)
+    return module[entry]
+
+
+def test_hint_order_in_emitted_code():
+    # detach must precede the body, reattach must precede the continuation,
+    # and the continuation label must follow the reattach immediately
+    # (fall-through layout keeps the dynamic stream identical).
+    result = compile_frog(
+        """
+        fn main(dst: ptr<int>, n: int) {
+            #pragma loopfrog
+            for (var i: int = 0; i < n; i = i + 1) { dst[i] = i; }
+        }
+        """
+    )
+    prog = result.program
+    ops = [i.opcode for i in prog]
+    detach_at = ops.index(Opcode.DETACH)
+    reattach_at = ops.index(Opcode.REATTACH)
+    assert detach_at < reattach_at
+    region_index = prog[detach_at].region_index
+    assert region_index == reattach_at + 1  # continuation right after
+
+
+def test_detach_and_reattach_share_region_with_syncs():
+    result = compile_frog(
+        """
+        fn main(dst: ptr<int>, n: int) {
+            #pragma loopfrog
+            for (var i: int = 0; i < n; i = i + 1) {
+                if (dst[i] < 0) { break; }
+                dst[i] = i;
+            }
+        }
+        """
+    )
+    regions = {
+        i.region for i in result.program if i.is_hint
+    }
+    assert len(regions) == 1
+
+
+def test_min_body_size_rejects_tiny_loops():
+    source = """
+    fn main(dst: ptr<int>, n: int) {
+        #pragma loopfrog
+        for (var i: int = 0; i < n; i = i + 1) { dst[i] = i; }
+    }
+    """
+    options = CompileOptions(hint_options=HintOptions(min_body_instrs=50))
+    result = compile_frog(source, options)
+    assert not result.annotated_loops
+    assert "below the minimum" in result.rejected_loops[0].reason
+
+
+def test_while_with_continue_rejected():
+    # `continue` in a while loop produces a second latch; the pass must
+    # refuse rather than emit broken epochs.
+    result = compile_frog(
+        """
+        fn main(a: ptr<int>, n: int) {
+            var i: int = 0;
+            #pragma loopfrog
+            while (i < n) {
+                i = i + 1;
+                if (a[i] == 0) { continue; }
+                a[i] = 1;
+            }
+        }
+        """
+    )
+    assert not result.annotated_loops
+    assert "latch" in result.rejected_loops[0].reason
+
+
+def test_for_with_continue_is_fine():
+    # In a for loop, continue targets the increment block: single latch.
+    result = compile_frog(
+        """
+        fn main(a: ptr<int>, n: int) {
+            #pragma loopfrog
+            for (var i: int = 0; i < n; i = i + 1) {
+                if (a[i] == 0) { continue; }
+                a[i] = a[i] + 1;
+            }
+        }
+        """
+    )
+    assert len(result.annotated_loops) == 1
+
+
+def test_two_marked_loops_get_distinct_regions():
+    result = compile_frog(
+        """
+        fn main(a: ptr<int>, b: ptr<int>, n: int) {
+            #pragma loopfrog
+            for (var i: int = 0; i < n; i = i + 1) { a[i] = i; }
+            #pragma loopfrog
+            for (var j: int = 0; j < n; j = j + 1) { b[j] = j * 2; }
+        }
+        """
+    )
+    assert len(result.annotated_loops) == 2
+    regions = {i.region for i in result.program if i.is_hint}
+    assert len(regions) == 2
+
+
+def test_marked_nested_loops_both_annotated():
+    # Architecturally permitted (distinct region IDs); the hardware picks
+    # one level at run time (section 3.3).
+    result = compile_frog(
+        """
+        fn main(a: ptr<int>, n: int) {
+            #pragma loopfrog
+            for (var i: int = 0; i < n; i = i + 1) {
+                #pragma loopfrog
+                for (var j: int = 0; j < n; j = j + 1) {
+                    a[i * n + j] = i + j;
+                }
+            }
+        }
+        """
+    )
+    assert len(result.annotated_loops) == 2
+
+
+def test_split_point_in_single_block_while():
+    # Pointer chase: the LCD load must land in the continuation, the store
+    # before it stays in the body.
+    func = lower(
+        """
+        fn main(next: ptr<int>, out: ptr<int>, node: int) {
+            var k: int = 0;
+            #pragma loopfrog
+            while (node != 0) {
+                out[k] = node;
+                k = k + 1;
+                node = next[node];
+            }
+        }
+        """
+    )
+    reports = insert_hints(func)
+    assert reports[0].annotated
+    assert reports[0].split_index > 0  # part of the latch stayed in the body
+    cont = func.block(reports[0].region)
+    cont_ops = [i.op for i in cont.instrs]
+    assert IROp.LOAD in cont_ops  # the pointer-chase load moved there
+
+
+def test_insert_hints_idempotent_for_unmarked():
+    func = lower(
+        "fn main(a: ptr<int>, n: int) { for (var i: int = 0; i < n; i = i + 1) { a[i] = i; } }"
+    )
+    assert insert_hints(func) == []
+    assert not any(i.is_hint for i in func.instructions())
+
+
+def test_zero_trip_loop_correct_with_hints():
+    from repro.uarch import SparseMemory
+    from repro.uarch.executor import Executor
+
+    result = compile_frog(
+        """
+        fn main(dst: ptr<int>, n: int) -> int {
+            #pragma loopfrog
+            for (var i: int = 0; i < n; i = i + 1) { dst[i] = 7; }
+            return 99;
+        }
+        """
+    )
+    ex = Executor(result.program, SparseMemory())
+    ex.regs["r1"], ex.regs["r2"] = 1000, 0
+    ex.run()
+    assert ex.regs["r1"] == 99

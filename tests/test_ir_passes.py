@@ -1,0 +1,243 @@
+"""Unit tests for IR-level analyses and passes: CFG, dominators, loops,
+liveness, optimisation, register allocation."""
+
+import pytest
+
+from repro.compiler import CFG, Liveness, find_loops, lower_module, optimize
+from repro.compiler.ir import (
+    BasicBlock,
+    Branch,
+    CondBranch,
+    Const,
+    Function,
+    IRInstr,
+    IROp,
+    Ret,
+    VReg,
+)
+from repro.compiler.loops import loop_preheader
+from repro.compiler.optimize import (
+    eliminate_dead_code,
+    fuse_copies,
+    remove_unreachable_blocks,
+)
+from repro.compiler.regalloc import allocate, apply_allocation, compute_intervals
+from repro.errors import CompilerError
+from repro.lang import parse
+
+
+def build_diamond():
+    """entry -> (left|right) -> join, with a loop around join->entry? No:
+    a simple if/else diamond."""
+    f = Function("f")
+    entry = f.new_block("entry")
+    left = f.new_block("left")
+    right = f.new_block("right")
+    join = f.new_block("join")
+    cond = f.new_vreg()
+    entry.instrs.append(IRInstr(IROp.MOV, dest=cond, operands=(Const(1),)))
+    entry.terminator = CondBranch(cond, left.name, right.name)
+    left.terminator = Branch(join.name)
+    right.terminator = Branch(join.name)
+    join.terminator = Ret(None)
+    return f, entry, left, right, join
+
+
+def test_cfg_preds_succs():
+    f, entry, left, right, join = build_diamond()
+    cfg = CFG(f)
+    assert set(cfg.succs[entry.name]) == {left.name, right.name}
+    assert set(cfg.preds[join.name]) == {left.name, right.name}
+
+
+def test_dominators_diamond():
+    f, entry, left, right, join = build_diamond()
+    cfg = CFG(f)
+    assert cfg.idom[left.name] == entry.name
+    assert cfg.idom[right.name] == entry.name
+    assert cfg.idom[join.name] == entry.name
+    assert cfg.dominates(entry.name, join.name)
+    assert not cfg.dominates(left.name, join.name)
+
+
+def test_validate_missing_terminator():
+    f = Function("f")
+    f.new_block("entry")
+    with pytest.raises(CompilerError):
+        f.validate()
+
+
+def test_validate_unknown_successor():
+    f = Function("f")
+    b = f.new_block("entry")
+    b.terminator = Branch("nowhere")
+    with pytest.raises(CompilerError):
+        f.validate()
+
+
+def lower(source, entry="main"):
+    return lower_module(parse(source), entry)[entry]
+
+
+def test_find_loops_for_loop():
+    func = lower(
+        "fn main(n: int) { for (var i: int = 0; i < n; i = i + 1) { n = n; } }"
+    )
+    loops = find_loops(func)
+    assert len(loops) == 1
+    loop = next(iter(loops.values()))
+    assert loop.header.startswith("for.cond")
+    assert len(loop.latches) == 1
+    assert loop.exits
+
+
+def test_nested_loop_depths():
+    func = lower(
+        """
+        fn main(n: int) {
+            for (var i: int = 0; i < n; i = i + 1) {
+                for (var j: int = 0; j < n; j = j + 1) { n = n; }
+            }
+        }
+        """
+    )
+    loops = find_loops(func)
+    depths = sorted(loop.depth for loop in loops.values())
+    assert depths == [1, 2]
+    inner = next(l for l in loops.values() if l.depth == 2)
+    outer = next(l for l in loops.values() if l.depth == 1)
+    assert inner.parent == outer.header
+    assert inner.blocks < outer.blocks
+
+
+def test_loop_preheader_found():
+    func = lower(
+        "fn main(n: int) { for (var i: int = 0; i < n; i = i + 1) { n = n; } }"
+    )
+    cfg = CFG(func)
+    loops = find_loops(func, cfg)
+    loop = next(iter(loops.values()))
+    assert loop_preheader(func, cfg, loop) is not None
+
+
+def test_liveness_loop_carried_values():
+    func = lower(
+        """
+        fn main(a: ptr<int>, n: int) -> int {
+            var s: int = 0;
+            for (var i: int = 0; i < n; i = i + 1) { s = s + a[i]; }
+            return s;
+        }
+        """
+    )
+    cfg = CFG(func)
+    live = Liveness(func, cfg)
+    loops = find_loops(func, cfg)
+    header = next(iter(loops.values())).header
+    live_in_names = {v.name for v in live.live_in[header]}
+    # Both the accumulator and the induction variable cross the back edge.
+    assert any(name.startswith("s_") for name in live_in_names)
+    assert any(name.startswith("i_") for name in live_in_names)
+
+
+def test_remove_unreachable_blocks():
+    f, *_ = build_diamond()
+    orphan = f.new_block("orphan")
+    orphan.terminator = Ret(None)
+    assert remove_unreachable_blocks(f) == 1
+    assert all(b.name != orphan.name for b in f.blocks)
+
+
+def test_fuse_copies_single_use():
+    f = Function("f")
+    b = f.new_block("entry")
+    t = f.new_vreg()
+    v = f.new_vreg()
+    b.instrs = [
+        IRInstr(IROp.ADD, dest=t, operands=(Const(1), Const(2))),
+        IRInstr(IROp.MOV, dest=v, operands=(t,)),
+    ]
+    b.terminator = Ret(v)
+    assert fuse_copies(f) == 1
+    assert len(b.instrs) == 1
+    assert b.instrs[0].dest == v
+
+
+def test_dead_code_elimination_keeps_trapping_ops():
+    f = Function("f")
+    b = f.new_block("entry")
+    dead = f.new_vreg()
+    div = f.new_vreg()
+    b.instrs = [
+        IRInstr(IROp.ADD, dest=dead, operands=(Const(1), Const(2))),
+        IRInstr(IROp.DIV, dest=div, operands=(Const(1), Const(0))),
+    ]
+    b.terminator = Ret(None)
+    eliminate_dead_code(f)
+    ops = [i.op for i in b.instrs]
+    assert IROp.ADD not in ops     # dead and pure: removed
+    assert IROp.DIV in ops         # can trap: preserved
+
+
+def test_optimize_shrinks_lowered_code():
+    func = lower(
+        """
+        fn main(a: ptr<int>, n: int) {
+            for (var i: int = 0; i < n; i = i + 1) { a[i] = i * 2 + 1; }
+        }
+        """
+    )
+    before = sum(len(b.instrs) for b in func.blocks)
+    optimize(func)
+    after = sum(len(b.instrs) for b in func.blocks)
+    assert after < before
+
+
+def test_intervals_cover_loop_carried_ranges():
+    func = lower(
+        """
+        fn main(n: int) -> int {
+            var s: int = 0;
+            for (var i: int = 0; i < n; i = i + 1) { s = s + i; }
+            return s;
+        }
+        """
+    )
+    optimize(func)
+    intervals = {iv.vreg.name: iv for iv in compute_intervals(func)}
+    s_interval = next(v for k, v in intervals.items() if k.startswith("s_"))
+    i_interval = next(v for k, v in intervals.items() if k.startswith("i_"))
+    # Loop-carried ranges must span the whole loop region.
+    assert s_interval.end > s_interval.start
+    assert i_interval.end > i_interval.start
+
+
+def test_allocation_without_spills_for_small_functions():
+    func = lower("fn main(a: int, b: int) -> int { return a * b + a; }")
+    optimize(func)
+    alloc = allocate(func)
+    assert alloc.frame_slots == 0
+    assert all(not iv.spilled for iv in alloc.mapping.values())
+
+
+def test_allocation_spills_under_pressure():
+    decls = "\n".join(f"var v{k}: int = {k};" for k in range(40))
+    total = "+".join(f"v{k}" for k in range(40))
+    func = lower(f"fn main() -> int {{ {decls} return {total}; }}")
+    # No optimisation: keep all 40 values alive simultaneously.
+    alloc = allocate(func)
+    assert alloc.frame_slots > 0
+
+
+def test_apply_allocation_leaves_physical_names():
+    from repro.isa import registers as regdefs
+
+    func = lower("fn main(a: int) -> int { return a + 1; }")
+    optimize(func)
+    alloc = allocate(func)
+    apply_allocation(func, alloc)
+    for instr in func.instructions():
+        for use in instr.uses():
+            assert use.name in regdefs.ALL_REGS
+        for d in instr.defs():
+            assert d.name in regdefs.ALL_REGS

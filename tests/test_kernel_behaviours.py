@@ -1,0 +1,101 @@
+"""Behavioural pins for the SPEC stand-in kernels.
+
+Each kernel is engineered to exhibit a specific bottleneck (DESIGN.md's
+substitution argument rests on this); these tests pin those behaviours so
+workload edits can't silently change what a kernel measures.
+"""
+
+import pytest
+
+from repro.uarch import BaselineCore, LoopFrogCore
+from repro.workloads import get_workload
+
+
+@pytest.fixture(scope="module")
+def results():
+    cache = {}
+
+    def run(name):
+        if name not in cache:
+            wl = get_workload(name)
+            mem, regs = wl.fresh_input()
+            base = BaselineCore().run(wl.program, mem, regs)
+            mem, regs = wl.fresh_input()
+            frog = LoopFrogCore().run(wl.program, mem, regs)
+            cache[name] = (base.stats, frog.stats)
+        return cache[name]
+
+    return run
+
+
+def test_saturated_fp_baseline_is_high_ipc(results):
+    base, frog = results("namd_fma")
+    assert base.ipc > 6.0            # pipeline already near the 8-wide cap
+    assert frog.cycles > base.cycles * 0.93  # almost nothing to gain
+
+
+def test_event_queue_is_mispredict_and_miss_bound(results):
+    base, _ = results("omnetpp_events")
+    assert base.branch_mpki > 10
+    assert base.l1d_miss_rate > 0.3
+
+
+def test_network_flow_misses_reach_dram(results):
+    base, _ = results("mcf_arcs")
+    assert base.l2_misses > 50       # the cold far region really misses
+
+
+def test_lz_match_conflicts_under_speculation(results):
+    _, frog = results("xz_match")
+    assert frog.squash_conflicts > 0
+
+
+def test_huge_body_exceeds_slice_capacity(results):
+    # One iteration's write set (280 contiguous doubles = 2240 B) exceeds
+    # the 2-KiB slice, so speculation cannot buffer an epoch...
+    from repro.uarch.config import LoopFrogConfig
+
+    assert 280 * 8 > LoopFrogConfig().slice_bytes
+    # ...and LoopFrog gains (essentially) nothing on this kernel.
+    base, frog = results("lbm_collide")
+    assert frog.cycles > base.cycles * 0.95
+
+
+def test_hist_prefetch_mostly_fails_but_wins(results):
+    base, frog = results("gcc_alias")
+    assert frog.failed_spec_instructions > frog.spec_committed_instructions
+    assert frog.cycles < base.cycles
+
+
+def test_scan_prefetch_sync_squashes(results):
+    _, frog = results("povray_texture")
+    assert frog.squash_syncs > 5     # every early exit kills successors
+
+
+def test_md_force_is_latency_bound_not_miss_bound(results):
+    base, _ = results("nab_force")
+    assert base.branch_mpki < 3
+    assert base.l1d_miss_rate < 0.1
+    assert base.ipc < 4.0            # sqrt/div chains hold IPC down
+
+
+def test_stream_op_packs_iterations(results):
+    _, frog = results("libq_toffoli")
+    assert frog.packing_events > 0
+    assert frog.mean_packing_factor > 4
+
+
+def test_tiny_loop_unprofitable(results):
+    base, frog = results("leela_playout")
+    assert frog.cycles > base.cycles  # dynamic deselection handles it
+
+
+def test_transpose_parallelises_at_full_associativity(results):
+    base, frog = results("imagick_rotate")
+    assert frog.cycles < base.cycles * 0.8
+
+
+def test_dp_row_reenters_region_per_row(results):
+    _, frog = results("hmmer_viterbi")
+    region = next(r for k, r in frog.regions.items() if k != "<none>")
+    assert region.epochs_spawned > 20  # many rows, each spawning epochs

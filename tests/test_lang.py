@@ -1,0 +1,165 @@
+"""Unit tests for the Frog lexer and parser."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.lang import ast, parse, tokenize
+from repro.lang.tokens import TokenKind
+
+
+def test_tokenize_basic():
+    toks = tokenize("fn main() -> int { return 1; }")
+    kinds = [t.kind for t in toks]
+    assert kinds[0] is TokenKind.KW_FN
+    assert kinds[-1] is TokenKind.EOF
+
+
+def test_tokenize_numbers():
+    toks = tokenize("1 2.5 0x1f 1e3")
+    assert toks[0].value == 1
+    assert toks[1].value == 2.5
+    assert toks[2].value == 31
+    assert toks[3].value == 1000.0
+
+
+def test_tokenize_operators():
+    toks = tokenize("== != <= >= && || << >> ->")
+    kinds = [t.kind for t in toks[:-1]]
+    assert kinds == [
+        TokenKind.EQ, TokenKind.NE, TokenKind.LE, TokenKind.GE,
+        TokenKind.ANDAND, TokenKind.OROR, TokenKind.SHL, TokenKind.SHR,
+        TokenKind.ARROW,
+    ]
+
+
+def test_comments_ignored_but_pragma_kept():
+    toks = tokenize("// nothing\n# also nothing\n#pragma loopfrog\n1")
+    pragmas = [t for t in toks if t.kind is TokenKind.PRAGMA]
+    assert len(pragmas) == 1
+    assert pragmas[0].value == "loopfrog"
+
+
+def test_bad_character_raises():
+    with pytest.raises(ParseError):
+        tokenize("fn main() { @ }")
+
+
+def test_parse_function_signature():
+    mod = parse("fn f(a: int, b: ptr<float>) -> float { return 0.0; }")
+    f = mod.function("f")
+    assert f.params[0] == ("a", ast.INT)
+    assert f.params[1][1].is_ptr
+    assert f.params[1][1].elem == ast.FLOAT
+    assert f.ret_type == ast.FLOAT
+
+
+def test_parse_nested_ptr_type():
+    mod = parse("fn f(a: ptr<ptr<int32>>) { }")
+    t = mod.function("f").params[0][1]
+    assert t.is_ptr and t.elem.is_ptr and t.elem.elem == ast.INT32
+
+
+def test_parse_for_loop_with_pragma():
+    mod = parse(
+        """
+        fn main(n: int) -> int {
+            var s: int = 0;
+            #pragma loopfrog
+            for (var i: int = 0; i < n; i = i + 1) {
+                s = s + i;
+            }
+            return s;
+        }
+        """
+    )
+    body = mod.function("main").body
+    loop = next(s for s in body.stmts if isinstance(s, ast.For))
+    assert loop.pragma == "loopfrog"
+    assert isinstance(loop.init, ast.VarDecl)
+    assert isinstance(loop.cond, ast.BinOp)
+
+
+def test_parse_while_loop():
+    mod = parse("fn main() { var x: int = 5; while (x > 0) { x = x - 1; } }")
+    loop = mod.function("main").body.stmts[1]
+    assert isinstance(loop, ast.While)
+    assert loop.pragma is None
+
+
+def test_parse_if_else_chain():
+    mod = parse(
+        """
+        fn main(x: int) -> int {
+            if (x > 0) { return 1; }
+            else if (x < 0) { return -1; }
+            else { return 0; }
+        }
+        """
+    )
+    stmt = mod.function("main").body.stmts[0]
+    assert isinstance(stmt, ast.If)
+    assert isinstance(stmt.els.stmts[0], ast.If)
+
+
+def test_parse_indexing_and_assignment():
+    mod = parse("fn f(a: ptr<int>) { a[0] = a[1] + 2; }")
+    assign = mod.function("f").body.stmts[0]
+    assert isinstance(assign, ast.Assign)
+    assert isinstance(assign.target, ast.Index)
+
+
+def test_parse_operator_precedence():
+    mod = parse("fn f() -> int { return 1 + 2 * 3; }")
+    ret = mod.function("f").body.stmts[0]
+    assert isinstance(ret.value, ast.BinOp)
+    assert ret.value.op == "+"
+    assert isinstance(ret.value.right, ast.BinOp)
+    assert ret.value.right.op == "*"
+
+
+def test_parse_comparison_binds_looser_than_arith():
+    mod = parse("fn f(a: int) -> int { return a + 1 < a * 2; }")
+    cmp_expr = mod.function("f").body.stmts[0].value
+    assert cmp_expr.op == "<"
+
+
+def test_parse_call_and_cast():
+    mod = parse("fn f(x: float) -> float { return sqrt(float(1) + x); }")
+    call = mod.function("f").body.stmts[0].value
+    assert isinstance(call, ast.Call)
+    assert call.func == "sqrt"
+
+
+def test_parse_break_continue():
+    mod = parse(
+        "fn f() { for (var i: int = 0; i < 9; i = i + 1) { "
+        "if (i == 3) { continue; } if (i == 5) { break; } } }"
+    )
+    loop = mod.function("f").body.stmts[0]
+    assert isinstance(loop, ast.For)
+
+
+def test_parse_error_reports_location():
+    with pytest.raises(ParseError) as info:
+        parse("fn main( { }")
+    assert "1:" in str(info.value)
+
+
+def test_parse_unterminated_block():
+    with pytest.raises(ParseError):
+        parse("fn main() { var x: int = 1;")
+
+
+def test_pragma_only_attaches_to_next_loop():
+    mod = parse(
+        """
+        fn main(n: int) {
+            #pragma loopfrog
+            while (n > 0) { n = n - 1; }
+            while (n < 10) { n = n + 1; }
+        }
+        """
+    )
+    loops = [s for s in mod.function("main").body.stmts if isinstance(s, ast.While)]
+    assert loops[0].pragma == "loopfrog"
+    assert loops[1].pragma is None

@@ -1,0 +1,145 @@
+"""Tests for constant folding and loop-invariant code motion."""
+
+import pytest
+
+from repro.compiler import (
+    CompileOptions,
+    compile_frog,
+    fold_constants,
+    hoist_invariants,
+    lower_module,
+    optimize,
+)
+from repro.compiler.ir import Const, IROp
+from repro.lang import parse
+from repro.uarch import SparseMemory
+from repro.uarch.executor import Executor
+
+
+def lower(source):
+    return lower_module(parse(source))["main"]
+
+
+def run_main(source, args=(), memory=None, result_reg="r1", **opt):
+    result = compile_frog(source, CompileOptions(**opt))
+    ex = Executor(result.program, memory or SparseMemory())
+    for reg, value in zip(("r1", "r2", "r3", "r4"), args):
+        ex.regs[reg] = value
+    ex.run()
+    return ex.regs[result_reg], result
+
+
+def test_fold_constants_evaluates_arithmetic():
+    func = lower("fn main() -> int { return (2 + 3) * 4; }")
+    folds = fold_constants(func)
+    assert folds >= 2
+    optimize(func)
+    # The whole expression collapsed to a constant move.
+    instrs = list(func.instructions())
+    assert all(i.op in (IROp.MOV, IROp.FMOV) for i in instrs)
+
+
+def test_fold_preserves_wraparound_semantics():
+    src = "fn main() -> int { return 9223372036854775807 + 1; }"
+    plain, _ = run_main(src)
+    folded, _ = run_main(src, fold_constants=True)
+    assert plain == folded == -(1 << 63)
+
+
+def test_fold_float_constants():
+    src = "fn main() -> float { return 1.5 * 4.0 - 0.5; }"
+    plain, _ = run_main(src, result_reg="f1")
+    folded, _ = run_main(src, result_reg="f1", fold_constants=True)
+    assert plain == folded == 5.5
+
+
+def test_licm_hoists_invariant_address_math():
+    source = """
+    fn main(a: ptr<int>, n: int, k: int) -> int {
+        var s: int = 0;
+        for (var i: int = 0; i < n; i = i + 1) {
+            s = s + a[i] * (k * 3);
+        }
+        return s;
+    }
+    """
+    func = lower(source)
+    optimize(func)
+    before = {b.name: len(b.instrs) for b in func.blocks}
+    hoisted = hoist_invariants(func)
+    assert hoisted >= 1
+    func.validate()
+
+
+def test_licm_does_not_hoist_loop_carried_defs():
+    source = """
+    fn main(n: int) -> int {
+        var s: int = 0;
+        for (var i: int = 0; i < n; i = i + 1) { s = s + 2; }
+        return s;
+    }
+    """
+    func = lower(source)
+    optimize(func)
+    hoist_invariants(func)
+    value_plain, _ = run_main(source, args=(7,))
+    value_licm, _ = run_main(source, args=(7,), licm=True)
+    assert value_plain == value_licm == 14
+
+
+def test_licm_zero_trip_loop_safe():
+    source = """
+    fn main(n: int, k: int) -> int {
+        var t: int = 99;
+        for (var i: int = 0; i < n; i = i + 1) {
+            t = k * 5;
+        }
+        return t;
+    }
+    """
+    # With n == 0, t must stay 99 even when the k*5 could be hoisted.
+    plain, _ = run_main(source, args=(0, 7))
+    licm, _ = run_main(source, args=(0, 7), licm=True)
+    assert plain == licm == 99
+
+
+@pytest.mark.parametrize("flags", [
+    {}, {"fold_constants": True}, {"licm": True},
+    {"fold_constants": True, "licm": True},
+])
+def test_optimised_kernel_equivalence(flags):
+    source = """
+    fn main(dst: ptr<int>, src: ptr<int>, n: int) -> int {
+        var check: int = 0;
+        #pragma loopfrog
+        for (var i: int = 0; i < n; i = i + 1) {
+            dst[i] = src[i] * (3 + 4) + n * 2;
+        }
+        for (var j: int = 0; j < n; j = j + 1) {
+            check = check + dst[j];
+        }
+        return check;
+    }
+    """
+    mem = SparseMemory()
+    mem.store_int_array(0x8000, [(5 * i) % 11 for i in range(20)])
+    value, result = run_main(source, args=(0x1000, 0x8000, 20), memory=mem,
+                             **flags)
+    expected = sum(((5 * i) % 11) * 7 + 40 for i in range(20))
+    assert value == expected
+    # Hints still inserted under the extra passes.
+    assert len(result.annotated_loops) == 1
+
+
+def test_licm_shrinks_loop_bodies():
+    source = """
+    fn main(a: ptr<float>, n: int, scale: float) {
+        #pragma loopfrog
+        for (var i: int = 0; i < n; i = i + 1) {
+            a[i] = a[i] * (scale * 2.0 + 1.0);
+        }
+    }
+    """
+    plain = compile_frog(source)
+    licm = compile_frog(source, CompileOptions(licm=True))
+    assert len(licm.program) <= len(plain.program)

@@ -1,0 +1,80 @@
+"""Error-path tests for the Frog lowering and type checking."""
+
+import pytest
+
+from repro.compiler import compile_frog
+from repro.errors import CompilerError
+
+
+def expect_error(source, fragment):
+    with pytest.raises(CompilerError) as info:
+        compile_frog(source)
+    assert fragment in str(info.value)
+
+
+def test_undefined_variable():
+    expect_error("fn main() -> int { return x; }", "undefined variable")
+
+
+def test_redeclaration():
+    expect_error(
+        "fn main() { var a: int = 1; var a: int = 2; }", "redeclaration"
+    )
+
+
+def test_indexing_non_pointer():
+    expect_error(
+        "fn main(a: int) -> int { return a[0]; }", "non-pointer"
+    )
+
+
+def test_float_array_index():
+    expect_error(
+        "fn main(p: ptr<int>, x: float) -> int { return p[x]; }",
+        "index must be an integer",
+    )
+
+
+def test_break_outside_loop():
+    expect_error("fn main() { break; }", "outside a loop")
+
+
+def test_continue_outside_loop():
+    expect_error("fn main() { continue; }", "outside a loop")
+
+
+def test_call_undefined_function():
+    expect_error("fn main() -> int { return f(1); }", "undefined function")
+
+
+def test_wrong_arity():
+    expect_error(
+        "fn f(a: int) -> int { return a; } fn main() -> int { return f(1, 2); }",
+        "argument",
+    )
+
+
+def test_return_value_from_void_inline():
+    expect_error(
+        "fn f() { return 1; } fn main() { f(); }",
+        "void function",
+    )
+
+
+def test_missing_entry_function():
+    expect_error("fn helper() { }", "no function named")
+
+
+def test_intrinsic_arity():
+    expect_error("fn main() -> float { return sqrt(1.0, 2.0); }", "expects 1")
+
+
+def test_float_modulo_rejected():
+    expect_error(
+        "fn main(x: float) -> float { return x % 2.0; }", "unsupported"
+    )
+
+
+def test_too_many_int_parameters():
+    params = ", ".join(f"p{i}: int" for i in range(6))
+    expect_error(f"fn main({params}) {{ }}", "too many")

@@ -1,0 +1,136 @@
+"""Unit tests for the iteration-packing predictors (paper section 4.3)."""
+
+import pytest
+
+from repro.uarch.config import LoopFrogConfig
+from repro.uarch.packing import (
+    IterationPacker,
+    PackingDecision,
+    RegionPackingState,
+    StrideEntry,
+)
+
+
+def region(**config_kw) -> RegionPackingState:
+    return RegionPackingState(0, LoopFrogConfig(**config_kw))
+
+
+def trained_region(iters=10, stride=1, size=20):
+    state = region()
+    for i in range(iters):
+        state.observe_detach({"r5": i * stride})
+        state.observe_epoch_size(size)
+    state.note_consumed({"r5"})
+    return state
+
+
+def test_stride_entry_learns_constant_stride():
+    entry = StrideEntry()
+    for v in range(0, 80, 8):
+        entry.observe(v, conf_max=7)
+    assert entry.stride == 8
+    assert entry.confidence == 7  # saturates
+
+
+def test_stride_entry_penalises_noise():
+    entry = StrideEntry()
+    for v in (0, 8, 16, 24, 32):
+        entry.observe(v, conf_max=7)
+    conf_before = entry.confidence
+    entry.observe(1000, conf_max=7)
+    assert entry.confidence < conf_before
+
+
+def test_stride_entry_prediction():
+    entry = StrideEntry()
+    for v in (10, 13, 16, 19):
+        entry.observe(v, conf_max=7)
+    assert entry.predict(4) == 19 + 3 * 4
+
+
+def test_stride_entry_multi_iteration_observation():
+    # Under packing, observations arrive several iterations apart; the
+    # per-iteration stride must still be recovered.
+    entry = StrideEntry()
+    entry.observe(0, conf_max=7)
+    for v in (4, 8, 12, 16, 20):
+        entry.observe(v, conf_max=7, iterations=4)
+    assert entry.stride == 1
+
+
+def test_ema_epoch_size():
+    state = region(packing_ema_alpha=0.5)
+    state.observe_epoch_size(100)
+    assert state.ema_size == 100
+    state.observe_epoch_size(50)
+    assert state.ema_size == pytest.approx(75)
+
+
+def test_decide_needs_training():
+    state = region(packing_train_epochs=3)
+    state.observe_detach({"r5": 0})
+    state.observe_epoch_size(10)
+    state.note_consumed({"r5"})
+    assert state.decide(rob_size=1024).factor == 1
+
+
+def test_decide_packs_small_iterations():
+    state = trained_region(size=20)
+    decision = state.decide(rob_size=1024)
+    # Smallest P with P * 20 > 1024 is 52, capped at the configured max.
+    assert decision.factor == state.config.packing_max_factor
+    assert "r5" in decision.predicted_regs
+
+
+def test_decide_does_not_pack_large_epochs():
+    state = trained_region(size=2000)
+    assert state.decide(rob_size=1024).factor == 1
+
+
+def test_decide_predicts_strided_values():
+    state = trained_region(iters=10, stride=3, size=100)
+    decision = state.decide(rob_size=1024)
+    assert decision.factor > 1
+    # Last observed value is 27 (i=9); prediction for factor-1 ahead.
+    assert decision.predicted_regs["r5"] == 27 + 3 * (decision.factor - 1)
+
+
+def test_unconsumed_changing_registers_do_not_block_packing():
+    # Body temporaries change every iteration but are never consumed by a
+    # later iteration: they are not induction variables (paper's IV test).
+    state = region()
+    for i in range(10):
+        state.observe_detach({"r5": i, "r9": (i * 7919) % 23})
+        state.observe_epoch_size(20)
+    state.note_consumed({"r5"})  # r9 is never consumed
+    assert state.decide(rob_size=1024).factor > 1
+
+
+def test_consumed_unpredictable_register_blocks_packing():
+    state = region()
+    for i in range(10):
+        state.observe_detach({"r5": (i * 7919) % 23})
+        state.observe_epoch_size(20)
+    state.note_consumed({"r5"})
+    assert state.decide(rob_size=1024).factor == 1
+
+
+def test_misprediction_penalty_lowers_confidence():
+    state = trained_region()
+    assert state.decide(rob_size=1024).factor > 1
+    state.note_misprediction()
+    assert state.decide(rob_size=1024).factor == 1
+
+
+def test_packing_disabled_by_config():
+    state = trained_region()
+    state.config = LoopFrogConfig(packing_enabled=False)
+    assert state.decide(rob_size=1024).factor == 1
+
+
+def test_packer_region_registry():
+    packer = IterationPacker(LoopFrogConfig())
+    a = packer.region(10)
+    b = packer.region(10)
+    c = packer.region(20)
+    assert a is b and a is not c

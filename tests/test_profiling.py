@@ -1,0 +1,107 @@
+"""Tests for profiling-based loop selection (paper section 5.1)."""
+
+import pytest
+
+from repro.compiler import (
+    CompileOptions,
+    apply_selection,
+    compile_frog,
+    profile_and_select,
+    profile_program,
+    select_profitable,
+)
+from repro.uarch import LoopFrogCore, SparseMemory
+from repro.uarch.executor import Executor
+
+SOURCE = """
+fn main(a: ptr<int>, b: ptr<int>, n: int) {
+    // A worthwhile loop: decent trips and body.
+    for (var i: int = 0; i < n; i = i + 1) {
+        var x: int = a[i];
+        b[i] = x * x + x * 3 + (x >> 2) + 1;
+    }
+    // A tiny loop with a 2-instruction body: not worth annotating.
+    for (var j: int = 0; j < 3; j = j + 1) {
+        b[n + j] = j;
+    }
+}
+"""
+
+
+def compiled_all_marked():
+    return compile_frog(SOURCE, CompileOptions(mark_all_loops=True))
+
+
+def inputs(n=64):
+    mem = SparseMemory()
+    mem.store_int_array(0x8000, [(3 * i) % 17 for i in range(n)])
+    return mem, {"r1": 0x8000, "r2": 0x1000, "r3": n}
+
+
+def test_mark_all_loops_annotates_unpragmaed():
+    result = compiled_all_marked()
+    assert len(result.annotated_loops) == 2
+
+
+def test_profile_counts_regions():
+    result = compiled_all_marked()
+    mem, regs = inputs()
+    profiles = profile_program(result.program, mem, regs)
+    assert len(profiles) == 2
+    big = max(profiles, key=lambda p: p.instructions)
+    small = min(profiles, key=lambda p: p.instructions)
+    assert big.entries == 1
+    assert big.iterations == 64
+    assert big.mean_trip_count == pytest.approx(64)
+    assert small.iterations == 3
+    assert big.coverage > small.coverage
+
+
+def test_select_profitable_drops_tiny_loops():
+    result = compiled_all_marked()
+    mem, regs = inputs()
+    profiles = profile_program(result.program, mem, regs)
+    keep = select_profitable(profiles)
+    assert len(keep) == 1
+    kept = next(p for p in profiles if p.region in keep)
+    assert kept.mean_trip_count > 10
+
+
+def test_apply_selection_nops_unselected_hints():
+    result = compiled_all_marked()
+    mem, regs = inputs()
+    selected = profile_and_select(result.program, mem, regs)
+    kept_regions = {i.region for i in selected if i.is_hint}
+    assert len(kept_regions) == 1
+    # The unselected loop's hints are nops but the layout is unchanged.
+    assert len(selected) == len(result.program)
+
+
+def test_selected_program_still_correct():
+    result = compiled_all_marked()
+    mem, regs = inputs()
+    selected = profile_and_select(result.program, mem, regs)
+
+    mem_ref, regs_ref = inputs()
+    ex = Executor(result.program, mem_ref)
+    ex.regs.update(regs_ref)
+    ex.run()
+
+    mem_sim, regs_sim = inputs()
+    LoopFrogCore().run(selected, mem_sim, regs_sim)
+    n = 64
+    assert mem_sim.load_int_array(0x1000, n + 3) == mem_ref.load_int_array(
+        0x1000, n + 3
+    )
+
+
+def test_selection_thresholds_configurable():
+    result = compiled_all_marked()
+    mem, regs = inputs()
+    profiles = profile_program(result.program, mem, regs)
+    keep_all = select_profitable(
+        profiles, min_coverage=0.0, min_trip_count=0, min_iteration_size=0
+    )
+    assert len(keep_all) == 2
+    keep_none = select_profitable(profiles, min_coverage=0.99)
+    assert not keep_none

@@ -1,0 +1,185 @@
+"""Property-based tests (hypothesis) on core data structures and the
+engine's fundamental invariant: speculation never changes semantics."""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.compiler import compile_frog
+from repro.uarch import BaselineCore, LoopFrogCore, SparseMemory
+from repro.uarch.config import LoopFrogConfig
+from repro.uarch.conflict import BloomGranuleSet, ConflictDetector, GranuleSet
+from repro.uarch.memory_state import (
+    bits_to_float,
+    float_to_bits,
+    to_signed,
+    to_unsigned,
+)
+from repro.uarch.ssb import SpeculativeStateBuffer
+
+
+# ---------------------------------------------------------------------------
+# SparseMemory
+# ---------------------------------------------------------------------------
+
+
+@given(
+    st.integers(min_value=0, max_value=1 << 40),
+    st.integers(min_value=-(1 << 63), max_value=(1 << 63) - 1),
+    st.sampled_from([1, 2, 4, 8]),
+)
+def test_memory_roundtrip_truncates_to_size(addr, value, size):
+    mem = SparseMemory()
+    mem.store_int(addr, value, size)
+    expected = to_signed(to_unsigned(value, 8 * size), 8 * size)
+    assert mem.load_int(addr, size) == expected
+
+
+@given(st.floats(allow_nan=False, allow_infinity=False))
+def test_float_bits_roundtrip(value):
+    assert bits_to_float(float_to_bits(value)) == value
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=256),
+            st.integers(min_value=0, max_value=255),
+        ),
+        max_size=40,
+    )
+)
+def test_memory_byte_writes_last_wins(writes):
+    mem = SparseMemory()
+    model = {}
+    for addr, value in writes:
+        mem.store_byte(addr, value)
+        model[addr] = value
+    for addr, value in model.items():
+        assert mem.load_byte(addr) == value
+
+
+# ---------------------------------------------------------------------------
+# SSB versioning: model-based test against a reference implementation
+# ---------------------------------------------------------------------------
+
+
+@st.composite
+def ssb_operations(draw):
+    ops = draw(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=3),     # slot
+                st.integers(min_value=0, max_value=60),    # address
+                st.sampled_from([1, 2, 4, 8]),             # size
+                st.integers(min_value=0, max_value=2**32), # value
+            ),
+            min_size=1,
+            max_size=30,
+        )
+    )
+    return ops
+
+
+@given(ssb_operations())
+@settings(max_examples=60, deadline=None)
+def test_ssb_read_matches_reference_model(ops):
+    """For any write sequence, a read by the youngest threadlet matches a
+    per-byte 'newest older value wins' reference model."""
+    memory = SparseMemory()
+    ssb = SpeculativeStateBuffer(LoopFrogConfig(ssb_total_bytes=64 * 1024), memory)
+    # Age order oldest->youngest is slot order here.
+    reference = [dict() for _ in range(4)]  # per-slot byte maps
+    for slot, addr, size, value in ops:
+        if not ssb.write(slot, addr, size, value, writer=None):
+            continue
+        for i in range(size):
+            reference[slot][addr + i] = (value >> (8 * i)) & 0xFF
+
+    for addr in range(0, 64):
+        result = ssb.read(addr, 1, older_slots=[2, 1, 0], own_slot=3)
+        expected = None
+        for slot in (3, 2, 1, 0):
+            if addr in reference[slot]:
+                expected = reference[slot][addr]
+                break
+        if expected is None:
+            expected = memory.load_byte(addr)
+        assert result.value == expected
+
+
+# ---------------------------------------------------------------------------
+# Conflict detector vs Bloom variant: no false negatives
+# ---------------------------------------------------------------------------
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.booleans(),                                # read?
+            st.integers(min_value=0, max_value=2),        # slot
+            st.integers(min_value=0, max_value=100),      # addr
+            st.sampled_from([1, 4, 8]),
+        ),
+        min_size=1,
+        max_size=25,
+    )
+)
+@settings(max_examples=60, deadline=None)
+def test_bloom_detector_flags_superset_of_exact(ops):
+    exact = ConflictDetector(4, 4)
+    bloom = ConflictDetector(4, 4, use_bloom=True, bloom_bits=2048)
+    exact_victims = []
+    bloom_victims = []
+    for is_read, slot, addr, size in ops:
+        if is_read:
+            exact.on_speculative_read(slot + 1, addr, size)
+            bloom.on_speculative_read(slot + 1, addr, size)
+        else:
+            ev = exact.on_write(slot, addr, size, [slot + 1, slot + 2][:3 - slot])
+            bv = bloom.on_write(slot, addr, size, [slot + 1, slot + 2][:3 - slot])
+            exact_victims.append(ev)
+            bloom_victims.append(bv)
+    # Bloom filters may add false conflicts but never miss a real one.
+    for ev, bv in zip(exact_victims, bloom_victims):
+        if ev is not None:
+            assert bv is not None and bv <= ev
+
+
+# ---------------------------------------------------------------------------
+# Whole-system invariant: LoopFrog == functional semantics
+# ---------------------------------------------------------------------------
+
+
+@given(
+    st.integers(min_value=0, max_value=2**31),
+    st.integers(min_value=1, max_value=24),
+    st.sampled_from([1, 2, 3, 5, 8]),
+)
+@settings(max_examples=15, deadline=None)
+def test_speculation_preserves_semantics_random_indices(seed, n, modulo):
+    """Random index patterns (including heavy aliasing) must produce the
+    same memory state under speculation as under the baseline."""
+    source = """
+    fn main(data: ptr<int>, idx: ptr<int>, n: int) {
+        #pragma loopfrog
+        for (var i: int = 0; i < n; i = i + 1) {
+            var j: int = idx[i];
+            data[j] = data[j] + i + 1;
+        }
+    }
+    """
+    program = compile_frog(source).program
+    rng = random.Random(seed)
+    indices = [rng.randrange(modulo) for _ in range(n)]
+
+    def mem():
+        m = SparseMemory()
+        m.store_int_array(3000, indices)
+        return m
+
+    regs = {"r1": 1000, "r2": 3000, "r3": n}
+    m_base, m_frog = mem(), mem()
+    BaselineCore().run(program, m_base, dict(regs))
+    LoopFrogCore().run(program, m_frog, dict(regs))
+    assert m_base.load_int_array(1000, modulo) == m_frog.load_int_array(1000, modulo)

@@ -1,0 +1,150 @@
+"""Unit tests for the Speculative State Buffer (paper section 4.1)."""
+
+import pytest
+
+from repro.uarch.config import LoopFrogConfig
+from repro.uarch.memory_state import SparseMemory
+from repro.uarch.ssb import SpeculativeStateBuffer, SSBSlice
+
+
+def make_ssb(**kwargs):
+    config = LoopFrogConfig(**kwargs)
+    memory = SparseMemory()
+    return SpeculativeStateBuffer(config, memory), memory
+
+
+def test_write_then_read_own_slice():
+    ssb, _ = make_ssb()
+    assert ssb.write(0, 100, 8, 0xDEADBEEF, writer="w0")
+    result = ssb.read(100, 8, older_slots=[], own_slot=0)
+    assert result.value == 0xDEADBEEF
+    assert result.hit_own_slice
+    assert not result.forwarded_from
+
+
+def test_read_falls_through_to_memory():
+    ssb, memory = make_ssb()
+    memory.store(200, 8, 42)
+    result = ssb.read(200, 8, older_slots=[], own_slot=1)
+    assert result.value == 42
+    assert not result.hit_own_slice
+
+
+def test_forwarding_from_older_slice():
+    # Older threadlet (slot 0) wrote; younger (slot 1) must see it.
+    ssb, _ = make_ssb()
+    ssb.write(0, 300, 8, 7, writer="older")
+    result = ssb.read(300, 8, older_slots=[0], own_slot=1)
+    assert result.value == 7
+    assert result.forwarded_from == {0}
+    assert "older" in result.writers
+
+
+def test_younger_slices_are_ignored():
+    # A load must never observe values created later in program order
+    # (figure 5: younger threadlets ignored).
+    ssb, memory = make_ssb()
+    memory.store(400, 8, 1)
+    ssb.write(2, 400, 8, 99, writer="younger")   # slot 2 is younger
+    result = ssb.read(400, 8, older_slots=[], own_slot=1)
+    assert result.value == 1
+
+
+def test_newest_older_value_wins():
+    ssb, memory = make_ssb()
+    memory.store(500, 8, 1)
+    ssb.write(0, 500, 8, 2, writer="t0")
+    ssb.write(1, 500, 8, 3, writer="t1")
+    # Reader in slot 2; older slots newest-first: [1, 0].
+    result = ssb.read(500, 8, older_slots=[1, 0], own_slot=2)
+    assert result.value == 3
+
+
+def test_per_granule_merge_across_slices():
+    # Figure 5: each granule independently takes its newest older value.
+    ssb, memory = make_ssb(granule_bytes=4)
+    memory.store(600, 8, 0)
+    ssb.write(0, 600, 4, 0x1111, writer="t0")        # low granule from t0
+    ssb.write(1, 604, 4, 0x2222, writer="t1")        # high granule from t1
+    result = ssb.read(600, 8, older_slots=[1, 0], own_slot=2)
+    assert result.value == (0x2222 << 32) | 0x1111
+
+
+def test_own_write_beats_older_writes():
+    ssb, _ = make_ssb()
+    ssb.write(0, 700, 8, 5, writer="old")
+    ssb.write(1, 700, 8, 9, writer="own")
+    result = ssb.read(700, 8, older_slots=[0], own_slot=1)
+    assert result.value == 9
+    assert result.hit_own_slice
+
+
+def test_squash_bulk_invalidates():
+    ssb, memory = make_ssb()
+    memory.store(800, 8, 1)
+    ssb.write(1, 800, 8, 99, writer="t1")
+    ssb.squash(1)
+    result = ssb.read(800, 8, older_slots=[1], own_slot=2)
+    assert result.value == 1
+    assert ssb.occupancy_bytes(1) == 0
+
+
+def test_commit_flushes_to_memory():
+    ssb, memory = make_ssb()
+    ssb.write(0, 900, 8, 77, writer="t0")
+    lines = ssb.commit(0)
+    assert lines >= 1
+    assert memory.load(900, 8) == 77
+    assert ssb.occupancy_bytes(0) == 0
+
+
+def test_capacity_limit_rejects_writes():
+    # 2 KiB slice / 32-byte lines = 64 lines per slice.
+    ssb, _ = make_ssb()
+    lines = ssb.config.slice_lines
+    for i in range(lines):
+        assert ssb.write(0, i * 64, 8, i, writer=None)
+    # One more distinct line must be rejected (write cannot be dropped).
+    assert not ssb.write(0, lines * 64, 8, 1, writer=None)
+    # But hitting an existing line still works.
+    assert ssb.write(0, 0, 8, 123, writer=None)
+
+
+def test_associativity_conflict_and_victim_buffer():
+    config_kwargs = dict(ssb_associativity=2, ssb_total_bytes=8 * 1024)
+    ssb, _ = make_ssb(**config_kwargs)
+    sets = ssb.slice(0).num_sets
+    # Three lines mapping to the same set overflow 2 ways.
+    addrs = [i * sets * 32 for i in range(3)]
+    assert ssb.write(0, addrs[0], 8, 1, writer=None)
+    assert ssb.write(0, addrs[1], 8, 2, writer=None)
+    assert not ssb.write(0, addrs[2], 8, 3, writer=None)
+
+    ssb2, _ = make_ssb(ssb_victim_entries=4, **config_kwargs)
+    for a in addrs:
+        assert ssb2.write(0, a, 8, 1, writer=None)
+
+
+def test_valid_granule_bitmask_tracking():
+    config = LoopFrogConfig(granule_bytes=4, ssb_line_bytes=32)
+    sl = SSBSlice(0, config)
+    sl.write(64, 4, 0xAB, writer=None)
+    line_mask = sl.lines[64 // 32]
+    assert line_mask == 0b1  # first granule of the line valid
+    sl.write(76, 4, 0xCD, writer=None)
+    assert sl.lines[64 // 32] == 0b1001  # granule 3 also valid
+
+
+def test_partial_byte_reads_merge_slice_and_memory():
+    ssb, memory = make_ssb()
+    memory.store(1000, 8, 0xFFFFFFFFFFFFFFFF)
+    ssb.write(0, 1000, 4, 0, writer=None)  # overwrite low half only
+    result = ssb.read(1000, 8, older_slots=[], own_slot=0)
+    assert result.value == 0xFFFFFFFF00000000
+
+
+def test_writer_tracking_per_granule():
+    ssb, _ = make_ssb(granule_bytes=4)
+    ssb.write(0, 2000, 8, 1, writer="storeA")
+    result = ssb.read(2000, 8, older_slots=[0], own_slot=1)
+    assert result.writers == ["storeA"]

@@ -1,0 +1,68 @@
+"""Unit tests for the statistics containers and derived metrics."""
+
+import pytest
+
+from repro.uarch.statistics import RegionStats, SimStats
+
+
+def test_ipc_and_utilization():
+    s = SimStats(cycles=100, arch_instructions=250)
+    assert s.ipc == 2.5
+    assert s.commit_utilization(8) == pytest.approx(250 / 800)
+
+
+def test_zero_cycles_safe():
+    s = SimStats()
+    assert s.ipc == 0.0
+    assert s.commit_utilization(8) == 0.0
+    assert s.threadlet_utilization(2) == 0.0
+
+
+def test_total_committed_ipc_includes_spec_and_failed():
+    s = SimStats(cycles=100, arch_instructions=100,
+                 spec_committed_instructions=60,
+                 failed_spec_instructions=40)
+    assert s.total_committed_ipc == pytest.approx(2.0)
+
+
+def test_branch_mpki():
+    s = SimStats(arch_instructions=10_000, branch_mispredicts=42)
+    assert s.branch_mpki == pytest.approx(4.2)
+
+
+def test_l1d_miss_rate():
+    s = SimStats(l1d_accesses=200, l1d_misses=30)
+    assert s.l1d_miss_rate == pytest.approx(0.15)
+
+
+def test_active_threadlet_histogram():
+    s = SimStats()
+    for count in (1, 2, 2, 4, 4, 4):
+        s.note_active_threadlets(count)
+    s.cycles = 6
+    assert s.threadlet_utilization(2) == pytest.approx(5 / 6)
+    assert s.threadlet_utilization(4) == pytest.approx(3 / 6)
+    assert s.threadlet_utilization(1) == 1.0
+
+
+def test_region_registry():
+    s = SimStats()
+    region = s.region("loop_a")
+    region.arch_cycles += 10
+    assert s.region("loop_a").arch_cycles == 10
+    assert s.region("loop_b").arch_cycles == 0
+    assert set(s.regions) == {"loop_a", "loop_b"}
+
+
+def test_mean_packing_factor_defaults_to_one():
+    s = SimStats()
+    assert s.mean_packing_factor == 1.0
+    s.packing_events = 4
+    s.packing_factor_sum = 12
+    assert s.mean_packing_factor == 3.0
+
+
+def test_summary_renders():
+    s = SimStats(cycles=10, arch_instructions=20)
+    text = s.summary()
+    assert "IPC" in text and "2.0" in text

@@ -1,0 +1,128 @@
+"""Tests for the classic-TLS models used in the table-3 comparison."""
+
+import pytest
+
+from repro.compiler import compile_frog
+from repro.tls import (
+    MultiscalarConfig,
+    StampedeConfig,
+    Task,
+    TaskTrace,
+    conflicts_with,
+    extract_tasks,
+    simulate_multiscalar,
+    simulate_stampede,
+)
+from repro.uarch import SparseMemory
+
+
+PARALLEL = """
+fn main(dst: ptr<int>, src: ptr<int>, n: int) {
+    #pragma loopfrog
+    for (var i: int = 0; i < n; i = i + 1) {
+        dst[i] = src[i] * 2;
+    }
+}
+"""
+
+
+def parallel_trace(n=32):
+    program = compile_frog(PARALLEL).program
+    mem = SparseMemory()
+    mem.store_int_array(2000, list(range(n)))
+    return extract_tasks(program, mem, {"r1": 1000, "r2": 2000, "r3": n})
+
+
+def test_extract_tasks_segments_iterations():
+    trace = parallel_trace(32)
+    parallel = trace.parallel_tasks
+    # One task per iteration (roughly), plus serial head/tail.
+    assert 30 <= len(parallel) <= 34
+    assert trace.total_instructions > 0
+    assert trace.mean_parallel_task_size() > 3
+
+
+def test_tasks_carry_read_write_sets():
+    trace = parallel_trace(8)
+    body_tasks = [t for t in trace.parallel_tasks if t.writes]
+    assert body_tasks
+    for task in body_tasks:
+        assert task.reads  # reads src and possibly the induction spill
+
+
+def test_conflicts_with():
+    a = Task(0, 5, reads={1, 2}, writes={3})
+    b = Task(1, 5, reads={3}, writes={9})
+    assert conflicts_with(b, a)       # b reads what a writes
+    assert not conflicts_with(a, b)   # a does not read 9
+
+
+def test_multiscalar_speeds_up_parallel_tasks():
+    trace = parallel_trace(64)
+    result = simulate_multiscalar(trace)
+    assert result.speedup > 1.5
+    assert result.tasks == len(trace.tasks)
+
+
+def test_stampede_coarsens_tasks():
+    # With coarsening, STAMPede forms few large epochs out of our small
+    # iterations; the speedup is modest but not a collapse.
+    trace = parallel_trace(64)
+    result = simulate_stampede(trace)
+    assert result.speedup > 0.8
+
+
+def test_stampede_wins_on_coarse_work():
+    config = StampedeConfig(target_task_size=200)
+    trace = parallel_trace(256)
+    result = simulate_stampede(trace, config)
+    assert result.speedup > 1.1
+
+
+def test_multiscalar_outpaces_stampede_on_small_tasks():
+    # Small tasks suffer under STAMPede's cross-core spawn latency; the
+    # ring's cheap forwarding wins (the granularity contrast of table 3).
+    trace = parallel_trace(64)
+    assert simulate_multiscalar(trace).speedup > simulate_stampede(trace).speedup
+
+
+def test_serial_trace_gets_no_speedup():
+    source = """
+    fn main(a: ptr<int>, n: int) -> int {
+        var s: int = 0;
+        for (var i: int = 0; i < n; i = i + 1) { s = s + a[i]; }
+        return s;
+    }
+    """
+    program = compile_frog(source).program
+    mem = SparseMemory()
+    mem.store_int_array(1000, list(range(50)))
+    trace = extract_tasks(program, mem, {"r1": 1000, "r2": 50})
+    assert not trace.parallel_tasks
+    assert simulate_multiscalar(trace).speedup <= 1.01
+    assert simulate_stampede(trace).speedup <= 1.01
+
+
+def test_dependent_tasks_squash_and_serialise():
+    source = """
+    fn main(data: ptr<int>, n: int) {
+        #pragma loopfrog
+        for (var i: int = 0; i < n; i = i + 1) {
+            var v: int = data[0];
+            data[0] = v + 1;
+        }
+    }
+    """
+    program = compile_frog(source).program
+    mem = SparseMemory()
+    trace = extract_tasks(program, mem, {"r1": 1000, "r2": 40})
+    ms = simulate_multiscalar(trace)
+    assert ms.squashes > 0
+    assert ms.speedup < 1.2
+
+
+def test_scheme_configs_match_table3_rows():
+    assert MultiscalarConfig().num_units == 8
+    assert MultiscalarConfig().area_factor == 8.0
+    assert StampedeConfig().num_cores == 4
+    assert StampedeConfig().area_factor > 4.0

@@ -1,0 +1,96 @@
+"""Tests for the pipeline tracer."""
+
+import pytest
+
+from repro.compiler import compile_frog
+from repro.uarch import SparseMemory, baseline_machine, default_machine
+from repro.uarch.core import Engine
+from repro.uarch.trace import Tracer
+
+SOURCE = """
+fn main(dst: ptr<int>, n: int) {
+    #pragma loopfrog
+    for (var i: int = 0; i < n; i = i + 1) {
+        dst[i] = i * i + 1;
+    }
+}
+"""
+
+
+def traced_engine(machine=None, n=24):
+    program = compile_frog(SOURCE).program
+    engine = Engine(machine or default_machine(), program, SparseMemory(),
+                    {"r1": 0x1000, "r2": n})
+    tracer = Tracer.attach(engine)
+    engine.run()
+    return engine, tracer
+
+
+def test_records_stage_ordering():
+    _, tracer = traced_engine(baseline_machine())
+    assert tracer.records
+    for record in tracer.records.values():
+        if record.squashed:
+            continue
+        if record.fetch is not None and record.dispatch is not None:
+            assert record.dispatch >= record.fetch
+        if record.dispatch is not None and record.issue is not None:
+            assert record.issue >= record.dispatch
+        if record.issue is not None and record.commit is not None:
+            assert record.commit >= record.issue
+
+
+def test_spawn_events_recorded():
+    _, tracer = traced_engine()
+    spawns = [e for e in tracer.events if e.kind == "spawn"]
+    assert spawns
+    assert "region" in spawns[0].detail
+
+
+def test_records_cover_multiple_threadlets():
+    _, tracer = traced_engine()
+    slots = {r.slot for r in tracer.records.values()}
+    assert len(slots) >= 2
+
+
+def test_render_pipeline_shape():
+    _, tracer = traced_engine(baseline_machine())
+    text = tracer.render_pipeline(count=10)
+    lines = text.splitlines()
+    assert len(lines) == 11  # header + 10 rows
+    assert "F" in text and "C" in text
+
+
+def test_render_events_text():
+    _, tracer = traced_engine()
+    assert "spawn" in tracer.render_events()
+
+
+def test_stage_latencies_positive():
+    _, tracer = traced_engine(baseline_machine())
+    latencies = tracer.stage_latencies()
+    assert latencies["fetch_to_dispatch"] >= 0
+    assert latencies["issue_to_commit"] >= 0
+
+
+def test_max_instructions_cap():
+    program = compile_frog(SOURCE).program
+    engine = Engine(baseline_machine(), program, SparseMemory(),
+                    {"r1": 0x1000, "r2": 64})
+    tracer = Tracer.attach(engine, max_instructions=20)
+    engine.run()
+    assert len(tracer.records) <= 20
+
+
+def test_tracing_does_not_change_timing():
+    program = compile_frog(SOURCE).program
+
+    def run(with_tracer):
+        engine = Engine(default_machine(), program, SparseMemory(),
+                        {"r1": 0x1000, "r2": 24})
+        if with_tracer:
+            Tracer.attach(engine)
+        engine.run()
+        return engine.stats.cycles
+
+    assert run(False) == run(True)

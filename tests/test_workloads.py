@@ -1,0 +1,102 @@
+"""Tests for the SPEC-stand-in workloads and suite definitions."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.uarch.executor import Executor
+from repro.workloads import (
+    ALL_CATEGORIES,
+    get_benchmark,
+    get_workload,
+    profitable_2017,
+    suite,
+)
+
+
+def test_suite_sizes():
+    assert len(suite("spec2017")) == 20
+    assert len(suite("spec2006")) == 17
+
+
+def test_unknown_suite_raises():
+    with pytest.raises(WorkloadError):
+        suite("spec2029")
+
+
+def test_unknown_workload_raises():
+    with pytest.raises(WorkloadError):
+        get_workload("nope")
+
+
+def test_profitable_2017_is_thirteen():
+    # The paper reports 13 of 20 CPU 2017 benchmarks profitable.
+    assert len(profitable_2017()) == 13
+
+
+def test_benchmark_weights_normalised():
+    for name in ("spec2017", "spec2006"):
+        for bench in suite(name):
+            assert sum(w for _, w in bench.phases) == pytest.approx(1.0)
+
+
+def test_every_workload_compiles_with_one_annotated_loop():
+    for name in ("spec2017", "spec2006"):
+        for bench in suite(name):
+            for workload, _ in bench.phases:
+                result = workload.compiled()
+                assert len(result.annotated_loops) >= 1, workload.name
+                assert not result.rejected_loops, (
+                    workload.name,
+                    [r.reason for r in result.rejected_loops],
+                )
+
+
+def test_every_workload_runs_functionally():
+    for name in ("spec2017", "spec2006"):
+        for bench in suite(name):
+            for workload, _ in bench.phases:
+                memory, regs = workload.fresh_input()
+                ex = Executor(workload.program, memory)
+                ex.regs.update(regs)
+                ex.run(max_instructions=3_000_000)
+                assert ex.halted, workload.name
+                assert 500 < ex.instruction_count < 500_000, (
+                    workload.name, ex.instruction_count,
+                )
+
+
+def test_inputs_are_deterministic():
+    wl = get_workload("imagick_conv")
+    m1, r1 = wl.fresh_input()
+    m2, r2 = wl.fresh_input()
+    assert r1 == r2
+    assert m1 == m2
+
+
+def test_compiled_results_cached():
+    wl = get_workload("mcf_arcs")
+    assert wl.compiled() is wl.compiled()
+    assert wl.compiled(hints=False) is not wl.compiled()
+    assert not wl.compiled(hints=False).program.has_hints
+
+
+def test_categories_assigned_to_phases():
+    for bench in suite("spec2017"):
+        for workload, _ in bench.phases:
+            if bench.profitable:
+                assert workload.category in ALL_CATEGORIES, workload.name
+
+
+def test_get_benchmark():
+    bench = get_benchmark("imagick")
+    assert bench.suite == "spec2017"
+    assert bench.profitable
+    with pytest.raises(WorkloadError):
+        get_benchmark("quake")
+
+
+def test_no_speedup_set_matches_paper():
+    # Section 6.4.3 names these as showing little or no speedup.
+    names = {b.name for b in suite("spec2017") if not b.profitable}
+    for paper_name in ("namd", "lbm", "blender", "deepsjeng", "leela", "xz"):
+        assert paper_name in names
