@@ -9,11 +9,18 @@ Commands
     experiment ID       regenerate one paper artefact (fig1..fig10,
                         table2, table3, packing, assoc, area)
     workloads           list available benchmarks and their phases
+    results CMD         persistent result store maintenance (stats, gc)
+
+``suite`` and ``experiment`` accept ``--jobs N`` (parallel simulation
+across N processes; default: all cores), ``--no-store`` (skip the
+persistent result cache) and ``--store-dir DIR`` (cache location,
+default ``.repro-results/``).
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Dict, List, Optional
 
@@ -79,9 +86,28 @@ def cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _apply_runner_options(args: argparse.Namespace) -> None:
+    """Translate --jobs/--no-store/--store-dir into runner/store defaults.
+
+    Setting module-wide defaults (rather than threading parameters) means
+    the experiment harnesses — which call ``run_suite`` internally —
+    transparently pick up the requested parallelism and store.
+    """
+    from . import experiments
+    from .results import ResultStore, set_default_store
+
+    if getattr(args, "no_store", False):
+        set_default_store(None)
+    elif getattr(args, "store_dir", None):
+        set_default_store(ResultStore(args.store_dir))
+    jobs = getattr(args, "jobs", None)
+    experiments.configure(jobs=jobs if jobs is not None else os.cpu_count())
+
+
 def cmd_suite(args: argparse.Namespace) -> int:
     from .experiments import run_suite, suite_geomean
 
+    _apply_runner_options(args)
     runs = run_suite(args.name, only=args.only.split(",") if args.only else None)
     items = [(r.name, r.speedup_percent)
              for r in sorted(runs, key=lambda r: -r.speedup)]
@@ -111,6 +137,7 @@ _EXPERIMENTS = {
 def cmd_experiment(args: argparse.Namespace) -> int:
     from . import experiments
 
+    _apply_runner_options(args)
     ids = list(_EXPERIMENTS) if args.id == "all" else [args.id]
     for exp_id in ids:
         if exp_id not in _EXPERIMENTS:
@@ -120,6 +147,26 @@ def cmd_experiment(args: argparse.Namespace) -> int:
         runner = getattr(experiments, _EXPERIMENTS[exp_id])
         print(runner().render())
         print()
+    return 0
+
+
+def cmd_results(args: argparse.Namespace) -> int:
+    from .results import DEFAULT_STORE_DIR, ResultStore
+
+    store = ResultStore(args.store_dir or DEFAULT_STORE_DIR)
+    if args.action == "stats":
+        summary = store.stats()
+        print(f"store:    {store.root}")
+        print(f"records:  {summary.records}")
+        print(f"bytes:    {summary.total_bytes}")
+        print(f"corrupt:  {summary.corrupt}")
+        for schema, count in sorted(summary.by_schema.items()):
+            marker = " (current)" if schema == store.schema else " (stale)"
+            print(f"schema {schema}: {count}{marker}")
+    else:  # gc
+        removed = store.gc(purge=args.purge)
+        what = "all records" if args.purge else "stale/corrupt records"
+        print(f"removed {removed} {what} from {store.root}")
     return 0
 
 
@@ -161,17 +208,35 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--max-cycles", type=int, default=50_000_000)
     p.set_defaults(func=cmd_run)
 
+    def add_runner_options(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--jobs", type=int, default=None, metavar="N",
+                       help="simulate across N processes (default: all cores)")
+        p.add_argument("--no-store", action="store_true",
+                       help="do not read or write the persistent result store")
+        p.add_argument("--store-dir", metavar="DIR",
+                       help="result store location (default: .repro-results)")
+
     p = sub.add_parser("suite", help="run a SPEC stand-in suite")
     p.add_argument("name", choices=["spec2017", "spec2006"])
     p.add_argument("--only", help="comma-separated benchmark names")
+    add_runner_options(p)
     p.set_defaults(func=cmd_suite)
 
     p = sub.add_parser("experiment", help="regenerate a paper artefact")
     p.add_argument("id", help=f"one of: {', '.join(_EXPERIMENTS)}, all")
+    add_runner_options(p)
     p.set_defaults(func=cmd_experiment)
 
     p = sub.add_parser("workloads", help="list benchmarks and phases")
     p.set_defaults(func=cmd_workloads)
+
+    p = sub.add_parser("results", help="persistent result store maintenance")
+    p.add_argument("action", choices=["stats", "gc"])
+    p.add_argument("--store-dir", metavar="DIR",
+                   help="result store location (default: .repro-results)")
+    p.add_argument("--purge", action="store_true",
+                   help="with gc: delete every record, not just stale ones")
+    p.set_defaults(func=cmd_results)
 
     return parser
 

@@ -21,6 +21,8 @@ from .runner import (
     BenchmarkRun,
     PhaseRun,
     clear_cache,
+    configure,
+    default_jobs,
     run_benchmark,
     run_suite,
     run_workload,
@@ -50,6 +52,8 @@ __all__ = [
     "BenchmarkRun",
     "PhaseRun",
     "clear_cache",
+    "configure",
+    "default_jobs",
     "run_benchmark",
     "run_suite",
     "run_workload",

@@ -7,43 +7,195 @@ deselection (section 5.1) is modelled by falling back to the baseline
 cycle count when speculation lost time: real hardware would stop honouring
 the hints of an unprofitable loop.
 
-Results are cached in-process keyed by (workload, machine config), since
-the figure experiments sweep configurations over the same suites.
+Results are cached at two levels, both keyed by content digests of the
+(program, initial input, machine config) triple — see
+:mod:`repro.results.digest`:
+
+* an in-process dict, so configuration sweeps that revisit the same
+  (workload, config) pair never resimulate within a run, and
+* the persistent :class:`~repro.results.ResultStore`, so repeat
+  invocations of the CLI skip simulation entirely.
+
+``run_suite``/``run_benchmark`` accept a ``jobs`` parameter: with
+``jobs > 1`` the distinct uncached simulations are collected, deduped and
+fanned out across a :class:`~concurrent.futures.ProcessPoolExecutor`
+before results are assembled.  ``jobs <= 1`` keeps the exact serial
+in-process path.  Both paths produce bit-identical statistics: the worker
+runs the same :class:`~repro.uarch.core.Engine` on the same inputs.
 """
 
 from __future__ import annotations
 
-import dataclasses
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+import os
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from ..analysis.speedup import BenchmarkResult, geometric_mean, weighted_time
+from ..results.digest import machine_digest, run_digest, workload_digest
+from ..results.store import get_default_store
 from ..uarch.config import MachineConfig, baseline_machine, default_machine
 from ..uarch.core import Engine
 from ..uarch.statistics import SimStats
 from ..workloads.base import Benchmark, Workload
 from ..workloads.suites import suite
 
-_CACHE: Dict[Tuple[str, str], SimStats] = {}
+# In-process result cache.  Keyed by content digests — NOT by workload
+# name — so two workloads that happen to share a name but differ in
+# program or input can never collide, and editing a kernel's source
+# invalidates its entry automatically.
+_CacheKey = Tuple[str, str]
+_CACHE: Dict[_CacheKey, SimStats] = {}
+
+# Default parallelism for run_suite/run_benchmark when the caller passes
+# ``jobs=None``.  Starts serial so library users (and the test suite) get
+# the exact historical behaviour; the CLI raises it via ``configure``.
+_default_jobs = 1
+
+
+def configure(jobs: Optional[int] = None) -> None:
+    """Set process-wide runner defaults (used by the CLI entry point)."""
+    global _default_jobs
+    if jobs is not None:
+        _default_jobs = max(1, jobs)
+
+
+def default_jobs() -> int:
+    return _default_jobs
+
+
+def _resolve_jobs(jobs: Optional[int]) -> int:
+    if jobs is None:
+        return _default_jobs
+    if jobs <= 0:  # 0 / negative mean "all cores", mirroring make -j
+        return os.cpu_count() or 1
+    return jobs
 
 
 def _machine_key(machine: MachineConfig) -> str:
-    return repr(dataclasses.asdict(machine))
+    """Stable identity of a machine config (memoized content digest)."""
+    return machine_digest(machine)
+
+
+def _cache_key(workload: Workload, machine: MachineConfig) -> _CacheKey:
+    return (workload_digest(workload), _machine_key(machine))
+
+
+def _simulate(workload: Workload, machine: MachineConfig) -> SimStats:
+    memory, regs = workload.fresh_input()
+    engine = Engine(machine, workload.program, memory, regs)
+    return engine.run(max_cycles=workload.max_cycles)
 
 
 def run_workload(
     workload: Workload, machine: MachineConfig, use_cache: bool = True
 ) -> SimStats:
-    """Simulate one workload on one machine configuration (cached)."""
-    key = (workload.name, _machine_key(machine))
-    if use_cache and key in _CACHE:
-        return _CACHE[key]
-    memory, regs = workload.fresh_input()
-    engine = Engine(machine, workload.program, memory, regs)
-    stats = engine.run(max_cycles=workload.max_cycles)
-    if use_cache:
-        _CACHE[key] = stats
+    """Simulate one workload on one machine configuration (cached).
+
+    With ``use_cache=True`` the in-process cache is consulted first, then
+    the persistent result store; a fresh simulation populates both.
+    ``use_cache=False`` bypasses both layers entirely.
+    """
+    if not use_cache:
+        return _simulate(workload, machine)
+    key = _cache_key(workload, machine)
+    stats = _CACHE.get(key)
+    if stats is not None:
+        return stats
+    store = get_default_store()
+    if store is not None:
+        digest = run_digest(workload, machine)
+        stats = store.load(digest)
+        if stats is not None:
+            _CACHE[key] = stats
+            return stats
+    stats = _simulate(workload, machine)
+    _CACHE[key] = stats
+    if store is not None:
+        store.save(digest, stats, workload=workload.name, machine=key[1][:12])
     return stats
+
+
+# -- parallel scheduler -------------------------------------------------------
+
+def _run_job(payload) -> SimStats:
+    """Worker-side entry point: one simulation from a picklable payload.
+
+    The payload deliberately excludes the :class:`Workload` object —
+    its ``setup`` member is usually a closure, which does not pickle.
+    The parent materializes ``fresh_input()`` and ships plain state.
+    """
+    program, memory, regs, machine, max_cycles = payload
+    engine = Engine(machine, program, memory, regs)
+    return engine.run(max_cycles=max_cycles)
+
+
+def _prefetch(
+    pairs: Iterable[Tuple[Workload, MachineConfig]], jobs: int
+) -> None:
+    """Ensure every (workload, config) pair is cached, simulating misses
+    in parallel.
+
+    Pairs are deduped by content digest, then filtered against the
+    in-process cache and the persistent store; only true misses are
+    dispatched to worker processes.  Results land in both cache layers,
+    so the subsequent serial assembly pass is all hits.
+    """
+    store = get_default_store()
+    pending: Dict[_CacheKey, Tuple[Workload, MachineConfig]] = {}
+    for workload, machine in pairs:
+        key = _cache_key(workload, machine)
+        if key in _CACHE or key in pending:
+            continue
+        if store is not None:
+            stats = store.load(run_digest(workload, machine))
+            if stats is not None:
+                _CACHE[key] = stats
+                continue
+        pending[key] = (workload, machine)
+    if not pending:
+        return
+    if jobs <= 1 or len(pending) == 1:
+        for key, (workload, machine) in pending.items():
+            run_workload(workload, machine)
+        return
+    payloads = {}
+    for key, (workload, machine) in pending.items():
+        memory, regs = workload.fresh_input()
+        payloads[key] = (
+            workload.program, memory, regs, machine, workload.max_cycles
+        )
+    workers = min(jobs, len(pending))
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        futures = {
+            pool.submit(_run_job, payload): key
+            for key, payload in payloads.items()
+        }
+        for future in as_completed(futures):
+            key = futures[future]
+            stats = future.result()
+            _CACHE[key] = stats
+            if store is not None:
+                workload, machine = pending[key]
+                store.save(
+                    run_digest(workload, machine),
+                    stats,
+                    workload=workload.name,
+                    machine=key[1][:12],
+                )
+
+
+def _benchmark_pairs(
+    benchmarks: Iterable[Benchmark],
+    machine: MachineConfig,
+    baseline: MachineConfig,
+) -> List[Tuple[Workload, MachineConfig]]:
+    pairs = []
+    for benchmark in benchmarks:
+        for workload, _weight in benchmark.phases:
+            pairs.append((workload, baseline))
+            pairs.append((workload, machine))
+    return pairs
 
 
 @dataclass
@@ -139,10 +291,14 @@ def run_benchmark(
     baseline: Optional[MachineConfig] = None,
     dynamic_deselection: bool = True,
     use_cache: bool = True,
+    jobs: Optional[int] = None,
 ) -> BenchmarkRun:
     """Run one benchmark under both configurations."""
     machine = machine or default_machine()
     baseline = baseline or baseline_machine()
+    jobs = _resolve_jobs(jobs)
+    if use_cache and jobs > 1:
+        _prefetch(_benchmark_pairs([benchmark], machine, baseline), jobs)
     phases = []
     for workload, weight in benchmark.phases:
         base_stats = run_workload(workload, baseline, use_cache)
@@ -161,18 +317,24 @@ def run_suite(
     dynamic_deselection: bool = True,
     use_cache: bool = True,
     only: Optional[List[str]] = None,
+    jobs: Optional[int] = None,
 ) -> List[BenchmarkRun]:
     """Run a whole suite; ``only`` restricts to the named benchmarks."""
-    runs = []
-    for benchmark in suite(suite_name):
-        if only is not None and benchmark.name not in only:
-            continue
-        runs.append(
-            run_benchmark(
-                benchmark, machine, baseline, dynamic_deselection, use_cache
-            )
+    machine = machine or default_machine()
+    baseline = baseline or baseline_machine()
+    jobs = _resolve_jobs(jobs)
+    benchmarks = [
+        b for b in suite(suite_name) if only is None or b.name in only
+    ]
+    if use_cache and jobs > 1:
+        _prefetch(_benchmark_pairs(benchmarks, machine, baseline), jobs)
+    return [
+        run_benchmark(
+            benchmark, machine, baseline, dynamic_deselection, use_cache,
+            jobs=1,  # everything uncached was just prefetched
         )
-    return runs
+        for benchmark in benchmarks
+    ]
 
 
 def suite_geomean(runs: List[BenchmarkRun]) -> float:

@@ -164,6 +164,13 @@ MEMORY_OPCODES = frozenset({Opcode.LOAD, Opcode.STORE, Opcode.FLOAD, Opcode.FSTO
 LOAD_OPCODES = frozenset({Opcode.LOAD, Opcode.FLOAD})
 STORE_OPCODES = frozenset({Opcode.STORE, Opcode.FSTORE})
 
+# Stable integer indices: the timing model and the functional executor use
+# these to replace enum-keyed dict lookups on hot paths with list indexing.
+OPCLASS_ORDER: Tuple[OpClass, ...] = tuple(OpClass)
+OPCLASS_INDEX = {cls: i for i, cls in enumerate(OPCLASS_ORDER)}
+OPCODE_ORDER: Tuple[Opcode, ...] = tuple(Opcode)
+OPCODE_INDEX = {op: i for i, op in enumerate(OPCODE_ORDER)}
+
 
 @dataclass
 class Instruction:
@@ -195,47 +202,40 @@ class Instruction:
     index: int = -1  # position in the program; set by Program
     comment: str = ""
 
-    @property
-    def op_class(self) -> OpClass:
-        return _OP_CLASS[self.opcode]
+    # Derived classification attributes.  These were formerly computed per
+    # access via properties, which dominated the timing model's profile
+    # (enum hashing in frozenset/dict lookups on every dynamic instruction).
+    # They are precomputed once here; ``opcode``/``dest``/``srcs`` are never
+    # mutated after construction (only ``index``/``target_index``/
+    # ``region_index`` are patched in, by Program resolution).
 
-    @property
-    def is_branch(self) -> bool:
-        return self.opcode in BRANCH_OPCODES
-
-    @property
-    def is_conditional_branch(self) -> bool:
-        return self.opcode in CONDITIONAL_BRANCHES
-
-    @property
-    def is_memory(self) -> bool:
-        return self.opcode in MEMORY_OPCODES
-
-    @property
-    def is_load(self) -> bool:
-        return self.opcode in LOAD_OPCODES
-
-    @property
-    def is_store(self) -> bool:
-        return self.opcode in STORE_OPCODES
-
-    @property
-    def is_hint(self) -> bool:
-        return self.opcode in HINT_OPCODES
+    def __post_init__(self) -> None:
+        op = self.opcode
+        self.op_class = _OP_CLASS[op]
+        self.op_index = OPCLASS_INDEX[self.op_class]
+        self.opcode_index = OPCODE_INDEX[op]
+        self.is_branch = op in BRANCH_OPCODES
+        self.is_conditional_branch = op in CONDITIONAL_BRANCHES
+        self.is_memory = op in MEMORY_OPCODES
+        self.is_load = op in LOAD_OPCODES
+        self.is_store = op in STORE_OPCODES
+        self.is_hint = op in HINT_OPCODES
+        self.dest_is_fp = bool(self.dest and self.dest.startswith("f"))
+        self._reads = ("ra",) if op is Opcode.RET else self.srcs
+        if op is Opcode.CALL:
+            self._writes: Tuple[str, ...] = ("ra",)
+        elif self.dest is not None:
+            self._writes = (self.dest,)
+        else:
+            self._writes = ()
 
     def reads(self) -> Tuple[str, ...]:
         """Register names this instruction reads."""
-        if self.opcode is Opcode.RET:
-            return ("ra",)
-        return self.srcs
+        return self._reads
 
     def writes(self) -> Tuple[str, ...]:
         """Register names this instruction writes."""
-        if self.opcode is Opcode.CALL:
-            return ("ra",)
-        if self.dest is not None:
-            return (self.dest,)
-        return ()
+        return self._writes
 
     def __str__(self) -> str:
         parts = [self.opcode.value]

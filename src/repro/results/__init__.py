@@ -1,0 +1,35 @@
+"""Persistent, content-addressed simulation results.
+
+See :mod:`repro.results.store` for the on-disk format and
+:mod:`repro.results.digest` for how store keys are derived.
+"""
+
+from ..uarch.core import ENGINE_SCHEMA_VERSION
+from .digest import machine_digest, program_digest, run_digest, workload_digest
+from .serialize import stats_from_dict, stats_to_dict
+from .store import (
+    DEFAULT_STORE_DIR,
+    NO_STORE_ENV,
+    STORE_DIR_ENV,
+    ResultStore,
+    StoreStats,
+    get_default_store,
+    set_default_store,
+)
+
+__all__ = [
+    "ENGINE_SCHEMA_VERSION",
+    "DEFAULT_STORE_DIR",
+    "NO_STORE_ENV",
+    "STORE_DIR_ENV",
+    "ResultStore",
+    "StoreStats",
+    "get_default_store",
+    "set_default_store",
+    "machine_digest",
+    "program_digest",
+    "run_digest",
+    "workload_digest",
+    "stats_from_dict",
+    "stats_to_dict",
+]

@@ -1,0 +1,218 @@
+"""On-disk content-addressed result store.
+
+Layout (under the store root, default ``.repro-results/``)::
+
+    .repro-results/
+        ab/
+            ab3f...e2.json     # one record per (workload, config, schema)
+        cd/
+            cd01...9a.json
+
+Records are sharded by the first two hex digits of their digest to keep
+directories small.  Each record is self-describing::
+
+    {
+      "digest":  "<sha256 run digest>",
+      "schema":  1,                      # ENGINE_SCHEMA_VERSION at save time
+      "workload": "x264_sad",            # informational only
+      "machine":  "8wide",               # informational only
+      "created": 1754500000.0,
+      "stats":   { ... SimStats fields ... }
+    }
+
+Guarantees:
+
+* **Atomic writes** — records are written to a temp file in the shard
+  directory and ``os.replace``d into place, so readers never observe a
+  half-written record (concurrent writers of the same digest both write
+  the same bytes, so last-writer-wins is harmless).
+* **Corruption tolerance** — any unreadable, unparsable, or mismatched
+  record is treated as a cache miss, never an error.
+* **Schema invalidation** — a record saved by an engine with a different
+  ``ENGINE_SCHEMA_VERSION`` is a miss; :meth:`ResultStore.gc` deletes such
+  stale records.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterator, Optional
+
+from ..uarch.core import ENGINE_SCHEMA_VERSION
+from ..uarch.statistics import SimStats
+from .serialize import stats_from_dict, stats_to_dict
+
+DEFAULT_STORE_DIR = ".repro-results"
+# Environment overrides, honoured by the default store only.
+STORE_DIR_ENV = "REPRO_STORE_DIR"
+NO_STORE_ENV = "REPRO_NO_STORE"
+
+
+@dataclass
+class StoreStats:
+    """Summary returned by :meth:`ResultStore.stats`."""
+
+    records: int = 0
+    total_bytes: int = 0
+    corrupt: int = 0
+    by_schema: Dict[int, int] = field(default_factory=dict)
+
+
+class ResultStore:
+    """Persistent cache of simulation results keyed by content digest."""
+
+    def __init__(self, root=DEFAULT_STORE_DIR, schema: int = ENGINE_SCHEMA_VERSION):
+        self.root = Path(root)
+        self.schema = schema
+
+    # -- paths ---------------------------------------------------------------
+
+    def _path(self, digest: str) -> Path:
+        return self.root / digest[:2] / f"{digest}.json"
+
+    def _records(self) -> Iterator[Path]:
+        if not self.root.is_dir():
+            return
+        for shard in sorted(self.root.iterdir()):
+            if not shard.is_dir():
+                continue
+            for path in sorted(shard.glob("*.json")):
+                yield path
+
+    # -- read/write ----------------------------------------------------------
+
+    def load(self, digest: str) -> Optional[SimStats]:
+        """The stored stats for ``digest``, or ``None`` on any kind of miss."""
+        record = self._read_record(self._path(digest))
+        if record is None:
+            return None
+        if record.get("digest") != digest or record.get("schema") != self.schema:
+            return None
+        try:
+            return stats_from_dict(record["stats"])
+        except (KeyError, TypeError, ValueError):
+            return None
+
+    def save(self, digest: str, stats: SimStats,
+             workload: str = "", machine: str = "") -> Path:
+        """Atomically persist ``stats`` under ``digest``; returns the path."""
+        path = self._path(digest)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        record = {
+            "digest": digest,
+            "schema": self.schema,
+            "workload": workload,
+            "machine": machine,
+            "created": time.time(),
+            "stats": stats_to_dict(stats),
+        }
+        fd, tmp_name = tempfile.mkstemp(
+            dir=path.parent, prefix=".tmp-", suffix=".json"
+        )
+        try:
+            with os.fdopen(fd, "w") as fh:
+                json.dump(record, fh, separators=(",", ":"))
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        return path
+
+    def __contains__(self, digest: str) -> bool:
+        return self.load(digest) is not None
+
+    @staticmethod
+    def _read_record(path: Path) -> Optional[dict]:
+        try:
+            with open(path) as fh:
+                record = json.load(fh)
+        except (OSError, ValueError):
+            return None
+        return record if isinstance(record, dict) else None
+
+    # -- maintenance ---------------------------------------------------------
+
+    def stats(self) -> StoreStats:
+        """Record count, footprint, and per-schema breakdown."""
+        summary = StoreStats()
+        for path in self._records():
+            try:
+                summary.total_bytes += path.stat().st_size
+            except OSError:
+                continue
+            record = self._read_record(path)
+            if record is None or "schema" not in record:
+                summary.corrupt += 1
+                continue
+            summary.records += 1
+            schema = record["schema"]
+            summary.by_schema[schema] = summary.by_schema.get(schema, 0) + 1
+        return summary
+
+    def gc(self, purge: bool = False) -> int:
+        """Delete stale records; returns the number removed.
+
+        By default removes records from other engine schema versions and
+        corrupt records.  ``purge=True`` empties the store entirely.
+        """
+        removed = 0
+        for path in list(self._records()):
+            if not purge:
+                record = self._read_record(path)
+                if record is not None and record.get("schema") == self.schema:
+                    continue
+            try:
+                os.unlink(path)
+                removed += 1
+            except OSError:
+                pass
+        # Drop emptied shard directories to keep the tree tidy.
+        if self.root.is_dir():
+            for shard in self.root.iterdir():
+                if shard.is_dir():
+                    try:
+                        shard.rmdir()
+                    except OSError:
+                        pass
+        return removed
+
+
+# ---------------------------------------------------------------------------
+# Default store: shared by the experiment runner and the CLI.
+# ---------------------------------------------------------------------------
+
+_default_store: Optional[ResultStore] = None
+_default_resolved = False
+
+
+def get_default_store() -> Optional[ResultStore]:
+    """The process-wide store, or ``None`` when persistence is disabled.
+
+    Resolution order: an explicit :func:`set_default_store` wins; otherwise
+    the ``REPRO_NO_STORE``/``REPRO_STORE_DIR`` environment variables decide.
+    """
+    global _default_store, _default_resolved
+    if not _default_resolved:
+        if os.environ.get(NO_STORE_ENV):
+            _default_store = None
+        else:
+            _default_store = ResultStore(
+                os.environ.get(STORE_DIR_ENV, DEFAULT_STORE_DIR)
+            )
+        _default_resolved = True
+    return _default_store
+
+
+def set_default_store(store: Optional[ResultStore]) -> None:
+    """Override the process-wide store (``None`` disables persistence)."""
+    global _default_store, _default_resolved
+    _default_store = store
+    _default_resolved = True

@@ -40,7 +40,9 @@ class _CacheLevel:
         return self.sets[line_addr % self.num_sets]
 
     def lookup(self, line_addr: int) -> bool:
-        cache_set = self._set_for(line_addr)
+        # Inlined set selection: this runs once per fetched instruction and
+        # once per data access, so the extra call was measurable.
+        cache_set = self.sets[line_addr % self.num_sets]
         if line_addr in cache_set:
             self._stamp += 1
             cache_set[line_addr] = self._stamp
@@ -48,7 +50,7 @@ class _CacheLevel:
         return False
 
     def insert(self, line_addr: int) -> None:
-        cache_set = self._set_for(line_addr)
+        cache_set = self.sets[line_addr % self.num_sets]
         self._stamp += 1
         if line_addr in cache_set:
             cache_set[line_addr] = self._stamp

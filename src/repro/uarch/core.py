@@ -33,29 +33,48 @@ from collections import deque
 from typing import Dict, List, Optional, Set, Tuple
 
 from ..errors import ExecutionError, SimulationError
-from ..isa.instructions import Instruction, OpClass, Opcode
+from ..isa.instructions import (
+    OPCLASS_ORDER,
+    Instruction,
+    OpClass,
+    Opcode,
+)
 from ..isa.program import Program
 from ..isa.registers import initial_register_file
 from .branch_pred import FrontEndPredictor
 from .caches import MemoryHierarchy
 from .config import MachineConfig
 from .conflict import ConflictDetector
-from .executor import execute_one
+from .executor import DISPATCH as _EXEC_DISPATCH
 from .memory_state import SparseMemory
 from .packing import IterationPacker
 from .ssb import SpeculativeStateBuffer
 from .statistics import SimStats
 from .threadlet import Threadlet, ThreadletState
 
+# Version of the engine's *timing semantics*.  The persistent result store
+# (repro.results) keys cached simulation results on this value: bump it on
+# ANY change that can alter cycle counts or statistics, so stale results
+# from older engines are invalidated across sessions.  Pure speedups that
+# keep outputs bit-identical (like the hot-path work in this module) must
+# NOT bump it — that is what keeps warm re-runs instant across versions.
+ENGINE_SCHEMA_VERSION = 1
+
+
+# Shared default for PipelineInstr.mem_dep_writers: it is only ever
+# iterated (dispatch) or replaced wholesale (fetch of a load), never
+# mutated in place, so all non-load instructions can share one tuple.
+_NO_WRITERS: Tuple["PipelineInstr", ...] = ()
+
 
 class PipelineInstr:
     """One dynamic instruction in flight."""
 
     __slots__ = (
-        "seq", "slot", "pc", "instr", "op_class", "consumers", "num_pending",
-        "dispatched", "issued", "ready_cycle", "committed", "squashed",
-        "mem_addr", "mem_size", "taken", "mispredicted", "dest_is_fp",
-        "mem_dep_writers", "is_load", "is_store",
+        "seq", "slot", "pc", "instr", "op_class", "op_index", "consumers",
+        "num_pending", "dispatched", "issued", "ready_cycle", "committed",
+        "squashed", "mem_addr", "mem_size", "taken", "mispredicted",
+        "dest_is_fp", "mem_dep_writers", "is_load", "is_store",
     )
 
     def __init__(self, seq: int, slot: int, pc: int, instr: Instruction):
@@ -64,6 +83,7 @@ class PipelineInstr:
         self.pc = pc
         self.instr = instr
         self.op_class = instr.op_class
+        self.op_index = instr.op_index
         self.consumers: List["PipelineInstr"] = []
         self.num_pending = 0
         self.dispatched = False
@@ -75,8 +95,8 @@ class PipelineInstr:
         self.mem_size = 0
         self.taken = False
         self.mispredicted = False
-        self.dest_is_fp = bool(instr.dest and instr.dest.startswith("f"))
-        self.mem_dep_writers: List["PipelineInstr"] = []
+        self.dest_is_fp = instr.dest_is_fp
+        self.mem_dep_writers = _NO_WRITERS
         self.is_load = instr.is_load
         self.is_store = instr.is_store
 
@@ -138,6 +158,8 @@ class Engine:
         self.core = machine.core
         self.lf = machine.loopfrog
         self.program = program
+        self._instructions = program.instructions
+        self._program_len = len(self._instructions)
         self.memory = memory if memory is not None else SparseMemory()
         self.stats = SimStats()
         self.hierarchy = MemoryHierarchy(machine.memory, self.stats)
@@ -181,7 +203,14 @@ class Engine:
 
         self.ready: List[Tuple[int, PipelineInstr]] = []   # issueable heap
         self.completions: List[Tuple[int, int, PipelineInstr]] = []
-        self._mem_views = {}
+        # Issue-path FU tables indexed by OpClass position (see OPCLASS_ORDER):
+        # list indexing avoids enum hashing on every issued instruction.
+        self._fu_latency_by_index = [
+            self.core.fu_latency.get(cls, 1) for cls in OPCLASS_ORDER
+        ]
+        self._fu_ports_template = [
+            self.core.fu_ports.get(cls, 8) for cls in OPCLASS_ORDER
+        ]
         # Cached per-access scratch set by _spec_load/_spec_store.
         self._last_writers: List[PipelineInstr] = []
         self._last_forwarded = False
@@ -256,24 +285,27 @@ class Engine:
         if not accepted:
             raise AssertionError("SSB overflow must be pre-checked in fetch")
         self.stats.ssb_writes += 1
+        g = self.lf.granule_bytes
+        first_granule = addr // g
+        last_granule = (addr + size - 1) // g
         # Sub-granule stores read-modify-write the whole granule: the read
         # that fills the unwritten bytes joins the read set and can cause
         # false-sharing conflicts (section 4.1.1).  This is what makes
         # large granules hurt in figure 10.
-        g = self.lf.granule_bytes
         if addr % g or size % g:
-            for granule in range(addr // g, (addr + size - 1) // g + 1):
+            end = addr + size
+            for granule in range(first_granule, last_granule + 1):
                 g_start = granule * g
-                if addr > g_start or addr + size < g_start + g:
+                if addr > g_start or end < g_start + g:
                     self.conflicts.on_speculative_read(t.slot, g_start, g)
         victim = self.conflicts.on_write(
             t.slot, addr, size, self._younger_slots(t)
         )
         if victim is not None:
             self._squash_restart(self._by_slot(victim), reason="conflict")
-        g = self.lf.granule_bytes
-        for granule in range(addr // g, (addr + size - 1) // g + 1):
-            t.store_writers[granule] = pi_writer
+        store_writers = t.store_writers
+        for granule in range(first_granule, last_granule + 1):
+            store_writers[granule] = pi_writer
 
     def _arch_load(self, t: Threadlet, addr: int, size: int) -> int:
         # Architectural reads come straight from memory; no RD-set update is
@@ -289,8 +321,9 @@ class Engine:
             self._squash_restart(self._by_slot(victim), reason="conflict")
         g = self.lf.granule_bytes
         pi_writer = self._current_pi
+        store_writers = t.store_writers
         for granule in range(addr // g, (addr + size - 1) // g + 1):
-            t.store_writers[granule] = pi_writer
+            store_writers[granule] = pi_writer
 
     def _by_slot(self, slot: int) -> Threadlet:
         return self.threadlets[slot]
@@ -301,19 +334,28 @@ class Engine:
 
     def _fetch(self) -> None:
         budget = self.core.fetch_width
+        running = ThreadletState.RUNNING
         for t in list(self.order):
             if budget <= 0:
                 break
-            if not t.active or t.state is ThreadletState.HALTED:
+            # Only RUNNING threadlets fetch (HALTED/FREE/faulted ones do not).
+            if t.state is not running:
                 continue
             budget = self._fetch_threadlet(t, budget)
 
     def _fetch_threadlet(self, t: Threadlet, budget: int) -> int:
         cycle = self.cycle
+        program = self._instructions
+        program_len = self._program_len
+        hierarchy = self.hierarchy
+        running = ThreadletState.RUNNING
+        fetch_queue = t.fetch_queue
+        queue_size = t.fetch_queue_size
+        lf_enabled = self.lf.enabled
         while budget > 0:
-            if t.fetch_done or t.state is not ThreadletState.RUNNING:
+            if t.fetch_done or t.state is not running:
                 break
-            if len(t.fetch_queue) >= t.fetch_queue_size:
+            if len(fetch_queue) >= queue_size:
                 break
             # Mispredicted-branch gate: wait for resolution + redirect.
             branch = t.fetch_stall_branch
@@ -329,22 +371,22 @@ class Engine:
                     break
             if t.fetch_stall_until > cycle:
                 break
-            if not 0 <= t.pc < len(self.program):
+            if not 0 <= t.pc < program_len:
                 t.faulted = f"pc {t.pc} out of range"
                 t.fetch_done = True
                 break
 
             # Instruction cache: a hit (latency 1) does not stall fetch.
-            ready = self.hierarchy.access_instruction(t.pc, cycle)
+            ready = hierarchy.access_instruction(t.pc, cycle)
             if ready > cycle + 1:
                 t.fetch_stall_until = ready
                 break
 
-            instr = self.program[t.pc]
+            instr = program[t.pc]
 
             # SSB capacity pre-check for speculative stores: a full slice
             # stalls the threadlet (writes can never be dropped, 4.1.2).
-            if instr.is_store and not t.is_arch and self.lf.enabled:
+            if instr.is_store and not t.is_arch and lf_enabled:
                 addr = int(t.regs[instr.srcs[1]]) + int(instr.imm or 0)
                 if not self._ssb_can_accept(t, addr, instr.size):
                     t.ssb_stalled = True
@@ -356,7 +398,7 @@ class Engine:
             budget -= 1
             if not consumed:
                 break
-            if t.fetch_queue and t.fetch_queue[-1].taken:
+            if fetch_queue and fetch_queue[-1].taken:
                 break  # at most one taken branch per threadlet per cycle
         return budget
 
@@ -376,29 +418,29 @@ class Engine:
     def _fetch_one(self, t: Threadlet, instr: Instruction) -> bool:
         """Functionally execute and enqueue one instruction for ``t``."""
         cycle = self.cycle
+        stats = self.stats
         pi = PipelineInstr(self.seq, t.slot, t.pc, instr)
         self.seq += 1
         self._current_pi = pi
         self._last_writers = []
 
-        t.note_register_reads(instr.reads())
+        t.note_register_reads(instr._reads)
 
-        op = instr.opcode
-        if op is Opcode.HALT:
+        if instr.opcode is Opcode.HALT:
             t.fetch_done = True
             t.fetch_queue.append(pi)
             t.epoch_fetched += 1
-            self.stats.fetched_instructions += 1
+            stats.fetched_instructions += 1
             return True
 
         view = self._view_for(t)
         try:
-            result = execute_one(instr, t.regs, view, t.pc)
+            result = _EXEC_DISPATCH[instr.opcode_index](instr, t.regs, view, t.pc)
         except ExecutionError as exc:
             t.faulted = str(exc)
             t.fetch_done = True
             return False
-        t.note_register_writes(instr.writes())
+        t.note_register_writes(instr._writes)
 
         pi.mem_addr = result.mem_addr
         pi.mem_size = result.mem_size
@@ -408,21 +450,21 @@ class Engine:
 
         # Branch prediction accounting.
         if instr.is_branch:
-            self.stats.branches += 1
+            stats.branches += 1
             correct, target_known = self.predictor.predict_instruction(
                 t.pc, instr, result.taken, result.next_pc, t.slot
             )
             if not correct:
-                self.stats.branch_mispredicts += 1
+                stats.branch_mispredicts += 1
                 pi.mispredicted = True
                 t.fetch_stall_branch = pi
             elif result.taken and not target_known:
-                self.stats.btb_misses += 1
+                stats.btb_misses += 1
                 t.fetch_stall_until = cycle + self.core.btb_miss_penalty
 
         t.fetch_queue.append(pi)
         t.epoch_fetched += 1
-        self.stats.fetched_instructions += 1
+        stats.fetched_instructions += 1
         t.pc = result.next_pc
 
         # LoopFrog hint semantics (section 3.1).
@@ -431,10 +473,11 @@ class Engine:
         return True
 
     def _view_for(self, t: Threadlet):
-        view = self._mem_views.get((t.slot, t.is_arch))
-        if view is None:
-            view = (_ArchMemView if t.is_arch else _SpecMemView)(self, t)
-            self._mem_views[(t.slot, t.is_arch)] = view
+        cached = t.mem_view
+        if cached is not None and cached[0] is t.is_arch:
+            return cached[1]
+        view = (_ArchMemView if t.is_arch else _SpecMemView)(self, t)
+        t.mem_view = (t.is_arch, view)
         return view
 
     # ------------------------------------------------------------------
@@ -643,18 +686,24 @@ class Engine:
     # ------------------------------------------------------------------
 
     def _dispatch(self) -> None:
-        budget = self.core.dispatch_width
         core = self.core
-        for t in list(self.order):
-            while budget > 0 and t.fetch_queue:
-                pi = t.fetch_queue[0]
-                if self.rob_used >= core.rob_size:
+        budget = core.dispatch_width
+        rob_size = core.rob_size
+        iq_size = core.iq_size
+        lq_size = core.lq_size
+        sq_size = core.sq_size
+        # Dispatch never mutates ``order``; iterate it directly.
+        for t in self.order:
+            fetch_queue = t.fetch_queue
+            while budget > 0 and fetch_queue:
+                pi = fetch_queue[0]
+                if self.rob_used >= rob_size:
                     return
-                if self.iq_used >= core.iq_size:
+                if self.iq_used >= iq_size:
                     return
-                if pi.is_load and self.lq_used >= core.lq_size:
+                if pi.is_load and self.lq_used >= lq_size:
                     break
-                if pi.is_store and self.sq_used >= core.sq_size:
+                if pi.is_store and self.sq_used >= sq_size:
                     break
                 if pi.instr.dest is not None:
                     if pi.dest_is_fp:
@@ -662,7 +711,7 @@ class Engine:
                             return
                     elif self.int_regs_used >= core.int_phys_regs:
                         return
-                t.fetch_queue.popleft()
+                fetch_queue.popleft()
                 self._dispatch_one(t, pi)
                 budget -= 1
 
@@ -673,7 +722,8 @@ class Engine:
             self.lq_used += 1
         if pi.is_store:
             self.sq_used += 1
-        if pi.instr.dest is not None:
+        instr = pi.instr
+        if instr.dest is not None:
             if pi.dest_is_fp:
                 self.fp_regs_used += 1
             else:
@@ -681,8 +731,9 @@ class Engine:
 
         deps: List[PipelineInstr] = []
         cycle = self.cycle
-        for reg in pi.instr.reads():
-            producer = t.rename.get(reg)
+        rename = t.rename
+        for reg in instr._reads:
+            producer = rename.get(reg)
             if producer is not None and not producer.squashed and not producer.done(cycle):
                 deps.append(producer)
         if pi.is_load:
@@ -690,13 +741,15 @@ class Engine:
             # granule map is updated at fetch, which runs ahead of dispatch,
             # so only stores *older in program order* are real producers.
             g = self.lf.granule_bytes
+            seq = pi.seq
+            store_writers = t.store_writers
             for granule in range(
                 pi.mem_addr // g, (pi.mem_addr + pi.mem_size - 1) // g + 1
             ):
-                writer = t.store_writers.get(granule)
+                writer = store_writers.get(granule)
                 if (
                     writer is not None
-                    and writer.seq < pi.seq
+                    and writer.seq < seq
                     and not writer.squashed
                     and not writer.done(cycle)
                 ):
@@ -704,24 +757,25 @@ class Engine:
             for writer in pi.mem_dep_writers:
                 if (
                     writer is not None
-                    and writer.seq < pi.seq
+                    and writer.seq < seq
                     and not writer.squashed
                     and not writer.done(cycle)
                 ):
                     deps.append(writer)
 
-        unique_deps = []
-        seen: Set[int] = set()
-        for d in deps:
-            if id(d) not in seen:
-                seen.add(id(d))
-                unique_deps.append(d)
-        pi.num_pending = len(unique_deps)
-        for d in unique_deps:
-            d.consumers.append(pi)
+        if deps:
+            unique_deps = []
+            seen: Set[int] = set()
+            for d in deps:
+                if id(d) not in seen:
+                    seen.add(id(d))
+                    unique_deps.append(d)
+            pi.num_pending = len(unique_deps)
+            for d in unique_deps:
+                d.consumers.append(pi)
 
-        for reg in pi.instr.writes():
-            t.rename[reg] = pi
+        for reg in instr._writes:
+            rename[reg] = pi
 
         pi.dispatched = True
         t.inflight.append(pi)
@@ -734,30 +788,33 @@ class Engine:
     # ------------------------------------------------------------------
 
     def _issue(self) -> None:
+        ready = self.ready
+        if not ready:
+            return
         budget = self.core.issue_width
-        ports = dict(self.core.fu_ports)
+        ports = self._fu_ports_template[:]
         retry: List[Tuple[int, PipelineInstr]] = []
         cycle = self.cycle
-        while budget > 0 and self.ready:
-            seq, pi = heapq.heappop(self.ready)
+        heappop = heapq.heappop
+        while budget > 0 and ready:
+            seq, pi = heappop(ready)
             if pi.squashed or pi.issued:
                 continue
-            cls = pi.op_class
-            if ports.get(cls, 8) <= 0:
+            ci = pi.op_index
+            if ports[ci] <= 0:
                 retry.append((seq, pi))
                 continue
-            ports[cls] = ports.get(cls, 8) - 1
+            ports[ci] -= 1
             budget -= 1
             self._issue_one(pi, cycle)
         for item in retry:
-            heapq.heappush(self.ready, item)
+            heapq.heappush(ready, item)
 
     def _issue_one(self, pi: PipelineInstr, cycle: int) -> None:
         pi.issued = True
         self.iq_used -= 1
         self.stats.issued_instructions += 1
-        latency = self.core.fu_latency.get(pi.op_class, 1)
-        done_at = cycle + latency
+        done_at = cycle + self._fu_latency_by_index[pi.op_index]
 
         if pi.is_load:
             fill = self.hierarchy.access_data(
@@ -782,8 +839,12 @@ class Engine:
 
     def _process_completions(self) -> None:
         cycle = self.cycle
-        while self.completions and self.completions[0][0] <= cycle:
-            _, _, pi = heapq.heappop(self.completions)
+        completions = self.completions
+        ready = self.ready
+        heappop = heapq.heappop
+        heappush = heapq.heappush
+        while completions and completions[0][0] <= cycle:
+            _, _, pi = heappop(completions)
             if pi.squashed:
                 continue
             for consumer in pi.consumers:
@@ -791,7 +852,7 @@ class Engine:
                     continue
                 consumer.num_pending -= 1
                 if consumer.num_pending <= 0 and consumer.dispatched:
-                    heapq.heappush(self.ready, (consumer.seq, consumer))
+                    heappush(ready, (consumer.seq, consumer))
 
     # ------------------------------------------------------------------
     # Commit (instruction level and threadlet level)
@@ -800,20 +861,25 @@ class Engine:
     def _commit(self) -> None:
         budget = self.core.commit_width
         cycle = self.cycle
-        for t in list(self.order):
-            while budget > 0 and t.inflight:
-                pi = t.inflight[0]
-                if not pi.done(cycle):
+        stats = self.stats
+        # Safe to iterate directly: order is only mutated on the _finish
+        # path, which returns out of the loop immediately.
+        for t in self.order:
+            inflight = t.inflight
+            while budget > 0 and inflight:
+                pi = inflight[0]
+                if not (pi.issued and pi.ready_cycle is not None
+                        and pi.ready_cycle <= cycle):
                     break
-                t.inflight.popleft()
+                inflight.popleft()
                 self._release_entry(pi, committed=True)
                 t.epoch_committed += 1
                 budget -= 1
                 if t.is_arch:
-                    self.stats.arch_instructions += 1
+                    stats.arch_instructions += 1
                     region = t.stat_region
                     if region is not None:
-                        self.stats.region(region).arch_instructions += 1
+                        stats.region(region).arch_instructions += 1
                     if pi.instr.opcode is Opcode.HALT:
                         self._finish()
                         return
@@ -908,11 +974,16 @@ class Engine:
         return self.stats.region(name)
 
     def _per_cycle_stats(self) -> None:
-        active = sum(1 for t in self.threadlets if t.active)
-        self.stats.note_active_threadlets(active)
+        # ``order`` holds exactly the active (RUNNING/HALTED) threadlets:
+        # spawn appends, and every recycle is followed by a _refresh_order
+        # or an order.pop — so its length IS the active count.
+        stats = self.stats
+        active = len(self.order)
+        cycles = stats.active_threadlet_cycles
+        cycles[active] = cycles.get(active, 0) + 1
         region = self.order[0].stat_region
         if region is not None:
-            self.stats.region(region).arch_cycles += 1
+            stats.region(region).arch_cycles += 1
 
     # Current PipelineInstr whose functional execution is in progress; used
     # by the memory views to attribute SSB writes to instructions.

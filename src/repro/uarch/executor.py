@@ -17,7 +17,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, Optional, Protocol
 
 from ..errors import ExecutionError
-from ..isa.instructions import Instruction, Opcode
+from ..isa.instructions import OPCODE_ORDER, Instruction, Opcode
 from ..isa.program import Program
 from ..isa.registers import initial_register_file
 from .memory_state import (
@@ -42,7 +42,7 @@ class MemoryView(Protocol):
     def store(self, addr: int, size: int, value: int) -> None: ...
 
 
-@dataclass
+@dataclass(slots=True)
 class ExecResult:
     """Outcome of executing a single instruction."""
 
@@ -54,6 +54,311 @@ class ExecResult:
 
 def _as_int(value: float) -> int:
     return to_signed(int(value) & MASK64)
+
+
+# ---------------------------------------------------------------------------
+# Per-opcode handlers.  execute_one used to be a long if/elif chain over the
+# opcode; the timing model executes every dynamic instruction through it, so
+# the linear scan (plus enum identity tests) was one of the hottest paths in
+# whole-suite runs.  Handlers are looked up by the precomputed
+# ``Instruction.opcode_index`` via list indexing instead.
+# ---------------------------------------------------------------------------
+
+
+def _exec_add(instr, regs, memory, pc):
+    srcs = instr.srcs
+    b = regs[srcs[1]] if len(srcs) > 1 else instr.imm
+    regs[instr.dest] = to_signed((regs[srcs[0]] + b) & MASK64)
+    return ExecResult(pc + 1)
+
+
+def _exec_sub(instr, regs, memory, pc):
+    srcs = instr.srcs
+    b = regs[srcs[1]] if len(srcs) > 1 else instr.imm
+    regs[instr.dest] = to_signed((regs[srcs[0]] - b) & MASK64)
+    return ExecResult(pc + 1)
+
+
+def _exec_mul(instr, regs, memory, pc):
+    srcs = instr.srcs
+    b = regs[srcs[1]] if len(srcs) > 1 else instr.imm
+    regs[instr.dest] = to_signed((regs[srcs[0]] * b) & MASK64)
+    return ExecResult(pc + 1)
+
+
+def _exec_divrem(instr, regs, memory, pc):
+    srcs = instr.srcs
+    a = int(regs[srcs[0]])
+    b = int(regs[srcs[1]] if len(srcs) > 1 else instr.imm)
+    if b == 0:
+        raise ExecutionError(f"division by zero at pc={pc}: {instr}")
+    q = abs(a) // abs(b)
+    if (a < 0) != (b < 0):
+        q = -q
+    r = a - q * b
+    regs[instr.dest] = to_signed(
+        (q if instr.opcode is Opcode.DIV else r) & MASK64
+    )
+    return ExecResult(pc + 1)
+
+
+def _exec_bitwise(instr, regs, memory, pc):
+    srcs = instr.srcs
+    op = instr.opcode
+    a = to_unsigned(int(regs[srcs[0]]))
+    b = int(regs[srcs[1]] if len(srcs) > 1 else instr.imm)
+    if op is Opcode.AND:
+        v = a & to_unsigned(b)
+    elif op is Opcode.OR:
+        v = a | to_unsigned(b)
+    elif op is Opcode.XOR:
+        v = a ^ to_unsigned(b)
+    elif op is Opcode.SHL:
+        v = (a << (b & 63)) & MASK64
+    else:  # SHR, logical
+        v = a >> (b & 63)
+    regs[instr.dest] = to_signed(v)
+    return ExecResult(pc + 1)
+
+
+def _exec_setcc(instr, regs, memory, pc):
+    srcs = instr.srcs
+    op = instr.opcode
+    a = regs[srcs[0]]
+    b = regs[srcs[1]] if len(srcs) > 1 else instr.imm
+    if op is Opcode.SLT:
+        v = a < b
+    elif op is Opcode.SLE:
+        v = a <= b
+    elif op is Opcode.SEQ:
+        v = a == b
+    else:
+        v = a != b
+    regs[instr.dest] = int(v)
+    return ExecResult(pc + 1)
+
+
+def _exec_minmax(instr, regs, memory, pc):
+    srcs = instr.srcs
+    a = regs[srcs[0]]
+    b = regs[srcs[1]] if len(srcs) > 1 else instr.imm
+    regs[instr.dest] = min(a, b) if instr.opcode is Opcode.MIN else max(a, b)
+    return ExecResult(pc + 1)
+
+
+def _exec_mov(instr, regs, memory, pc):
+    regs[instr.dest] = regs[instr.srcs[0]]
+    return ExecResult(pc + 1)
+
+
+def _exec_li(instr, regs, memory, pc):
+    regs[instr.dest] = _as_int(instr.imm)
+    return ExecResult(pc + 1)
+
+
+def _exec_fadd(instr, regs, memory, pc):
+    srcs = instr.srcs
+    b = regs[srcs[1]] if len(srcs) > 1 else instr.imm
+    regs[instr.dest] = regs[srcs[0]] + b
+    return ExecResult(pc + 1)
+
+
+def _exec_fsub(instr, regs, memory, pc):
+    srcs = instr.srcs
+    b = regs[srcs[1]] if len(srcs) > 1 else instr.imm
+    regs[instr.dest] = regs[srcs[0]] - b
+    return ExecResult(pc + 1)
+
+
+def _exec_fmul(instr, regs, memory, pc):
+    srcs = instr.srcs
+    b = regs[srcs[1]] if len(srcs) > 1 else instr.imm
+    regs[instr.dest] = regs[srcs[0]] * b
+    return ExecResult(pc + 1)
+
+
+def _exec_fdiv(instr, regs, memory, pc):
+    srcs = instr.srcs
+    b = regs[srcs[1]] if len(srcs) > 1 else instr.imm
+    if b == 0.0:
+        raise ExecutionError(f"float division by zero at pc={pc}: {instr}")
+    regs[instr.dest] = regs[srcs[0]] / b
+    return ExecResult(pc + 1)
+
+
+def _exec_fsqrt(instr, regs, memory, pc):
+    a = regs[instr.srcs[0]]
+    if a < 0.0:
+        raise ExecutionError(f"sqrt of negative at pc={pc}: {instr}")
+    regs[instr.dest] = math.sqrt(a)
+    return ExecResult(pc + 1)
+
+
+def _exec_fminmax(instr, regs, memory, pc):
+    srcs = instr.srcs
+    a = regs[srcs[0]]
+    b = regs[srcs[1]] if len(srcs) > 1 else instr.imm
+    regs[instr.dest] = min(a, b) if instr.opcode is Opcode.FMIN else max(a, b)
+    return ExecResult(pc + 1)
+
+
+def _exec_fabs(instr, regs, memory, pc):
+    regs[instr.dest] = abs(regs[instr.srcs[0]])
+    return ExecResult(pc + 1)
+
+
+def _exec_fli(instr, regs, memory, pc):
+    regs[instr.dest] = float(instr.imm)
+    return ExecResult(pc + 1)
+
+
+def _exec_fcvt(instr, regs, memory, pc):
+    regs[instr.dest] = float(regs[instr.srcs[0]])
+    return ExecResult(pc + 1)
+
+
+def _exec_icvt(instr, regs, memory, pc):
+    regs[instr.dest] = _as_int(regs[instr.srcs[0]])
+    return ExecResult(pc + 1)
+
+
+def _exec_fsetcc(instr, regs, memory, pc):
+    srcs = instr.srcs
+    op = instr.opcode
+    a = regs[srcs[0]]
+    b = regs[srcs[1]] if len(srcs) > 1 else instr.imm
+    if op is Opcode.FSLT:
+        v = a < b
+    elif op is Opcode.FSLE:
+        v = a <= b
+    else:
+        v = a == b
+    regs[instr.dest] = int(v)
+    return ExecResult(pc + 1)
+
+
+def _exec_load(instr, regs, memory, pc):
+    addr = int(regs[instr.srcs[0]]) + int(instr.imm or 0)
+    size = instr.size
+    raw = memory.load(addr, size)
+    regs[instr.dest] = to_signed(raw, 8 * size)
+    return ExecResult(pc + 1, mem_addr=addr, mem_size=size)
+
+
+def _exec_store(instr, regs, memory, pc):
+    srcs = instr.srcs
+    addr = int(regs[srcs[1]]) + int(instr.imm or 0)
+    size = instr.size
+    memory.store(addr, size, to_unsigned(int(regs[srcs[0]]), 8 * size))
+    return ExecResult(pc + 1, mem_addr=addr, mem_size=size)
+
+
+def _exec_fload(instr, regs, memory, pc):
+    addr = int(regs[instr.srcs[0]]) + int(instr.imm or 0)
+    size = instr.size
+    regs[instr.dest] = bits_to_float(memory.load(addr, size), size)
+    return ExecResult(pc + 1, mem_addr=addr, mem_size=size)
+
+
+def _exec_fstore(instr, regs, memory, pc):
+    srcs = instr.srcs
+    addr = int(regs[srcs[1]]) + int(instr.imm or 0)
+    size = instr.size
+    memory.store(addr, size, float_to_bits(regs[srcs[0]], size))
+    return ExecResult(pc + 1, mem_addr=addr, mem_size=size)
+
+
+def _exec_jmp(instr, regs, memory, pc):
+    return ExecResult(instr.target_index, taken=True)
+
+
+def _exec_beqz(instr, regs, memory, pc):
+    if regs[instr.srcs[0]] == 0:
+        return ExecResult(instr.target_index, taken=True)
+    return ExecResult(pc + 1, taken=False)
+
+
+def _exec_bnez(instr, regs, memory, pc):
+    if regs[instr.srcs[0]] != 0:
+        return ExecResult(instr.target_index, taken=True)
+    return ExecResult(pc + 1, taken=False)
+
+
+def _exec_call(instr, regs, memory, pc):
+    regs["ra"] = pc + 1
+    return ExecResult(instr.target_index, taken=True)
+
+
+def _exec_ret(instr, regs, memory, pc):
+    return ExecResult(int(regs["ra"]), taken=True)
+
+
+def _exec_nop(instr, regs, memory, pc):
+    # Hints and system ops are functional nops; HALT is handled by callers.
+    return ExecResult(pc + 1)
+
+
+_HANDLERS = {
+    Opcode.ADD: _exec_add,
+    Opcode.SUB: _exec_sub,
+    Opcode.MUL: _exec_mul,
+    Opcode.DIV: _exec_divrem,
+    Opcode.REM: _exec_divrem,
+    Opcode.AND: _exec_bitwise,
+    Opcode.OR: _exec_bitwise,
+    Opcode.XOR: _exec_bitwise,
+    Opcode.SHL: _exec_bitwise,
+    Opcode.SHR: _exec_bitwise,
+    Opcode.SLT: _exec_setcc,
+    Opcode.SLE: _exec_setcc,
+    Opcode.SEQ: _exec_setcc,
+    Opcode.SNE: _exec_setcc,
+    Opcode.MIN: _exec_minmax,
+    Opcode.MAX: _exec_minmax,
+    Opcode.MOV: _exec_mov,
+    Opcode.LI: _exec_li,
+    Opcode.FADD: _exec_fadd,
+    Opcode.FSUB: _exec_fsub,
+    Opcode.FMUL: _exec_fmul,
+    Opcode.FDIV: _exec_fdiv,
+    Opcode.FSQRT: _exec_fsqrt,
+    Opcode.FMIN: _exec_fminmax,
+    Opcode.FMAX: _exec_fminmax,
+    Opcode.FABS: _exec_fabs,
+    Opcode.FMOV: _exec_mov,
+    Opcode.FLI: _exec_fli,
+    Opcode.FCVT: _exec_fcvt,
+    Opcode.ICVT: _exec_icvt,
+    Opcode.FSLT: _exec_fsetcc,
+    Opcode.FSLE: _exec_fsetcc,
+    Opcode.FSEQ: _exec_fsetcc,
+    Opcode.LOAD: _exec_load,
+    Opcode.STORE: _exec_store,
+    Opcode.FLOAD: _exec_fload,
+    Opcode.FSTORE: _exec_fstore,
+    Opcode.JMP: _exec_jmp,
+    Opcode.BEQZ: _exec_beqz,
+    Opcode.BNEZ: _exec_bnez,
+    Opcode.CALL: _exec_call,
+    Opcode.RET: _exec_ret,
+    Opcode.DETACH: _exec_nop,
+    Opcode.REATTACH: _exec_nop,
+    Opcode.SYNC: _exec_nop,
+    Opcode.NOP: _exec_nop,
+    Opcode.HALT: _exec_nop,
+}
+
+
+def _exec_unimplemented_factory(op):
+    def _handler(instr, regs, memory, pc):
+        raise ExecutionError(f"unimplemented opcode {op!r} at pc={pc}")
+    return _handler
+
+
+# Handler table indexed by ``Instruction.opcode_index`` (see OPCODE_ORDER).
+DISPATCH = [
+    _HANDLERS.get(op) or _exec_unimplemented_factory(op) for op in OPCODE_ORDER
+]
 
 
 def execute_one(
@@ -68,171 +373,7 @@ def execute_one(
     FP registers hold Python floats.  Raises :class:`ExecutionError` on
     division by zero or malformed instructions.
     """
-    op = instr.opcode
-    srcs = instr.srcs
-
-    # Fast path: integer ALU with optional immediate second operand.
-    if op is Opcode.ADD:
-        b = regs[srcs[1]] if len(srcs) > 1 else instr.imm
-        regs[instr.dest] = to_signed((regs[srcs[0]] + b) & MASK64)
-        return ExecResult(pc + 1)
-    if op is Opcode.SUB:
-        b = regs[srcs[1]] if len(srcs) > 1 else instr.imm
-        regs[instr.dest] = to_signed((regs[srcs[0]] - b) & MASK64)
-        return ExecResult(pc + 1)
-    if op is Opcode.MUL:
-        b = regs[srcs[1]] if len(srcs) > 1 else instr.imm
-        regs[instr.dest] = to_signed((regs[srcs[0]] * b) & MASK64)
-        return ExecResult(pc + 1)
-    if op in (Opcode.DIV, Opcode.REM):
-        a = int(regs[srcs[0]])
-        b = int(regs[srcs[1]] if len(srcs) > 1 else instr.imm)
-        if b == 0:
-            raise ExecutionError(f"division by zero at pc={pc}: {instr}")
-        q = abs(a) // abs(b)
-        if (a < 0) != (b < 0):
-            q = -q
-        r = a - q * b
-        regs[instr.dest] = to_signed((q if op is Opcode.DIV else r) & MASK64)
-        return ExecResult(pc + 1)
-    if op in (Opcode.AND, Opcode.OR, Opcode.XOR, Opcode.SHL, Opcode.SHR):
-        a = to_unsigned(int(regs[srcs[0]]))
-        b = int(regs[srcs[1]] if len(srcs) > 1 else instr.imm)
-        if op is Opcode.AND:
-            v = a & to_unsigned(b)
-        elif op is Opcode.OR:
-            v = a | to_unsigned(b)
-        elif op is Opcode.XOR:
-            v = a ^ to_unsigned(b)
-        elif op is Opcode.SHL:
-            v = (a << (b & 63)) & MASK64
-        else:  # SHR, logical
-            v = a >> (b & 63)
-        regs[instr.dest] = to_signed(v)
-        return ExecResult(pc + 1)
-    if op in (Opcode.SLT, Opcode.SLE, Opcode.SEQ, Opcode.SNE):
-        a = regs[srcs[0]]
-        b = regs[srcs[1]] if len(srcs) > 1 else instr.imm
-        if op is Opcode.SLT:
-            v = a < b
-        elif op is Opcode.SLE:
-            v = a <= b
-        elif op is Opcode.SEQ:
-            v = a == b
-        else:
-            v = a != b
-        regs[instr.dest] = int(v)
-        return ExecResult(pc + 1)
-    if op in (Opcode.MIN, Opcode.MAX):
-        a = regs[srcs[0]]
-        b = regs[srcs[1]] if len(srcs) > 1 else instr.imm
-        regs[instr.dest] = min(a, b) if op is Opcode.MIN else max(a, b)
-        return ExecResult(pc + 1)
-    if op is Opcode.MOV:
-        regs[instr.dest] = regs[srcs[0]]
-        return ExecResult(pc + 1)
-    if op is Opcode.LI:
-        regs[instr.dest] = _as_int(instr.imm)
-        return ExecResult(pc + 1)
-
-    # Floating point.
-    if op is Opcode.FADD:
-        b = regs[srcs[1]] if len(srcs) > 1 else instr.imm
-        regs[instr.dest] = regs[srcs[0]] + b
-        return ExecResult(pc + 1)
-    if op is Opcode.FSUB:
-        b = regs[srcs[1]] if len(srcs) > 1 else instr.imm
-        regs[instr.dest] = regs[srcs[0]] - b
-        return ExecResult(pc + 1)
-    if op is Opcode.FMUL:
-        b = regs[srcs[1]] if len(srcs) > 1 else instr.imm
-        regs[instr.dest] = regs[srcs[0]] * b
-        return ExecResult(pc + 1)
-    if op is Opcode.FDIV:
-        b = regs[srcs[1]] if len(srcs) > 1 else instr.imm
-        if b == 0.0:
-            raise ExecutionError(f"float division by zero at pc={pc}: {instr}")
-        regs[instr.dest] = regs[srcs[0]] / b
-        return ExecResult(pc + 1)
-    if op is Opcode.FSQRT:
-        a = regs[srcs[0]]
-        if a < 0.0:
-            raise ExecutionError(f"sqrt of negative at pc={pc}: {instr}")
-        regs[instr.dest] = math.sqrt(a)
-        return ExecResult(pc + 1)
-    if op in (Opcode.FMIN, Opcode.FMAX):
-        a = regs[srcs[0]]
-        b = regs[srcs[1]] if len(srcs) > 1 else instr.imm
-        regs[instr.dest] = min(a, b) if op is Opcode.FMIN else max(a, b)
-        return ExecResult(pc + 1)
-    if op is Opcode.FABS:
-        regs[instr.dest] = abs(regs[srcs[0]])
-        return ExecResult(pc + 1)
-    if op is Opcode.FMOV:
-        regs[instr.dest] = regs[srcs[0]]
-        return ExecResult(pc + 1)
-    if op is Opcode.FLI:
-        regs[instr.dest] = float(instr.imm)
-        return ExecResult(pc + 1)
-    if op is Opcode.FCVT:
-        regs[instr.dest] = float(regs[srcs[0]])
-        return ExecResult(pc + 1)
-    if op is Opcode.ICVT:
-        regs[instr.dest] = _as_int(regs[srcs[0]])
-        return ExecResult(pc + 1)
-    if op in (Opcode.FSLT, Opcode.FSLE, Opcode.FSEQ):
-        a = regs[srcs[0]]
-        b = regs[srcs[1]] if len(srcs) > 1 else instr.imm
-        if op is Opcode.FSLT:
-            v = a < b
-        elif op is Opcode.FSLE:
-            v = a <= b
-        else:
-            v = a == b
-        regs[instr.dest] = int(v)
-        return ExecResult(pc + 1)
-
-    # Memory.
-    if op is Opcode.LOAD:
-        addr = int(regs[srcs[0]]) + int(instr.imm or 0)
-        raw = memory.load(addr, instr.size)
-        regs[instr.dest] = to_signed(raw, 8 * instr.size)
-        return ExecResult(pc + 1, mem_addr=addr, mem_size=instr.size)
-    if op is Opcode.STORE:
-        addr = int(regs[srcs[1]]) + int(instr.imm or 0)
-        memory.store(addr, instr.size, to_unsigned(int(regs[srcs[0]]), 8 * instr.size))
-        return ExecResult(pc + 1, mem_addr=addr, mem_size=instr.size)
-    if op is Opcode.FLOAD:
-        addr = int(regs[srcs[0]]) + int(instr.imm or 0)
-        regs[instr.dest] = bits_to_float(memory.load(addr, instr.size), instr.size)
-        return ExecResult(pc + 1, mem_addr=addr, mem_size=instr.size)
-    if op is Opcode.FSTORE:
-        addr = int(regs[srcs[1]]) + int(instr.imm or 0)
-        memory.store(addr, instr.size, float_to_bits(regs[srcs[0]], instr.size))
-        return ExecResult(pc + 1, mem_addr=addr, mem_size=instr.size)
-
-    # Control flow.
-    if op is Opcode.JMP:
-        return ExecResult(instr.target_index, taken=True)
-    if op is Opcode.BEQZ:
-        if regs[srcs[0]] == 0:
-            return ExecResult(instr.target_index, taken=True)
-        return ExecResult(pc + 1, taken=False)
-    if op is Opcode.BNEZ:
-        if regs[srcs[0]] != 0:
-            return ExecResult(instr.target_index, taken=True)
-        return ExecResult(pc + 1, taken=False)
-    if op is Opcode.CALL:
-        regs["ra"] = pc + 1
-        return ExecResult(instr.target_index, taken=True)
-    if op is Opcode.RET:
-        return ExecResult(int(regs["ra"]), taken=True)
-
-    # Hints and system ops are functional nops; HALT is handled by callers.
-    if op in (Opcode.DETACH, Opcode.REATTACH, Opcode.SYNC, Opcode.NOP, Opcode.HALT):
-        return ExecResult(pc + 1)
-
-    raise ExecutionError(f"unimplemented opcode {op!r} at pc={pc}")
+    return DISPATCH[instr.opcode_index](instr, regs, memory, pc)
 
 
 @dataclass

@@ -181,7 +181,12 @@ class SpeculativeStateBuffer:
         """Versioned read: newest value per granule from own slice, then
         older slices (newest first), then main memory (figure 5)."""
         search_order = [own_slot] + list(older_slots)
-        slices = [self.slices[s] for s in search_order]
+        # A slice with no buffered bytes can never supply a value; dropping
+        # it here keeps the per-byte scan short (common case: the read
+        # misses every slice and falls through to main memory).
+        slices = [sl for sl in (self.slices[s] for s in search_order) if sl.data]
+        if not slices:
+            return SSBReadResult(value=self.memory.load(addr, size))
         value = 0
         forwarded: Set[int] = set()
         hit_own = False
@@ -191,11 +196,11 @@ class SpeculativeStateBuffer:
         for i in range(size):
             byte_addr = addr + i
             byte_val: Optional[int] = None
-            for rank, sl in enumerate(slices):
-                got = sl.read_byte(byte_addr)
+            for sl in slices:
+                got = sl.data.get(byte_addr)
                 if got is not None:
                     byte_val = got
-                    if rank == 0:
+                    if sl.slot == own_slot:
                         hit_own = True
                     else:
                         forwarded.add(sl.slot)

@@ -54,6 +54,9 @@ class Threadlet:
         self.fetch_stall_branch: Optional[object] = None  # mispredicted branch
         self.ssb_stalled = False
 
+        # Engine-owned memory-view cache: (is_arch, view) at last fetch.
+        self.mem_view = None
+
         # Back end: this threadlet's logical ROB slice, in program order.
         self.inflight: Deque[object] = deque()
         self.rename: Dict[str, object] = {}

@@ -1,0 +1,21 @@
+"""Shared fixtures: isolate the persistent result store from the repo.
+
+The runner reads through :mod:`repro.results` by default, which would
+drop a ``.repro-results/`` tree in the working directory and let results
+persist *between* test sessions — test runs must never depend on what a
+previous run left behind.  Point the default store at a session-scoped
+temp directory instead: within-session caching stays (the experiment
+tests rely on it for speed), cross-session state does not.
+"""
+
+import pytest
+
+from repro.results import ResultStore, set_default_store
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _isolated_result_store(tmp_path_factory):
+    store_dir = tmp_path_factory.mktemp("repro-results")
+    set_default_store(ResultStore(store_dir))
+    yield
+    set_default_store(None)

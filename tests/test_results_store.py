@@ -1,0 +1,238 @@
+"""Tests for the persistent result store, digests, and the parallel
+scheduler — including the bit-identity guarantees the store depends on.
+"""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.experiments import runner
+from repro.results import (
+    ENGINE_SCHEMA_VERSION,
+    ResultStore,
+    machine_digest,
+    run_digest,
+    set_default_store,
+    stats_from_dict,
+    stats_to_dict,
+    workload_digest,
+)
+from repro.uarch.config import baseline_machine, default_machine
+from repro.uarch.statistics import RegionStats, SimStats
+from repro.workloads.base import Workload
+from repro.workloads.suites import suite
+
+
+def small_workload(source_suffix="", name="store_test", seed=7):
+    """A tiny kernel that simulates in well under a second."""
+    source = f"""
+    fn main(data: ptr<int>, out: ptr<int>) {{
+        var acc: int = 0;
+        #pragma loopfrog
+        for (var i: int = 0; i < 64; i = i + 1) {{
+            acc = acc + data[i]{source_suffix};
+        }}
+        out[0] = acc;
+    }}
+    """
+
+    def setup(memory, rng):
+        for i in range(64):
+            memory.store_int(4096 + 8 * i, rng.randrange(100))
+        return {"r1": 4096, "r2": 8192}
+
+    return Workload(
+        name=name,
+        source=source,
+        setup=setup,
+        seed=seed,
+        max_cycles=200_000,
+    )
+
+
+def stats_fingerprint(stats):
+    return json.dumps(dataclasses.asdict(stats), sort_keys=True, default=str)
+
+
+@pytest.fixture
+def store(tmp_path):
+    return ResultStore(tmp_path / "store")
+
+
+@pytest.fixture
+def no_default_store():
+    """Run the runner with persistence off and an empty in-process cache;
+    restore both afterwards so other test modules keep their warm cache."""
+    from repro.results import get_default_store
+
+    saved_store = get_default_store()
+    saved_cache = dict(runner._CACHE)
+    set_default_store(None)
+    runner.clear_cache()
+    yield
+    set_default_store(saved_store)
+    runner._CACHE.clear()
+    runner._CACHE.update(saved_cache)
+
+
+# -- serialization -----------------------------------------------------------
+
+def test_stats_round_trip_exact():
+    wl = small_workload()
+    stats = runner.run_workload(wl, default_machine(), use_cache=False)
+    stats.regions.setdefault(
+        "L0", RegionStats(region="L0", entries=3, arch_cycles=17)
+    )
+    restored = stats_from_dict(json.loads(json.dumps(stats_to_dict(stats))))
+    assert stats_fingerprint(restored) == stats_fingerprint(stats)
+    # the lossy spots specifically: int histogram keys and nested regions
+    assert restored.active_threadlet_cycles == stats.active_threadlet_cycles
+    assert all(isinstance(k, int) for k in restored.active_threadlet_cycles)
+    assert isinstance(next(iter(restored.regions.values())), RegionStats)
+
+
+def test_stats_from_dict_ignores_unknown_fields():
+    stats = SimStats()
+    data = stats_to_dict(stats)
+    data["counter_from_the_future"] = 42
+    restored = stats_from_dict(data)
+    assert stats_fingerprint(restored) == stats_fingerprint(stats)
+
+
+# -- digests -----------------------------------------------------------------
+
+def test_same_content_same_digest():
+    assert machine_digest(default_machine()) == machine_digest(default_machine())
+    assert workload_digest(small_workload()) == workload_digest(small_workload())
+
+
+def test_config_change_changes_digest():
+    assert machine_digest(default_machine()) != machine_digest(baseline_machine())
+
+
+def test_program_change_changes_digest():
+    # Same workload *name*, different source: must not collide.  This is
+    # the collision the old name-keyed in-process cache allowed.
+    assert workload_digest(small_workload()) != workload_digest(
+        small_workload(source_suffix=" + 1")
+    )
+
+
+def test_input_change_changes_digest():
+    assert workload_digest(small_workload(seed=7)) != workload_digest(
+        small_workload(seed=8)
+    )
+
+
+def test_cache_key_not_fooled_by_shared_name(no_default_store):
+    wl_a = small_workload()
+    wl_b = small_workload(source_suffix=" + 1")  # same name, different program
+    machine = default_machine()
+    stats_a = runner.run_workload(wl_a, machine)
+    stats_b = runner.run_workload(wl_b, machine)
+    assert stats_fingerprint(stats_a) != stats_fingerprint(stats_b)
+
+
+# -- store hits and misses ---------------------------------------------------
+
+def test_store_hit_returns_identical_stats(store):
+    wl = small_workload()
+    machine = default_machine()
+    fresh = runner.run_workload(wl, machine, use_cache=False)
+    digest = run_digest(wl, machine)
+    store.save(digest, fresh, workload=wl.name)
+    loaded = store.load(digest)
+    assert stats_fingerprint(loaded) == stats_fingerprint(fresh)
+    assert digest in store
+
+
+def test_store_miss_on_config_change(store):
+    wl = small_workload()
+    stats = runner.run_workload(wl, default_machine(), use_cache=False)
+    store.save(run_digest(wl, default_machine()), stats)
+    assert store.load(run_digest(wl, baseline_machine())) is None
+
+
+def test_store_miss_on_program_change(store):
+    wl = small_workload()
+    stats = runner.run_workload(wl, default_machine(), use_cache=False)
+    store.save(run_digest(wl, default_machine()), stats)
+    changed = small_workload(source_suffix=" + 1")
+    assert store.load(run_digest(changed, default_machine())) is None
+
+
+def test_store_miss_on_schema_bump(store):
+    wl = small_workload()
+    machine = default_machine()
+    stats = runner.run_workload(wl, machine, use_cache=False)
+    digest = run_digest(wl, machine)
+    store.save(digest, stats)
+    future = ResultStore(store.root, schema=ENGINE_SCHEMA_VERSION + 1)
+    assert future.load(digest) is None
+    assert store.load(digest) is not None  # current schema still hits
+
+
+def test_corrupt_record_is_a_miss_not_an_error(store):
+    wl = small_workload()
+    machine = default_machine()
+    stats = runner.run_workload(wl, machine, use_cache=False)
+    digest = run_digest(wl, machine)
+    path = store.save(digest, stats)
+    path.write_text("{ not json")
+    assert store.load(digest) is None
+    path.write_text('{"digest": "wrong", "schema": 1, "stats": {}}')
+    assert store.load(digest) is None
+
+
+def test_store_stats_and_gc(store):
+    wl = small_workload()
+    machine = default_machine()
+    stats = runner.run_workload(wl, machine, use_cache=False)
+    store.save(run_digest(wl, machine), stats)
+    old = ResultStore(store.root, schema=ENGINE_SCHEMA_VERSION - 1)
+    old.save("ff" + "0" * 62, stats)
+    summary = store.stats()
+    assert summary.records == 2
+    assert summary.by_schema == {ENGINE_SCHEMA_VERSION: 1,
+                                 ENGINE_SCHEMA_VERSION - 1: 1}
+    assert store.gc() == 1  # drops only the stale-schema record
+    assert store.stats().records == 1
+    assert store.gc(purge=True) == 1
+    assert store.stats().records == 0
+
+
+def test_runner_reads_through_store(store, no_default_store):
+    set_default_store(store)
+    wl = small_workload()
+    machine = default_machine()
+    first = runner.run_workload(wl, machine)
+    assert store.stats().records == 1
+    runner.clear_cache()  # force the next lookup to the store
+    second = runner.run_workload(wl, machine)
+    assert stats_fingerprint(second) == stats_fingerprint(first)
+    assert store.stats().records == 1  # hit, not a re-save
+
+
+# -- parity: cached == fresh-serial == fresh-parallel ------------------------
+
+def test_serial_parallel_and_cached_parity(no_default_store):
+    bench = suite("spec2017")[0]
+    fresh = runner.run_benchmark(bench, use_cache=False)
+    serial = runner.run_benchmark(bench, jobs=1)
+    runner.clear_cache()
+    parallel = runner.run_benchmark(bench, jobs=2)
+    cached = runner.run_benchmark(bench, jobs=2)  # all in-process hits now
+    for a in (serial, parallel, cached):
+        assert a.speedup == fresh.speedup
+        for pa, pf in zip(a.phases, fresh.phases):
+            assert stats_fingerprint(pa.baseline) == stats_fingerprint(pf.baseline)
+            assert stats_fingerprint(pa.loopfrog) == stats_fingerprint(pf.loopfrog)
+
+
+def test_run_suite_parallel_matches_serial(no_default_store):
+    only = [suite("spec2017")[0].name]
+    serial = runner.run_suite("spec2017", only=only, jobs=1)
+    runner.clear_cache()
+    parallel = runner.run_suite("spec2017", only=only, jobs=2)
+    assert [r.speedup for r in serial] == [r.speedup for r in parallel]

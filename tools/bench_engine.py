@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Engine throughput smoke: cold-simulate a fixed workload subset and
+record wall time + simulated instructions/sec in BENCH_engine.json.
+
+Run:  PYTHONPATH=src python tools/bench_engine.py [--output FILE]
+
+The subset is pinned (first three spec2017 benchmarks, both configs, all
+phases) so numbers are comparable across commits.  Runs are cold: the
+in-process cache and the persistent store are both bypassed, so this
+measures raw engine speed, never cache hits.
+"""
+
+import argparse
+import json
+import sys
+import time
+
+from repro.experiments.runner import _simulate
+from repro.uarch.config import baseline_machine, default_machine
+from repro.workloads.suites import suite
+
+BENCH_SUITE = "spec2017"
+BENCH_COUNT = 3  # first N benchmarks of the suite
+
+
+def run_bench():
+    benchmarks = suite(BENCH_SUITE)[:BENCH_COUNT]
+    machines = [("baseline", baseline_machine()), ("loopfrog", default_machine())]
+    instructions = 0
+    cycles = 0
+    sims = 0
+    start = time.perf_counter()
+    for benchmark in benchmarks:
+        for workload, _weight in benchmark.phases:
+            for _label, machine in machines:
+                stats = _simulate(workload, machine)
+                instructions += stats.arch_instructions
+                cycles += stats.cycles
+                sims += 1
+    elapsed = time.perf_counter() - start
+    return {
+        "suite": BENCH_SUITE,
+        "benchmarks": [b.name for b in benchmarks],
+        "simulations": sims,
+        "instructions": instructions,
+        "cycles": cycles,
+        "wall_seconds": round(elapsed, 3),
+        "instructions_per_second": round(instructions / elapsed, 1),
+        "cycles_per_second": round(cycles / elapsed, 1),
+    }
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--output", default="BENCH_engine.json")
+    args = parser.parse_args(argv)
+    result = run_bench()
+    with open(args.output, "w") as fh:
+        json.dump(result, fh, indent=2)
+        fh.write("\n")
+    print(
+        f"{result['simulations']} simulations, "
+        f"{result['instructions']} instructions in "
+        f"{result['wall_seconds']}s -> "
+        f"{result['instructions_per_second']:.0f} instr/s"
+    )
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
