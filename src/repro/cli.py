@@ -10,6 +10,9 @@ Commands
                         table2, table3, packing, assoc, area)
     workloads           list available benchmarks and their phases
     results CMD         persistent result store maintenance (stats, gc)
+    trace FILE          compile + simulate a Frog file with structured
+                        tracing enabled and summarize the timeline; given
+                        an existing ``.jsonl`` timeline, summarize it
 
 ``suite`` and ``experiment`` accept ``--jobs N`` (parallel simulation
 across N processes; default: all cores), ``--no-store`` (skip the
@@ -86,6 +89,14 @@ def cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _check_store_dir(store_dir: Optional[str]) -> None:
+    """Reject a store path that collides with an existing non-directory."""
+    if store_dir and os.path.exists(store_dir) and not os.path.isdir(store_dir):
+        raise ReproError(
+            f"store dir {store_dir!r} exists and is not a directory"
+        )
+
+
 def _apply_runner_options(args: argparse.Namespace) -> None:
     """Translate --jobs/--no-store/--store-dir into runner/store defaults.
 
@@ -96,11 +107,16 @@ def _apply_runner_options(args: argparse.Namespace) -> None:
     from . import experiments
     from .results import ResultStore, set_default_store
 
+    jobs = getattr(args, "jobs", None)
+    if jobs is not None and jobs < 0:
+        raise ReproError(
+            f"--jobs must be >= 0 (0 means all cores), got {jobs}"
+        )
     if getattr(args, "no_store", False):
         set_default_store(None)
     elif getattr(args, "store_dir", None):
+        _check_store_dir(args.store_dir)
         set_default_store(ResultStore(args.store_dir))
-    jobs = getattr(args, "jobs", None)
     experiments.configure(jobs=jobs if jobs is not None else os.cpu_count())
 
 
@@ -153,6 +169,7 @@ def cmd_experiment(args: argparse.Namespace) -> int:
 def cmd_results(args: argparse.Namespace) -> int:
     from .results import DEFAULT_STORE_DIR, ResultStore
 
+    _check_store_dir(args.store_dir)
     store = ResultStore(args.store_dir or DEFAULT_STORE_DIR)
     if args.action == "stats":
         summary = store.stats()
@@ -167,6 +184,34 @@ def cmd_results(args: argparse.Namespace) -> int:
         removed = store.gc(purge=args.purge)
         what = "all records" if args.purge else "stale/corrupt records"
         print(f"removed {removed} {what} from {store.root}")
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    from .obs.metrics import default_registry, format_snapshot
+    from .obs.tracing import read_jsonl, summarize_records, trace_scope
+
+    if args.file.endswith(".jsonl"):
+        print(summarize_records(read_jsonl(args.file)))
+        return 0
+
+    with open(args.file) as fh:
+        source = fh.read()
+    regs = _parse_regs(args.regs)
+    with trace_scope() as tracer:
+        result = compile_frog(source)
+        core = BaselineCore() if args.baseline else LoopFrogCore()
+        sim = core.run(result.program, SparseMemory(), dict(regs),
+                       max_cycles=args.max_cycles)
+    if args.out:
+        count = tracer.write_jsonl(args.out)
+        print(f"wrote {count} records to {args.out}")
+        print()
+    print(tracer.summary())
+    if args.metrics:
+        print()
+        print("metrics:")
+        print(format_snapshot(default_registry().collect(sim.stats, "uarch")))
     return 0
 
 
@@ -229,6 +274,22 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("workloads", help="list benchmarks and phases")
     p.set_defaults(func=cmd_workloads)
+
+    p = sub.add_parser(
+        "trace",
+        help="trace one run (or summarize an existing .jsonl timeline)",
+    )
+    p.add_argument("file",
+                   help="Frog source file, or a .jsonl timeline to summarize")
+    p.add_argument("--regs", help="initial registers, e.g. r1=0x1000,r2=64")
+    p.add_argument("--baseline", action="store_true",
+                   help="trace the baseline core instead of LoopFrog")
+    p.add_argument("--max-cycles", type=int, default=50_000_000)
+    p.add_argument("--out", metavar="FILE",
+                   help="write the JSON-lines timeline to FILE")
+    p.add_argument("--metrics", action="store_true",
+                   help="also print the metrics snapshot of the traced run")
+    p.set_defaults(func=cmd_trace)
 
     p = sub.add_parser("results", help="persistent result store maintenance")
     p.add_argument("action", choices=["stats", "gc"])

@@ -15,6 +15,8 @@ from typing import List, Optional
 from ..isa.program import Program
 from ..lang import ast as frog_ast
 from ..lang import parse
+from ..obs import metrics as _metrics
+from ..obs.tracing import span as _span
 from .hints import HintOptions, HintReport, insert_hints
 from .ir import Function
 from .lowering import lower_module
@@ -72,8 +74,10 @@ def compile_frog(
         functional executor and both timing models.
     """
     options = options or CompileOptions()
-    module = parse(source)
-    return compile_ast(module, options)
+    with _span("compile", entry=options.entry):
+        with _span("compile.parse"):
+            module = parse(source)
+        return compile_ast(module, options)
 
 
 def compile_ast(
@@ -81,46 +85,82 @@ def compile_ast(
 ) -> CompileResult:
     """Compile an already-parsed Frog module (see :func:`compile_frog`)."""
     options = options or CompileOptions()
-    ir_module = lower_module(module, options.entry, options.mark_all_loops)
-    func = ir_module[options.entry]
+    with _span("compile.lower", entry=options.entry):
+        ir_module = lower_module(module, options.entry, options.mark_all_loops)
+        func = ir_module[options.entry]
 
-    if options.optimize:
-        optimize(func)
-    if options.fold_constants:
-        from .licm import fold_constants
-
-        fold_constants(func)
+    with _span("compile.optimize"):
         if options.optimize:
             optimize(func)
-    if options.licm:
-        from .licm import hoist_invariants
+        if options.fold_constants:
+            from .licm import fold_constants
 
-        hoist_invariants(func)
+            fold_constants(func)
+            if options.optimize:
+                optimize(func)
+        if options.licm:
+            from .licm import hoist_invariants
+
+            hoist_invariants(func)
 
     reports: List[HintReport] = []
     if options.insert_hints:
-        reports = insert_hints(func, options.hint_options)
-        if options.optimize:
-            # Hint insertion adds blocks; re-run block clean-up only (copy
-            # fusion/DCE could disturb the chosen split, so skip them).
-            from .optimize import remove_unreachable_blocks
+        with _span("compile.hints"):
+            reports = insert_hints(func, options.hint_options)
+            if options.optimize:
+                # Hint insertion adds blocks; re-run block clean-up only
+                # (copy fusion/DCE could disturb the chosen split, so skip
+                # them).
+                from .optimize import remove_unreachable_blocks
 
-            remove_unreachable_blocks(func)
+                remove_unreachable_blocks(func)
 
-    alloc = allocate(func)
-    param_locations = {
-        param: (
-            alloc.mapping[param].slot
-            if alloc.mapping[param].spilled
-            else alloc.mapping[param].phys
+    with _span("compile.regalloc"):
+        alloc = allocate(func)
+        param_locations = {
+            param: (
+                alloc.mapping[param].slot
+                if alloc.mapping[param].spilled
+                else alloc.mapping[param].phys
+            )
+            for param, _ in func.params
+            if param in alloc.mapping
+        }
+        apply_allocation(func, alloc)
+    with _span("compile.codegen"):
+        program = codegen.generate(
+            func, frame_slots=alloc.frame_slots,
+            param_locations=param_locations,
         )
-        for param, _ in func.params
-        if param in alloc.mapping
-    }
-    apply_allocation(func, alloc)
-    program = codegen.generate(
-        func, frame_slots=alloc.frame_slots, param_locations=param_locations
-    )
     if options.name:
         program.name = options.name
     return CompileResult(program=program, ir=func, hint_reports=reports)
+
+
+# ---------------------------------------------------------------------------
+# Metrics catalog for the compilation pipeline (collected from
+# CompileResult — `default_registry().collect(result, "compiler")`).
+# ---------------------------------------------------------------------------
+
+_metrics.register(
+    _metrics.MetricSpec("compiler.loops_annotated", _metrics.COUNTER,
+                        "compiler",
+                        "Loops that received detach/reattach/sync hints",
+                        unit="loops",
+                        derive=lambda r: len(r.annotated_loops)),
+    _metrics.MetricSpec("compiler.loops_rejected", _metrics.COUNTER,
+                        "compiler",
+                        "Pragma'd loops rejected by hint insertion",
+                        unit="loops",
+                        derive=lambda r: len(r.rejected_loops)),
+    _metrics.MetricSpec("compiler.instructions_emitted", _metrics.COUNTER,
+                        "compiler",
+                        "Static instructions in the generated program",
+                        unit="instructions",
+                        derive=lambda r: len(r.program)),
+    _metrics.MetricSpec("compiler.ir_blocks", _metrics.COUNTER,
+                        "compiler",
+                        "Basic blocks in the final IR of the entry function",
+                        unit="blocks",
+                        derive=lambda r: len(r.ir.blocks)),
+)

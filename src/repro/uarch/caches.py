@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple
 
+from ..obs import metrics as _metrics
 from .config import MemoryConfig
 from .statistics import SimStats
 
@@ -195,3 +196,30 @@ class MemoryHierarchy:
         fill = self._access_l2(line_addr, cycle + self.l1i.latency)
         self.l1i.note_fill(line_addr, fill)
         return fill
+
+
+# ---------------------------------------------------------------------------
+# Metrics catalog for the cache hierarchy (collected from SimStats; see
+# repro.obs.metrics for the registry contract).
+# ---------------------------------------------------------------------------
+
+_metrics.register(
+    _metrics.MetricSpec("uarch.caches.l1d_accesses", _metrics.COUNTER,
+                        "uarch.caches", "L1D lookups (loads and stores)",
+                        unit="accesses", source="l1d_accesses"),
+    _metrics.MetricSpec("uarch.caches.l1d_misses", _metrics.COUNTER,
+                        "uarch.caches", "L1D misses escalated to the L2",
+                        unit="accesses", source="l1d_misses"),
+    _metrics.MetricSpec("uarch.caches.l1i_misses", _metrics.COUNTER,
+                        "uarch.caches", "Instruction-fetch L1I misses",
+                        unit="accesses", source="l1i_misses"),
+    _metrics.MetricSpec("uarch.caches.l2_accesses", _metrics.COUNTER,
+                        "uarch.caches", "Unified L2 lookups",
+                        unit="accesses", source="l2_accesses"),
+    _metrics.MetricSpec("uarch.caches.l2_misses", _metrics.COUNTER,
+                        "uarch.caches", "L2 misses that pay DRAM latency",
+                        unit="accesses", source="l2_misses"),
+    _metrics.MetricSpec("uarch.caches.l1d_miss_rate", _metrics.GAUGE,
+                        "uarch.caches", "L1D misses / L1D accesses",
+                        derive=lambda s: s.l1d_miss_rate),
+)

@@ -18,6 +18,8 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Optional, Set
 
+from ..obs import metrics as _metrics
+
 
 class GranuleSet:
     """Exact set of granule IDs (the reference implementation)."""
@@ -151,3 +153,24 @@ class ConflictDetector:
 
     def read_set_intersects(self, slot: int, addr: int, size: int) -> bool:
         return self.rd[slot].intersects(self.granules(addr, size))
+
+
+# ---------------------------------------------------------------------------
+# Metrics catalog for conflict detection (squash attribution).
+# ---------------------------------------------------------------------------
+
+_metrics.register(
+    _metrics.MetricSpec("uarch.conflict.squash_conflicts", _metrics.COUNTER,
+                        "uarch.conflict",
+                        "Epoch squashes caused by cross-threadlet memory "
+                        "conflicts (algorithm 1)",
+                        unit="epochs", source="squash_conflicts"),
+    _metrics.MetricSpec("uarch.conflict.squash_syncs", _metrics.COUNTER,
+                        "uarch.conflict",
+                        "Epoch squashes caused by early loop exits (sync)",
+                        unit="epochs", source="squash_syncs"),
+    _metrics.MetricSpec("uarch.conflict.squash_overflow", _metrics.COUNTER,
+                        "uarch.conflict",
+                        "Epoch squashes caused by SSB slice overflow",
+                        unit="epochs", source="squash_overflow"),
+)

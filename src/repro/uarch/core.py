@@ -39,6 +39,8 @@ from ..isa.instructions import (
     OpClass,
     Opcode,
 )
+from ..obs.metrics import COUNTER, GAUGE, HISTOGRAM, MetricSpec, register
+from ..obs.tracing import current_tracer
 from ..isa.program import Program
 from ..isa.registers import initial_register_file
 from .branch_pred import FrontEndPredictor
@@ -215,6 +217,10 @@ class Engine:
         self._last_writers: List[PipelineInstr] = []
         self._last_forwarded = False
         self._arch_commit_gate = 0  # conflict-check drain before commit
+        # Tracing is resolved once at construction: the per-epoch emit
+        # sites test one attribute against None, and the default (tracing
+        # disabled) leaves timing and statistics bit-identical.
+        self._tracer = current_tracer()
 
     def _warm_caches(self) -> None:
         """Pre-warm the L2 with the workload's initialised data and the L1I
@@ -235,6 +241,22 @@ class Engine:
 
     def run(self, max_cycles: int = 50_000_000) -> SimStats:
         """Simulate until the program halts; returns the statistics."""
+        tracer = self._tracer
+        if tracer is None:
+            self._run_loop(max_cycles)
+        else:
+            with tracer.span(
+                "simulate",
+                program=self.program.name,
+                loopfrog=self.lf.enabled,
+            ) as span:
+                self._run_loop(max_cycles)
+                span.attrs["cycles"] = self.cycle
+                span.attrs["arch_instructions"] = self.stats.arch_instructions
+        self.stats.cycles = self.cycle
+        return self.stats
+
+    def _run_loop(self, max_cycles: int) -> None:
         while not self.finished:
             if self.cycle >= max_cycles:
                 raise SimulationError(
@@ -242,8 +264,6 @@ class Engine:
                     f"(arch pc={self.order[0].pc})"
                 )
             self.step()
-        self.stats.cycles = self.cycle
-        return self.stats
 
     def step(self) -> None:
         """Advance the machine by one cycle."""
@@ -574,6 +594,11 @@ class Engine:
         self.order.append(free)
         self.stats.threadlets_spawned += 1
         self._region_stats(t, region_label).epochs_spawned += 1
+        if self._tracer is not None:
+            self._tracer.event(
+                "epoch.spawn", cycle=self.cycle, slot=free.slot,
+                epoch=free.epoch, region=region_label,
+            )
 
     def _halt_epoch(self, t: Threadlet) -> None:
         t.state = ThreadletState.HALTED
@@ -650,6 +675,11 @@ class Engine:
 
     def _drop_threadlet(self, t: Threadlet, reason: str) -> None:
         """Release a threadlet's pipeline and speculative state."""
+        if self._tracer is not None:
+            self._tracer.event(
+                "epoch.squash", cycle=self.cycle, slot=t.slot,
+                epoch=t.epoch, reason=reason,
+            )
         region = self._region_stats(t)
         if reason != "end":
             self.stats.threadlets_squashed += 1
@@ -934,6 +964,11 @@ class Engine:
                 return
             self._region_stats(t).epochs_committed += 1
             self.stats.threadlets_committed += 1
+            if self._tracer is not None:
+                self._tracer.event(
+                    "epoch.commit", cycle=self.cycle, slot=t.slot,
+                    epoch=t.epoch,
+                )
             # Retire the old architectural threadlet's context.
             self.conflicts.clear(t.slot)
             self.ssb.squash(t.slot)  # slice is empty (arch wrote directly)
@@ -988,3 +1023,65 @@ class Engine:
     # Current PipelineInstr whose functional execution is in progress; used
     # by the memory views to attribute SSB writes to instructions.
     _current_pi: Optional[PipelineInstr] = None
+
+
+# ---------------------------------------------------------------------------
+# Metrics catalog for the core pipeline (SimStats stays the storage; the
+# registry is the documented observation schema — see repro.obs.metrics).
+# ---------------------------------------------------------------------------
+
+register(
+    MetricSpec("uarch.core.cycles", COUNTER, "uarch.core",
+               "Simulated cycles to program completion",
+               unit="cycles", source="cycles"),
+    MetricSpec("uarch.core.arch_instructions", COUNTER, "uarch.core",
+               "Instructions committed by the architectural threadlet",
+               unit="instructions", source="arch_instructions"),
+    MetricSpec("uarch.core.spec_committed_instructions", COUNTER,
+               "uarch.core",
+               "Instructions committed while speculative whose threadlet "
+               "later committed",
+               unit="instructions", source="spec_committed_instructions"),
+    MetricSpec("uarch.core.failed_spec_instructions", COUNTER, "uarch.core",
+               "Instructions committed to threadlets that were squashed",
+               unit="instructions", source="failed_spec_instructions"),
+    MetricSpec("uarch.core.fetched_instructions", COUNTER, "uarch.core",
+               "Instructions fetched (all threadlets, all paths)",
+               unit="instructions", source="fetched_instructions"),
+    MetricSpec("uarch.core.dispatched_instructions", COUNTER, "uarch.core",
+               "Instructions allocated into the shared back end",
+               unit="instructions", source="dispatched_instructions"),
+    MetricSpec("uarch.core.issued_instructions", COUNTER, "uarch.core",
+               "Instructions issued to functional units",
+               unit="instructions", source="issued_instructions"),
+    MetricSpec("uarch.core.branches", COUNTER, "uarch.core",
+               "Conditional and indirect branches fetched",
+               unit="instructions", source="branches"),
+    MetricSpec("uarch.core.branch_mispredicts", COUNTER, "uarch.core",
+               "Direction or target mispredictions",
+               unit="instructions", source="branch_mispredicts"),
+    MetricSpec("uarch.core.btb_misses", COUNTER, "uarch.core",
+               "Taken branches whose target was unknown to the BTB",
+               unit="instructions", source="btb_misses"),
+    MetricSpec("uarch.core.threadlets_spawned", COUNTER, "uarch.core",
+               "Speculative threadlet epochs spawned at detach hints",
+               unit="epochs", source="threadlets_spawned"),
+    MetricSpec("uarch.core.threadlets_committed", COUNTER, "uarch.core",
+               "Epochs that became architectural and merged their slice",
+               unit="epochs", source="threadlets_committed"),
+    MetricSpec("uarch.core.threadlets_squashed", COUNTER, "uarch.core",
+               "Epochs squashed for any reason",
+               unit="epochs", source="threadlets_squashed"),
+    MetricSpec("uarch.core.active_threadlets", HISTOGRAM, "uarch.core",
+               "Cycles with exactly k threadlets active (figure 7)",
+               unit="cycles", source="active_threadlet_cycles"),
+    MetricSpec("uarch.core.ipc", GAUGE, "uarch.core",
+               "Architectural instructions per cycle",
+               derive=lambda s: s.ipc),
+    MetricSpec("uarch.core.total_committed_ipc", GAUGE, "uarch.core",
+               "All commit activity per cycle (arch + spec + failed)",
+               derive=lambda s: s.total_committed_ipc),
+    MetricSpec("uarch.core.branch_mpki", GAUGE, "uarch.core",
+               "Branch mispredictions per 1000 architectural instructions",
+               derive=lambda s: s.branch_mpki),
+)

@@ -18,6 +18,7 @@ from typing import Callable, Dict, Optional, Protocol
 
 from ..errors import ExecutionError
 from ..isa.instructions import OPCODE_ORDER, Instruction, Opcode
+from ..obs import metrics as _metrics
 from ..isa.program import Program
 from ..isa.registers import initial_register_file
 from .memory_state import (
@@ -458,3 +459,22 @@ def run_program(
 ) -> RunResult:
     """Run ``program`` functionally and return its :class:`RunResult`."""
     return Executor(program, memory).run(max_instructions=max_instructions)
+
+
+# ---------------------------------------------------------------------------
+# Metrics catalog for the functional executor (collected from RunResult).
+# ---------------------------------------------------------------------------
+
+_metrics.register(
+    _metrics.MetricSpec("uarch.executor.instructions", _metrics.COUNTER,
+                        "uarch.executor",
+                        "Dynamic instructions retired by a functional run",
+                        unit="instructions", source="instructions"),
+    _metrics.MetricSpec("uarch.executor.opcode_counts", _metrics.HISTOGRAM,
+                        "uarch.executor",
+                        "Dynamic instruction count per opcode",
+                        unit="instructions",
+                        derive=lambda r: {
+                            op.value: n for op, n in r.dynamic_counts.items()
+                        }),
+)

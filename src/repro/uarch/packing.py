@@ -21,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from ..obs import metrics as _metrics
 from .config import LoopFrogConfig
 
 _SUCCESS_REWARD = 1
@@ -191,3 +192,31 @@ class IterationPacker:
             state = RegionPackingState(region_id, self.config)
             self.regions[region_id] = state
         return state
+
+
+# ---------------------------------------------------------------------------
+# Metrics catalog for iteration packing (section 4.3).
+# ---------------------------------------------------------------------------
+
+_metrics.register(
+    _metrics.MetricSpec("uarch.packing.squash_packing", _metrics.COUNTER,
+                        "uarch.packing",
+                        "Epoch squashes caused by IV mispredictions",
+                        unit="epochs", source="squash_packing"),
+    _metrics.MetricSpec("uarch.packing.events", _metrics.COUNTER,
+                        "uarch.packing",
+                        "Detaches spawned with a packing factor > 1",
+                        unit="epochs", source="packing_events"),
+    _metrics.MetricSpec("uarch.packing.factor_sum", _metrics.COUNTER,
+                        "uarch.packing",
+                        "Sum of packing factors over all packed detaches",
+                        unit="iterations", source="packing_factor_sum"),
+    _metrics.MetricSpec("uarch.packing.max_factor", _metrics.GAUGE,
+                        "uarch.packing",
+                        "Largest packing factor used in the run",
+                        unit="iterations", source="max_packing_factor"),
+    _metrics.MetricSpec("uarch.packing.mean_factor", _metrics.GAUGE,
+                        "uarch.packing",
+                        "Mean packing factor over packed detaches",
+                        derive=lambda s: s.mean_packing_factor),
+)

@@ -23,6 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Set, Tuple
 
+from ..obs import metrics as _metrics
 from .config import LoopFrogConfig
 from .memory_state import SparseMemory
 
@@ -234,3 +235,22 @@ class SpeculativeStateBuffer:
 
     def occupancy_bytes(self, slot: int) -> int:
         return len(self.slices[slot].data)
+
+
+# ---------------------------------------------------------------------------
+# Metrics catalog for the SSB (collected from SimStats; the engine owns the
+# counters, this module owns their declarations).
+# ---------------------------------------------------------------------------
+
+_metrics.register(
+    _metrics.MetricSpec("uarch.ssb.reads", _metrics.COUNTER, "uarch.ssb",
+                        "Speculative loads resolved through SSB versioning",
+                        unit="accesses", source="ssb_reads"),
+    _metrics.MetricSpec("uarch.ssb.writes", _metrics.COUNTER, "uarch.ssb",
+                        "Speculative stores buffered into a slice",
+                        unit="accesses", source="ssb_writes"),
+    _metrics.MetricSpec("uarch.ssb.forwards", _metrics.COUNTER, "uarch.ssb",
+                        "Reads served (at least partly) from an older "
+                        "threadlet's slice",
+                        unit="accesses", source="ssb_forwards"),
+)

@@ -1,0 +1,160 @@
+"""Tests for the perf-regression gate (tools/bench_compare.py).
+
+ISSUE acceptance criterion: the gate must exit nonzero on an artificially
+injected 20% slowdown. These tests exercise that end-to-end through
+``main()`` with fabricated result records (no simulation), plus the
+semantics gate and its schema-mismatch skip path.
+"""
+
+import copy
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+TOOLS = Path(__file__).resolve().parent.parent / "tools"
+sys.path.insert(0, str(TOOLS))
+
+import bench_compare  # noqa: E402
+
+
+BASE_RECORD = {
+    "suite": "spec2017",
+    "engine_schema": 1,
+    "benchmarks": ["imagick", "omnetpp", "nab"],
+    "simulations": 24,
+    "instructions": 67662,
+    "cycles": 68535,
+    "wall_seconds": 1.358,
+    "instructions_per_second": 49818.8,
+    "cycles_per_second": 50461.5,
+}
+
+
+@pytest.fixture
+def records(tmp_path):
+    def write(name, **overrides):
+        record = copy.deepcopy(BASE_RECORD)
+        record.update(overrides)
+        path = tmp_path / name
+        path.write_text(json.dumps(record))
+        return str(path)
+
+    return write
+
+
+def _main(baseline, current, *extra):
+    return bench_compare.main(
+        ["--baseline", baseline, "--current", current, *extra]
+    )
+
+
+def test_identical_records_pass(records, capsys):
+    assert _main(records("base.json"), records("cur.json")) == 0
+    out = capsys.readouterr().out
+    assert "bit-identical" in out
+    assert out.strip().endswith("OK")
+
+
+def test_injected_20pct_slowdown_fails(records, capsys):
+    """The ISSUE's acceptance criterion, verbatim."""
+    slow = BASE_RECORD["instructions_per_second"] * 0.80
+    rc = _main(records("base.json"),
+               records("cur.json", instructions_per_second=slow))
+    assert rc == 1
+    out = capsys.readouterr().out
+    assert "FAIL throughput" in out
+    assert out.strip().endswith("REGRESSION DETECTED")
+
+
+def test_slowdown_within_tolerance_passes(records):
+    ok_ips = BASE_RECORD["instructions_per_second"] * 0.90  # 10% < 15%
+    assert _main(records("base.json"),
+                 records("cur.json", instructions_per_second=ok_ips)) == 0
+
+
+def test_speedup_passes(records):
+    fast = BASE_RECORD["instructions_per_second"] * 1.5
+    assert _main(records("base.json"),
+                 records("cur.json", instructions_per_second=fast)) == 0
+
+
+def test_custom_tolerance_is_respected(records):
+    slow = BASE_RECORD["instructions_per_second"] * 0.80
+    current = records("cur.json", instructions_per_second=slow)
+    baseline = records("base.json")
+    assert _main(baseline, current, "--tolerance", "0.25") == 0
+    assert _main(baseline, current, "--tolerance", "0.10") == 1
+
+
+def test_cycle_drift_fails_even_when_fast(records, capsys):
+    """Timing-semantics drift without a schema bump is a hard failure no
+    matter how fast the run was — it silently stales the result store."""
+    rc = _main(
+        records("base.json"),
+        records("cur.json", cycles=BASE_RECORD["cycles"] + 1,
+                instructions_per_second=1e9),
+    )
+    assert rc == 1
+    out = capsys.readouterr().out
+    assert "FAIL semantics" in out and "cycles" in out
+    assert "ENGINE_SCHEMA_VERSION" in out
+
+
+def test_instruction_drift_fails(records):
+    assert _main(
+        records("base.json"),
+        records("cur.json", instructions=BASE_RECORD["instructions"] - 5),
+    ) == 1
+
+
+def test_schema_bump_skips_semantics_gate(records, capsys):
+    """A deliberate schema bump makes cycle totals incomparable — the gate
+    must skip the exact check (but still enforce throughput)."""
+    rc = _main(
+        records("base.json"),
+        records("cur.json", engine_schema=2,
+                cycles=BASE_RECORD["cycles"] + 999),
+    )
+    assert rc == 0
+    assert "semantics: skipped" in capsys.readouterr().out
+
+
+def test_different_benchmark_subset_skips_semantics_gate(records, capsys):
+    rc = _main(
+        records("base.json"),
+        records("cur.json", benchmarks=["imagick"], cycles=1,
+                instructions=1),
+    )
+    assert rc == 0
+    assert "semantics: skipped" in capsys.readouterr().out
+
+
+def test_committed_baseline_is_loadable_and_current_schema():
+    """BENCH_engine.json at the repo root must parse and carry the same
+    ENGINE_SCHEMA_VERSION the code declares, or the semantics gate would
+    silently skip on every CI run."""
+    from repro.uarch.core import ENGINE_SCHEMA_VERSION
+
+    record = bench_compare.load_record(
+        Path(__file__).resolve().parent.parent / "BENCH_engine.json"
+    )
+    assert record["engine_schema"] == ENGINE_SCHEMA_VERSION
+    assert record["instructions_per_second"] > 0
+
+
+def test_invalid_record_rejected(tmp_path):
+    bad = tmp_path / "bad.json"
+    bad.write_text(json.dumps({"hello": "world"}))
+    with pytest.raises(ValueError, match="not a bench_engine result"):
+        bench_compare.load_record(str(bad))
+
+
+def test_bad_tolerance_and_runs_rejected(records):
+    baseline = records("base.json")
+    current = records("cur.json")
+    with pytest.raises(SystemExit):
+        _main(baseline, current, "--tolerance", "1.5")
+    with pytest.raises(SystemExit):
+        _main(baseline, current, "--runs", "0")

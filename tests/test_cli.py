@@ -87,3 +87,130 @@ def test_missing_file_is_an_error(capsys):
 def test_parser_requires_command():
     with pytest.raises(SystemExit):
         build_parser().parse_args([])
+
+
+# ---------------------------------------------------------------------------
+# results stats / gc
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture
+def populated_store(tmp_path):
+    """A store dir holding one current record, one stale, one corrupt."""
+    from repro.results import ResultStore
+    from repro.uarch.core import SimStats
+
+    root = tmp_path / "store"
+    current = ResultStore(root)
+    current.save("aa" + "0" * 62, SimStats(cycles=10))
+    stale = ResultStore(root, schema=current.schema - 1)
+    stale.save("bb" + "0" * 62, SimStats(cycles=20))
+    shard = root / "cc"
+    shard.mkdir(parents=True)
+    (shard / ("cc" + "0" * 62 + ".json")).write_text("{corrupt")
+    return str(root)
+
+
+def test_results_stats(populated_store, capsys):
+    assert main(["results", "stats", "--store-dir", populated_store]) == 0
+    out = capsys.readouterr().out
+    assert "records:  2" in out  # parseable records; corrupt counted apart
+    assert "corrupt:  1" in out
+    assert "(current)" in out
+    assert "(stale)" in out
+
+
+def test_results_gc_removes_stale_keeps_current(populated_store, capsys):
+    assert main(["results", "gc", "--store-dir", populated_store]) == 0
+    assert "removed 2 stale/corrupt records" in capsys.readouterr().out
+    assert main(["results", "stats", "--store-dir", populated_store]) == 0
+    out = capsys.readouterr().out
+    assert "records:  1" in out
+    assert "corrupt:  0" in out
+
+
+def test_results_gc_purge_empties_store(populated_store, capsys):
+    assert main(["results", "gc", "--purge",
+                 "--store-dir", populated_store]) == 0
+    assert "removed 3 all records" in capsys.readouterr().out
+
+
+def test_results_stats_on_missing_store(tmp_path, capsys):
+    missing = str(tmp_path / "never-created")
+    assert main(["results", "stats", "--store-dir", missing]) == 0
+    assert "records:  0" in capsys.readouterr().out
+
+
+# ---------------------------------------------------------------------------
+# --jobs / --store-dir error paths
+# ---------------------------------------------------------------------------
+
+
+def test_negative_jobs_is_an_error(capsys):
+    assert main(["suite", "spec2017", "--only", "imagick",
+                 "--no-store", "--jobs", "-1"]) == 1
+    assert "--jobs must be >= 0" in capsys.readouterr().err
+
+
+def test_non_integer_jobs_is_a_usage_error():
+    with pytest.raises(SystemExit) as exc:
+        main(["suite", "spec2017", "--jobs", "many"])
+    assert exc.value.code == 2
+
+
+def test_store_dir_collision_with_file(tmp_path, capsys):
+    not_a_dir = tmp_path / "occupied"
+    not_a_dir.write_text("I am a file")
+    assert main(["suite", "spec2017", "--only", "imagick",
+                 "--store-dir", str(not_a_dir)]) == 1
+    assert "not a directory" in capsys.readouterr().err
+    assert not_a_dir.read_text() == "I am a file"  # untouched
+
+
+def test_results_store_dir_collision_with_file(tmp_path, capsys):
+    not_a_dir = tmp_path / "occupied"
+    not_a_dir.write_text("I am a file")
+    assert main(["results", "stats", "--store-dir", str(not_a_dir)]) == 1
+    assert "not a directory" in capsys.readouterr().err
+
+
+# ---------------------------------------------------------------------------
+# trace
+# ---------------------------------------------------------------------------
+
+
+def test_trace_command(frog_file, capsys):
+    assert main(["trace", frog_file, "--regs", "r1=0x2000"]) == 0
+    out = capsys.readouterr().out
+    assert "compile" in out
+    assert "simulate" in out
+    assert "epoch.spawn" in out
+
+
+def test_trace_with_output_metrics_and_summarize(frog_file, tmp_path, capsys):
+    timeline = tmp_path / "run.jsonl"
+    assert main(["trace", frog_file, "--regs", "r1=0x2000",
+                 "--out", str(timeline), "--metrics"]) == 0
+    out = capsys.readouterr().out
+    assert f"records to {timeline}" in out
+    assert "uarch.core.cycles" in out
+
+    # Second mode: summarize the written timeline.
+    assert main(["trace", str(timeline)]) == 0
+    summary = capsys.readouterr().out
+    assert "simulate" in summary and "epoch.spawn" in summary
+
+
+def test_trace_baseline_has_no_epochs(frog_file, capsys):
+    assert main(["trace", frog_file, "--baseline"]) == 0
+    out = capsys.readouterr().out
+    assert "simulate" in out
+    assert "epoch.spawn" not in out
+
+
+def test_trace_leaves_tracing_disabled(frog_file, capsys):
+    from repro.obs.tracing import current_tracer
+
+    assert main(["trace", frog_file]) == 0
+    capsys.readouterr()
+    assert current_tracer() is None

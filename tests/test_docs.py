@@ -1,0 +1,43 @@
+"""Keep docs/observability.md in lock-step with the code.
+
+The metrics catalog is a public schema; a registered metric that is not
+documented (or a documented metric that no longer exists) is a doc bug
+this test catches mechanically.
+"""
+
+import re
+from pathlib import Path
+
+from repro.obs.metrics import load_all
+
+DOC = Path(__file__).resolve().parent.parent / "docs" / "observability.md"
+
+
+def _documented_metrics(text):
+    # Catalog rows look like: | `uarch.ssb.reads` | counter | ... |
+    return set(re.findall(r"^\| `([a-z0-9_.]+)` \|", text, re.MULTILINE))
+
+
+def test_observability_doc_lists_every_metric():
+    registry = load_all()
+    documented = _documented_metrics(DOC.read_text())
+    registered = {spec.name for spec in registry.specs()}
+
+    missing = sorted(registered - documented)
+    assert not missing, (
+        f"metrics registered but absent from docs/observability.md "
+        f"(regenerate the catalog section with "
+        f"MetricsRegistry.catalog()): {missing}"
+    )
+    phantom = sorted(documented - registered)
+    assert not phantom, (
+        f"metrics documented in docs/observability.md but not registered "
+        f"anywhere: {phantom}"
+    )
+
+
+def test_doc_mentions_every_subsystem():
+    registry = load_all()
+    text = DOC.read_text()
+    for subsystem in registry.subsystems():
+        assert f"### `{subsystem}`" in text, subsystem

@@ -1,0 +1,83 @@
+"""Golden digests: frozen store keys for two small workloads.
+
+The persistent result store is content-addressed (docs/results_store.md):
+a cache entry's key digests the compiled program, the workload's initial
+machine state, every MachineConfig field, and ``ENGINE_SCHEMA_VERSION``.
+These tests pin the exact hex values so that *any* unintentional change
+to compilation output, workload setup, config defaults, or digest
+canonicalisation shows up as a test failure instead of as a silently
+cold (or worse, silently stale) result store.
+
+If a failure here is *intentional* — you changed timing semantics, the
+compiler's output, or a default config — bump ``ENGINE_SCHEMA_VERSION``
+(for timing changes) or simply re-pin the values below, and note the
+invalidation in the commit message.  Never re-pin to hide an unexplained
+diff: an unexplained digest change means cached results no longer match
+what a fresh simulation would produce.
+"""
+
+from repro.results.digest import machine_digest, run_digest, workload_digest
+from repro.uarch.config import baseline_machine, default_machine
+from repro.workloads.suites import suite
+
+
+def _workload(name):
+    for bench in suite("spec2017"):
+        for workload, _weight in bench.phases:
+            if workload.name == name:
+                return workload
+    raise AssertionError(f"workload {name} missing from spec2017")
+
+
+GOLDEN = {
+    "imagick_conv": {
+        "workload": "3a940ea1a24892df540cb25882f7ea32"
+                    "ef76729a70e46d2e0f7bc24caaff7227",
+        "run_baseline": "8747981e229bd862c0f452c10112016"
+                        "68425157682611ea011a0f47153a866c7",
+        "run_loopfrog": "b988ae7a13994078159aa94348dde55"
+                        "bbae9fb3a22d1d023cd1a6f906638b7ee",
+    },
+    "omnetpp_events": {
+        "workload": "1da1f2dda1fe071fd1a42d82fc8e47b7"
+                    "916fdc4d43fb430a16ba42bd2002f2e7",
+        "run_baseline": "adecb4641efc07e5c754a7f1cae9092"
+                        "ee1b59dca7ddd5dede73b4a5106e29d7d",
+        "run_loopfrog": "88120d2571ab7c7a4768ed619c0762c"
+                        "21939d2d1fbf2897861ee45b65e6b988a",
+    },
+}
+
+MACHINE_BASELINE = (
+    "b5c6fdc8ffac5081cd3990d897a3e873d2f9adc72f658b6f7505c8b310eb442f"
+)
+MACHINE_LOOPFROG = (
+    "d68c02689c22a526b3af9cbb3addeb94791b7b5417f3f78c7e1c18d2dc0e3967"
+)
+
+
+def test_machine_digests_frozen():
+    assert machine_digest(baseline_machine()) == MACHINE_BASELINE
+    assert machine_digest(default_machine()) == MACHINE_LOOPFROG
+
+
+def test_workload_digests_frozen():
+    for name, golden in GOLDEN.items():
+        assert workload_digest(_workload(name)) == golden["workload"], name
+
+
+def test_run_digests_frozen():
+    for name, golden in GOLDEN.items():
+        wl = _workload(name)
+        assert run_digest(wl, baseline_machine()) == golden["run_baseline"]
+        assert run_digest(wl, default_machine()) == golden["run_loopfrog"]
+
+
+def test_digests_are_memoised_consistently():
+    """The memoised second call must return the identical value (the
+    store depends on digest stability within a process)."""
+    wl = _workload("imagick_conv")
+    machine = default_machine()
+    assert workload_digest(wl) == workload_digest(wl)
+    assert machine_digest(machine) == machine_digest(machine)
+    assert run_digest(wl, machine) == run_digest(wl, machine)

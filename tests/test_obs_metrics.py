@@ -1,0 +1,186 @@
+"""Tests for the metrics registry (repro.obs.metrics).
+
+The load-bearing test is the SimStats coverage contract: every counter
+the engine maintains must be described by exactly one registered
+MetricSpec, so new counters cannot be added without entering the
+documented catalog.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.compiler import compile_frog
+from repro.obs.metrics import (
+    COUNTER,
+    GAUGE,
+    HISTOGRAM,
+    MetricSpec,
+    MetricsRegistry,
+    default_registry,
+    diff_snapshots,
+    format_snapshot,
+    load_all,
+)
+from repro.uarch import LoopFrogCore, SparseMemory
+from repro.uarch.core import SimStats
+
+# Fields that are deliberately outside the flat metric catalog.
+# `regions` is a nested per-region breakdown (its own structured record,
+# serialized separately), not a scalar metric.
+UNCATALOGUED_SIMSTATS_FIELDS = {"regions"}
+
+
+# ---------------------------------------------------------------------------
+# Coverage contract
+# ---------------------------------------------------------------------------
+
+def test_every_simstats_field_has_exactly_one_spec():
+    registry = load_all()
+    field_names = {f.name for f in dataclasses.fields(SimStats)}
+    covered = field_names - UNCATALOGUED_SIMSTATS_FIELDS
+
+    source_counts = {}
+    for spec in registry.specs():
+        if spec.source is not None:
+            source_counts[spec.source] = source_counts.get(spec.source, 0) + 1
+
+    missing = sorted(
+        name for name in covered if source_counts.get(name, 0) == 0
+    )
+    assert not missing, (
+        f"SimStats fields without a MetricSpec (add them to the catalog "
+        f"or to UNCATALOGUED_SIMSTATS_FIELDS with a reason): {missing}"
+    )
+    duplicated = sorted(
+        name for name in covered if source_counts.get(name, 0) > 1
+    )
+    assert not duplicated, f"SimStats fields with multiple specs: {duplicated}"
+
+
+def test_expected_subsystems_registered():
+    registry = load_all()
+    assert set(registry.subsystems()) >= {
+        "compiler", "uarch.caches", "uarch.conflict", "uarch.core",
+        "uarch.executor", "uarch.packing", "uarch.ssb",
+    }
+
+
+def test_collect_on_real_simulation_stats():
+    load_all()
+    source = """
+    fn main(a: ptr<int>) {
+        #pragma loopfrog
+        for (var i: int = 0; i < 16; i = i + 1) {
+            a[i] = a[i] + i;
+        }
+    }
+    """
+    program = compile_frog(source).program
+    mem = SparseMemory()
+    mem.store_int_array(0x1000, list(range(16)))
+    sim = LoopFrogCore().run(program, mem, {"r1": 0x1000})
+
+    snap = default_registry().collect(sim.stats, "uarch")
+    assert snap["uarch.core.cycles"] == sim.stats.cycles > 0
+    assert snap["uarch.core.threadlets_spawned"] > 0
+    assert snap["uarch.ssb.writes"] == sim.stats.ssb_writes
+    # Derived gauge: miss rate is in [0, 1].
+    assert 0.0 <= snap["uarch.caches.l1d_miss_rate"] <= 1.0
+    # No compiler metrics on a SimStats collect.
+    assert not any(name.startswith("compiler.") for name in snap)
+
+
+# ---------------------------------------------------------------------------
+# MetricSpec / registry semantics
+# ---------------------------------------------------------------------------
+
+def test_spec_requires_exactly_one_of_source_and_derive():
+    with pytest.raises(ValueError):
+        MetricSpec("x.a", COUNTER, "x", "neither")
+    with pytest.raises(ValueError):
+        MetricSpec("x.a", COUNTER, "x", "both", source="a",
+                   derive=lambda o: 1)
+    with pytest.raises(ValueError):
+        MetricSpec("x.a", "timer", "x", "bad kind", source="a")
+
+
+def test_reregistration_identical_is_noop_different_is_error():
+    reg = MetricsRegistry()
+    spec = MetricSpec("x.a", COUNTER, "x", "d", source="a")
+    reg.register(spec)
+    reg.register(MetricSpec("x.a", COUNTER, "x", "d", source="a"))
+    assert len(reg) == 1
+    with pytest.raises(ValueError, match="different definition"):
+        reg.register(MetricSpec("x.a", GAUGE, "x", "d", source="a"))
+
+
+def test_collect_skips_missing_attrs_and_failing_derives():
+    reg = MetricsRegistry()
+    reg.register(
+        MetricSpec("x.present", COUNTER, "x", "d", source="present"),
+        MetricSpec("x.absent", COUNTER, "x", "d", source="absent"),
+        MetricSpec("x.ratio", GAUGE, "x", "d",
+                   derive=lambda o: o.present / o.zero),
+        MetricSpec("x.boom", GAUGE, "x", "d",
+                   derive=lambda o: o.nothing_here),
+    )
+
+    class Obj:
+        present = 7
+        zero = 0
+
+    snap = reg.collect(Obj())
+    assert snap == {"x.present": 7}
+
+
+def test_histogram_values_are_key_sorted():
+    reg = MetricsRegistry()
+    reg.register(
+        MetricSpec("x.h", HISTOGRAM, "x", "d", derive=lambda o: o.h)
+    )
+
+    class Obj:
+        h = {"zulu": 1, "alpha": 2}
+
+    snap = reg.collect(Obj())
+    assert list(snap["x.h"]) == ["alpha", "zulu"]
+
+
+def test_subsystem_filter_uses_prefix_boundaries():
+    reg = MetricsRegistry()
+    reg.register(
+        MetricSpec("uarch.ssb.reads", COUNTER, "uarch.ssb", "d", source="a"),
+        MetricSpec("uarch.ssbx.reads", COUNTER, "uarch.ssbx", "d",
+                   source="b"),
+    )
+    names = [s.name for s in reg.specs("uarch.ssb")]
+    assert names == ["uarch.ssb.reads"]  # no false prefix match on ssbx
+    assert len(reg.specs("uarch")) == 2
+
+
+# ---------------------------------------------------------------------------
+# Helpers
+# ---------------------------------------------------------------------------
+
+def test_diff_snapshots():
+    before = {"a": 1, "b": 2}
+    after = {"a": 1, "b": 3, "c": 4}
+    assert diff_snapshots(before, after) == {
+        "b": (2, 3), "c": (None, 4),
+    }
+
+
+def test_format_snapshot():
+    text = format_snapshot({"b.metric": 2, "a.metric": 0.123456})
+    lines = text.splitlines()
+    assert lines[0].split() == ["a.metric", "0.1235"]
+    assert lines[1].split() == ["b.metric", "2"]
+    assert format_snapshot({}) == "(no metrics)"
+
+
+def test_catalog_lists_every_metric():
+    registry = load_all()
+    text = registry.catalog()
+    for spec in registry.specs():
+        assert f"`{spec.name}`" in text

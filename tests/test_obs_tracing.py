@@ -1,0 +1,214 @@
+"""Tests for span tracing (repro.obs.tracing).
+
+The two load-bearing guarantees:
+
+1. tracing is *purely observational* — simulated cycle counts are
+   bit-identical whether a tracer is installed or not, and
+2. the JSONL timeline round-trips through ``read_jsonl`` and
+   ``summarize_records`` losslessly enough to rebuild the span tree.
+"""
+
+import json
+
+from repro.compiler import compile_frog
+from repro.obs.tracing import (
+    Tracer,
+    current_tracer,
+    disable_tracing,
+    enable_tracing,
+    read_jsonl,
+    span,
+    summarize_records,
+    trace_scope,
+)
+from repro.uarch import LoopFrogCore, SparseMemory
+
+SOURCE = """
+fn main(a: ptr<int>) {
+    #pragma loopfrog
+    for (var i: int = 0; i < 24; i = i + 1) {
+        a[i] = a[i] * 3 + i;
+    }
+}
+"""
+
+
+def _run(core_factory=LoopFrogCore):
+    program = compile_frog(SOURCE).program
+    mem = SparseMemory()
+    mem.store_int_array(0x1000, list(range(24)))
+    return core_factory().run(program, mem, {"r1": 0x1000})
+
+
+def _fake_clock():
+    """Deterministic clock: each call advances by exactly 1.0s."""
+    t = [0.0]
+
+    def clock():
+        t[0] += 1.0
+        return t[0]
+
+    return clock
+
+
+# ---------------------------------------------------------------------------
+# Core tracer mechanics
+# ---------------------------------------------------------------------------
+
+def test_span_nesting_and_parentage():
+    tracer = Tracer(clock=_fake_clock())
+    with tracer.span("outer", label="x"):
+        with tracer.span("inner"):
+            tracer.event("tick", cycle=7)
+        tracer.event("tock")
+    assert [s.name for s in tracer.spans] == ["outer", "inner"]
+    outer, inner = tracer.spans
+    assert outer.parent_id is None
+    assert inner.parent_id == outer.span_id
+    assert outer.attrs == {"label": "x"}
+    assert outer.end is not None and outer.end > outer.start
+    assert inner.start >= outer.start and inner.end <= outer.end
+    tick, tock = tracer.events
+    assert tick.parent_id == inner.span_id
+    assert tick.attrs == {"cycle": 7}
+    assert tock.parent_id == outer.span_id
+
+
+def test_span_closes_on_exception():
+    tracer = Tracer(clock=_fake_clock())
+    try:
+        with tracer.span("doomed"):
+            raise RuntimeError("boom")
+    except RuntimeError:
+        pass
+    assert tracer.spans[0].end is not None
+    # The stack unwound: the next span is a root again.
+    with tracer.span("next"):
+        pass
+    assert tracer.spans[1].parent_id is None
+
+
+def test_records_are_timeline_ordered():
+    tracer = Tracer(clock=_fake_clock())
+    with tracer.span("a"):
+        tracer.event("e1")
+    with tracer.span("b"):
+        pass
+    kinds = [(r["type"], r["name"]) for r in tracer.records()]
+    assert kinds == [("span", "a"), ("event", "e1"), ("span", "b")]
+
+
+# ---------------------------------------------------------------------------
+# JSONL round-trip
+# ---------------------------------------------------------------------------
+
+def test_jsonl_round_trip(tmp_path):
+    tracer = Tracer(clock=_fake_clock())
+    with tracer.span("outer", program="k"):
+        tracer.event("epoch.spawn", cycle=3, slot=1)
+        with tracer.span("inner"):
+            pass
+
+    path = tmp_path / "trace.jsonl"
+    count = tracer.write_jsonl(path)
+    assert count == 3
+
+    # Every line is standalone JSON.
+    lines = path.read_text().strip().splitlines()
+    assert len(lines) == count
+    for line in lines:
+        json.loads(line)
+
+    records = read_jsonl(path)
+    assert records == tracer.records()
+
+
+def test_read_jsonl_skips_junk(tmp_path):
+    path = tmp_path / "trace.jsonl"
+    good = {"type": "event", "parent": None, "name": "e", "t": 0.1,
+            "attrs": {}}
+    path.write_text(
+        "not json\n\n[1,2]\n" + json.dumps({"type": "mystery"}) + "\n"
+        + json.dumps(good) + "\n"
+    )
+    assert read_jsonl(path) == [good]
+
+
+def test_summarize_records():
+    tracer = Tracer(clock=_fake_clock())
+    with tracer.span("simulate", program="k"):
+        tracer.event("epoch.spawn", cycle=1)
+        tracer.event("epoch.squash", cycle=5, reason="conflict")
+        with tracer.span("phase"):
+            pass
+    text = summarize_records(tracer.records())
+    assert "simulate" in text and "program=k" in text
+    assert "ms" in text
+    assert "epoch.spawn" in text and "x1" in text
+    assert "epoch.squash" in text and "conflict=1" in text
+    # Child span is indented under its parent.
+    sim_line = next(l for l in text.splitlines() if "simulate" in l)
+    phase_line = next(l for l in text.splitlines() if "phase" in l)
+    assert not sim_line.startswith(" ") and phase_line.startswith("  ")
+    assert summarize_records([]) == "(empty timeline)"
+
+
+# ---------------------------------------------------------------------------
+# Process-wide tracer management
+# ---------------------------------------------------------------------------
+
+def test_trace_scope_restores_previous_tracer():
+    assert current_tracer() is None
+    outer = enable_tracing()
+    try:
+        with trace_scope() as inner:
+            assert current_tracer() is inner
+            assert inner is not outer
+        assert current_tracer() is outer
+    finally:
+        disable_tracing()
+    assert current_tracer() is None
+
+
+def test_module_span_is_noop_when_disabled():
+    assert current_tracer() is None
+    with span("ignored", attr=1) as record:
+        assert record is None
+    with trace_scope() as tracer:
+        with span("seen") as record:
+            assert record is not None
+    assert [s.name for s in tracer.spans] == ["seen"]
+
+
+# ---------------------------------------------------------------------------
+# The observational guarantee
+# ---------------------------------------------------------------------------
+
+def test_cycles_bit_identical_with_and_without_tracing():
+    plain = _run()
+    with trace_scope() as tracer:
+        traced = _run()
+    assert traced.stats.cycles == plain.stats.cycles
+    assert traced.stats.arch_instructions == plain.stats.arch_instructions
+    assert traced.registers == plain.registers
+    # And the trace actually captured the run.
+    names = {s.name for s in tracer.spans}
+    assert {"compile", "simulate"} <= names
+    spawns = [e for e in tracer.events if e.name == "epoch.spawn"]
+    assert spawns and all("cycle" in e.attrs for e in spawns)
+
+
+def test_engine_caches_tracer_at_construction():
+    """The Engine looks up the active tracer once, at construction — an
+    engine built while tracing is off stays silent even if a tracer is
+    installed before run() (the documented one-global-read contract)."""
+    from repro.uarch.config import default_machine
+    from repro.uarch.core import Engine
+
+    program = compile_frog(SOURCE).program
+    mem = SparseMemory()
+    mem.store_int_array(0x1000, list(range(24)))
+    engine = Engine(default_machine(), program, mem, {"r1": 0x1000})
+    with trace_scope() as tracer:
+        engine.run()
+    assert tracer.spans == [] and tracer.events == []

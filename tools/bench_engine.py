@@ -17,6 +17,7 @@ import time
 
 from repro.experiments.runner import _simulate
 from repro.uarch.config import baseline_machine, default_machine
+from repro.uarch.core import ENGINE_SCHEMA_VERSION
 from repro.workloads.suites import suite
 
 BENCH_SUITE = "spec2017"
@@ -40,6 +41,10 @@ def run_bench():
     elapsed = time.perf_counter() - start
     return {
         "suite": BENCH_SUITE,
+        # Cycle/instruction totals are only comparable between runs of the
+        # same timing semantics; bench_compare.py keys its exactness gate
+        # on this matching.
+        "engine_schema": ENGINE_SCHEMA_VERSION,
         "benchmarks": [b.name for b in benchmarks],
         "simulations": sims,
         "instructions": instructions,
