@@ -8,16 +8,22 @@ Commands
     suite NAME          run a SPEC stand-in suite (figure-6 style output)
     experiment ID       regenerate one paper artefact (fig1..fig10,
                         table2, table3, packing, assoc, area)
+    sample WORKLOAD     SimPoint-style sampled simulation of one workload
+                        (docs/sampling.md); ``--verify TOL`` also runs the
+                        full detailed simulation and fails if the sampled
+                        CPI estimate is off by more than TOL
     workloads           list available benchmarks and their phases
     results CMD         persistent result store maintenance (stats, gc)
     trace FILE          compile + simulate a Frog file with structured
                         tracing enabled and summarize the timeline; given
                         an existing ``.jsonl`` timeline, summarize it
 
-``suite`` and ``experiment`` accept ``--jobs N`` (parallel simulation
-across N processes; default: all cores), ``--no-store`` (skip the
-persistent result cache) and ``--store-dir DIR`` (cache location,
-default ``.repro-results/``).
+``suite``, ``experiment`` and ``sample`` accept ``--jobs N`` (parallel
+simulation across N processes; default: all cores), ``--no-store`` (skip
+the persistent result cache) and ``--store-dir DIR`` (cache location,
+default ``.repro-results/``).  ``suite`` additionally accepts
+``--sampled`` to estimate every phase with sampled simulation instead of
+running it in full.
 """
 
 from __future__ import annotations
@@ -124,12 +130,56 @@ def cmd_suite(args: argparse.Namespace) -> int:
     from .experiments import run_suite, suite_geomean
 
     _apply_runner_options(args)
-    runs = run_suite(args.name, only=args.only.split(",") if args.only else None)
+    runs = run_suite(args.name, only=args.only.split(",") if args.only else None,
+                     sampling=True if args.sampled else None)
     items = [(r.name, r.speedup_percent)
              for r in sorted(runs, key=lambda r: -r.speedup)]
     geomean = (suite_geomean(runs) - 1) * 100
-    print(format_bars(items, title=f"{args.name}: whole-program speedup "
-                                   f"(geomean {geomean:+.1f}%)"))
+    mode = " (sampled)" if args.sampled else ""
+    print(format_bars(items, title=f"{args.name}: whole-program speedup"
+                                   f"{mode} (geomean {geomean:+.1f}%)"))
+    return 0
+
+
+def cmd_sample(args: argparse.Namespace) -> int:
+    from .experiments.runner import run_workload
+    from .sampling.runner import SamplingConfig, run_workload_sampled
+    from .uarch.config import default_machine
+    from .workloads import get_workload
+
+    _apply_runner_options(args)
+    workload = get_workload(args.workload)
+    config = SamplingConfig(
+        interval_length=args.interval_length,
+        max_clusters=args.max_clusters,
+        seed=args.seed,
+    )
+    machine = default_machine()
+    result = run_workload_sampled(workload, machine, config, jobs=args.jobs)
+    cached = " (cached)" if result.cached else ""
+    print(f"workload:            {workload.name}{cached}")
+    print(f"total instructions:  {result.total_instructions:,}")
+    print(f"intervals:           {result.num_intervals} "
+          f"x {result.interval_length:,} instructions")
+    print(f"clusters:            {result.num_clusters}")
+    print(f"detailed simulation: {result.detailed_instructions:,} "
+          f"instructions ({result.detailed_fraction:.1%} of total)")
+    print(f"fast-forward rate:   "
+          f"{result.ff_instructions_per_second:,.0f} instr/s")
+    print(f"estimated CPI:       {result.estimated_cpi:.4f} "
+          f"± {result.error_bound:.2%} (95% CI)")
+    print(f"estimated cycles:    {result.estimated_cycles:,}")
+    if args.verify is not None:
+        full = run_workload(workload, machine)
+        full_cpi = full.cycles / max(1, full.arch_instructions)
+        err = (result.estimated_cpi - full_cpi) / full_cpi if full_cpi else 0.0
+        print(f"full-detail CPI:     {full_cpi:.4f}")
+        print(f"CPI error:           {err:+.2%} "
+              f"(tolerance ±{args.verify:.2%})")
+        if abs(err) > args.verify:
+            print("verification FAILED", file=sys.stderr)
+            return 1
+        print("verification passed")
     return 0
 
 
@@ -216,9 +266,9 @@ def cmd_trace(args: argparse.Namespace) -> int:
 
 
 def cmd_workloads(args: argparse.Namespace) -> int:
-    from .workloads import suite
+    from .workloads import SUITE_NAMES, suite
 
-    for suite_name in ("spec2017", "spec2006"):
+    for suite_name in SUITE_NAMES:
         print(f"{suite_name}:")
         for bench in suite(suite_name):
             flag = "profitable" if bench.profitable else "no-speedup"
@@ -262,10 +312,30 @@ def build_parser() -> argparse.ArgumentParser:
                        help="result store location (default: .repro-results)")
 
     p = sub.add_parser("suite", help="run a SPEC stand-in suite")
-    p.add_argument("name", choices=["spec2017", "spec2006"])
+    p.add_argument("name", choices=["spec2017", "spec2006", "longrun"])
     p.add_argument("--only", help="comma-separated benchmark names")
+    p.add_argument("--sampled", action="store_true",
+                   help="estimate phases with sampled simulation "
+                        "(docs/sampling.md) instead of running them fully")
     add_runner_options(p)
     p.set_defaults(func=cmd_suite)
+
+    p = sub.add_parser(
+        "sample",
+        help="sampled simulation of one workload (SimPoint-style)",
+    )
+    p.add_argument("workload", help="phase name, e.g. imagick_conv")
+    p.add_argument("--interval-length", type=int, default=8000, metavar="N",
+                   help="instructions per profiling interval (default 8000)")
+    p.add_argument("--max-clusters", type=int, default=8, metavar="K",
+                   help="maximum k-means clusters (default 8)")
+    p.add_argument("--seed", type=int, default=42,
+                   help="clustering seed (default 42)")
+    p.add_argument("--verify", type=float, default=None, metavar="TOL",
+                   help="also run the full detailed simulation and fail if "
+                        "the relative CPI error exceeds TOL (e.g. 0.05)")
+    add_runner_options(p)
+    p.set_defaults(func=cmd_sample)
 
     p = sub.add_parser("experiment", help="regenerate a paper artefact")
     p.add_argument("id", help=f"one of: {', '.join(_EXPERIMENTS)}, all")

@@ -22,6 +22,15 @@ fanned out across a :class:`~concurrent.futures.ProcessPoolExecutor`
 before results are assembled.  ``jobs <= 1`` keeps the exact serial
 in-process path.  Both paths produce bit-identical statistics: the worker
 runs the same :class:`~repro.uarch.core.Engine` on the same inputs.
+
+They also accept a ``sampling`` parameter selecting SimPoint-style
+sampled simulation (docs/sampling.md): ``True`` for the default
+:class:`~repro.sampling.runner.SamplingConfig`, or a config instance.
+Sampled estimates live in a *separate* digest dimension — they are cached
+and stored under :func:`~repro.results.digest.sampled_run_digest`, so
+they can never be confused with (or shadow) exact results.  With
+``jobs > 1`` the sampled path parallelises each run's detailed windows
+instead of prefetching whole simulations.
 """
 
 from __future__ import annotations
@@ -87,15 +96,41 @@ def _simulate(workload: Workload, machine: MachineConfig) -> SimStats:
     return engine.run(max_cycles=workload.max_cycles)
 
 
+def _sampling_config(sampling):
+    """Normalise the ``sampling`` parameter: None/False -> exact mode,
+    True -> default config, config instance -> itself."""
+    if sampling is None or sampling is False:
+        return None
+    if sampling is True:
+        from ..sampling.runner import SamplingConfig
+
+        return SamplingConfig()
+    return sampling
+
+
 def run_workload(
-    workload: Workload, machine: MachineConfig, use_cache: bool = True
+    workload: Workload,
+    machine: MachineConfig,
+    use_cache: bool = True,
+    sampling=None,
+    jobs: Optional[int] = None,
 ) -> SimStats:
     """Simulate one workload on one machine configuration (cached).
 
     With ``use_cache=True`` the in-process cache is consulted first, then
     the persistent result store; a fresh simulation populates both.
-    ``use_cache=False`` bypasses both layers entirely.
+    ``use_cache=False`` bypasses both layers entirely.  ``sampling``
+    selects the sampled estimator instead of an exact run (its cache and
+    store entries use the disjoint sampled digest); ``jobs`` only
+    applies there, fanning the detailed windows out across processes.
     """
+    config = _sampling_config(sampling)
+    if config is not None:
+        from ..sampling.runner import run_workload_sampled
+
+        return run_workload_sampled(
+            workload, machine, config, use_cache=use_cache, jobs=jobs
+        ).stats
     if not use_cache:
         return _simulate(workload, machine)
     key = _cache_key(workload, machine)
@@ -292,17 +327,23 @@ def run_benchmark(
     dynamic_deselection: bool = True,
     use_cache: bool = True,
     jobs: Optional[int] = None,
+    sampling=None,
 ) -> BenchmarkRun:
     """Run one benchmark under both configurations."""
     machine = machine or default_machine()
     baseline = baseline or baseline_machine()
     jobs = _resolve_jobs(jobs)
-    if use_cache and jobs > 1:
+    sampling = _sampling_config(sampling)
+    if sampling is None and use_cache and jobs > 1:
         _prefetch(_benchmark_pairs([benchmark], machine, baseline), jobs)
     phases = []
     for workload, weight in benchmark.phases:
-        base_stats = run_workload(workload, baseline, use_cache)
-        frog_stats = run_workload(workload, machine, use_cache)
+        base_stats = run_workload(
+            workload, baseline, use_cache, sampling=sampling, jobs=jobs
+        )
+        frog_stats = run_workload(
+            workload, machine, use_cache, sampling=sampling, jobs=jobs
+        )
         phases.append(PhaseRun(workload.name, weight, base_stats, frog_stats))
     run = BenchmarkRun(benchmark, phases)
     if dynamic_deselection and run.raw_loopfrog_cycles > run.baseline_cycles:
@@ -318,20 +359,26 @@ def run_suite(
     use_cache: bool = True,
     only: Optional[List[str]] = None,
     jobs: Optional[int] = None,
+    sampling=None,
 ) -> List[BenchmarkRun]:
     """Run a whole suite; ``only`` restricts to the named benchmarks."""
     machine = machine or default_machine()
     baseline = baseline or baseline_machine()
     jobs = _resolve_jobs(jobs)
+    sampling = _sampling_config(sampling)
     benchmarks = [
         b for b in suite(suite_name) if only is None or b.name in only
     ]
-    if use_cache and jobs > 1:
+    if sampling is None and use_cache and jobs > 1:
         _prefetch(_benchmark_pairs(benchmarks, machine, baseline), jobs)
     return [
         run_benchmark(
             benchmark, machine, baseline, dynamic_deselection, use_cache,
-            jobs=1,  # everything uncached was just prefetched
+            # Exact mode: everything uncached was just prefetched, keep
+            # assembly serial.  Sampled mode: parallelism lives inside
+            # each run's window fan-out instead.
+            jobs=1 if sampling is None else jobs,
+            sampling=sampling,
         )
         for benchmark in benchmarks
     ]

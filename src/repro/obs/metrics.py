@@ -210,6 +210,7 @@ def load_all() -> MetricsRegistry:
     simulator yet.
     """
     from ..compiler import pipeline  # noqa: F401
+    from ..sampling import runner  # noqa: F401
     from ..uarch import (  # noqa: F401
         caches, conflict, core, executor, packing, ssb,
     )

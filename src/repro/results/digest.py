@@ -106,3 +106,26 @@ def run_digest(workload, machine: MachineConfig) -> str:
             machine_digest(machine),
         ]
     )
+
+
+def sampled_run_digest(workload, machine: MachineConfig, config) -> str:
+    """The store key for one *sampled* simulation estimate.
+
+    Sampled results are approximations and must never collide with exact
+    detailed results: the key carries an explicit ``"sampled"`` marker,
+    the sampling methodology version, and every
+    :class:`~repro.sampling.runner.SamplingConfig` field (interval
+    length, cluster budget, seed, warmup policy all change the estimate).
+    """
+    from ..sampling.runner import SAMPLING_SCHEMA_VERSION
+
+    return _sha256(
+        [
+            ENGINE_SCHEMA_VERSION,
+            "sampled",
+            SAMPLING_SCHEMA_VERSION,
+            workload_digest(workload),
+            machine_digest(machine),
+            _canonical(config),
+        ]
+    )

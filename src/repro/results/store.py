@@ -98,8 +98,22 @@ class ResultStore:
         except (KeyError, TypeError, ValueError):
             return None
 
+    def load_extra(self, digest: str) -> Optional[dict]:
+        """The record's ``extra`` payload (``{}`` when absent), or ``None``
+        on any kind of miss.  Used by the sampled runner to round-trip
+        estimate provenance (error bound, cluster counts) alongside the
+        stats."""
+        record = self._read_record(self._path(digest))
+        if record is None:
+            return None
+        if record.get("digest") != digest or record.get("schema") != self.schema:
+            return None
+        extra = record.get("extra", {})
+        return extra if isinstance(extra, dict) else {}
+
     def save(self, digest: str, stats: SimStats,
-             workload: str = "", machine: str = "") -> Path:
+             workload: str = "", machine: str = "",
+             extra: Optional[dict] = None) -> Path:
         """Atomically persist ``stats`` under ``digest``; returns the path."""
         path = self._path(digest)
         path.parent.mkdir(parents=True, exist_ok=True)
@@ -111,6 +125,8 @@ class ResultStore:
             "created": time.time(),
             "stats": stats_to_dict(stats),
         }
+        if extra:
+            record["extra"] = extra
         fd, tmp_name = tempfile.mkstemp(
             dir=path.parent, prefix=".tmp-", suffix=".json"
         )

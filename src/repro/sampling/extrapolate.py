@@ -1,0 +1,180 @@
+"""Weighted extrapolation of sampled windows into whole-program estimates.
+
+Each representative interval's detailed window yields a post-warmup CPI;
+the whole-program estimate is the instruction-weighted combination
+
+    est_cpi     = sum_c weight_c * cpi_c
+    est_cycles  = est_cpi * total_instructions
+
+An **error bound** accompanies every estimate: treating per-interval CPI
+as a random variable whose per-cluster means we measured, the standard
+error of the weighted mean over ``N`` intervals with ``k`` of them
+simulated is
+
+    stderr = sqrt( sum_c weight_c * (cpi_c - est_cpi)^2 / N )
+             * sqrt( (N - k) / max(1, N - 1) )       # finite-population
+
+and the reported bound is the relative 95% half-width
+``1.96 * stderr / est_cpi``.  When every interval is simulated (k == N)
+the correction zeroes the bound — the estimate is then exact up to window
+boundary effects.  This is the classic CLT bound of the SimPoint/SMARTS
+line of work; it quantifies *cluster-dispersion* risk, not model bias.
+
+Secondary counters (cache misses, branch stats, ...) are scaled the same
+way: each window's per-instruction rate, weighted by its cluster share,
+times the total instruction count.  Window rates include the detailed
+warmup portion — a deliberate approximation, documented in
+docs/sampling.md.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from ..uarch.statistics import SimStats
+
+# SimStats fields that are not linearly-scalable counters.
+_NON_SCALED_FIELDS = {
+    "cycles", "max_packing_factor", "active_threadlet_cycles", "regions",
+}
+
+
+@dataclass(frozen=True)
+class WindowMeasurement:
+    """One detailed window: a representative interval simulated in full.
+
+    Instruction counts are in the *sequential stream* the fast-forward
+    profiler counts (``arch + spec_committed`` in engine terms), so they
+    line up with interval lengths on speculating machines too.
+    """
+
+    interval_index: int
+    weight: float                 # cluster instruction share, sums to 1
+    warmup_instructions: int      # detailed-warmup prefix (not measured)
+    measured_instructions: int
+    measured_cycles: int
+    stats: SimStats               # full window stats (warmup included)
+
+    @property
+    def cpi(self) -> float:
+        """Cycles per *sequential* instruction over the measured portion."""
+        if self.measured_instructions == 0:
+            return 0.0
+        return self.measured_cycles / self.measured_instructions
+
+
+@dataclass
+class SampledRunResult:
+    """A sampled simulation estimate plus its provenance.
+
+    ``stats`` mirrors a detailed run's :class:`SimStats` (so downstream
+    consumers — speedup analyses, serializers — work unchanged), with
+    counters scaled from the measured windows.  The sampling-specific
+    attributes feed the ``sampling`` metric specs.
+    """
+
+    stats: SimStats
+    estimated_cpi: float
+    estimated_cycles: int
+    error_bound: float            # relative 95% half-width of est_cpi
+    total_instructions: int
+    num_intervals: int
+    num_clusters: int
+    interval_length: int
+    detailed_instructions: int    # instructions simulated in detail
+    ff_instructions_per_second: float = 0.0
+    windows: List[WindowMeasurement] = field(default_factory=list)
+    cached: bool = False
+
+    @property
+    def detailed_fraction(self) -> float:
+        if self.total_instructions == 0:
+            return 0.0
+        return self.detailed_instructions / self.total_instructions
+
+
+def extrapolate(
+    windows: Sequence[WindowMeasurement],
+    total_instructions: int,
+    num_intervals: int,
+    interval_length: int,
+    ff_instructions_per_second: float = 0.0,
+) -> SampledRunResult:
+    """Combine per-window measurements into the whole-program estimate."""
+    if not windows:
+        raise ValueError("no windows to extrapolate from")
+    live = [w for w in windows if w.measured_instructions > 0]
+    if not live:
+        raise ValueError("all windows measured zero instructions")
+    weight_total = sum(w.weight for w in live)
+    est_cpi = sum(w.weight * w.cpi for w in live) / weight_total
+
+    # Error bound: weighted CPI dispersion across clusters, shrunk by the
+    # finite-population correction (see module docstring).
+    k = len(live)
+    n = max(num_intervals, k)
+    var = sum(
+        w.weight * (w.cpi - est_cpi) ** 2 for w in live
+    ) / weight_total
+    fpc = math.sqrt((n - k) / max(1, n - 1)) if n > k else 0.0
+    stderr = math.sqrt(var / n) * fpc
+    error_bound = 1.96 * stderr / est_cpi if est_cpi > 0 else 0.0
+
+    est_cycles = int(round(est_cpi * total_instructions))
+    stats = SimStats(cycles=est_cycles)
+    scaled: Dict[str, float] = {}
+    threadlet_hist: Dict[int, float] = {}
+    for w in live:
+        denom = (
+            w.warmup_instructions + w.measured_instructions
+        ) or w.measured_instructions
+        factor = (w.weight / weight_total) * total_instructions / denom
+        for f in dataclasses.fields(SimStats):
+            if f.name in _NON_SCALED_FIELDS:
+                continue
+            scaled[f.name] = scaled.get(f.name, 0.0) + (
+                getattr(w.stats, f.name) * factor
+            )
+        cycle_factor = (
+            (w.weight / weight_total) * est_cycles / w.stats.cycles
+            if w.stats.cycles else 0.0
+        )
+        for count, cycles in w.stats.active_threadlet_cycles.items():
+            threadlet_hist[count] = (
+                threadlet_hist.get(count, 0.0) + cycles * cycle_factor
+            )
+    for name, value in scaled.items():
+        setattr(stats, name, int(round(value)))
+    stats.active_threadlet_cycles = {
+        count: int(round(v)) for count, v in sorted(threadlet_hist.items())
+    }
+    stats.max_packing_factor = max(
+        (w.stats.max_packing_factor for w in live), default=1
+    )
+
+    detailed = sum(
+        w.warmup_instructions + w.measured_instructions for w in windows
+    )
+    # Headline CPI in the engine's own convention (cycles per committed
+    # *architectural* instruction) so sampled and detailed runs compare
+    # directly; ``est_cpi`` above is per sequential instruction.
+    reported_cpi = (
+        est_cycles / stats.arch_instructions
+        if stats.arch_instructions else est_cpi
+    )
+    return SampledRunResult(
+        stats=stats,
+        estimated_cpi=reported_cpi,
+        estimated_cycles=est_cycles,
+        error_bound=error_bound,
+        total_instructions=total_instructions,
+        num_intervals=num_intervals,
+        num_clusters=len(windows),
+        interval_length=interval_length,
+        detailed_instructions=detailed,
+        ff_instructions_per_second=ff_instructions_per_second,
+        windows=list(windows),
+    )

@@ -1,0 +1,199 @@
+"""Seed-pinned k-means (k-means++ init) over interval BBVs.
+
+Pure stdlib and fully deterministic: the same vectors and seed produce the
+same clusters, representatives and weights in any process on any platform
+— a hard requirement, because the representative set feeds the sampled
+result digest (see docs/sampling.md).  Determinism is guaranteed by
+
+* a private ``random.Random(seed)`` (never the global RNG),
+* stable tie-breaking everywhere (lowest index wins), and
+* arithmetic on plain floats in fixed iteration order.
+
+Vectors are L1-normalised before clustering, so intervals cluster by the
+*distribution* of work over basic blocks, not by raw volume — the standard
+SimPoint frequency-vector treatment.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from .fastforward import Interval
+
+
+def _normalize(vec: Sequence[float]) -> Tuple[float, ...]:
+    total = float(sum(vec))
+    if total <= 0.0:
+        return tuple(0.0 for _ in vec)
+    return tuple(v / total for v in vec)
+
+
+def _sq_dist(a: Sequence[float], b: Sequence[float]) -> float:
+    return sum((x - y) * (x - y) for x, y in zip(a, b))
+
+
+def _nearest(point, centroids) -> Tuple[int, float]:
+    """Index and squared distance of the closest centroid (ties: lowest)."""
+    best_i = 0
+    best_d = _sq_dist(point, centroids[0])
+    for i in range(1, len(centroids)):
+        # Early abandon: bail as soon as the partial sum exceeds the best.
+        d = 0.0
+        for x, y in zip(point, centroids[i]):
+            d += (x - y) * (x - y)
+            if d >= best_d:
+                break
+        if d < best_d:
+            best_i, best_d = i, d
+    return best_i, best_d
+
+
+def _kmeanspp_init(points, k: int, rng: random.Random) -> List[int]:
+    """k-means++ seeding: indices of the initial centroids."""
+    chosen = [rng.randrange(len(points))]
+    dists = [_sq_dist(p, points[chosen[0]]) for p in points]
+    while len(chosen) < k:
+        total = sum(dists)
+        if total <= 0.0:
+            # All remaining points coincide with a centroid; take the
+            # first unchosen index for determinism.
+            for i in range(len(points)):
+                if i not in chosen:
+                    chosen.append(i)
+                    break
+            continue
+        r = rng.random() * total
+        acc = 0.0
+        pick = len(points) - 1
+        for i, d in enumerate(dists):
+            acc += d
+            if acc >= r:
+                pick = i
+                break
+        chosen.append(pick)
+        new_c = points[pick]
+        for i, p in enumerate(points):
+            d = _sq_dist(p, new_c)
+            if d < dists[i]:
+                dists[i] = d
+    return chosen
+
+
+def kmeans(
+    points: Sequence[Sequence[float]],
+    k: int,
+    seed: int,
+    max_iters: int = 100,
+) -> Tuple[List[int], List[Tuple[float, ...]]]:
+    """Cluster ``points`` into ``k`` groups; returns (assignments, centroids).
+
+    Deterministic for a given (points, k, seed).  Empty clusters are
+    re-seeded with the point farthest from its current centroid.
+    """
+    n = len(points)
+    if n == 0:
+        return [], []
+    k = max(1, min(k, n))
+    rng = random.Random(seed)
+    centroids = [tuple(points[i]) for i in _kmeanspp_init(points, k, rng)]
+    assignments = [-1] * n
+    for _ in range(max_iters):
+        new_assign = [_nearest(p, centroids)[0] for p in points]
+        if new_assign == assignments:
+            break
+        assignments = new_assign
+        # Recompute centroids as member means.
+        dim = len(points[0])
+        sums = [[0.0] * dim for _ in range(k)]
+        counts = [0] * k
+        for idx, p in enumerate(points):
+            c = assignments[idx]
+            counts[c] += 1
+            row = sums[c]
+            for j, v in enumerate(p):
+                row[j] += v
+        for c in range(k):
+            if counts[c] > 0:
+                centroids[c] = tuple(v / counts[c] for v in sums[c])
+            else:
+                # Re-seed an empty cluster deterministically: the point
+                # farthest from its assigned centroid (lowest index on ties).
+                far_i, far_d = 0, -1.0
+                for idx, p in enumerate(points):
+                    d = _sq_dist(p, centroids[assignments[idx]])
+                    if d > far_d:
+                        far_i, far_d = idx, d
+                centroids[c] = tuple(points[far_i])
+    return assignments, centroids
+
+
+@dataclass(frozen=True)
+class ClusterResult:
+    """Representative intervals and weights for one profiled run."""
+
+    k: int
+    assignments: Tuple[int, ...]        # interval index -> cluster id
+    representatives: Tuple[int, ...]    # cluster id -> interval index
+    weights: Tuple[float, ...]          # cluster id -> instruction share
+
+
+def cluster_intervals(
+    intervals: Sequence[Interval],
+    max_clusters: int,
+    seed: int,
+) -> ClusterResult:
+    """Pick representative intervals: cluster L1-normalised BBVs, then take
+    the member closest to each centroid (ties: lowest interval index).
+
+    Weights are *instruction* shares — a cluster holding 30% of the dynamic
+    instructions contributes 30% of the extrapolated cycles — so short tail
+    intervals are weighted correctly.
+    """
+    if not intervals:
+        raise ValueError("no intervals to cluster")
+    points = [_normalize(iv.bbv) for iv in intervals]
+    # Cluster over *unique* vectors: steady-state loops emit long runs of
+    # identical BBVs, which plain k-means would both pay for (every
+    # duplicate scanned every iteration) and churn on (massive ties feed
+    # the empty-cluster reseeding).  Assignments fan back out afterwards.
+    uniq_index: dict = {}
+    uniq_points: List[Tuple[float, ...]] = []
+    point_uid: List[int] = []
+    for p in points:
+        u = uniq_index.get(p)
+        if u is None:
+            u = len(uniq_points)
+            uniq_index[p] = u
+            uniq_points.append(p)
+        point_uid.append(u)
+    k = max(1, min(max_clusters, len(uniq_points)))
+    uassign, centroids = kmeans(uniq_points, k, seed)
+    assignments = [uassign[u] for u in point_uid]
+    total_instructions = sum(iv.length for iv in intervals)
+    representatives: List[int] = []
+    weights: List[float] = []
+    kept_assign = list(assignments)
+    # Drop empty clusters (possible when k-means collapses duplicates).
+    live = sorted({c for c in assignments})
+    remap = {c: i for i, c in enumerate(live)}
+    kept_assign = [remap[c] for c in assignments]
+    for c in live:
+        members = [i for i, a in enumerate(assignments) if a == c]
+        best = members[0]
+        best_d = _sq_dist(points[best], centroids[c])
+        for i in members[1:]:
+            d = _sq_dist(points[i], centroids[c])
+            if d < best_d:
+                best, best_d = i, d
+        representatives.append(best)
+        weights.append(
+            sum(intervals[i].length for i in members) / total_instructions
+        )
+    return ClusterResult(
+        k=len(live),
+        assignments=tuple(kept_assign),
+        representatives=tuple(representatives),
+        weights=tuple(weights),
+    )

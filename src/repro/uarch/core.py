@@ -144,6 +144,32 @@ class _ArchMemView:
         self.engine._arch_store(self.threadlet, addr, size, value)
 
 
+class WindowResult:
+    """Outcome of :meth:`Engine.run_window`: the detailed-warmup prefix is
+    split out so callers measure only the post-warmup portion."""
+
+    __slots__ = (
+        "stats", "warmup_instructions", "warmup_cycles",
+        "measured_instructions", "measured_cycles", "finished",
+    )
+
+    def __init__(self, stats: SimStats, warmup_instructions: int,
+                 warmup_cycles: int, measured_instructions: int,
+                 measured_cycles: int, finished: bool):
+        self.stats = stats
+        self.warmup_instructions = warmup_instructions
+        self.warmup_cycles = warmup_cycles
+        self.measured_instructions = measured_instructions
+        self.measured_cycles = measured_cycles
+        self.finished = finished
+
+    @property
+    def cpi(self) -> float:
+        if self.measured_instructions == 0:
+            return 0.0
+        return self.measured_cycles / self.measured_instructions
+
+
 class Engine:
     """Cycle-driven simulation of one core running one program."""
 
@@ -154,6 +180,7 @@ class Engine:
         memory: Optional[SparseMemory] = None,
         initial_regs: Optional[Dict[str, float]] = None,
         warm_caches: bool = True,
+        initial_pc: int = 0,
     ):
         machine.validate()
         self.machine = machine
@@ -186,8 +213,8 @@ class Engine:
         regs = initial_register_file()
         if initial_regs:
             regs.update(initial_regs)
-        main.activate(epoch=0, regs=regs, pc=0, rename={}, region=None,
-                      region_label=None)
+        main.activate(epoch=0, regs=regs, pc=initial_pc, rename={},
+                      region=None, region_label=None)
         main.is_arch = True
         self.order: List[Threadlet] = [main]
 
@@ -255,6 +282,98 @@ class Engine:
                 span.attrs["arch_instructions"] = self.stats.arch_instructions
         self.stats.cycles = self.cycle
         return self.stats
+
+    def apply_warmup(self, warmup) -> None:
+        """Replay recorded functional history into the timing structures.
+
+        ``warmup`` is a :class:`repro.sampling.fastforward.WarmupState`
+        (duck-typed: anything with ``mem_addresses``, ``cond_branches``,
+        ``branch_targets``).  Data lines are replayed into L1D+L2 in
+        last-touch order, so LRU replacement leaves each set holding its
+        most recently used lines — reconstructing the cache contents of a
+        continuous run at this point.  Branch targets fill the BTB and
+        conditional outcomes train the TAGE tables through the normal
+        predict/update path.  The program text is warmed like
+        steady-state fetch leaves it.  Windows use this INSTEAD of the
+        constructor's ``warm_caches`` whole-working-set warming (which
+        models program *entry*, not a mid-program cut).  Must be called
+        before the first :meth:`step`.
+        """
+        line = self.machine.memory.line_size
+        for addr in warmup.mem_addresses:
+            line_addr = addr // line
+            self.hierarchy.l2.insert(line_addr)
+            self.hierarchy.l1d.insert(line_addr)
+        for pc in range(len(self.program)):
+            text_line = (pc * 4) // line
+            self.hierarchy.l1i.insert(text_line)
+            self.hierarchy.l2.insert(text_line)
+        for pc, target in warmup.branch_targets:
+            self.predictor.btb.insert(pc, target)
+        tage = self.predictor.tage
+        for pc, taken in warmup.cond_branches:
+            tage.update(pc, taken, tage.predict(pc, 0), 0)
+
+    def run_window(
+        self,
+        n_instructions: int,
+        warmup_instructions: int = 0,
+        max_cycles: int = 50_000_000,
+    ) -> WindowResult:
+        """Simulate ``warmup_instructions + n_instructions`` *sequential*
+        instructions (or until the program halts) and report cycles for
+        the post-warmup portion only.
+
+        Progress is counted in sequential-stream instructions —
+        ``arch_instructions + spec_committed_instructions`` — because
+        successfully speculated loop iterations retire against the
+        speculative threadlet, not the architectural one.  That is the
+        same stream the fast-forward profiler counts, so window
+        boundaries line up with interval boundaries on both baseline and
+        LoopFrog machines.
+
+        The exact :meth:`run` path is untouched: sampled windows go
+        through this entry point exclusively.  Commit can retire several
+        instructions per cycle — and a threadlet merge credits a whole
+        speculated slice at once — so boundaries land on the first cycle
+        *at or past* each target.  The measurement target is re-anchored
+        to the *actual* warm-boundary overshoot (a merge during warmup
+        can jump far past the nominal cut), so the measured portion is
+        always ~``n_instructions`` long rather than silently empty.
+        """
+        stats = self.stats
+        target_warm = warmup_instructions
+        target_total = warmup_instructions + n_instructions
+        warm_cycle = 0
+        warm_instructions = 0
+        warm_pending = warmup_instructions > 0
+        progress = 0
+        while not self.finished:
+            if self.cycle >= max_cycles:
+                raise SimulationError(
+                    f"{self.program.name}: window exceeded {max_cycles} "
+                    f"cycles (arch pc={self.order[0].pc})"
+                )
+            self.step()
+            progress = (
+                stats.arch_instructions + stats.spec_committed_instructions
+            )
+            if warm_pending and progress >= target_warm:
+                warm_cycle = self.cycle
+                warm_instructions = progress
+                warm_pending = False
+                target_total = progress + n_instructions
+            if not warm_pending and progress >= target_total:
+                break
+        stats.cycles = self.cycle
+        return WindowResult(
+            stats=stats,
+            warmup_instructions=warm_instructions,
+            warmup_cycles=warm_cycle,
+            measured_instructions=progress - warm_instructions,
+            measured_cycles=self.cycle - warm_cycle,
+            finished=self.finished,
+        )
 
     def _run_loop(self, max_cycles: int) -> None:
         while not self.finished:
@@ -612,6 +731,33 @@ class Engine:
             state.note_consumed(t.regs_read_before_write)
         if t.packed_factor > 1 and t.successor is not None:
             self._verify_packing(t)
+        if t.successor is not None and t.successor.active:
+            self._reconcile_successor_regs(t)
+
+    def _reconcile_successor_regs(self, t: Threadlet) -> None:
+        """Forward the spawner's final epoch state into dead successor regs.
+
+        The successor's register file is a snapshot taken at the spawn
+        point; anything the spawner wrote *later* in its epoch is missing
+        from it.  Registers the successor consumed are validated elsewhere
+        (packing verification, conflict detection), but a register the
+        successor neither read nor wrote would keep its stale snapshot
+        value all the way through the final merge — visible when an engine
+        is resumed mid-program from a sampling checkpoint and the last
+        epoch's scratch registers become the final architectural state.
+        Copying values is timing-neutral: dependencies are tracked through
+        the rename map, never through the value file.
+        """
+        s = t.successor
+        for reg, actual in t.regs.items():
+            if s.start_regs.get(reg) == actual:
+                continue
+            if reg in s.regs_read_before_write or reg in s.regs_written:
+                continue
+            s.regs[reg] = actual
+            s.start_regs[reg] = actual
+            if s.checkpoint is not None:
+                s.checkpoint.regs[reg] = actual
 
     def _verify_packing(self, t: Threadlet) -> None:
         """Check the successor's predicted start state (section 4.3)."""

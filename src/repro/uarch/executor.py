@@ -62,7 +62,9 @@ def _as_int(value: float) -> int:
 # opcode; the timing model executes every dynamic instruction through it, so
 # the linear scan (plus enum identity tests) was one of the hottest paths in
 # whole-suite runs.  Handlers are looked up by the precomputed
-# ``Instruction.opcode_index`` via list indexing instead.
+# ``Instruction.opcode_index`` via list indexing, and every opcode gets its
+# own handler — no residual per-call enum identity tests inside shared
+# multi-opcode bodies.
 # ---------------------------------------------------------------------------
 
 
@@ -87,63 +89,112 @@ def _exec_mul(instr, regs, memory, pc):
     return ExecResult(pc + 1)
 
 
-def _exec_divrem(instr, regs, memory, pc):
+def _exec_div(instr, regs, memory, pc):
     srcs = instr.srcs
     a = int(regs[srcs[0]])
     b = int(regs[srcs[1]] if len(srcs) > 1 else instr.imm)
     if b == 0:
         raise ExecutionError(f"division by zero at pc={pc}: {instr}")
-    q = abs(a) // abs(b)
+    q = abs(a) // abs(b)  # truncate toward zero
     if (a < 0) != (b < 0):
         q = -q
-    r = a - q * b
-    regs[instr.dest] = to_signed(
-        (q if instr.opcode is Opcode.DIV else r) & MASK64
-    )
+    regs[instr.dest] = to_signed(q & MASK64)
     return ExecResult(pc + 1)
 
 
-def _exec_bitwise(instr, regs, memory, pc):
+def _exec_rem(instr, regs, memory, pc):
     srcs = instr.srcs
-    op = instr.opcode
+    a = int(regs[srcs[0]])
+    b = int(regs[srcs[1]] if len(srcs) > 1 else instr.imm)
+    if b == 0:
+        raise ExecutionError(f"division by zero at pc={pc}: {instr}")
+    q = abs(a) // abs(b)  # truncate toward zero
+    if (a < 0) != (b < 0):
+        q = -q
+    regs[instr.dest] = to_signed((a - q * b) & MASK64)
+    return ExecResult(pc + 1)
+
+
+def _exec_and(instr, regs, memory, pc):
+    srcs = instr.srcs
     a = to_unsigned(int(regs[srcs[0]]))
     b = int(regs[srcs[1]] if len(srcs) > 1 else instr.imm)
-    if op is Opcode.AND:
-        v = a & to_unsigned(b)
-    elif op is Opcode.OR:
-        v = a | to_unsigned(b)
-    elif op is Opcode.XOR:
-        v = a ^ to_unsigned(b)
-    elif op is Opcode.SHL:
-        v = (a << (b & 63)) & MASK64
-    else:  # SHR, logical
-        v = a >> (b & 63)
-    regs[instr.dest] = to_signed(v)
+    regs[instr.dest] = to_signed(a & to_unsigned(b))
     return ExecResult(pc + 1)
 
 
-def _exec_setcc(instr, regs, memory, pc):
+def _exec_or(instr, regs, memory, pc):
     srcs = instr.srcs
-    op = instr.opcode
-    a = regs[srcs[0]]
-    b = regs[srcs[1]] if len(srcs) > 1 else instr.imm
-    if op is Opcode.SLT:
-        v = a < b
-    elif op is Opcode.SLE:
-        v = a <= b
-    elif op is Opcode.SEQ:
-        v = a == b
-    else:
-        v = a != b
-    regs[instr.dest] = int(v)
+    a = to_unsigned(int(regs[srcs[0]]))
+    b = int(regs[srcs[1]] if len(srcs) > 1 else instr.imm)
+    regs[instr.dest] = to_signed(a | to_unsigned(b))
     return ExecResult(pc + 1)
 
 
-def _exec_minmax(instr, regs, memory, pc):
+def _exec_xor(instr, regs, memory, pc):
     srcs = instr.srcs
-    a = regs[srcs[0]]
+    a = to_unsigned(int(regs[srcs[0]]))
+    b = int(regs[srcs[1]] if len(srcs) > 1 else instr.imm)
+    regs[instr.dest] = to_signed(a ^ to_unsigned(b))
+    return ExecResult(pc + 1)
+
+
+def _exec_shl(instr, regs, memory, pc):
+    srcs = instr.srcs
+    a = to_unsigned(int(regs[srcs[0]]))
+    b = int(regs[srcs[1]] if len(srcs) > 1 else instr.imm)
+    regs[instr.dest] = to_signed((a << (b & 63)) & MASK64)
+    return ExecResult(pc + 1)
+
+
+def _exec_shr(instr, regs, memory, pc):
+    # Logical right shift.
+    srcs = instr.srcs
+    a = to_unsigned(int(regs[srcs[0]]))
+    b = int(regs[srcs[1]] if len(srcs) > 1 else instr.imm)
+    regs[instr.dest] = to_signed(a >> (b & 63))
+    return ExecResult(pc + 1)
+
+
+def _exec_slt(instr, regs, memory, pc):
+    srcs = instr.srcs
     b = regs[srcs[1]] if len(srcs) > 1 else instr.imm
-    regs[instr.dest] = min(a, b) if instr.opcode is Opcode.MIN else max(a, b)
+    regs[instr.dest] = int(regs[srcs[0]] < b)
+    return ExecResult(pc + 1)
+
+
+def _exec_sle(instr, regs, memory, pc):
+    srcs = instr.srcs
+    b = regs[srcs[1]] if len(srcs) > 1 else instr.imm
+    regs[instr.dest] = int(regs[srcs[0]] <= b)
+    return ExecResult(pc + 1)
+
+
+def _exec_seq(instr, regs, memory, pc):
+    srcs = instr.srcs
+    b = regs[srcs[1]] if len(srcs) > 1 else instr.imm
+    regs[instr.dest] = int(regs[srcs[0]] == b)
+    return ExecResult(pc + 1)
+
+
+def _exec_sne(instr, regs, memory, pc):
+    srcs = instr.srcs
+    b = regs[srcs[1]] if len(srcs) > 1 else instr.imm
+    regs[instr.dest] = int(regs[srcs[0]] != b)
+    return ExecResult(pc + 1)
+
+
+def _exec_min(instr, regs, memory, pc):
+    srcs = instr.srcs
+    b = regs[srcs[1]] if len(srcs) > 1 else instr.imm
+    regs[instr.dest] = min(regs[srcs[0]], b)
+    return ExecResult(pc + 1)
+
+
+def _exec_max(instr, regs, memory, pc):
+    srcs = instr.srcs
+    b = regs[srcs[1]] if len(srcs) > 1 else instr.imm
+    regs[instr.dest] = max(regs[srcs[0]], b)
     return ExecResult(pc + 1)
 
 
@@ -195,11 +246,17 @@ def _exec_fsqrt(instr, regs, memory, pc):
     return ExecResult(pc + 1)
 
 
-def _exec_fminmax(instr, regs, memory, pc):
+def _exec_fmin(instr, regs, memory, pc):
     srcs = instr.srcs
-    a = regs[srcs[0]]
     b = regs[srcs[1]] if len(srcs) > 1 else instr.imm
-    regs[instr.dest] = min(a, b) if instr.opcode is Opcode.FMIN else max(a, b)
+    regs[instr.dest] = min(regs[srcs[0]], b)
+    return ExecResult(pc + 1)
+
+
+def _exec_fmax(instr, regs, memory, pc):
+    srcs = instr.srcs
+    b = regs[srcs[1]] if len(srcs) > 1 else instr.imm
+    regs[instr.dest] = max(regs[srcs[0]], b)
     return ExecResult(pc + 1)
 
 
@@ -223,18 +280,24 @@ def _exec_icvt(instr, regs, memory, pc):
     return ExecResult(pc + 1)
 
 
-def _exec_fsetcc(instr, regs, memory, pc):
+def _exec_fslt(instr, regs, memory, pc):
     srcs = instr.srcs
-    op = instr.opcode
-    a = regs[srcs[0]]
     b = regs[srcs[1]] if len(srcs) > 1 else instr.imm
-    if op is Opcode.FSLT:
-        v = a < b
-    elif op is Opcode.FSLE:
-        v = a <= b
-    else:
-        v = a == b
-    regs[instr.dest] = int(v)
+    regs[instr.dest] = int(regs[srcs[0]] < b)
+    return ExecResult(pc + 1)
+
+
+def _exec_fsle(instr, regs, memory, pc):
+    srcs = instr.srcs
+    b = regs[srcs[1]] if len(srcs) > 1 else instr.imm
+    regs[instr.dest] = int(regs[srcs[0]] <= b)
+    return ExecResult(pc + 1)
+
+
+def _exec_fseq(instr, regs, memory, pc):
+    srcs = instr.srcs
+    b = regs[srcs[1]] if len(srcs) > 1 else instr.imm
+    regs[instr.dest] = int(regs[srcs[0]] == b)
     return ExecResult(pc + 1)
 
 
@@ -303,19 +366,19 @@ _HANDLERS = {
     Opcode.ADD: _exec_add,
     Opcode.SUB: _exec_sub,
     Opcode.MUL: _exec_mul,
-    Opcode.DIV: _exec_divrem,
-    Opcode.REM: _exec_divrem,
-    Opcode.AND: _exec_bitwise,
-    Opcode.OR: _exec_bitwise,
-    Opcode.XOR: _exec_bitwise,
-    Opcode.SHL: _exec_bitwise,
-    Opcode.SHR: _exec_bitwise,
-    Opcode.SLT: _exec_setcc,
-    Opcode.SLE: _exec_setcc,
-    Opcode.SEQ: _exec_setcc,
-    Opcode.SNE: _exec_setcc,
-    Opcode.MIN: _exec_minmax,
-    Opcode.MAX: _exec_minmax,
+    Opcode.DIV: _exec_div,
+    Opcode.REM: _exec_rem,
+    Opcode.AND: _exec_and,
+    Opcode.OR: _exec_or,
+    Opcode.XOR: _exec_xor,
+    Opcode.SHL: _exec_shl,
+    Opcode.SHR: _exec_shr,
+    Opcode.SLT: _exec_slt,
+    Opcode.SLE: _exec_sle,
+    Opcode.SEQ: _exec_seq,
+    Opcode.SNE: _exec_sne,
+    Opcode.MIN: _exec_min,
+    Opcode.MAX: _exec_max,
     Opcode.MOV: _exec_mov,
     Opcode.LI: _exec_li,
     Opcode.FADD: _exec_fadd,
@@ -323,16 +386,16 @@ _HANDLERS = {
     Opcode.FMUL: _exec_fmul,
     Opcode.FDIV: _exec_fdiv,
     Opcode.FSQRT: _exec_fsqrt,
-    Opcode.FMIN: _exec_fminmax,
-    Opcode.FMAX: _exec_fminmax,
+    Opcode.FMIN: _exec_fmin,
+    Opcode.FMAX: _exec_fmax,
     Opcode.FABS: _exec_fabs,
     Opcode.FMOV: _exec_mov,
     Opcode.FLI: _exec_fli,
     Opcode.FCVT: _exec_fcvt,
     Opcode.ICVT: _exec_icvt,
-    Opcode.FSLT: _exec_fsetcc,
-    Opcode.FSLE: _exec_fsetcc,
-    Opcode.FSEQ: _exec_fsetcc,
+    Opcode.FSLT: _exec_fslt,
+    Opcode.FSLE: _exec_fsle,
+    Opcode.FSEQ: _exec_fseq,
     Opcode.LOAD: _exec_load,
     Opcode.STORE: _exec_store,
     Opcode.FLOAD: _exec_fload,

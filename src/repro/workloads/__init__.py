@@ -12,12 +12,13 @@ from .base import (
     Workload,
 )
 from .suites import (
+    SUITE_NAMES,
     get_benchmark,
     get_workload,
     profitable_2017,
     suite,
 )
-from . import generators
+from . import generators, longrun
 
 __all__ = [
     "ALL_CATEGORIES",
@@ -28,10 +29,12 @@ __all__ = [
     "CATEGORY_DEPCHAIN",
     "CATEGORY_MEMORY",
     "CATEGORY_NONE",
+    "SUITE_NAMES",
     "Workload",
     "get_benchmark",
     "get_workload",
     "profitable_2017",
     "suite",
     "generators",
+    "longrun",
 ]

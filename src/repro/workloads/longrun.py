@@ -1,0 +1,74 @@
+"""Long-run workloads: the sampled-simulation proving ground.
+
+Large-parameter variants of the standard kernel generators, sized so a
+full detailed simulation takes hundreds of thousands to millions of
+cycles — well past :class:`~repro.sampling.runner.SamplingConfig`'s
+``full_detail_threshold`` — which is where SimPoint-style sampling
+(docs/sampling.md) actually pays for itself.  The regular SPEC stand-in
+phases are a few thousand instructions each and are deliberately *not*
+sampled (the runner degenerates to an exact detailed run below the
+threshold), so these are the workloads every sampling accuracy claim is
+validated against.
+
+Names carry a ``longrun_`` prefix so they can never shadow a suite
+phase.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .base import (
+    Benchmark,
+    CATEGORY_CONTROL,
+    CATEGORY_DATA_PREFETCH,
+    CATEGORY_MEMORY,
+    Workload,
+)
+from . import generators as g
+
+# Detailed runs of these kernels take ~10^6 cycles; leave generous room.
+LONGRUN_MAX_CYCLES = 50_000_000
+
+
+def _long(workload: Workload) -> Workload:
+    workload.max_cycles = LONGRUN_MAX_CYCLES
+    return workload
+
+
+def _longrun() -> List[Benchmark]:
+    return [
+        Benchmark(
+            "longrun_imagick", "longrun",
+            [(_long(g.convolution("longrun_conv", width=110, height=110,
+                                  sequential=2000, seed=401)), 1.0)],
+            category=CATEGORY_CONTROL, profitable=True,
+            spec_behaviour="~0.5M-instruction thresholded convolution; "
+                           "row-granular speculation (the hardest case for "
+                           "short sampling windows)",
+        ),
+        Benchmark(
+            "longrun_bwaves", "longrun",
+            [(_long(g.stencil_rows("longrun_stencil", width=256, rows=120,
+                                   sequential=1500, seed=409)), 1.0)],
+            category=CATEGORY_MEMORY, profitable=True,
+            spec_behaviour="~0.8M-instruction streaming 3-point stencil; "
+                           "highly phase-homogeneous",
+        ),
+        Benchmark(
+            "longrun_libquantum", "longrun",
+            [(_long(g.stream_op("longrun_stream", n=20000,
+                                sequential=1000, seed=419)), 1.0)],
+            category=CATEGORY_DATA_PREFETCH, profitable=True,
+            spec_behaviour="~0.4M-instruction streaming pass with "
+                           "data-dependent branches on missing loads",
+        ),
+        Benchmark(
+            "longrun_xalanc", "longrun",
+            [(_long(g.hash_probe("longrun_hash", queries=12000,
+                                 table_bits=12, seed=421)), 1.0)],
+            category=CATEGORY_MEMORY, profitable=True,
+            spec_behaviour="~0.7M-instruction hash-table probing; "
+                           "irregular access pattern",
+        ),
+    ]

@@ -320,20 +320,28 @@ def _fill_categories(benchmarks: List[Benchmark]) -> List[Benchmark]:
 _SUITES: Dict[str, List[Benchmark]] = {}
 
 
+SUITE_NAMES = ("spec2017", "spec2006", "longrun")
+
+
 def suite(name: str) -> List[Benchmark]:
-    """The benchmarks of ``"spec2017"`` or ``"spec2006"`` (cached)."""
+    """The benchmarks of ``"spec2017"``, ``"spec2006"`` or ``"longrun"``
+    (cached)."""
     if name not in _SUITES:
         if name == "spec2017":
             _SUITES[name] = _fill_categories(_spec2017())
         elif name == "spec2006":
             _SUITES[name] = _fill_categories(_spec2006())
+        elif name == "longrun":
+            from .longrun import _longrun
+
+            _SUITES[name] = _fill_categories(_longrun())
         else:
             raise WorkloadError(f"unknown suite {name!r}")
     return _SUITES[name]
 
 
 def get_benchmark(name: str) -> Benchmark:
-    for suite_name in ("spec2017", "spec2006"):
+    for suite_name in SUITE_NAMES:
         for bench in suite(suite_name):
             if bench.name == name:
                 return bench
@@ -341,8 +349,8 @@ def get_benchmark(name: str) -> Benchmark:
 
 
 def get_workload(name: str) -> Workload:
-    """Find a workload (phase) by name across both suites."""
-    for suite_name in ("spec2017", "spec2006"):
+    """Find a workload (phase) by name across all suites."""
+    for suite_name in SUITE_NAMES:
         for bench in suite(suite_name):
             for workload, _ in bench.phases:
                 if workload.name == name:

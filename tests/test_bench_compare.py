@@ -109,6 +109,47 @@ def test_instruction_drift_fails(records):
     ) == 1
 
 
+def test_throughput_failure_names_worst_regressing_benchmark(records, capsys):
+    per_benchmark = {
+        "imagick": {"instructions": 45000, "cycles": 36000,
+                    "wall_seconds": 0.8, "instructions_per_second": 55000.0},
+        "omnetpp": {"instructions": 11000, "cycles": 20000,
+                    "wall_seconds": 0.2, "instructions_per_second": 46000.0},
+    }
+    regressed = copy.deepcopy(per_benchmark)
+    regressed["omnetpp"]["instructions_per_second"] = 10000.0
+    rc = _main(
+        records("base.json", per_benchmark=per_benchmark),
+        records("cur.json", per_benchmark=regressed,
+                instructions_per_second=(
+                    BASE_RECORD["instructions_per_second"] * 0.5
+                )),
+    )
+    assert rc == 1
+    out = capsys.readouterr().out
+    assert "worst regressor: omnetpp" in out
+
+
+def test_throughput_failure_without_breakdown_still_reports(records, capsys):
+    """Records that predate ``per_benchmark`` must not crash the gate."""
+    slow = BASE_RECORD["instructions_per_second"] * 0.5
+    rc = _main(records("base.json"),
+               records("cur.json", instructions_per_second=slow))
+    assert rc == 1
+    out = capsys.readouterr().out
+    assert "FAIL throughput" in out
+    assert "worst regressor" not in out
+
+
+def test_committed_baseline_has_fast_forward_rate():
+    """The sampled-simulation speed claim (docs/sampling.md) is recorded
+    next to the detailed rate: fast-forward must be >= 20x detailed."""
+    record = bench_compare.load_record(str(TOOLS.parent / "BENCH_engine.json"))
+    ff = record["fast_forward_instructions_per_second"]
+    assert ff >= 20 * record["instructions_per_second"]
+    assert set(record["per_benchmark"]) == set(record["benchmarks"])
+
+
 def test_schema_bump_skips_semantics_gate(records, capsys):
     """A deliberate schema bump makes cycle totals incomparable — the gate
     must skip the exact check (but still enforce throughput)."""

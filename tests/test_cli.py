@@ -80,6 +80,51 @@ def test_unknown_experiment_id(capsys):
     assert main(["experiment", "fig99"]) == 2
 
 
+def test_workloads_lists_longrun_suite(capsys):
+    assert main(["workloads"]) == 0
+    out = capsys.readouterr().out
+    assert "longrun:" in out
+    assert "longrun_hash" in out
+
+
+# ---------------------------------------------------------------------------
+# sample
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture
+def _restore_default_store():
+    """CLI store flags override the process default; put it back."""
+    from repro.results import get_default_store, set_default_store
+
+    saved = get_default_store()
+    yield
+    set_default_store(saved)
+
+
+def test_sample_command_with_verification(_restore_default_store, capsys):
+    # imagick_conv sits under the full-detail threshold, so the sampled
+    # estimate is exact and --verify 0.0 must hold.
+    assert main(["sample", "imagick_conv", "--no-store", "--jobs", "1",
+                 "--verify", "0.0"]) == 0
+    out = capsys.readouterr().out
+    assert "estimated CPI" in out
+    assert "verification passed" in out
+
+
+def test_sample_unknown_workload_is_an_error(_restore_default_store, capsys):
+    assert main(["sample", "no_such_workload", "--no-store"]) == 1
+    assert "error" in capsys.readouterr().err
+
+
+def test_suite_parser_accepts_sampled_and_longrun():
+    args = build_parser().parse_args(["suite", "longrun", "--sampled"])
+    assert args.name == "longrun"
+    assert args.sampled
+    args = build_parser().parse_args(["suite", "spec2017"])
+    assert not args.sampled
+
+
 def test_missing_file_is_an_error(capsys):
     assert main(["compile", "/nonexistent.frog"]) == 1
 

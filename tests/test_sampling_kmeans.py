@@ -1,0 +1,125 @@
+"""Determinism and invariants of the sampling k-means clusterer.
+
+The representative set feeds the sampled result digest, so clustering
+must be bit-reproducible across *processes* — not just within one run:
+a different hash seed reordering a dict would silently fork the cache
+key space.  The cross-process test therefore runs the same clustering
+under two different ``PYTHONHASHSEED`` values and requires identical
+output.
+"""
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.sampling.fastforward import Interval
+from repro.sampling.kmeans import cluster_intervals
+
+SRC = os.path.join(os.path.dirname(__file__), os.pardir, "src")
+
+# Deterministic synthetic corpus: three behaviour archetypes plus noise,
+# with long duplicate runs like a steady-state loop would produce.
+_SCRIPT = """
+import json, random
+from repro.sampling.fastforward import Interval
+from repro.sampling.kmeans import cluster_intervals
+
+rng = random.Random(1234)
+archetypes = [
+    (100, 0, 40, 0, 0, 60),
+    (0, 120, 0, 30, 0, 0),
+    (10, 10, 10, 10, 100, 10),
+]
+intervals = []
+for i in range(120):
+    base = archetypes[rng.randrange(3)]
+    bbv = tuple(v + rng.randrange(3) for v in base)
+    intervals.append(
+        Interval(index=i, start_icount=i * 500, length=500, bbv=bbv)
+    )
+result = cluster_intervals(intervals, max_clusters=6, seed=7)
+print(json.dumps({
+    "k": result.k,
+    "assignments": list(result.assignments),
+    "representatives": list(result.representatives),
+    "weights": list(result.weights),
+}))
+"""
+
+
+def _run_clustering(hashseed):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC
+    env["PYTHONHASHSEED"] = str(hashseed)
+    out = subprocess.run(
+        [sys.executable, "-c", _SCRIPT],
+        capture_output=True, text=True, env=env, check=True,
+    )
+    return json.loads(out.stdout)
+
+
+def test_clustering_identical_across_processes():
+    first = _run_clustering(hashseed=1)
+    second = _run_clustering(hashseed=2)
+    assert first == second
+    assert first["k"] >= 2  # the archetypes must actually separate
+
+
+def _synthetic_intervals():
+    intervals = []
+    for i in range(30):
+        bbv = (100, 0, 50) if i % 3 else (0, 80, 10)
+        intervals.append(
+            Interval(index=i, start_icount=i * 400, length=400, bbv=bbv)
+        )
+    return intervals
+
+
+def test_clustering_deterministic_in_process():
+    intervals = _synthetic_intervals()
+    a = cluster_intervals(intervals, max_clusters=4, seed=42)
+    b = cluster_intervals(intervals, max_clusters=4, seed=42)
+    assert a.assignments == b.assignments
+    assert a.representatives == b.representatives
+    assert a.weights == b.weights
+
+
+def test_cluster_invariants():
+    intervals = _synthetic_intervals()
+    result = cluster_intervals(intervals, max_clusters=4, seed=0)
+    assert 1 <= result.k <= 4
+    assert len(result.assignments) == len(intervals)
+    assert len(result.representatives) == result.k
+    assert len(result.weights) == result.k
+    assert abs(sum(result.weights) - 1.0) < 1e-9
+    for cluster_id, rep in enumerate(result.representatives):
+        # Each representative belongs to the cluster it represents.
+        assert result.assignments[rep] == cluster_id
+    # Two perfectly distinct behaviours must land in different clusters.
+    assert result.k >= 2
+
+
+def test_duplicate_heavy_corpus_clusters_by_behaviour():
+    """Steady-state loops emit runs of identical BBVs; the deduplicated
+    clustering must still assign every duplicate to the same cluster."""
+    intervals = []
+    for i in range(200):
+        bbv = (64, 64, 0, 0) if i < 150 else (0, 0, 64, 64)
+        intervals.append(
+            Interval(index=i, start_icount=i * 64, length=64, bbv=bbv)
+        )
+    result = cluster_intervals(intervals, max_clusters=8, seed=3)
+    assert result.k == 2
+    assert len(set(result.assignments[:150])) == 1
+    assert len(set(result.assignments[150:])) == 1
+    # Instruction-share weights: 150/200 and 50/200.
+    heavy = result.assignments[0]
+    assert result.weights[heavy] == pytest.approx(0.75)
+
+
+def test_empty_intervals_rejected():
+    with pytest.raises(ValueError):
+        cluster_intervals([], max_clusters=4, seed=0)

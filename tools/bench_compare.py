@@ -125,7 +125,36 @@ def compare(baseline, current, tolerance=DEFAULT_TOLERANCE):
             f"FAIL throughput: {(1 - ratio) * 100:.1f}% slower than "
             f"baseline, exceeds the {tolerance * 100:.0f}% tolerance"
         )
+        worst = _worst_regressor(baseline, current)
+        if worst is not None:
+            name, base_b, cur_b, b_ratio = worst
+            lines.append(
+                f"  worst regressor: {name} "
+                f"({base_b:.0f} -> {cur_b:.0f} instr/s, "
+                f"ratio {b_ratio:.3f})"
+            )
     return ok, lines
+
+
+def _worst_regressor(baseline, current):
+    """Lowest per-benchmark throughput ratio, or ``None`` when either
+    record predates the ``per_benchmark`` breakdown."""
+    base_pb = baseline.get("per_benchmark")
+    cur_pb = current.get("per_benchmark")
+    if not isinstance(base_pb, dict) or not isinstance(cur_pb, dict):
+        return None
+    worst = None
+    for name in base_pb:
+        if name not in cur_pb:
+            continue
+        base_ips = base_pb[name].get("instructions_per_second") or 0.0
+        cur_ips = cur_pb[name].get("instructions_per_second") or 0.0
+        if not base_ips:
+            continue
+        ratio = cur_ips / base_ips
+        if worst is None or ratio < worst[3]:
+            worst = (name, base_ips, cur_ips, ratio)
+    return worst
 
 
 def main(argv=None):

@@ -8,6 +8,12 @@ The subset is pinned (first three spec2017 benchmarks, both configs, all
 phases) so numbers are comparable across commits.  Runs are cold: the
 in-process cache and the persistent store are both bypassed, so this
 measures raw engine speed, never cache hits.
+
+Besides the aggregate, the record carries a ``per_benchmark`` breakdown
+(so bench_compare.py can name the worst regressor on a throughput
+failure) and ``fast_forward_instructions_per_second`` — the steady-state
+throughput of the functional fast-forward executor that sampled
+simulation (docs/sampling.md) uses to skip between detailed windows.
 """
 
 import argparse
@@ -24,20 +30,60 @@ BENCH_SUITE = "spec2017"
 BENCH_COUNT = 3  # first N benchmarks of the suite
 
 
+def measure_fast_forward(benchmarks):
+    """Steady-state functional fast-forward throughput on the same subset.
+
+    Each phase is executed once unmeasured to populate the per-program
+    handler caches, then once timed — matching how the sampling runner
+    uses the executor (one compile, many skipped instructions).
+    """
+    from repro.sampling.fastforward import FastForwardExecutor
+
+    def run_all():
+        executed = 0
+        for benchmark in benchmarks:
+            for workload, _weight in benchmark.phases:
+                memory, regs = workload.fresh_input()
+                ff = FastForwardExecutor(workload.program, memory, regs)
+                executed += ff.run_to_halt()
+        return executed
+
+    run_all()  # warm the handler caches
+    start = time.perf_counter()
+    executed = run_all()
+    elapsed = time.perf_counter() - start
+    return round(executed / elapsed, 1) if elapsed else 0.0
+
+
 def run_bench():
     benchmarks = suite(BENCH_SUITE)[:BENCH_COUNT]
     machines = [("baseline", baseline_machine()), ("loopfrog", default_machine())]
     instructions = 0
     cycles = 0
     sims = 0
+    per_benchmark = {}
     start = time.perf_counter()
     for benchmark in benchmarks:
+        b_instructions = 0
+        b_cycles = 0
+        b_start = time.perf_counter()
         for workload, _weight in benchmark.phases:
             for _label, machine in machines:
                 stats = _simulate(workload, machine)
-                instructions += stats.arch_instructions
-                cycles += stats.cycles
+                b_instructions += stats.arch_instructions
+                b_cycles += stats.cycles
                 sims += 1
+        b_elapsed = time.perf_counter() - b_start
+        instructions += b_instructions
+        cycles += b_cycles
+        per_benchmark[benchmark.name] = {
+            "instructions": b_instructions,
+            "cycles": b_cycles,
+            "wall_seconds": round(b_elapsed, 3),
+            "instructions_per_second": round(
+                b_instructions / b_elapsed, 1
+            ) if b_elapsed else 0.0,
+        }
     elapsed = time.perf_counter() - start
     return {
         "suite": BENCH_SUITE,
@@ -52,6 +98,10 @@ def run_bench():
         "wall_seconds": round(elapsed, 3),
         "instructions_per_second": round(instructions / elapsed, 1),
         "cycles_per_second": round(cycles / elapsed, 1),
+        "per_benchmark": per_benchmark,
+        "fast_forward_instructions_per_second": measure_fast_forward(
+            benchmarks
+        ),
     }
 
 
@@ -69,6 +119,9 @@ def main(argv=None):
         f"{result['wall_seconds']}s -> "
         f"{result['instructions_per_second']:.0f} instr/s"
     )
+    ff = result["fast_forward_instructions_per_second"]
+    ratio = ff / result["instructions_per_second"]
+    print(f"fast-forward: {ff:.0f} instr/s ({ratio:.1f}x detailed)")
     print(f"wrote {args.output}")
     return 0
 
