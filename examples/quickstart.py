@@ -37,7 +37,7 @@ def main() -> None:
     result = compile_frog(SOURCE)
     print("compiled", result.program.name, f"({len(result.program)} instructions)")
     for report in result.hint_reports:
-        status = "annotated" if report.annotated else f"rejected: {report.reason}"
+        status = "annotated" if report.annotated else f"rejected: {report.message}"
         print(f"  loop at {report.header}: {status}")
     print()
     print(result.program.disassemble())

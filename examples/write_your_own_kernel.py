@@ -53,7 +53,7 @@ def describe(label: str, source: str) -> None:
             print(f"  annotated; region {report.region}, "
                   f"body blocks {report.body_blocks}")
         else:
-            print(f"  rejected: {report.reason}")
+            print(f"  rejected: {report.message}")
     print()
 
 

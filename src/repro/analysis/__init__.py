@@ -9,6 +9,15 @@ from .area import (
     ssb_energy_nj_per_access,
 )
 from .categorize import CategoryShare, categorize_runs, classify_run
+from .lint import (
+    FileLint,
+    ValidationReport,
+    ValidationRow,
+    lint_source,
+    render_lint,
+    render_validation,
+    validate_suites,
+)
 from .report import format_bars, format_series, format_table
 from .speedup import (
     BenchmarkResult,
@@ -31,6 +40,13 @@ __all__ = [
     "CategoryShare",
     "categorize_runs",
     "classify_run",
+    "FileLint",
+    "ValidationReport",
+    "ValidationRow",
+    "lint_source",
+    "render_lint",
+    "render_validation",
+    "validate_suites",
     "format_bars",
     "format_series",
     "format_table",

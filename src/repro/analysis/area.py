@@ -15,7 +15,6 @@ to the paper's quoted points:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict
 
 from ..uarch.config import LoopFrogConfig
 

@@ -3,6 +3,10 @@
 Commands
     compile FILE        compile a Frog source file and print the listing
                         and hint-insertion report
+    lint FILE...        static loop-carried dependence diagnostics per
+                        pragma loop (``--json`` for machine-readable
+                        output; ``--validate`` compares verdicts against
+                        observed conflict squashes over the suites)
     run FILE            compile and simulate a Frog file on the baseline
                         and LoopFrog cores, printing the comparison
     suite NAME          run a SPEC stand-in suite (figure-6 style output)
@@ -65,12 +69,51 @@ def cmd_compile(args: argparse.Namespace) -> int:
             if report.annotated:
                 print(f"  {report.header}: annotated (region {report.region})")
             else:
-                print(f"  {report.header}: rejected — {report.reason}")
+                print(f"  {report.header}: rejected — {report.message}")
         print()
     if args.ir:
         print(result.ir)
         print()
     print(result.program.disassemble())
+    return 0
+
+
+def cmd_lint(args: argparse.Namespace) -> int:
+    import json
+
+    from .analysis.lint import (
+        lint_source,
+        render_lint,
+        render_validation,
+        validate_suites,
+    )
+
+    if args.validate:
+        _apply_runner_options(args)
+        suites = args.suite.split(",") if args.suite else None
+        report = validate_suites(suites=suites)
+        if args.json:
+            print(json.dumps(report.to_dict(), indent=2))
+        else:
+            print(render_validation(report))
+        return 1 if report.soundness_violations else 0
+
+    if not args.files:
+        raise ReproError("lint needs Frog files (or --validate)")
+    payload = []
+    for path in args.files:
+        with open(path) as fh:
+            source = fh.read()
+        lint = lint_source(
+            source, path=path, entry=args.entry,
+            granule_bytes=args.granule,
+        )
+        if args.json:
+            payload.append(lint.to_dict())
+        else:
+            print(render_lint(lint))
+    if args.json:
+        print(json.dumps(payload, indent=2))
     return 0
 
 
@@ -310,6 +353,28 @@ def build_parser() -> argparse.ArgumentParser:
                        help="do not read or write the persistent result store")
         p.add_argument("--store-dir", metavar="DIR",
                        help="result store location (default: .repro-results)")
+
+    p = sub.add_parser(
+        "lint",
+        help="static loop-carried dependence diagnostics for Frog files",
+    )
+    p.add_argument("files", nargs="*",
+                   help="Frog source files to analyse")
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable output")
+    p.add_argument("--entry", default="main",
+                   help="entry function name (default: main)")
+    p.add_argument("--granule", type=int, default=4, metavar="BYTES",
+                   help="conflict-detector granule assumed by the "
+                        "analysis (default: 4)")
+    p.add_argument("--validate", action="store_true",
+                   help="run the workload suites and compare static "
+                        "verdicts against observed conflict squashes")
+    p.add_argument("--suite",
+                   help="with --validate: comma-separated suite names "
+                        "(default: all)")
+    add_runner_options(p)
+    p.set_defaults(func=cmd_lint)
 
     p = sub.add_parser("suite", help="run a SPEC stand-in suite")
     p.add_argument("name", choices=["spec2017", "spec2006", "longrun"])

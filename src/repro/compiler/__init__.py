@@ -6,6 +6,17 @@ hints inserted into ``#pragma loopfrog`` loops (paper section 5).
 """
 
 from .cfg import CFG
+from .depanal import (
+    VERDICT_INDEPENDENT,
+    VERDICT_MAY_CONFLICT,
+    VERDICT_MUST_CONFLICT,
+    VERDICTS,
+    AccessSite,
+    AffineAddr,
+    DependenceWitness,
+    LoopDependence,
+    analyze_function,
+)
 from .hints import HintOptions, HintReport, insert_hints
 from .ir import (
     BasicBlock,
@@ -36,6 +47,15 @@ from .regalloc import Allocation, allocate, apply_allocation
 
 __all__ = [
     "CFG",
+    "VERDICT_INDEPENDENT",
+    "VERDICT_MAY_CONFLICT",
+    "VERDICT_MUST_CONFLICT",
+    "VERDICTS",
+    "AccessSite",
+    "AffineAddr",
+    "DependenceWitness",
+    "LoopDependence",
+    "analyze_function",
     "HintOptions",
     "HintReport",
     "insert_hints",

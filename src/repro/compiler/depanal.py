@@ -1,0 +1,692 @@
+"""Static loop-carried memory-dependence analysis over Frog IR.
+
+The hint-insertion pass deliberately ignores through-memory loop-carried
+dependencies — the microarchitecture's conflict detector discovers them at
+run time by squashing threadlets.  This module recovers that information
+*statically*, per ``#pragma loopfrog`` loop, so tooling (``repro lint``)
+and policy (``HintOptions.speculate = "static-gated"``) can reason about
+squashes before a single cycle is simulated.
+
+The analysis is a SCEV-lite two-stage pipeline:
+
+1. **Address derivation.**  For every load/store inside the loop, derive a
+   symbolic affine address expression over the *iteration number* ``n``::
+
+       addr = Σ coeff·sym  +  iter_coeff·n  +  const
+
+   Symbols are loop-invariant registers (typically pointer parameters) and
+   the start-of-loop values of recognised basic induction variables
+   (pattern ``i = i + C`` — directly, or via the unfused lowering idiom
+   ``t = add i, C; mov i, t`` — in a block that executes exactly once per
+   iteration).  Values flow through ``mov``/``add``/``sub`` and
+   constant ``mul``/``shl``; anything else (loaded values, masked hashes,
+   inner-loop induction variables) is ``unknown`` — the lattice bottom.
+
+2. **Dependence testing.**  Only flow (RAW) dependencies at distance
+   ``d >= 1`` matter: the conflict detector squashes exactly when an older
+   threadlet's *write* hits a younger threadlet's speculative *read* set
+   (WAW/WAR are renamed away by SSB versioning, and a same-iteration RAW
+   stays inside one threadlet).  Each (store, load) pair is classified by:
+
+   * **base disambiguation** — if the address difference keeps a nonzero
+     coefficient on a pointer-typed *parameter*, the accesses use distinct
+     base objects, which the Frog workload ABI treats as ``restrict``:
+     no conflict.  A nonzero coefficient on any other symbol is an
+     unresolved offset: ``may-conflict``.
+   * **zero/strong SIV** — equal iteration coefficients ``A`` leave
+     ``delta(d) = A·d + c``; the pair conflicts iff some ``d >= 1`` puts
+     the two byte intervals in a shared conflict-detector granule.  When
+     the shared base is provably granule-aligned (pointer parameters are
+     assumed naturally aligned and every other coefficient is a granule
+     multiple) the granule test is exact; otherwise the overlap window is
+     padded by ``granule - 1`` bytes on each side, which is conservative
+     for *independent* verdicts.
+   * **GCD test** — different iteration coefficients: conflict unless no
+     reachable residue lands in the padded window.
+
+A loop is ``independent`` when no pair can conflict, ``must-conflict``
+when some always-executed pair provably overlaps byte-exactly at a
+derivable distance, and ``may-conflict`` otherwise.  ``independent`` is
+the *sound* claim the validation harness checks against observed squashes
+(``repro lint --validate``); the other two are best-effort precision.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from .cfg import CFG
+from .ir import Const, Function, IRInstr, IROp, VReg
+from .loops import Loop, find_loops
+
+VERDICT_INDEPENDENT = "independent"
+VERDICT_MAY_CONFLICT = "may-conflict"
+VERDICT_MUST_CONFLICT = "must-conflict"
+VERDICTS = (VERDICT_INDEPENDENT, VERDICT_MAY_CONFLICT, VERDICT_MUST_CONFLICT)
+
+# Matches LoopFrogConfig.granule_bytes for the paper's default machine.
+DEFAULT_GRANULE_BYTES = 4
+
+_RESOLVE_DEPTH_LIMIT = 32
+
+
+# ---------------------------------------------------------------------------
+# The affine address lattice
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class AffineAddr:
+    """``Σ coeff·sym + iter_coeff·n + const`` over the iteration number n.
+
+    ``syms`` maps symbol names (loop-invariant register names, or
+    ``iv:<reg>`` for an induction variable's start-of-loop value) to their
+    integer coefficients.  ``None`` stands for the lattice bottom
+    (*unknown*) everywhere in this module.
+    """
+
+    syms: Dict[str, int] = field(default_factory=dict)
+    iter_coeff: int = 0
+    const: int = 0
+
+    def add(self, other: "AffineAddr") -> "AffineAddr":
+        syms = dict(self.syms)
+        for name, coeff in other.syms.items():
+            syms[name] = syms.get(name, 0) + coeff
+        return AffineAddr(
+            {n: c for n, c in syms.items() if c},
+            self.iter_coeff + other.iter_coeff,
+            self.const + other.const,
+        )
+
+    def sub(self, other: "AffineAddr") -> "AffineAddr":
+        return self.add(other.scale(-1))
+
+    def scale(self, factor: int) -> "AffineAddr":
+        if factor == 0:
+            return AffineAddr()
+        return AffineAddr(
+            {n: c * factor for n, c in self.syms.items()},
+            self.iter_coeff * factor,
+            self.const * factor,
+        )
+
+    def __str__(self) -> str:
+        parts = [f"{c}*{n}" for n, c in sorted(self.syms.items())]
+        if self.iter_coeff:
+            parts.append(f"{self.iter_coeff}*n")
+        if self.const or not parts:
+            parts.append(str(self.const))
+        return " + ".join(parts)
+
+
+# ---------------------------------------------------------------------------
+# Analysis results
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class AccessSite:
+    """One load or store inside the analysed loop."""
+
+    kind: str                      # "load" | "store"
+    block: str
+    index: int                     # instruction index within the block
+    size: int                      # access width in bytes
+    line: int                      # source line (0 = unknown)
+    text: str                      # printable form of the instruction
+    always: bool                   # executes exactly once per iteration
+    addr: Optional[AffineAddr]     # None = unknown address
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "block": self.block,
+            "line": self.line,
+            "size": self.size,
+            "text": self.text,
+            "always": self.always,
+            "address": str(self.addr) if self.addr is not None else None,
+        }
+
+
+@dataclass
+class DependenceWitness:
+    """The offending (store, load) pair behind a non-independent verdict."""
+
+    store: AccessSite
+    load: AccessSite
+    certain: bool                  # proven overlap vs. merely possible
+    distance: Optional[int]        # minimum dependence distance, if known
+    reason: str                    # stable cause identifier
+
+    def to_dict(self) -> dict:
+        return {
+            "store": self.store.to_dict(),
+            "load": self.load.to_dict(),
+            "certain": self.certain,
+            "distance": self.distance,
+            "reason": self.reason,
+        }
+
+
+@dataclass
+class LoopDependence:
+    """Per-loop outcome of the static dependence analysis."""
+
+    header: str
+    line: int
+    verdict: str
+    accesses: List[AccessSite]
+    witness: Optional[DependenceWitness]
+    min_distance: Optional[int]
+    granule_bytes: int
+
+    def describe(self) -> str:
+        """One human-readable diagnostic line (without the header)."""
+        if self.verdict == VERDICT_INDEPENDENT:
+            return (
+                f"independent — {len(self.accesses)} memory accesses, "
+                "no loop-carried RAW possible"
+            )
+        w = self.witness
+        dist = f" at distance {w.distance}" if w and w.distance else ""
+        pair = ""
+        if w is not None:
+            pair = (
+                f": {w.store.text} (line {w.store.line}) -> "
+                f"{w.load.text} (line {w.load.line}) [{w.reason}]"
+            )
+        return f"{self.verdict}{dist}{pair}"
+
+    def to_dict(self) -> dict:
+        return {
+            "header": self.header,
+            "line": self.line,
+            "verdict": self.verdict,
+            "min_distance": self.min_distance,
+            "granule_bytes": self.granule_bytes,
+            "accesses": [a.to_dict() for a in self.accesses],
+            "witness": self.witness.to_dict() if self.witness else None,
+        }
+
+
+# ---------------------------------------------------------------------------
+# Entry point
+# ---------------------------------------------------------------------------
+
+
+def analyze_function(
+    func: Function,
+    granule_bytes: int = DEFAULT_GRANULE_BYTES,
+    headers: Optional[List[str]] = None,
+    cfg: Optional[CFG] = None,
+) -> Dict[str, LoopDependence]:
+    """Classify the marked loops of ``func`` (must run *before* hint
+    insertion — the pass analyses the natural-loop structure the hints
+    will transform).  Returns ``{header block name: LoopDependence}``;
+    marked headers that are not loop headers are skipped (hint insertion
+    reports those separately)."""
+    cfg = cfg or CFG(func)
+    loops = find_loops(func, cfg)
+    if headers is None:
+        headers = list(dict.fromkeys(func.marked_loops))
+    ptr_params = {
+        reg.name for reg, typ in func.params if getattr(typ, "is_ptr", False)
+    }
+    results: Dict[str, LoopDependence] = {}
+    for header in headers:
+        loop = loops.get(header)
+        if loop is None:
+            continue
+        analyzer = _LoopAnalyzer(
+            func, cfg, loops, loop, granule_bytes, ptr_params
+        )
+        results[header] = analyzer.analyze()
+    return results
+
+
+# ---------------------------------------------------------------------------
+# Per-loop machinery
+# ---------------------------------------------------------------------------
+
+
+def _ceil_div(a: int, b: int) -> int:
+    return -((-a) // b)
+
+
+def _granules_overlap(s0: int, ssize: int, delta: int, lsize: int,
+                      g: int) -> bool:
+    """Exact granule-intersection test for a store at byte offset ``s0``
+    (mod granule) and a load ``delta`` bytes later."""
+    a0, a1 = s0 // g, (s0 + ssize - 1) // g
+    b0, b1 = (s0 + delta) // g, (s0 + delta + lsize - 1) // g
+    return b0 <= a1 and a0 <= b1
+
+
+class _LoopAnalyzer:
+    def __init__(
+        self,
+        func: Function,
+        cfg: CFG,
+        loops: Dict[str, Loop],
+        loop: Loop,
+        granule_bytes: int,
+        ptr_params: Set[str],
+    ):
+        self.func = func
+        self.cfg = cfg
+        self.loop = loop
+        self.granule = granule_bytes
+        self.ptr_params = ptr_params
+
+        # Blocks belonging to a loop nested inside this one execute an
+        # unknown number of times per iteration; exclude them from "once
+        # per iteration" reasoning.
+        nested: Set[str] = set()
+        for other in loops.values():
+            if other.header != loop.header and other.blocks < loop.blocks:
+                nested |= other.blocks
+        self.private: Set[str] = loop.blocks - nested
+
+        # Blocks that execute exactly once per completed iteration.
+        self.always: Set[str] = {
+            name for name in self.private
+            if all(cfg.dominates(name, latch) for latch in loop.latches)
+        }
+
+        # All in-loop definitions, per register.
+        self.defs: Dict[VReg, List[Tuple[str, int, IRInstr]]] = {}
+        for name in loop.blocks:
+            for idx, instr in enumerate(func.block(name).instrs):
+                for reg in instr.defs():
+                    self.defs.setdefault(reg, []).append((name, idx, instr))
+
+        # Intra-iteration CFG: loop edges minus those re-entering the
+        # header (the back edges plus any other in-loop edge to it).
+        self.iter_succs: Dict[str, List[str]] = {
+            name: [
+                s for s in cfg.succs[name]
+                if s in loop.blocks and s != loop.header
+            ]
+            for name in loop.blocks
+        }
+        self._reach_memo: Dict[str, Set[str]] = {}
+        self._iter_idom = self._iteration_dominators()
+
+        self.ivs = self._find_induction_variables()
+
+    # -- iteration-subgraph facts -------------------------------------------
+
+    def _reaches(self, src: str, dst: str) -> bool:
+        """True if an intra-iteration path of length >= 1 leads src -> dst."""
+        if src not in self._reach_memo:
+            seen: Set[str] = set()
+            stack = list(self.iter_succs.get(src, ()))
+            while stack:
+                node = stack.pop()
+                if node in seen:
+                    continue
+                seen.add(node)
+                stack.extend(self.iter_succs.get(node, ()))
+            self._reach_memo[src] = seen
+        return dst in self._reach_memo[src]
+
+    def _iteration_dominators(self) -> Dict[str, Optional[str]]:
+        """Immediate dominators of the intra-iteration subgraph, rooted at
+        the loop header (same iterative scheme as :class:`CFG`)."""
+        header = self.loop.header
+        preds: Dict[str, List[str]] = {name: [] for name in self.loop.blocks}
+        for name, succs in self.iter_succs.items():
+            for s in succs:
+                preds[s].append(name)
+        # Reverse postorder of the subgraph.
+        seen = {header}
+        order: List[str] = []
+        stack: List[Tuple[str, object]] = [(header, iter(self.iter_succs[header]))]
+        while stack:
+            node, it = stack[-1]
+            advanced = False
+            for succ in it:  # type: ignore[attr-defined]
+                if succ not in seen:
+                    seen.add(succ)
+                    stack.append((succ, iter(self.iter_succs[succ])))
+                    advanced = True
+                    break
+            if not advanced:
+                order.append(node)
+                stack.pop()
+        order.reverse()
+        index = {name: i for i, name in enumerate(order)}
+
+        idom: Dict[str, Optional[str]] = {header: header}
+        changed = True
+        while changed:
+            changed = False
+            for node in order:
+                if node == header:
+                    continue
+                processed = [p for p in preds[node] if p in idom and p in index]
+                if not processed:
+                    continue
+                new_idom = processed[0]
+                for p in processed[1:]:
+                    a, b = p, new_idom
+                    while a != b:
+                        while index[a] > index[b]:
+                            a = idom[a]  # type: ignore[assignment]
+                        while index[b] > index[a]:
+                            b = idom[b]  # type: ignore[assignment]
+                    new_idom = a
+                if idom.get(node) != new_idom:
+                    idom[node] = new_idom
+                    changed = True
+        idom[header] = None
+        return idom
+
+    def _iter_dominates(self, a: str, b: str) -> bool:
+        """True if every intra-iteration path header -> b passes a."""
+        if a == b:
+            return True
+        node = self._iter_idom.get(b)
+        while node is not None:
+            if node == a:
+                return True
+            node = self._iter_idom.get(node)
+        return False
+
+    # -- induction variables -------------------------------------------------
+
+    def _match_increment(
+        self, reg: VReg, instr: IRInstr
+    ) -> Optional[int]:
+        """Stride when ``instr`` computes ``reg +/- constant``, else None."""
+        ops = instr.operands
+        if instr.op is IROp.ADD:
+            if ops == (reg,) or len(ops) != 2:
+                return None
+            if ops[0] == reg and isinstance(ops[1], Const):
+                return int(ops[1].value)
+            if ops[1] == reg and isinstance(ops[0], Const):
+                return int(ops[0].value)
+        elif instr.op is IROp.SUB:
+            if len(ops) == 2 and ops[0] == reg and isinstance(ops[1], Const):
+                return -int(ops[1].value)
+        return None
+
+    def _find_induction_variables(self) -> Dict[str, Tuple[int, str]]:
+        """``{reg name: (stride, increment block)}`` for basic IVs.
+
+        Recognises both the post-optimisation form ``i = add i, C`` and the
+        raw lowering idiom ``t = add i, C; mov i, t``.  The increment must
+        sit in a block that executes exactly once per iteration.
+        """
+        ivs: Dict[str, Tuple[int, str]] = {}
+        for reg, def_sites in self.defs.items():
+            if reg.cls != "int" or len(def_sites) != 1:
+                continue
+            block, idx, instr = def_sites[0]
+            if block not in self.always:
+                continue
+            stride = self._match_increment(reg, instr)
+            if stride is None and instr.op is IROp.MOV:
+                (src,) = instr.operands
+                if isinstance(src, VReg):
+                    src_defs = self.defs.get(src, [])
+                    if (
+                        len(src_defs) == 1
+                        and src_defs[0][0] == block
+                        and src_defs[0][1] < idx
+                    ):
+                        stride = self._match_increment(reg, src_defs[0][2])
+            if stride is not None:
+                ivs[reg.name] = (stride, block)
+        return ivs
+
+    # -- symbolic evaluation --------------------------------------------------
+
+    def _resolve_value(self, value, block: str, idx: int,
+                       depth: int) -> Optional[AffineAddr]:
+        if isinstance(value, Const):
+            if isinstance(value.value, float):
+                return None
+            return AffineAddr(const=int(value.value))
+        return self._resolve_reg(value, block, idx, depth)
+
+    def _resolve_reg(self, reg: VReg, block: str, idx: int,
+                     depth: int) -> Optional[AffineAddr]:
+        """Affine value of ``reg`` just before ``block.instrs[idx]``."""
+        if depth > _RESOLVE_DEPTH_LIMIT or reg.cls != "int":
+            return None
+        instrs = self.func.block(block).instrs
+        for j in range(idx - 1, -1, -1):
+            if reg in instrs[j].defs():
+                return self._eval_instr(instrs[j], block, j, depth + 1)
+
+        # No definition earlier in this block: value at block entry.
+        if reg not in self.defs:
+            return AffineAddr(syms={reg.name: 1})  # loop-invariant
+
+        if reg.name in self.ivs:
+            stride, inc_block = self.ivs[reg.name]
+            start = AffineAddr(syms={f"iv:{reg.name}": 1}, iter_coeff=stride)
+            if not self._reaches(inc_block, block):
+                return start                       # pre-increment value
+            if self._iter_dominates(inc_block, block):
+                return start.add(AffineAddr(const=stride))  # post-increment
+            return None
+
+        def_sites = self.defs[reg]
+        if len(def_sites) == 1:
+            dblock, didx, dinstr = def_sites[0]
+            if (
+                dblock != block
+                and dblock in self.private
+                and self._iter_dominates(dblock, block)
+            ):
+                return self._eval_instr(dinstr, dblock, didx, depth + 1)
+        return None
+
+    def _eval_instr(self, instr: IRInstr, block: str, idx: int,
+                    depth: int) -> Optional[AffineAddr]:
+        if depth > _RESOLVE_DEPTH_LIMIT:
+            return None
+        op = instr.op
+        resolve = lambda v: self._resolve_value(v, block, idx, depth + 1)  # noqa: E731
+        if op is IROp.MOV:
+            return resolve(instr.operands[0])
+        if op in (IROp.ADD, IROp.SUB):
+            a = resolve(instr.operands[0])
+            b = resolve(instr.operands[1])
+            if a is None or b is None:
+                return None
+            return a.add(b) if op is IROp.ADD else a.sub(b)
+        if op is IROp.MUL:
+            left, right = instr.operands
+            if isinstance(right, Const) and not isinstance(right.value, float):
+                a = resolve(left)
+                return a.scale(int(right.value)) if a is not None else None
+            if isinstance(left, Const) and not isinstance(left.value, float):
+                b = resolve(right)
+                return b.scale(int(left.value)) if b is not None else None
+            return None
+        if op is IROp.SHL:
+            left, right = instr.operands
+            if isinstance(right, Const) and not isinstance(right.value, float):
+                shift = int(right.value)
+                if 0 <= shift < 48:
+                    a = resolve(left)
+                    return a.scale(1 << shift) if a is not None else None
+            return None
+        return None
+
+    # -- access collection ----------------------------------------------------
+
+    def _collect_accesses(self) -> List[AccessSite]:
+        accesses: List[AccessSite] = []
+        for name in sorted(self.loop.blocks):
+            for idx, instr in enumerate(self.func.block(name).instrs):
+                if not instr.is_memory:
+                    continue
+                base = (
+                    instr.operands[0] if instr.op is IROp.LOAD
+                    else instr.operands[1]
+                )
+                addr = self._resolve_reg(base, name, idx, 0)
+                if addr is not None and instr.offset:
+                    addr = addr.add(AffineAddr(const=instr.offset))
+                accesses.append(AccessSite(
+                    kind="load" if instr.op is IROp.LOAD else "store",
+                    block=name,
+                    index=idx,
+                    size=instr.size,
+                    line=instr.line,
+                    text=str(instr),
+                    always=name in self.always,
+                    addr=addr,
+                ))
+        return accesses
+
+    # -- dependence testing ---------------------------------------------------
+
+    def _test_pair(
+        self, store: AccessSite, load: AccessSite
+    ) -> Optional[Tuple[bool, Optional[int], str]]:
+        """``None`` if the pair cannot conflict across iterations, else
+        ``(certain, min_distance, reason)``."""
+        if store.addr is None or load.addr is None:
+            return (False, None, "non-affine-address")
+
+        diff = load.addr.sub(store.addr)
+        if diff.syms:
+            if any(name in self.ptr_params for name in diff.syms):
+                return None  # distinct restrict base objects
+            return (False, None, "symbolic-offset")
+
+        g = self.granule
+        a_s, a_l = store.addr.iter_coeff, load.addr.iter_coeff
+        c = diff.const
+        pad_lo = -(load.size + g - 2)
+        pad_hi = store.size + g - 2
+        byte_lo = -(load.size - 1)
+        byte_hi = store.size - 1
+
+        if a_s != a_l:
+            # Weak SIV / mismatched strides: delta = (a_l - a_s)*n + a_l*d + c
+            # over free n >= 0, d >= 1.  Keep only the GCD residue argument.
+            from math import gcd
+
+            step = gcd(abs(a_l - a_s), abs(a_l))
+            if step:
+                reachable = any(
+                    (x - c) % step == 0 for x in range(pad_lo, pad_hi + 1)
+                )
+                if not reachable:
+                    return None
+            return (False, None, "stride-mismatch")
+
+        a = a_s
+        aligned_exact = (
+            a % g == 0
+            and all(
+                coeff % g == 0 or name in self.ptr_params
+                for name, coeff in store.addr.syms.items()
+            )
+        )
+        s0 = store.addr.const % g if aligned_exact else 0
+
+        if a == 0:
+            # Loop-invariant address recurrence: every iteration pair.
+            if aligned_exact:
+                hit = _granules_overlap(s0, store.size, c, load.size, g)
+            else:
+                hit = pad_lo <= c <= pad_hi
+            if not hit:
+                return None
+            certain = (
+                byte_lo <= c <= byte_hi and store.always and load.always
+            )
+            return (certain, 1, "loop-invariant-address")
+
+        if a > 0:
+            d_lo = _ceil_div(pad_lo - c, a)
+            d_hi = (pad_hi - c) // a
+        else:
+            d_lo = _ceil_div(pad_hi - c, a)
+            d_hi = (pad_lo - c) // a
+        d_lo = max(d_lo, 1)
+        first_conflict: Optional[int] = None
+        certain_at: Optional[int] = None
+        for d in range(d_lo, d_hi + 1):
+            delta = a * d + c
+            if aligned_exact and not _granules_overlap(
+                s0, store.size, delta, load.size, g
+            ):
+                continue
+            if first_conflict is None:
+                first_conflict = d
+            if (
+                byte_lo <= delta <= byte_hi
+                and store.always
+                and load.always
+            ):
+                certain_at = d
+                break
+        if first_conflict is None:
+            return None
+        if certain_at is not None:
+            return (True, first_conflict, "exact-overlap")
+        return (False, first_conflict, "granule-overlap")
+
+    # -- top level ------------------------------------------------------------
+
+    def analyze(self) -> LoopDependence:
+        accesses = self._collect_accesses()
+        line = getattr(self.func, "loop_lines", {}).get(self.loop.header, 0)
+
+        stores = [a for a in accesses if a.kind == "store"]
+        loads = [a for a in accesses if a.kind == "load"]
+
+        witness: Optional[DependenceWitness] = None
+        must_witness: Optional[DependenceWitness] = None
+        distances: List[int] = []
+        for store in stores:
+            for load in loads:
+                outcome = self._test_pair(store, load)
+                if outcome is None:
+                    continue
+                certain, distance, reason = outcome
+                w = DependenceWitness(store, load, certain, distance, reason)
+                if distance is not None:
+                    distances.append(distance)
+                if certain:
+                    if (
+                        must_witness is None
+                        or (must_witness.distance or 0) > (distance or 0)
+                    ):
+                        must_witness = w
+                elif witness is None or (
+                    witness.distance is None and distance is not None
+                ):
+                    witness = w
+
+        if must_witness is not None:
+            verdict = VERDICT_MUST_CONFLICT
+            chosen: Optional[DependenceWitness] = must_witness
+        elif witness is not None:
+            verdict = VERDICT_MAY_CONFLICT
+            chosen = witness
+        else:
+            verdict = VERDICT_INDEPENDENT
+            chosen = None
+
+        return LoopDependence(
+            header=self.loop.header,
+            line=line,
+            verdict=verdict,
+            accesses=accesses,
+            witness=chosen,
+            min_distance=min(distances) if distances else None,
+            granule_bytes=self.granule,
+        )

@@ -25,8 +25,9 @@ handles them at run time by squashing.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Set
 
+from ..errors import CompilerError
 from .cfg import CFG
 from .ir import (
     BasicBlock,
@@ -40,6 +41,29 @@ from .ir import (
 from .liveness import Liveness
 from .loops import Loop, find_loops
 
+# Stable rejection-reason identifiers (enum-like).  Tools key on these;
+# the human-readable explanation travels separately in ``detail``.
+REASON_NOT_A_LOOP = "not-a-loop"
+REASON_MULTIPLE_LATCHES = "multiple-latches"
+REASON_NO_CONDITIONAL_EXIT = "no-conditional-exit"
+REASON_EXIT_NOT_GUARDED = "exit-not-guarded"
+REASON_BODY_REGISTER_DEPENDENCE = "body-register-dependence"
+REASON_BODY_TOO_SMALL = "body-too-small"
+REASON_STATIC_MUST_CONFLICT = "static-must-conflict"
+
+REJECT_REASONS = frozenset({
+    REASON_NOT_A_LOOP,
+    REASON_MULTIPLE_LATCHES,
+    REASON_NO_CONDITIONAL_EXIT,
+    REASON_EXIT_NOT_GUARDED,
+    REASON_BODY_REGISTER_DEPENDENCE,
+    REASON_BODY_TOO_SMALL,
+    REASON_STATIC_MUST_CONFLICT,
+})
+
+SPECULATE_ALWAYS = "always"
+SPECULATE_STATIC_GATED = "static-gated"
+
 
 @dataclass
 class HintReport:
@@ -47,10 +71,23 @@ class HintReport:
 
     header: str
     annotated: bool
-    reason: str = ""
+    reason: str = ""  # stable identifier from REJECT_REASONS ("" if annotated)
+    detail: str = ""  # human-readable explanation of the rejection
     region: Optional[str] = None  # continuation block name (the region ID)
     body_blocks: List[str] = field(default_factory=list)
     split_index: int = 0
+    # Verdict from repro.compiler.depanal when the pipeline ran it
+    # (always populated in static-gated mode).
+    static_verdict: Optional[str] = None
+
+    @property
+    def message(self) -> str:
+        """Reason id plus prose, for display."""
+        if self.annotated:
+            return "annotated"
+        if self.detail:
+            return f"{self.reason}: {self.detail}"
+        return self.reason
 
 
 @dataclass
@@ -61,11 +98,37 @@ class HintOptions:
     # compiler "blindly maximises the body"; static deselection of tiny
     # bodies is the cheap part of loop selection (section 5.1).
     min_body_instrs: int = 1
+    # Speculation policy: "always" annotates every legal loop and lets the
+    # conflict detector squash (the paper's prototype behaviour);
+    # "static-gated" additionally rejects loops the static dependence
+    # analysis (repro.compiler.depanal) proves must-conflict.
+    speculate: str = SPECULATE_ALWAYS
+    # Conflict-detector granule assumed by the static analysis in
+    # static-gated mode; must match the simulated machine to be meaningful.
+    granule_bytes: int = 4
 
 
 def insert_hints(func: Function, options: Optional[HintOptions] = None) -> List[HintReport]:
     """Annotate all marked loops of ``func`` in place; returns reports."""
     options = options or HintOptions()
+    if options.speculate not in (SPECULATE_ALWAYS, SPECULATE_STATIC_GATED):
+        raise CompilerError(
+            f"unknown speculate policy {options.speculate!r} "
+            f"(expected {SPECULATE_ALWAYS!r} or {SPECULATE_STATIC_GATED!r})"
+        )
+    verdicts: Dict[str, str] = {}
+    if options.speculate == SPECULATE_STATIC_GATED:
+        # Analyse the pristine pre-hint IR once: transforms below rewrite
+        # the loops the analysis reasons about.
+        from .depanal import analyze_function
+
+        verdicts = {
+            header: dep.verdict
+            for header, dep in analyze_function(
+                func, granule_bytes=options.granule_bytes
+            ).items()
+        }
+
     reports: List[HintReport] = []
     # Deeper loops first so outer transforms see settled inner structure.
     pending = list(dict.fromkeys(func.marked_loops))
@@ -79,13 +142,25 @@ def insert_hints(func: Function, options: Optional[HintOptions] = None) -> List[
         missing = [h for h in pending if h not in loops]
         for h in missing:
             reports.append(
-                HintReport(h, False, reason="marked block is not a loop header")
+                HintReport(
+                    h, False, reason=REASON_NOT_A_LOOP,
+                    detail="marked block is not a loop header",
+                )
             )
         if not ordered:
             break
         header = ordered[0]
         pending = [h for h in pending if h != header and h not in missing]
-        reports.append(_annotate_loop(func, cfg, loops[header], options))
+        if verdicts.get(header) == "must-conflict":
+            report = HintReport(
+                header, False, reason=REASON_STATIC_MUST_CONFLICT,
+                detail="static dependence analysis proves a loop-carried "
+                "memory conflict; speculation would always squash",
+            )
+        else:
+            report = _annotate_loop(func, cfg, loops[header], options)
+        report.static_verdict = verdicts.get(header)
+        reports.append(report)
     return reports
 
 
@@ -96,8 +171,8 @@ def _annotate_loop(
 
     if len(loop.latches) != 1:
         return HintReport(
-            header, False,
-            reason=f"loop has {len(loop.latches)} latches (irreducible iteration "
+            header, False, reason=REASON_MULTIPLE_LATCHES,
+            detail=f"loop has {len(loop.latches)} latches (irreducible iteration "
             "tail, e.g. `continue` in a while loop)",
         )
     latch_name = loop.latches[0]
@@ -107,11 +182,13 @@ def _annotate_loop(
     term = header_block.terminator
     if not isinstance(term, CondBranch):
         return HintReport(
-            header, False, reason="loop header does not end in a conditional exit"
+            header, False, reason=REASON_NO_CONDITIONAL_EXIT,
+            detail="loop header does not end in a conditional exit",
         )
     if (term.iftrue in loop.blocks) == (term.iffalse in loop.blocks):
         return HintReport(
-            header, False, reason="loop header test does not guard the loop exit"
+            header, False, reason=REASON_EXIT_NOT_GUARDED,
+            detail="loop header test does not guard the loop exit",
         )
     body_entry = term.iftrue if term.iftrue in loop.blocks else term.iffalse
 
@@ -128,16 +205,16 @@ def _annotate_loop(
     split = _find_split(func, latch, region_defs, liveness)
     if split is None:
         return HintReport(
-            header, False,
-            reason="body defines a register consumed by the continuation or a "
+            header, False, reason=REASON_BODY_REGISTER_DEPENDENCE,
+            detail="body defines a register consumed by the continuation or a "
             "later iteration (register loop-carried dependence in the body)",
         )
 
     body_size = sum(len(func.block(b).instrs) for b in body_blocks) + split
     if body_size < options.min_body_instrs:
         return HintReport(
-            header, False,
-            reason=f"parallel body would contain {body_size} instruction(s), "
+            header, False, reason=REASON_BODY_TOO_SMALL,
+            detail=f"parallel body would contain {body_size} instruction(s), "
             f"below the minimum of {options.min_body_instrs}",
         )
 

@@ -119,6 +119,9 @@ class IRInstr:
     size: int = 8
     is_float: bool = False
     region: Optional[str] = None
+    # Source line of the Frog statement this was lowered from (0 = unknown);
+    # carried for diagnostics (`repro lint`), never for semantics.
+    line: int = 0
 
     def uses(self) -> Tuple[VReg, ...]:
         return tuple(v for v in self.operands if isinstance(v, VReg))
@@ -242,6 +245,8 @@ class Function:
         self._block_counter = 0
         # Loops the frontend marked with #pragma loopfrog: header block names.
         self.marked_loops: List[str] = []
+        # Source line of each lowered loop, keyed by header block name.
+        self.loop_lines: Dict[str, int] = {}
 
     # -- construction helpers ----------------------------------------------
 

@@ -7,7 +7,7 @@ the linear-scan register allocator.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, List, Set
+from typing import Dict, FrozenSet, Set
 
 from .cfg import CFG
 from .ir import BasicBlock, Function, VReg

@@ -96,6 +96,7 @@ class Lowerer:
             raise CompilerError(f"no function named {entry!r}")
         self.func = Function(entry)
         self.current = self.func.new_block("entry")
+        self.current_line = 0  # source line of the statement being lowered
         self.loop_stack: List[_LoopContext] = []
         self.inline_stack: List[str] = []
         self.inline_ctx: List[_InlineContext] = []
@@ -106,6 +107,8 @@ class Lowerer:
         if self.current.terminator is not None:
             # Dead code after return/break: drop it silently.
             return
+        if not instr.line:
+            instr.line = self.current_line
         self.current.instrs.append(instr)
 
     def terminate(self, term) -> None:
@@ -147,6 +150,9 @@ class Lowerer:
             self.lower_stmt(stmt, inner)
 
     def lower_stmt(self, stmt: ast.Stmt, scope: _Scope) -> None:
+        line = getattr(stmt, "line", 0)
+        if line:
+            self.current_line = line
         if isinstance(stmt, ast.VarDecl):
             self._lower_var_decl(stmt, scope)
         elif isinstance(stmt, ast.Assign):
@@ -243,6 +249,7 @@ class Lowerer:
         self.terminate(Branch(cond_block.name))
         self.loop_stack.pop()
 
+        self.func.loop_lines[cond_block.name] = getattr(stmt, "line", 0)
         if self.mark_all_loops or (stmt.pragma and "loopfrog" in stmt.pragma):
             self.func.marked_loops.append(cond_block.name)
         self.start_block(end_block)
@@ -276,6 +283,7 @@ class Lowerer:
             self.lower_stmt(stmt.step, outer)
         self.terminate(Branch(cond_block.name))
 
+        self.func.loop_lines[cond_block.name] = getattr(stmt, "line", 0)
         if self.mark_all_loops or (stmt.pragma and "loopfrog" in stmt.pragma):
             self.func.marked_loops.append(cond_block.name)
         self.start_block(end_block)

@@ -16,7 +16,7 @@ no LoopFrog-specific optimisation is performed (paper section 5.2).
 
 from __future__ import annotations
 
-from typing import Dict, Set
+from typing import Dict
 
 from .cfg import CFG
 from .ir import Function, IROp, VReg

@@ -10,13 +10,14 @@ callers can see which loops were annotated and why others were rejected.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 from ..isa.program import Program
 from ..lang import ast as frog_ast
 from ..lang import parse
 from ..obs import metrics as _metrics
 from ..obs.tracing import span as _span
+from .depanal import LoopDependence, analyze_function
 from .hints import HintOptions, HintReport, insert_hints
 from .ir import Function
 from .lowering import lower_module
@@ -40,6 +41,11 @@ class CompileOptions:
     fold_constants: bool = False
     licm: bool = False
     hint_options: HintOptions = field(default_factory=HintOptions)
+    # Run the static loop-carried dependence analysis (repro.compiler.
+    # depanal) on the pre-hint IR and keep the per-loop verdicts on the
+    # result.  Purely observational: codegen is unaffected unless
+    # hint_options.speculate consults the verdicts itself.
+    static_analysis: bool = False
     name: Optional[str] = None  # program name override
 
 
@@ -50,6 +56,9 @@ class CompileResult:
     program: Program
     ir: Function
     hint_reports: List[HintReport]
+    # Static dependence verdicts by loop header block name (populated when
+    # CompileOptions.static_analysis is set).
+    dependence: Dict[str, LoopDependence] = field(default_factory=dict)
 
     @property
     def annotated_loops(self) -> List[HintReport]:
@@ -103,6 +112,13 @@ def compile_ast(
 
             hoist_invariants(func)
 
+    dependence: Dict[str, LoopDependence] = {}
+    if options.static_analysis:
+        with _span("compile.depanal"):
+            dependence = analyze_function(
+                func, granule_bytes=options.hint_options.granule_bytes
+            )
+
     reports: List[HintReport] = []
     if options.insert_hints:
         with _span("compile.hints"):
@@ -132,9 +148,14 @@ def compile_ast(
             func, frame_slots=alloc.frame_slots,
             param_locations=param_locations,
         )
+    for report in reports:
+        if report.static_verdict is None and report.header in dependence:
+            report.static_verdict = dependence[report.header].verdict
     if options.name:
         program.name = options.name
-    return CompileResult(program=program, ir=func, hint_reports=reports)
+    return CompileResult(
+        program=program, ir=func, hint_reports=reports, dependence=dependence
+    )
 
 
 # ---------------------------------------------------------------------------

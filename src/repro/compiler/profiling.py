@@ -20,7 +20,7 @@ module implements that workflow over compiled programs:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Set
 
 from ..isa.instructions import Instruction, Opcode

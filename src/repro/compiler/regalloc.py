@@ -17,7 +17,7 @@ from typing import Dict, List, Optional, Tuple
 from ..errors import CompilerError
 from ..isa import registers as regdefs
 from .cfg import CFG
-from .ir import BasicBlock, Function, IRInstr, IROp, VReg
+from .ir import Function, IRInstr, IROp, VReg
 from .liveness import Liveness
 
 # Scratch registers reserved for spill-code sequencing.

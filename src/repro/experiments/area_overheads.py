@@ -8,7 +8,7 @@ increase (paper: +14%), L2 access increase (+1.7%) and L2 miss change
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Optional
 
 from ..analysis.area import (
     AreaReport,

@@ -6,8 +6,8 @@ imagick 87%, omnetpp 54%, nab 15%, gcc 12%, xalancbmk 11%."""
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from dataclasses import dataclass
+from typing import List, Optional
 
 from ..analysis.report import format_bars
 from ..uarch.config import MachineConfig

@@ -7,10 +7,10 @@ Amdahl's law, a 43% geometric-mean in-region speedup."""
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import List, Optional
 
 from ..analysis.report import format_table
-from ..analysis.speedup import amdahl_region_speedup, geometric_mean
+from ..analysis.speedup import geometric_mean
 from ..uarch.config import MachineConfig
 from .runner import BenchmarkRun, run_suite
 

@@ -14,7 +14,7 @@ from typing import List, Optional
 
 from ..analysis.report import format_table
 from ..uarch.config import MachineConfig
-from .runner import BenchmarkRun, run_suite
+from .runner import run_suite
 
 
 @dataclass

@@ -7,7 +7,7 @@ in-region speedup."""
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, Optional
 
 from ..analysis.report import format_table
 from ..analysis.speedup import geometric_mean

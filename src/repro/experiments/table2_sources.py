@@ -13,7 +13,6 @@ from typing import Dict, List, Optional
 from ..analysis.categorize import (
     CategoryShare,
     categorize_runs,
-    classify_run,
     phase_classifications,
 )
 from ..analysis.report import format_table

@@ -21,7 +21,7 @@ section 4.1.1) is measured in bytes.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional, Tuple
 
 

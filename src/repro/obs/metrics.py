@@ -209,6 +209,7 @@ def load_all() -> MetricsRegistry:
     catalog (docs, tests, the CLI) may not have pulled in the whole
     simulator yet.
     """
+    from ..analysis import lint  # noqa: F401
     from ..compiler import pipeline  # noqa: F401
     from ..sampling import runner  # noqa: F401
     from ..uarch import (  # noqa: F401

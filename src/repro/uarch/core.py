@@ -29,7 +29,6 @@ Model structure (see DESIGN.md "Timing-model fidelity notes"):
 from __future__ import annotations
 
 import heapq
-from collections import deque
 from typing import Dict, List, Optional, Set, Tuple
 
 from ..errors import ExecutionError, SimulationError

@@ -7,7 +7,7 @@ methodology of running every binary twice (section 6.1).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Optional
 
 from ..isa.program import Program

@@ -19,7 +19,7 @@ halts and squashes (or patches) the successor on a mismatch.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Optional
 
 from ..obs import metrics as _metrics
 from .config import LoopFrogConfig

@@ -8,7 +8,7 @@ in one place documents exactly what each experiment consumes.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict
 
 
 @dataclass

@@ -12,8 +12,8 @@ from __future__ import annotations
 
 import enum
 from collections import deque
-from dataclasses import dataclass, field
-from typing import Deque, Dict, List, Optional, Set
+from dataclasses import dataclass
+from typing import Deque, Dict, Optional, Set
 
 
 class ThreadletState(enum.Enum):

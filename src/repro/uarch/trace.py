@@ -18,7 +18,7 @@ quasi-independent regions".
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from .core import Engine, PipelineInstr

@@ -7,7 +7,6 @@ from repro.compiler import compile_frog
 from repro.isa import Program, assemble
 from repro.uarch import SparseMemory
 from repro.uarch.executor import Executor
-from repro.workloads import suite
 
 
 def structurally_equal(a: Program, b: Program) -> bool:

@@ -1,6 +1,5 @@
 """Unit tests for the TAGE-lite branch predictor, BTB, RAS, loop predictor."""
 
-import pytest
 
 from repro.isa.instructions import Instruction, Opcode
 from repro.uarch.branch_pred import (

@@ -1,6 +1,5 @@
 """Unit tests for the cache hierarchy timing model."""
 
-import pytest
 
 from repro.uarch.caches import MemoryHierarchy, _CacheLevel, _StridePrefetcher
 from repro.uarch.config import MemoryConfig

@@ -259,3 +259,95 @@ def test_trace_leaves_tracing_disabled(frog_file, capsys):
     assert main(["trace", frog_file]) == 0
     capsys.readouterr()
     assert current_tracer() is None
+
+
+# -- lint ---------------------------------------------------------------------
+
+
+@pytest.fixture
+def conflict_file(tmp_path):
+    path = tmp_path / "conflict.frog"
+    path.write_text(
+        """
+        fn main(a: ptr<int>, n: int) {
+            #pragma loopfrog
+            for (var i: int = 0; i < n; i = i + 1) {
+                a[i + 1] = a[i] + 3;
+            }
+        }
+        """
+    )
+    return str(path)
+
+
+def test_lint_command_text(frog_file, capsys):
+    assert main(["lint", frog_file]) == 0
+    out = capsys.readouterr().out
+    assert "independent" in out
+
+
+def test_lint_command_reports_conflict(conflict_file, capsys):
+    assert main(["lint", conflict_file]) == 0
+    out = capsys.readouterr().out
+    assert "must-conflict" in out
+    assert "distance 1" in out
+
+
+def test_lint_command_json(conflict_file, capsys):
+    import json
+
+    assert main(["lint", conflict_file, "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    loops = payload[0]["loops"]
+    assert loops[0]["verdict"] == "must-conflict"
+    assert loops[0]["line"] > 0
+    assert loops[0]["witness"]["store"]["line"] > 0
+
+
+def test_lint_requires_files_or_validate(capsys):
+    assert main(["lint"]) == 1
+    err = capsys.readouterr().err
+    assert err.startswith("error:")
+
+
+@pytest.fixture
+def malformed_file(tmp_path):
+    path = tmp_path / "broken.frog"
+    path.write_text("fn main(a {\n")
+    return str(path)
+
+
+def test_lint_malformed_file_clean_error(malformed_file, capsys):
+    # Regression: parse failures must exit 1 with a one-line error, not a
+    # traceback.
+    assert main(["lint", malformed_file]) == 1
+    captured = capsys.readouterr()
+    err = captured.err
+    assert err.startswith("error:")
+    assert len(err.strip().splitlines()) == 1
+    assert "Traceback" not in err + captured.out
+
+
+def test_compile_malformed_file_clean_error(malformed_file, capsys):
+    assert main(["compile", malformed_file]) == 1
+    captured = capsys.readouterr()
+    err = captured.err
+    assert err.startswith("error:")
+    assert len(err.strip().splitlines()) == 1
+    assert "Traceback" not in err + captured.out
+
+
+def test_lint_missing_file_clean_error(capsys):
+    assert main(["lint", "/nonexistent/nowhere.frog"]) == 1
+    err = capsys.readouterr().err
+    assert err.startswith("error:")
+
+
+def test_froglint_tool(conflict_file, frog_file, capsys):
+    import tools.froglint as froglint
+
+    assert froglint.main([frog_file]) == 0
+    capsys.readouterr()
+    assert froglint.main(["--fail-on-conflict", conflict_file]) == 2
+    out = capsys.readouterr().out
+    assert "must-conflict" in out

@@ -9,7 +9,7 @@ import pytest
 
 from repro.compiler import CompileOptions, compile_frog
 from repro.isa import Opcode
-from repro.uarch import SparseMemory, run_program
+from repro.uarch import SparseMemory
 
 
 def compile_and_run(source, memory=None, args=(), fargs=(), options=None):
@@ -311,7 +311,10 @@ def test_register_reduction_loop_rejected():
     )
     assert len(result.annotated_loops) == 0
     assert len(result.rejected_loops) == 1
-    assert "loop-carried" in result.rejected_loops[0].reason
+    from repro.compiler.hints import REASON_BODY_REGISTER_DEPENDENCE
+
+    assert result.rejected_loops[0].reason == REASON_BODY_REGISTER_DEPENDENCE
+    assert "loop-carried" in result.rejected_loops[0].detail
 
 
 def test_unmarked_loop_gets_no_hints():

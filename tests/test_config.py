@@ -6,7 +6,6 @@ from repro.errors import ConfigError
 from repro.uarch.config import (
     CoreConfig,
     LoopFrogConfig,
-    MachineConfig,
     MemoryConfig,
     baseline_machine,
     default_machine,

@@ -1,6 +1,5 @@
 """Unit tests for the conflict detector (paper algorithm 1)."""
 
-import pytest
 
 from repro.uarch.conflict import BloomGranuleSet, ConflictDetector, GranuleSet
 

@@ -1,0 +1,257 @@
+"""Unit tests for the static loop-carried dependence analyzer."""
+
+import pytest
+
+from repro.compiler import (
+    CompileOptions,
+    HintOptions,
+    VERDICT_INDEPENDENT,
+    VERDICT_MAY_CONFLICT,
+    VERDICT_MUST_CONFLICT,
+    analyze_function,
+    compile_frog,
+    lower_module,
+)
+from repro.lang import parse
+
+
+def analyze(source, entry="main", granule_bytes=4):
+    module = lower_module(parse(source), entry)
+    return analyze_function(module[entry], granule_bytes=granule_bytes)
+
+
+def only_loop(source, **kwargs):
+    results = analyze(source, **kwargs)
+    assert len(results) == 1
+    return next(iter(results.values()))
+
+
+def test_disjoint_pointer_params_independent():
+    dep = only_loop(
+        """
+        fn main(dst: ptr<int>, src: ptr<int>, n: int) {
+            #pragma loopfrog
+            for (var i: int = 0; i < n; i = i + 1) {
+                dst[i] = src[i] * 2;
+            }
+        }
+        """
+    )
+    assert dep.verdict == VERDICT_INDEPENDENT
+    assert dep.witness is None
+
+
+def test_same_array_unit_stride_independent():
+    # a[i] = a[i] * 2: the store and load touch the same address only in
+    # the *same* iteration; any carried distance d >= 1 moves the pair a
+    # full (granule-aligned) element apart.
+    dep = only_loop(
+        """
+        fn main(a: ptr<int>, n: int) {
+            #pragma loopfrog
+            for (var i: int = 0; i < n; i = i + 1) {
+                a[i] = a[i] * 2;
+            }
+        }
+        """
+    )
+    assert dep.verdict == VERDICT_INDEPENDENT
+
+
+def test_distance_one_must_conflict():
+    dep = only_loop(
+        """
+        fn main(a: ptr<int>, n: int) {
+            #pragma loopfrog
+            for (var i: int = 0; i < n; i = i + 1) {
+                a[i + 1] = a[i] + 3;
+            }
+        }
+        """
+    )
+    assert dep.verdict == VERDICT_MUST_CONFLICT
+    assert dep.min_distance == 1
+    assert dep.witness is not None
+    assert dep.witness.certain
+    assert dep.witness.store.kind == "store"
+    assert dep.witness.load.kind == "load"
+
+
+def test_distance_four_must_conflict():
+    dep = only_loop(
+        """
+        fn main(a: ptr<int>, n: int) {
+            #pragma loopfrog
+            for (var i: int = 0; i < n; i = i + 1) {
+                a[i + 4] = a[i] + 1;
+            }
+        }
+        """
+    )
+    assert dep.verdict == VERDICT_MUST_CONFLICT
+    assert dep.min_distance == 4
+
+
+def test_indirect_index_may_conflict():
+    # a[b[i]] has a data-dependent address: the analyzer must give up on
+    # the store address, not guess.
+    dep = only_loop(
+        """
+        fn main(a: ptr<int>, b: ptr<int>, n: int) {
+            #pragma loopfrog
+            for (var i: int = 0; i < n; i = i + 1) {
+                a[b[i]] = a[i] + 1;
+            }
+        }
+        """
+    )
+    assert dep.verdict == VERDICT_MAY_CONFLICT
+    assert dep.witness is not None
+    assert not dep.witness.certain
+    assert dep.witness.reason == "non-affine-address"
+
+
+def test_loop_invariant_address_conflicts():
+    # An accumulator cell re-read and re-written every iteration is a
+    # carried dependence at distance 1.
+    dep = only_loop(
+        """
+        fn main(a: ptr<int>, s: ptr<int>, n: int) {
+            #pragma loopfrog
+            for (var i: int = 0; i < n; i = i + 1) {
+                s[0] = s[0] + a[i];
+            }
+        }
+        """
+    )
+    assert dep.verdict == VERDICT_MUST_CONFLICT
+    assert dep.min_distance == 1
+    assert dep.witness.reason == "loop-invariant-address"
+
+
+def test_symbolic_offset_may_conflict():
+    # a[i + k] vs a[i]: the carried distance equals the runtime value of
+    # k, which the analyzer cannot know.
+    dep = only_loop(
+        """
+        fn main(a: ptr<int>, k: int, n: int) {
+            #pragma loopfrog
+            for (var i: int = 0; i < n; i = i + 1) {
+                a[i + k] = a[i] + 1;
+            }
+        }
+        """
+    )
+    assert dep.verdict == VERDICT_MAY_CONFLICT
+    assert dep.witness.reason == "symbolic-offset"
+
+
+def test_stride_mismatch_not_independent():
+    # a[2i] = a[i]: iteration 2d reads what iteration d wrote.
+    dep = only_loop(
+        """
+        fn main(a: ptr<int>, n: int) {
+            #pragma loopfrog
+            for (var i: int = 0; i < n; i = i + 1) {
+                a[2 * i] = a[i] + 1;
+            }
+        }
+        """
+    )
+    assert dep.verdict != VERDICT_INDEPENDENT
+
+
+def test_while_loop_induction_variable_recognized():
+    dep = only_loop(
+        """
+        fn main(a: ptr<int>, b: ptr<int>, n: int) {
+            var i: int = 0;
+            #pragma loopfrog
+            while (i < n) {
+                a[i] = a[i] + b[i];
+                i = i + 1;
+            }
+        }
+        """
+    )
+    assert dep.verdict == VERDICT_INDEPENDENT
+
+
+def test_accesses_carry_source_lines():
+    dep = only_loop(
+        """
+        fn main(a: ptr<int>, n: int) {
+            #pragma loopfrog
+            for (var i: int = 0; i < n; i = i + 1) {
+                a[i + 1] = a[i] + 3;
+            }
+        }
+        """
+    )
+    assert dep.line > 0
+    assert dep.accesses
+    assert all(site.line > 0 for site in dep.accesses)
+    assert dep.witness.store.line == dep.witness.load.line
+
+
+def test_to_dict_round_trips_core_fields():
+    dep = only_loop(
+        """
+        fn main(a: ptr<int>, n: int) {
+            #pragma loopfrog
+            for (var i: int = 0; i < n; i = i + 1) {
+                a[i + 1] = a[i] + 3;
+            }
+        }
+        """
+    )
+    payload = dep.to_dict()
+    assert payload["verdict"] == VERDICT_MUST_CONFLICT
+    assert payload["min_distance"] == 1
+    assert payload["witness"]["reason"] == dep.witness.reason
+    assert payload["accesses"][0]["address"] is not None
+
+
+def test_pipeline_attaches_dependence_and_verdicts():
+    result = compile_frog(
+        """
+        fn main(dst: ptr<int>, src: ptr<int>, n: int) {
+            #pragma loopfrog
+            for (var i: int = 0; i < n; i = i + 1) {
+                dst[i] = src[i] * 2;
+            }
+        }
+        """,
+        CompileOptions(static_analysis=True),
+    )
+    assert result.dependence
+    report = result.hint_reports[0]
+    assert report.annotated
+    assert report.static_verdict == VERDICT_INDEPENDENT
+
+
+def test_granule_padding_flags_adjacent_touch():
+    # With a huge conflict granule, even well-separated accesses share a
+    # granule: the verdict must degrade away from independent.
+    source = """
+    fn main(a: ptr<int>, n: int) {
+        #pragma loopfrog
+        for (var i: int = 0; i < n; i = i + 1) {
+            a[i] = a[i] * 2;
+        }
+    }
+    """
+    fine = only_loop(source, granule_bytes=4)
+    assert fine.verdict == VERDICT_INDEPENDENT
+    coarse = only_loop(source, granule_bytes=64)
+    assert coarse.verdict != VERDICT_INDEPENDENT
+
+
+def test_unknown_speculate_policy_rejected():
+    from repro.errors import CompilerError
+
+    with pytest.raises(CompilerError):
+        compile_frog(
+            "fn main(n: int) { }",
+            CompileOptions(hint_options=HintOptions(speculate="sometimes")),
+        )

@@ -1,13 +1,10 @@
 """Focused tests for the hint-insertion pass (paper section 5.3)."""
 
-import pytest
 
 from repro.compiler import (
-    CFG,
     CompileOptions,
     HintOptions,
     compile_frog,
-    find_loops,
     insert_hints,
     lower_module,
 )
@@ -70,7 +67,10 @@ def test_min_body_size_rejects_tiny_loops():
     options = CompileOptions(hint_options=HintOptions(min_body_instrs=50))
     result = compile_frog(source, options)
     assert not result.annotated_loops
-    assert "below the minimum" in result.rejected_loops[0].reason
+    from repro.compiler.hints import REASON_BODY_TOO_SMALL
+
+    assert result.rejected_loops[0].reason == REASON_BODY_TOO_SMALL
+    assert "below the minimum" in result.rejected_loops[0].detail
 
 
 def test_while_with_continue_rejected():
@@ -90,7 +90,10 @@ def test_while_with_continue_rejected():
         """
     )
     assert not result.annotated_loops
-    assert "latch" in result.rejected_loops[0].reason
+    from repro.compiler.hints import REASON_MULTIPLE_LATCHES
+
+    assert result.rejected_loops[0].reason == REASON_MULTIPLE_LATCHES
+    assert "latch" in result.rejected_loops[0].detail
 
 
 def test_for_with_continue_is_fine():
@@ -174,6 +177,75 @@ def test_insert_hints_idempotent_for_unmarked():
     )
     assert insert_hints(func) == []
     assert not any(i.is_hint for i in func.instructions())
+
+
+def test_marked_non_loop_rejected():
+    func = lower(
+        "fn main(a: ptr<int>, n: int) { for (var i: int = 0; i < n; i = i + 1) { a[i] = i; } }"
+    )
+    func.marked_loops.append(func.entry.name)  # the entry block heads no loop
+    reports = insert_hints(func)
+    from repro.compiler.hints import REASON_NOT_A_LOOP
+
+    assert [r.reason for r in reports if not r.annotated] == [REASON_NOT_A_LOOP]
+
+
+def test_infinite_header_rejected_as_no_conditional_exit():
+    # `for (;;)` with a break in the body: the header falls through
+    # unconditionally, so there is no place to hang the reattach test.
+    result = compile_frog(
+        """
+        fn main(a: ptr<int>) {
+            #pragma loopfrog
+            for (var i: int = 0; ; i = i + 1) {
+                if (i > 4) { break; }
+                a[i] = i;
+            }
+        }
+        """
+    )
+    assert not result.annotated_loops
+    from repro.compiler.hints import REASON_NO_CONDITIONAL_EXIT
+
+    assert result.rejected_loops[0].reason == REASON_NO_CONDITIONAL_EXIT
+
+
+def test_header_exit_into_loop_rejected_as_not_guarded():
+    # Rewire a well-formed loop so the header's "exit" edge points back
+    # into the loop: the conditional no longer guards the exit.
+    func = lower(
+        """
+        fn main(a: ptr<int>, n: int) {
+            #pragma loopfrog
+            while (n > 0) {
+                n = n - 1;
+                if (a[n] > 0) { a[n] = 0; }
+            }
+        }
+        """
+    )
+    header = func.marked_loops[0]
+    term = func.block(header).terminator
+    term.iffalse = term.iftrue  # both arms now stay inside the loop
+    reports = insert_hints(func)
+    from repro.compiler.hints import REASON_EXIT_NOT_GUARDED
+
+    assert [r.reason for r in reports] == [REASON_EXIT_NOT_GUARDED]
+
+
+def test_every_reject_reason_is_a_stable_identifier():
+    from repro.compiler import hints
+
+    constants = {
+        value
+        for name, value in vars(hints).items()
+        if name.startswith("REASON_")
+    }
+    assert constants == set(hints.REJECT_REASONS)
+    for reason in hints.REJECT_REASONS:
+        # Identifier-shaped: lowercase kebab-case, no prose.
+        assert reason == reason.lower()
+        assert " " not in reason
 
 
 def test_zero_trip_loop_correct_with_hints():

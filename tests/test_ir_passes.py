@@ -5,7 +5,6 @@ import pytest
 
 from repro.compiler import CFG, Liveness, find_loops, lower_module, optimize
 from repro.compiler.ir import (
-    BasicBlock,
     Branch,
     CondBranch,
     Const,
@@ -13,7 +12,6 @@ from repro.compiler.ir import (
     IRInstr,
     IROp,
     Ret,
-    VReg,
 )
 from repro.compiler.loops import loop_preheader
 from repro.compiler.optimize import (

@@ -10,7 +10,7 @@ from repro.compiler import (
     lower_module,
     optimize,
 )
-from repro.compiler.ir import Const, IROp
+from repro.compiler.ir import IROp
 from repro.lang import parse
 from repro.uarch import SparseMemory
 from repro.uarch.executor import Executor

@@ -1,0 +1,147 @@
+"""Squash-validation of static verdicts, plus the static-gated policy.
+
+These tests run the full workload suites once (simulations are cached by
+``run_workload``) and check the central soundness property of the
+dependence analyzer: a loop classified ``independent`` must never trigger
+a conflict-detector squash.
+"""
+
+import pytest
+
+from repro.analysis import render_validation, validate_suites
+from repro.compiler import (
+    CompileOptions,
+    HintOptions,
+    VERDICT_MUST_CONFLICT,
+    compile_frog,
+)
+from repro.compiler.hints import (
+    REASON_STATIC_MUST_CONFLICT,
+    SPECULATE_STATIC_GATED,
+)
+from repro.obs.metrics import load_all
+from repro.uarch import LoopFrogCore, SparseMemory
+from repro.workloads import SUITE_NAMES
+
+
+@pytest.fixture(scope="module")
+def report():
+    return validate_suites()  # all suites
+
+
+def test_validation_covers_every_suite(report):
+    assert tuple(report.suites) == tuple(SUITE_NAMES)
+    assert report.loops_total > 20
+    assert report.loops_observed > 0
+
+
+def test_soundness_no_independent_loop_squashes(report):
+    # The acceptance property: across every suite workload, no loop the
+    # analyzer proved independent ever squashed in simulation.
+    violations = report.violations()
+    assert report.soundness_violations == 0, [
+        (row.workload, row.header, row.squashes) for row in violations
+    ]
+
+
+def test_squashing_loops_were_predicted_conflicting(report):
+    # Same property seen from the recall side: every squashing loop sits
+    # in a conflict class, so may/must recall over squashers is perfect.
+    squashers = [row for row in report.rows if row.squashed]
+    assert squashers, "expected at least one squashing loop in the suites"
+    assert all(row.verdict != "independent" for row in squashers)
+
+
+def test_precision_recall_ratios_well_formed(report):
+    for verdict in ("independent", "may-conflict", "must-conflict"):
+        assert 0.0 <= report.precision(verdict) <= 1.0
+        assert 0.0 <= report.recall(verdict) <= 1.0
+    # Independent loops do exist in the suites and never squash, so
+    # independent precision is exactly 1.0 here.
+    assert report.independent_loops > 0
+    assert report.precision("independent") == 1.0
+
+
+def test_validation_metrics_in_obs_catalog(report):
+    registry = load_all()
+    snapshot = registry.collect(report, "lint")
+    for name in (
+        "lint.validate.loops_total",
+        "lint.validate.independent_precision",
+        "lint.validate.independent_recall",
+        "lint.validate.may_conflict_precision",
+        "lint.validate.may_conflict_recall",
+        "lint.validate.must_conflict_precision",
+        "lint.validate.must_conflict_recall",
+        "lint.validate.soundness_violations",
+    ):
+        assert name in snapshot, name
+        assert name in registry.catalog()
+    assert snapshot["lint.validate.soundness_violations"] == 0
+    assert snapshot["lint.validate.loops_total"] == report.loops_total
+
+
+def test_validation_report_serializes_and_renders(report):
+    payload = report.to_dict()
+    assert payload["soundness_violations"] == 0
+    assert len(payload["rows"]) == len(report.rows)
+    text = render_validation(report)
+    assert "soundness" in text.lower()
+
+
+MUST_CONFLICT_SRC = """
+fn main(a: ptr<int>, n: int) {
+    #pragma loopfrog
+    for (var i: int = 0; i < n; i = i + 1) {
+        a[i + 1] = a[i] + 3;
+    }
+}
+"""
+
+
+def run_kernel(options=None):
+    result = compile_frog(MUST_CONFLICT_SRC, options or CompileOptions())
+    memory = SparseMemory()
+    memory.store_int_array(0x1000, [0] * 70)
+    sim = LoopFrogCore().run(result.program, memory, {"r1": 0x1000, "r2": 64})
+    return result, sim, memory.load_int_array(0x1000, 70)
+
+
+def test_static_gated_reduces_squashes_on_must_conflict_loop():
+    # Differential: the paper-default "always" policy speculates on the
+    # must-conflict loop and pays squashes; "static-gated" refuses it
+    # up front, eliminating every squash without changing the result.
+    always_result, always_sim, always_mem = run_kernel()
+    assert always_result.hint_reports[0].annotated
+    assert always_sim.stats.squash_conflicts > 0
+
+    gated_result, gated_sim, gated_mem = run_kernel(
+        CompileOptions(
+            hint_options=HintOptions(speculate=SPECULATE_STATIC_GATED)
+        )
+    )
+    gated_report = gated_result.hint_reports[0]
+    assert not gated_report.annotated
+    assert gated_report.reason == REASON_STATIC_MUST_CONFLICT
+    assert gated_report.static_verdict == VERDICT_MUST_CONFLICT
+    assert gated_sim.stats.squash_conflicts == 0
+    assert gated_sim.stats.squash_conflicts < always_sim.stats.squash_conflicts
+    # Gating changes performance, never semantics.
+    assert gated_mem == always_mem
+
+
+def test_static_gated_keeps_clean_loops_annotated():
+    result = compile_frog(
+        """
+        fn main(dst: ptr<int>, src: ptr<int>, n: int) {
+            #pragma loopfrog
+            for (var i: int = 0; i < n; i = i + 1) {
+                dst[i] = src[i] * 2;
+            }
+        }
+        """,
+        CompileOptions(hint_options=HintOptions(speculate=SPECULATE_STATIC_GATED)),
+    )
+    report = result.hint_reports[0]
+    assert report.annotated
+    assert report.static_verdict == "independent"

@@ -5,7 +5,6 @@ import pytest
 from repro.uarch.config import LoopFrogConfig
 from repro.uarch.packing import (
     IterationPacker,
-    PackingDecision,
     RegionPackingState,
     StrideEntry,
 )

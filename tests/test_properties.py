@@ -8,7 +8,7 @@ from hypothesis import given, settings, strategies as st
 from repro.compiler import compile_frog
 from repro.uarch import BaselineCore, LoopFrogCore, SparseMemory
 from repro.uarch.config import LoopFrogConfig
-from repro.uarch.conflict import BloomGranuleSet, ConflictDetector, GranuleSet
+from repro.uarch.conflict import ConflictDetector
 from repro.uarch.memory_state import (
     bits_to_float,
     float_to_bits,

@@ -1,6 +1,5 @@
 """Unit tests for the Speculative State Buffer (paper section 4.1)."""
 
-import pytest
 
 from repro.uarch.config import LoopFrogConfig
 from repro.uarch.memory_state import SparseMemory

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.uarch.statistics import RegionStats, SimStats
+from repro.uarch.statistics import SimStats
 
 
 def test_ipc_and_utilization():

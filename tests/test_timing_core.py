@@ -7,17 +7,9 @@ The key invariants:
 * conflict detection catches真 cross-threadlet violations and recovers.
 """
 
-import pytest
 
 from repro.compiler import CompileOptions, compile_frog
-from repro.uarch import (
-    BaselineCore,
-    LoopFrogCore,
-    SparseMemory,
-    baseline_machine,
-    default_machine,
-    run_program,
-)
+from repro.uarch import BaselineCore, LoopFrogCore, SparseMemory
 from repro.uarch.executor import Executor
 
 

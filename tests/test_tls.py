@@ -1,13 +1,11 @@
 """Tests for the classic-TLS models used in the table-3 comparison."""
 
-import pytest
 
 from repro.compiler import compile_frog
 from repro.tls import (
     MultiscalarConfig,
     StampedeConfig,
     Task,
-    TaskTrace,
     conflicts_with,
     extract_tasks,
     simulate_multiscalar,
@@ -55,6 +53,76 @@ def test_conflicts_with():
     b = Task(1, 5, reads={3}, writes={9})
     assert conflicts_with(b, a)       # b reads what a writes
     assert not conflicts_with(a, b)   # a does not read 9
+
+
+def test_conflicts_with_is_raw_only():
+    # WAW and WAR never conflict in this model: speculative buffering
+    # renames writes, so only true (read-after-write) dependences count.
+    older = Task(0, 5, reads={7}, writes={3})
+    waw = Task(1, 5, reads=set(), writes={3})
+    war = Task(2, 5, reads=set(), writes={7})
+    assert not conflicts_with(waw, older)
+    assert not conflicts_with(war, older)
+
+
+def test_granule_aliasing_same_base_different_stride():
+    # Writer touches even elements, reader touches element 6: distinct
+    # addresses but byte ranges fall into the same 8-byte granules.
+    g = 8
+    writes = set()
+    for i in range(0, 16, 2):
+        addr = 1000 + 8 * i
+        writes.update(range(addr // g, (addr + 7) // g + 1))
+    older = Task(0, 16, writes=writes)
+    addr = 1000 + 8 * 6
+    reader = Task(1, 4, reads=set(range(addr // g, (addr + 7) // g + 1)))
+    assert conflicts_with(reader, older)
+    # An odd element is written by nobody: no granule overlap.
+    addr = 1000 + 8 * 7
+    clean = Task(2, 4, reads=set(range(addr // g, (addr + 7) // g + 1)))
+    assert not conflicts_with(clean, older)
+
+
+def test_multibyte_access_crossing_granule_boundary():
+    # An 8-byte store at offset 4 straddles two 8-byte granules; a read
+    # of either neighbouring granule must be seen as a conflict.
+    g = 8
+    addr, size = 1004, 8
+    touched = set(range(addr // g, (addr + size - 1) // g + 1))
+    assert touched == {125, 126}  # crosses the 1008 boundary
+    older = Task(0, 1, writes=touched)
+    low = Task(1, 1, reads={125})
+    high = Task(2, 1, reads={126})
+    far = Task(3, 1, reads={127})
+    assert conflicts_with(low, older)
+    assert conflicts_with(high, older)
+    assert not conflicts_with(far, older)
+
+
+def test_extracted_tasks_alias_through_granules():
+    # End-to-end: a kernel whose iterations read the previous iteration's
+    # element produces real RAW conflicts between extracted tasks.
+    source = """
+    fn main(a: ptr<int>, n: int) {
+        #pragma loopfrog
+        for (var i: int = 1; i < n; i = i + 1) {
+            a[i] = a[i - 1] + 1;
+        }
+    }
+    """
+    program = compile_frog(source).program
+    mem = SparseMemory()
+    mem.store_int_array(1000, list(range(16)))
+    trace = extract_tasks(program, mem, {"r1": 1000, "r2": 16})
+    body = [t for t in trace.parallel_tasks if t.writes]
+    assert len(body) >= 2
+    raw_pairs = [
+        (y.index, o.index)
+        for i, o in enumerate(body)
+        for y in body[i + 1:]
+        if conflicts_with(y, o)
+    ]
+    assert raw_pairs  # neighbouring iterations alias through memory
 
 
 def test_multiscalar_speeds_up_parallel_tasks():

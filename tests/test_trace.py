@@ -1,6 +1,5 @@
 """Tests for the pipeline tracer."""
 
-import pytest
 
 from repro.compiler import compile_frog
 from repro.uarch import SparseMemory, baseline_machine, default_machine

@@ -133,6 +133,24 @@ def compare(baseline, current, tolerance=DEFAULT_TOLERANCE):
                 f"({base_b:.0f} -> {cur_b:.0f} instr/s, "
                 f"ratio {b_ratio:.3f})"
             )
+
+    # -- lint-throughput gate (skipped for records predating the field) ------
+    base_lint = baseline.get("lint_loops_per_second")
+    cur_lint = current.get("lint_loops_per_second")
+    if base_lint and cur_lint:
+        lint_ratio = cur_lint / base_lint
+        lines.append(
+            f"lint: baseline {base_lint:.0f} loops/s, "
+            f"current {cur_lint:.0f} loops/s, ratio {lint_ratio:.3f} "
+            f"(floor {floor:.3f})"
+        )
+        if lint_ratio < floor:
+            ok = False
+            lines.append(
+                f"FAIL lint throughput: {(1 - lint_ratio) * 100:.1f}% "
+                f"slower than baseline, exceeds the "
+                f"{tolerance * 100:.0f}% tolerance"
+            )
     return ok, lines
 
 

@@ -55,6 +55,32 @@ def measure_fast_forward(benchmarks):
     return round(executed / elapsed, 1) if elapsed else 0.0
 
 
+def measure_lint(benchmarks):
+    """Wall time of the static dependence analysis (``repro lint``) over
+    the same subset: fresh compiles with ``static_analysis=True``, so a
+    pathological slowdown in the depanal pass shows up here.
+    """
+    from repro.analysis.lint import lint_source
+
+    def run_all():
+        loops = 0
+        for benchmark in benchmarks:
+            for workload, _weight in benchmark.phases:
+                lint = lint_source(workload.source, path=workload.name)
+                loops += len(lint.loops)
+        return loops
+
+    run_all()  # warm module imports
+    start = time.perf_counter()
+    loops = run_all()
+    elapsed = time.perf_counter() - start
+    return {
+        "lint_loops": loops,
+        "lint_wall_seconds": round(elapsed, 3),
+        "lint_loops_per_second": round(loops / elapsed, 1) if elapsed else 0.0,
+    }
+
+
 def run_bench():
     benchmarks = suite(BENCH_SUITE)[:BENCH_COUNT]
     machines = [("baseline", baseline_machine()), ("loopfrog", default_machine())]
@@ -102,6 +128,7 @@ def run_bench():
         "fast_forward_instructions_per_second": measure_fast_forward(
             benchmarks
         ),
+        **measure_lint(benchmarks),
     }
 
 
@@ -122,6 +149,11 @@ def main(argv=None):
     ff = result["fast_forward_instructions_per_second"]
     ratio = ff / result["instructions_per_second"]
     print(f"fast-forward: {ff:.0f} instr/s ({ratio:.1f}x detailed)")
+    print(
+        f"lint: {result['lint_loops']} loops in "
+        f"{result['lint_wall_seconds']}s -> "
+        f"{result['lint_loops_per_second']:.0f} loops/s"
+    )
     print(f"wrote {args.output}")
     return 0
 

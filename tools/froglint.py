@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Standalone Frog lint driver: static loop-carried dependence verdicts.
+
+Run:  PYTHONPATH=src python tools/froglint.py FILE [FILE...] [--json]
+
+A thin wrapper over ``repro lint`` (see ``repro.analysis.lint``) for use
+outside the installed package — editor integrations, pre-commit hooks,
+CI.  Exit status: 0 on success, 1 on a parse/lowering error, and 2 when
+``--fail-on-conflict`` is given and any loop is classified must-conflict.
+"""
+
+import argparse
+import json
+import sys
+
+from repro.analysis.lint import lint_source, render_lint
+from repro.compiler.depanal import VERDICT_MUST_CONFLICT
+from repro.errors import ReproError
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("files", nargs="+", help="Frog source files")
+    parser.add_argument("--json", action="store_true",
+                        help="machine-readable output")
+    parser.add_argument("--entry", default="main",
+                        help="entry function name (default: main)")
+    parser.add_argument("--granule", type=int, default=4, metavar="BYTES",
+                        help="conflict-detector granule (default: 4)")
+    parser.add_argument("--fail-on-conflict", action="store_true",
+                        help="exit 2 if any loop is must-conflict")
+    args = parser.parse_args(argv)
+
+    payload = []
+    conflicts = 0
+    for path in args.files:
+        try:
+            with open(path) as fh:
+                source = fh.read()
+            lint = lint_source(source, path=path, entry=args.entry,
+                               granule_bytes=args.granule)
+        except (ReproError, OSError) as exc:
+            print(f"error: {path}: {exc}", file=sys.stderr)
+            return 1
+        conflicts += sum(
+            1 for dep in lint.loops if dep.verdict == VERDICT_MUST_CONFLICT
+        )
+        if args.json:
+            payload.append(lint.to_dict())
+        else:
+            print(render_lint(lint))
+    if args.json:
+        print(json.dumps(payload, indent=2))
+    if args.fail_on_conflict and conflicts:
+        return 2
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -4,7 +4,7 @@ benchmark so whole-program speedups land near the paper's figure-6 values.
 Run:  python tools/tune_coverage.py [suite]
 """
 import sys
-from repro.experiments.runner import run_benchmark, clear_cache
+from repro.experiments.runner import run_benchmark
 from repro.workloads import suite
 
 SERIAL_CYCLES_PER_ITER = 15.0
