@@ -10,8 +10,17 @@ Commands
     run FILE            compile and simulate a Frog file on the baseline
                         and LoopFrog cores, printing the comparison
     suite NAME          run a SPEC stand-in suite (figure-6 style output)
+    exp ACTION          the declarative experiment registry
+                        (docs/experiments.md): ``exp list`` shows every
+                        registered spec, ``exp run NAME...`` executes a
+                        subset, ``exp all`` regenerates everything in one
+                        invocation, simulating each distinct (workload,
+                        config) cell at most once; ``--json`` emits the
+                        machine-readable payload and ``--out DIR`` writes
+                        per-experiment artifacts plus a manifest
     experiment ID       regenerate one paper artefact (fig1..fig10,
-                        table2, table3, packing, assoc, area)
+                        table2, table3, packing, assoc, area, ...);
+                        legacy alias for ``exp run ID``
     sample WORKLOAD     SimPoint-style sampled simulation of one workload
                         (docs/sampling.md); ``--verify TOL`` also runs the
                         full detailed simulation and fails if the sampled
@@ -226,36 +235,72 @@ def cmd_sample(args: argparse.Namespace) -> int:
     return 0
 
 
-_EXPERIMENTS = {
-    "fig1": "run_fig1",
-    "fig6": "run_fig6",
-    "fig7": "run_fig7",
-    "fig8": "run_fig8",
-    "fig9": "run_fig9",
-    "fig10": "run_fig10",
-    "table2": "run_table2",
-    "table3": "run_table3",
-    "packing": "run_packing_ablation",
-    "assoc": "run_assoc_sensitivity",
-    "area": "run_area_overheads",
-    "threadlets": "run_threadlet_sweep",
-    "bloom": "run_bloom_ablation",
-}
-
-
 def cmd_experiment(args: argparse.Namespace) -> int:
-    from . import experiments
+    """Legacy single-artefact command; ``exp run``/``exp all`` supersede it."""
+    from .experiments import registry
+
+    known = registry.names()
+    ids = known if args.id == "all" else [args.id]
+    for exp_id in ids:
+        if exp_id not in known:
+            print(f"unknown experiment {exp_id!r}; choose from: "
+                  f"{', '.join(known)} or 'all'", file=sys.stderr)
+            return 2
+    _apply_runner_options(args)
+    for exp_id in ids:
+        print(registry.run_experiment(exp_id).render())
+        print()
+    return 0
+
+
+def cmd_exp(args: argparse.Namespace) -> int:
+    import json
+
+    from .experiments import registry
+    from .experiments.spec import global_counters, reset_counters
+
+    if args.action == "list":
+        if args.json:
+            print(json.dumps([
+                {
+                    "name": spec.name,
+                    "kind": spec.kind,
+                    "title": spec.title,
+                    "suites": list(spec.suites),
+                    "variants": [v.label for v in spec.variants],
+                    "description": spec.description,
+                }
+                for spec in registry.specs()
+            ], indent=2))
+            return 0
+        for spec in registry.specs():
+            axes = f"{len(spec.suites)} suite(s) x {len(spec.variants)} variant(s)"
+            print(f"{spec.name:12s} {spec.kind:9s} {axes:26s} {spec.title}")
+        return 0
 
     _apply_runner_options(args)
-    ids = list(_EXPERIMENTS) if args.id == "all" else [args.id]
-    for exp_id in ids:
-        if exp_id not in _EXPERIMENTS:
-            print(f"unknown experiment {exp_id!r}; choose from: "
-                  f"{', '.join(_EXPERIMENTS)} or 'all'", file=sys.stderr)
-            return 2
-        runner = getattr(experiments, _EXPERIMENTS[exp_id])
-        print(runner().render())
-        print()
+    reset_counters()
+    names_to_run = registry.names() if args.action == "all" else args.names
+    runs = registry.run_all(
+        names_to_run,
+        only=args.only.split(",") if args.only else None,
+        sampling=True if args.sampled else None,
+    )
+    if args.out:
+        manifest = registry.write_artifacts(runs, args.out)
+        print(f"wrote {len(runs)} experiment(s) to {args.out} "
+              f"(manifest: {manifest})", file=sys.stderr)
+    if args.json:
+        payload = [run.to_json() for run in runs]
+        print(json.dumps(payload[0] if len(payload) == 1 else payload,
+                         indent=2, sort_keys=True))
+    else:
+        for run in runs:
+            print(run.render())
+            print()
+        cells = global_counters().to_dict()
+        print(f"cells: {cells['total']} total, {cells['cached']} cached, "
+              f"{cells['simulated']} simulated")
     return 0
 
 
@@ -402,8 +447,47 @@ def build_parser() -> argparse.ArgumentParser:
     add_runner_options(p)
     p.set_defaults(func=cmd_sample)
 
-    p = sub.add_parser("experiment", help="regenerate a paper artefact")
-    p.add_argument("id", help=f"one of: {', '.join(_EXPERIMENTS)}, all")
+    p = sub.add_parser(
+        "exp",
+        help="declarative experiment registry (list, run, all)",
+    )
+    exp_sub = p.add_subparsers(dest="action", required=True)
+
+    def add_exp_options(ep: argparse.ArgumentParser) -> None:
+        ep.add_argument("--only", metavar="NAMES",
+                        help="comma-separated benchmark names")
+        ep.add_argument("--sampled", action="store_true",
+                        help="estimate phases with sampled simulation")
+        ep.add_argument("--json", action="store_true",
+                        help="print the machine-readable payload instead "
+                             "of rendered text")
+        ep.add_argument("--out", metavar="DIR",
+                        help="write per-experiment .txt/.json artifacts "
+                             "plus manifest.json to DIR")
+        add_runner_options(ep)
+
+    ep = exp_sub.add_parser("list", help="list registered experiments")
+    ep.add_argument("--json", action="store_true",
+                    help="machine-readable listing")
+    ep.set_defaults(func=cmd_exp)
+
+    ep = exp_sub.add_parser("run", help="run selected experiments")
+    ep.add_argument("names", nargs="+", metavar="NAME",
+                    help="experiment names (see 'exp list')")
+    add_exp_options(ep)
+    ep.set_defaults(func=cmd_exp)
+
+    ep = exp_sub.add_parser(
+        "all", help="run every registered experiment in one invocation"
+    )
+    add_exp_options(ep)
+    ep.set_defaults(func=cmd_exp)
+
+    p = sub.add_parser(
+        "experiment",
+        help="regenerate a paper artefact (legacy alias for 'exp run')",
+    )
+    p.add_argument("id", help="an experiment name (see 'exp list'), or all")
     add_runner_options(p)
     p.set_defaults(func=cmd_experiment)
 

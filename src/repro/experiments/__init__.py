@@ -1,19 +1,27 @@
 """Experiment harnesses: one module per paper figure/table.
 
+Every module declares an :class:`~repro.experiments.spec.ExperimentSpec`
+and registers it in :mod:`repro.experiments.registry`; the historical
+``run_*`` entry points remain as thin wrappers over
+:func:`~repro.experiments.registry.run_experiment`.  See
+docs/experiments.md for the spec/registry architecture.
+
 ================  ==========================================
-paper artefact    module
+paper artefact    module (registry name)
 ================  ==========================================
-figure 1          :mod:`repro.experiments.fig1_ipc_width`
-figure 6          :mod:`repro.experiments.fig6_speedup`
-figure 7          :mod:`repro.experiments.fig7_utilization`
-figure 8          :mod:`repro.experiments.fig8_commit`
-figure 9          :mod:`repro.experiments.fig9_ssb_size`
-figure 10         :mod:`repro.experiments.fig10_granule`
-table 2           :mod:`repro.experiments.table2_sources`
-table 3           :mod:`repro.experiments.table3_comparison`
-section 6.5       :mod:`repro.experiments.packing_ablation`
-section 6.6       :mod:`repro.experiments.assoc_sensitivity`
-section 6.8       :mod:`repro.experiments.area_overheads`
+figure 1          :mod:`repro.experiments.fig1_ipc_width` (fig1)
+figure 6          :mod:`repro.experiments.fig6_speedup` (fig6)
+figure 7          :mod:`repro.experiments.fig7_utilization` (fig7)
+figure 8          :mod:`repro.experiments.fig8_commit` (fig8)
+figure 9          :mod:`repro.experiments.fig9_ssb_size` (fig9)
+figure 10         :mod:`repro.experiments.fig10_granule` (fig10)
+table 2           :mod:`repro.experiments.table2_sources` (table2)
+table 3           :mod:`repro.experiments.table3_comparison` (table3)
+section 6.5       :mod:`repro.experiments.packing_ablation` (packing)
+section 6.6       :mod:`repro.experiments.assoc_sensitivity` (assoc)
+section 6.8       :mod:`repro.experiments.area_overheads` (area)
+section 6.3       :mod:`repro.experiments.loops_report` (loops)
+ablations         :mod:`repro.experiments.ablations` (threadlets, bloom)
 ================  ==========================================
 """
 
@@ -27,6 +35,24 @@ from .runner import (
     run_suite,
     run_workload,
     suite_geomean,
+)
+from . import metrics  # noqa: F401
+from .spec import (
+    CellCounters,
+    ExperimentSpec,
+    Sweep,
+    Variant,
+    configured_variant,
+    global_counters,
+    reset_counters,
+    run_rows,
+)
+from . import registry
+from .registry import (
+    ExperimentRun,
+    run_all,
+    run_experiment,
+    write_artifacts,
 )
 from .fig1_ipc_width import Fig1Result, run_fig1
 from .fig6_speedup import Fig6Result, run_fig6
@@ -58,6 +84,10 @@ __all__ = [
     "run_suite",
     "run_workload",
     "suite_geomean",
+    "CellCounters", "ExperimentSpec", "Sweep", "Variant",
+    "configured_variant", "global_counters", "reset_counters", "run_rows",
+    "registry", "ExperimentRun", "run_all", "run_experiment",
+    "write_artifacts",
     "Fig1Result", "run_fig1",
     "Fig6Result", "run_fig6",
     "Fig7Result", "in_region_geomean_speedup", "run_fig7",

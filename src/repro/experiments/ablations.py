@@ -15,11 +15,16 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from functools import partial
+from typing import Any, Dict, List, Optional, Tuple
 
 from ..analysis.report import format_series, format_table
 from ..uarch.config import MachineConfig, default_machine
-from .runner import run_suite, suite_geomean
+from . import metrics as exp_metrics
+from . import registry
+from .spec import ExperimentSpec, Sweep, Variant
+
+CONTEXTS = (2, 4, 8)
 
 
 @dataclass
@@ -50,16 +55,59 @@ def machine_with_threadlets(contexts: int) -> MachineConfig:
     return machine
 
 
+def _threadlet_variants(contexts) -> Tuple[Variant, ...]:
+    return tuple(
+        Variant(
+            label=f"{n}-contexts",
+            machine=partial(machine_with_threadlets, n),
+            params={"contexts": n},
+        )
+        for n in contexts
+    )
+
+
+def _derive_threadlets(sweep: Sweep) -> ThreadletSweepResult:
+    points = []
+    for variant in sweep.spec.variants:
+        runs = sweep.runs(variant=variant.label)
+        points.append(
+            (variant.params["contexts"], exp_metrics.geomean_percent(runs))
+        )
+    return ThreadletSweepResult(points)
+
+
+def _json_threadlets(result: ThreadletSweepResult) -> Dict[str, Any]:
+    return {
+        "points": [
+            {"contexts": n, "geomean_percent": v} for n, v in result.points
+        ]
+    }
+
+
+THREADLET_SPEC = registry.register(ExperimentSpec(
+    name="threadlets",
+    title="Ablation: threadlet count",
+    kind="ablation",
+    suites=("spec2017",),
+    variants=_threadlet_variants(CONTEXTS),
+    derive=_derive_threadlets,
+    to_json=_json_threadlets,
+    description="Geomean speedup at 2/4/8 threadlet contexts with the SSB "
+                "scaled to keep 2 KiB per slice.",
+))
+
+
 def run_threadlet_sweep(
-    contexts=(2, 4, 8),
+    contexts=CONTEXTS,
     suite_name: str = "spec2017",
     only: Optional[List[str]] = None,
 ) -> ThreadletSweepResult:
-    points = []
-    for n in contexts:
-        runs = run_suite(suite_name, machine_with_threadlets(n), only=only)
-        points.append((n, (suite_geomean(runs) - 1.0) * 100.0))
-    return ThreadletSweepResult(points)
+    return registry.run_experiment(
+        "threadlets",
+        suites=(suite_name,),
+        variants=_threadlet_variants(contexts),
+        only=only,
+    ).result
 
 
 @dataclass
@@ -88,12 +136,40 @@ def machine_with_bloom() -> MachineConfig:
     return machine
 
 
+def _derive_bloom(sweep: Sweep) -> BloomAblationResult:
+    return BloomAblationResult(
+        exact_percent=exp_metrics.geomean_percent(sweep.runs(variant="exact")),
+        bloom_percent=exp_metrics.geomean_percent(sweep.runs(variant="bloom")),
+    )
+
+
+def _json_bloom(result: BloomAblationResult) -> Dict[str, Any]:
+    return {
+        "exact_percent": result.exact_percent,
+        "bloom_percent": result.bloom_percent,
+        "delta_pp": result.delta_pp,
+    }
+
+
+BLOOM_SPEC = registry.register(ExperimentSpec(
+    name="bloom",
+    title="Ablation: conflict-detector set implementation",
+    kind="ablation",
+    suites=("spec2017",),
+    variants=(
+        Variant(label="exact"),
+        Variant(label="bloom", machine=machine_with_bloom),
+    ),
+    derive=_derive_bloom,
+    to_json=_json_bloom,
+    description="Idealised exact conflict sets vs 4096-bit Bloom filters "
+                "with real false positives.",
+))
+
+
 def run_bloom_ablation(
     suite_name: str = "spec2017", only: Optional[List[str]] = None
 ) -> BloomAblationResult:
-    exact = run_suite(suite_name, only=only)
-    bloom = run_suite(suite_name, machine_with_bloom(), only=only)
-    return BloomAblationResult(
-        exact_percent=(suite_geomean(exact) - 1.0) * 100.0,
-        bloom_percent=(suite_geomean(bloom) - 1.0) * 100.0,
-    )
+    return registry.run_experiment(
+        "bloom", suites=(suite_name,), only=only
+    ).result

@@ -8,7 +8,7 @@ increase (paper: +14%), L2 access increase (+1.7%) and L2 miss change
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Any, Dict, Optional
 
 from ..analysis.area import (
     AreaReport,
@@ -16,8 +16,9 @@ from ..analysis.area import (
     pollack_expected_speedup_percent,
 )
 from ..analysis.report import format_table
-from ..uarch.config import MachineConfig, default_machine
-from .runner import run_suite
+from ..uarch.config import MachineConfig
+from . import registry
+from .spec import ExperimentSpec, Sweep, configured_variant
 
 
 @dataclass
@@ -52,16 +53,15 @@ class OverheadResult:
         )
 
 
-def run_area_overheads(
-    machine: Optional[MachineConfig] = None, suite_name: str = "spec2017"
-) -> OverheadResult:
-    machine = machine or default_machine()
-    runs = run_suite(suite_name, machine, dynamic_deselection=False)
+def _derive(sweep: Sweep) -> OverheadResult:
+    (suite_name,) = sweep.spec.suites
+    (variant,) = sweep.spec.variants
+    cell = sweep.cell(suite_name, variant.label)
 
     base_issued = frog_issued = 0
     base_l2 = frog_l2 = 0
     base_l2m = frog_l2m = 0
-    for run in runs:
+    for run in cell.runs:
         for phase in run.phases:
             base_issued += phase.baseline.issued_instructions
             frog_issued += phase.loopfrog.issued_instructions
@@ -70,7 +70,7 @@ def run_area_overheads(
             base_l2m += phase.baseline.l2_misses
             frog_l2m += phase.loopfrog.l2_misses
 
-    report = area_report(machine.loopfrog)
+    report = area_report(cell.machine.loopfrog)
     return OverheadResult(
         area=report,
         issued_increase_percent=100.0 * (frog_issued / base_issued - 1.0),
@@ -83,3 +83,47 @@ def run_area_overheads(
             report.total_overhead_percent_high
         ),
     )
+
+
+def _json(result: OverheadResult) -> Dict[str, Any]:
+    return {
+        "ssb_mm2": result.area.ssb_mm2,
+        "conflict_mm2": result.area.conflict_mm2,
+        "new_structures_percent": result.area.new_structures_percent,
+        "total_overhead_percent_low": result.area.total_overhead_percent_low,
+        "total_overhead_percent_high":
+            result.area.total_overhead_percent_high,
+        "overhead_if_smt_exists_percent":
+            result.area.overhead_if_smt_exists_percent,
+        "issued_increase_percent": result.issued_increase_percent,
+        "l2_access_increase_percent": result.l2_access_increase_percent,
+        "l2_miss_change_percent": result.l2_miss_change_percent,
+        "pollack_low": result.pollack_low,
+        "pollack_high": result.pollack_high,
+    }
+
+
+SPEC = registry.register(ExperimentSpec(
+    name="area",
+    title="Section 6.8: area and power overheads",
+    kind="report",
+    suites=("spec2017",),
+    # Deselection would mask the issue/L2 overheads on unprofitable
+    # benchmarks, which are exactly what this section measures.
+    variants=(configured_variant(label="default",
+                                 dynamic_deselection=False),),
+    derive=_derive,
+    to_json=_json,
+    description="Analytic area model plus measured issued-instruction and "
+                "L2 traffic overheads.",
+))
+
+
+def run_area_overheads(
+    machine: Optional[MachineConfig] = None, suite_name: str = "spec2017"
+) -> OverheadResult:
+    return registry.run_experiment(
+        "area",
+        suites=(suite_name,),
+        variants=(configured_variant(machine, dynamic_deselection=False),),
+    ).result

@@ -8,11 +8,23 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from functools import partial
+from typing import Any, Dict, List, Optional, Tuple
 
 from ..analysis.report import format_table
 from ..uarch.config import MachineConfig, default_machine
-from .runner import run_suite, suite_geomean
+from . import metrics as exp_metrics
+from . import registry
+from .spec import ExperimentSpec, Sweep, Variant
+
+# (label, associativity, victim entries); 0 ways = fully associative.
+CONFIGURATIONS: List[Tuple[str, int, int]] = [
+    ("full (headline)", 0, 0),
+    ("4-way", 4, 0),
+    ("8-way", 8, 0),
+    ("4-way + 8-entry victim", 4, 8),
+    ("8-way + 8-entry victim", 8, 8),
+]
 
 
 @dataclass
@@ -76,25 +88,65 @@ def machine_with_assoc(assoc: int, victim: int = 0) -> MachineConfig:
     return machine
 
 
-def run_assoc_sensitivity(
-    suite_name: str = "spec2017", only: Optional[List[str]] = None
-) -> AssocResult:
-    configurations: List[Tuple[str, int, int]] = [
-        ("full (headline)", 0, 0),
-        ("4-way", 4, 0),
-        ("8-way", 8, 0),
-        ("4-way + 8-entry victim", 4, 8),
-        ("8-way + 8-entry victim", 8, 8),
-    ]
-    points = []
-    for label, assoc, victim in configurations:
-        runs = run_suite(
-            suite_name, machine_with_assoc(assoc, victim), only=only
+def _variants(configurations) -> Tuple[Variant, ...]:
+    return tuple(
+        Variant(
+            label=label,
+            machine=partial(machine_with_assoc, assoc, victim),
+            params={"assoc": assoc, "victim": victim},
         )
+        for label, assoc, victim in configurations
+    )
+
+
+def _derive(sweep: Sweep) -> AssocResult:
+    points = []
+    for variant in sweep.spec.variants:
+        runs = sweep.runs(variant=variant.label)
         points.append(
             AssocPoint(
-                label, assoc, victim, (suite_geomean(runs) - 1) * 100,
+                variant.label,
+                variant.params["assoc"],
+                variant.params["victim"],
+                exp_metrics.geomean_percent(runs),
                 {r.name: r.speedup_percent for r in runs},
             )
         )
     return AssocResult(points)
+
+
+def _json(result: AssocResult) -> Dict[str, Any]:
+    return {
+        "points": [
+            {
+                "label": p.label,
+                "associativity": p.associativity,
+                "victim_entries": p.victim_entries,
+                "geomean_percent": p.geomean_percent,
+                "per_benchmark": dict(sorted(p.per_benchmark.items())),
+            }
+            for p in result.points
+        ]
+    }
+
+
+SPEC = registry.register(ExperimentSpec(
+    name="assoc",
+    title="Section 6.6: SSB associativity sensitivity",
+    kind="ablation",
+    suites=("spec2017",),
+    variants=_variants(CONFIGURATIONS),
+    derive=_derive,
+    to_json=_json,
+    description="Limited SSB associativity (4/8 ways) with and without a "
+                "small shared victim buffer vs the fully associative "
+                "headline.",
+))
+
+
+def run_assoc_sensitivity(
+    suite_name: str = "spec2017", only: Optional[List[str]] = None
+) -> AssocResult:
+    return registry.run_experiment(
+        "assoc", suites=(suite_name,), only=only
+    ).result

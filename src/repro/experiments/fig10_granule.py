@@ -9,11 +9,14 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from functools import partial
+from typing import Any, Dict, List, Optional, Tuple
 
 from ..analysis.report import format_series
 from ..uarch.config import MachineConfig, default_machine
-from .runner import run_suite, suite_geomean
+from . import metrics as exp_metrics
+from . import registry
+from .spec import ExperimentSpec, Sweep, Variant
 
 GRANULES = (1, 2, 4, 8, 16, 32)
 
@@ -58,15 +61,59 @@ def machine_with_granule(granule_bytes: int) -> MachineConfig:
     return machine
 
 
+def _variants(granules) -> Tuple[Variant, ...]:
+    return tuple(
+        Variant(
+            label=f"granule-{granule}",
+            machine=partial(machine_with_granule, granule),
+            params={"granule": granule},
+        )
+        for granule in granules
+    )
+
+
+def _derive(sweep: Sweep) -> Fig10Result:
+    points = []
+    per_benchmark: Dict[int, Dict[str, float]] = {}
+    for variant in sweep.spec.variants:
+        granule = variant.params["granule"]
+        runs = sweep.runs(variant=variant.label)
+        points.append((granule, exp_metrics.geomean_percent(runs)))
+        per_benchmark[granule] = {r.name: r.speedup_percent for r in runs}
+    return Fig10Result(points, per_benchmark)
+
+
+def _json(result: Fig10Result) -> Dict[str, Any]:
+    return {
+        "points": [
+            {"granule_bytes": g, "geomean_percent": v}
+            for g, v in result.points
+        ],
+        "per_benchmark": {
+            str(g): dict(sorted(by_name.items()))
+            for g, by_name in sorted(result.per_benchmark.items())
+        },
+    }
+
+
+SPEC = registry.register(ExperimentSpec(
+    name="fig10",
+    title="Figure 10: sensitivity to conflict granule size",
+    kind="figure",
+    suites=("spec2017",),
+    variants=_variants(GRANULES),
+    derive=_derive,
+    to_json=_json,
+    description="Geomean speedup as the conflict-detection granule grows "
+                "from 1 B to 32 B (false sharing from RMW granules).",
+))
+
+
 def run_fig10(
     granules=GRANULES,
     suite_name: str = "spec2017",
     only: Optional[List[str]] = None,
 ) -> Fig10Result:
-    points = []
-    per_benchmark: Dict[int, Dict[str, float]] = {}
-    for granule in granules:
-        runs = run_suite(suite_name, machine_with_granule(granule), only=only)
-        points.append((granule, (suite_geomean(runs) - 1.0) * 100.0))
-        per_benchmark[granule] = {r.name: r.speedup_percent for r in runs}
-    return Fig10Result(points, per_benchmark)
+    return registry.run_experiment(
+        "fig10", suites=(suite_name,), variants=_variants(granules), only=only
+    ).result

@@ -9,13 +9,14 @@ these are conventional cores)."""
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from functools import partial
+from typing import Any, Dict, List, Optional, Tuple
 
 from ..analysis.report import format_table
 from ..analysis.speedup import geometric_mean
 from ..uarch.config import scaled_core
-from ..workloads.suites import suite
-from .runner import run_workload
+from . import registry
+from .spec import ExperimentSpec, Sweep, Variant
 
 # Width stand-ins for the paper's four Intel generations.
 WIDTHS = (4, 6, 8, 10)
@@ -57,32 +58,72 @@ class Fig1Result:
         return all(b < a for a, b in zip(utils, utils[1:]))
 
 
-def run_fig1(suite_name: str = "spec2017",
-             widths=WIDTHS, only: Optional[List[str]] = None) -> Fig1Result:
+def _variants(widths) -> Tuple[Variant, ...]:
+    return tuple(
+        Variant(
+            label=WIDTH_NAMES.get(width, f"{width}-wide"),
+            machine=partial(scaled_core, width),
+            paired=False,
+            params={"width": width},
+        )
+        for width in widths
+    )
+
+
+def _derive(sweep: Sweep) -> Fig1Result:
     points = []
-    for width in widths:
-        machine = scaled_core(width)
-        ipcs = []
-        utils = []
-        for benchmark in suite(suite_name):
-            if only is not None and benchmark.name not in only:
-                continue
-            per_phase = []
-            util_phase = []
-            for workload, weight in benchmark.phases:
-                stats = run_workload(workload, machine)
-                per_phase.append((stats.ipc, weight))
-                util_phase.append(
-                    (stats.commit_utilization(machine.core.commit_width), weight)
-                )
-            ipcs.append(sum(v * w for v, w in per_phase))
-            utils.append(sum(v * w for v, w in util_phase))
+    for variant in sweep.spec.variants:
+        ipcs: List[float] = []
+        utils: List[float] = []
+        for suite_name in sweep.spec.suites:
+            cell = sweep.cell(suite_name, variant.label)
+            commit_width = cell.machine.core.commit_width
+            for phases in cell.by_benchmark().values():
+                ipcs.append(sum(p.stats.ipc * p.weight for p in phases))
+                utils.append(sum(
+                    p.stats.commit_utilization(commit_width) * p.weight
+                    for p in phases
+                ))
         points.append(
             WidthPoint(
-                width=width,
-                name=WIDTH_NAMES.get(width, f"{width}-wide"),
+                width=variant.params["width"],
+                name=variant.label,
                 geomean_ipc=geometric_mean(ipcs),
                 commit_utilization=sum(utils) / len(utils),
             )
         )
     return Fig1Result(points)
+
+
+def _json(result: Fig1Result) -> Dict[str, Any]:
+    return {
+        "points": [
+            {
+                "width": p.width,
+                "name": p.name,
+                "geomean_ipc": p.geomean_ipc,
+                "commit_utilization": p.commit_utilization,
+            }
+            for p in result.points
+        ]
+    }
+
+
+SPEC = registry.register(ExperimentSpec(
+    name="fig1",
+    title="Figure 1: IPC and commit utilisation vs front-end width",
+    kind="figure",
+    suites=("spec2017",),
+    variants=_variants(WIDTHS),
+    derive=_derive,
+    to_json=_json,
+    description="Width sweep of the conventional baseline core: IPC "
+                "rises with width while commit utilisation falls.",
+))
+
+
+def run_fig1(suite_name: str = "spec2017",
+             widths=WIDTHS, only: Optional[List[str]] = None) -> Fig1Result:
+    return registry.run_experiment(
+        "fig1", suites=(suite_name,), variants=_variants(widths), only=only
+    ).result

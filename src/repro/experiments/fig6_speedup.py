@@ -7,11 +7,14 @@ imagick 87%, omnetpp 54%, nab 15%, gcc 12%, xalancbmk 11%."""
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Any, Dict, List, Optional
 
 from ..analysis.report import format_bars
 from ..uarch.config import MachineConfig
-from .runner import BenchmarkRun, run_suite, suite_geomean
+from . import metrics as exp_metrics
+from . import registry
+from .runner import BenchmarkRun
+from .spec import ExperimentSpec, Sweep, configured_variant, run_rows
 
 
 @dataclass
@@ -21,24 +24,19 @@ class Fig6Result:
 
     @property
     def geomean_2006_percent(self) -> float:
-        return (suite_geomean(self.runs_2006) - 1.0) * 100.0
+        return exp_metrics.geomean_percent(self.runs_2006)
 
     @property
     def geomean_2017_percent(self) -> float:
-        return (suite_geomean(self.runs_2017) - 1.0) * 100.0
+        return exp_metrics.geomean_percent(self.runs_2017)
 
     def profitable(self, threshold_percent: float = 1.0) -> List[BenchmarkRun]:
-        return [
-            r
-            for r in self.runs_2006 + self.runs_2017
-            if r.speedup_percent > threshold_percent
-        ]
+        return exp_metrics.profitable(
+            self.runs_2006 + self.runs_2017, threshold_percent
+        )
 
     def speedup_of(self, name: str) -> float:
-        for run in self.runs_2006 + self.runs_2017:
-            if run.name == name:
-                return run.speedup_percent
-        raise KeyError(name)
+        return exp_metrics.speedup_of(self.runs_2006 + self.runs_2017, name)
 
     def render(self) -> str:
         parts = []
@@ -64,11 +62,38 @@ class Fig6Result:
         return "\n\n".join(parts)
 
 
+def _derive(sweep: Sweep) -> Fig6Result:
+    return Fig6Result(
+        runs_2006=sweep.runs("spec2006"),
+        runs_2017=sweep.runs("spec2017"),
+    )
+
+
+def _json(result: Fig6Result) -> Dict[str, Any]:
+    return {
+        "geomean_2006_percent": result.geomean_2006_percent,
+        "geomean_2017_percent": result.geomean_2017_percent,
+        "profitable": len(result.profitable()),
+        "benchmarks": run_rows(result.runs_2006 + result.runs_2017),
+    }
+
+
+SPEC = registry.register(ExperimentSpec(
+    name="fig6",
+    title="Figure 6: whole-program speedups, SPEC CPU 2006 and 2017",
+    kind="figure",
+    suites=("spec2006", "spec2017"),
+    derive=_derive,
+    to_json=_json,
+    description="The paper's headline result: per-benchmark and geomean "
+                "speedup of LoopFrog over the hints-as-nops baseline.",
+))
+
+
 def run_fig6(
     machine: Optional[MachineConfig] = None,
     baseline: Optional[MachineConfig] = None,
 ) -> Fig6Result:
-    return Fig6Result(
-        runs_2006=run_suite("spec2006", machine, baseline),
-        runs_2017=run_suite("spec2017", machine, baseline),
-    )
+    return registry.run_experiment(
+        "fig6", variants=(configured_variant(machine, baseline),)
+    ).result

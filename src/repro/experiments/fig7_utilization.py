@@ -7,12 +7,15 @@ Amdahl's law, a 43% geometric-mean in-region speedup."""
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Any, Dict, List, Optional
 
 from ..analysis.report import format_table
 from ..analysis.speedup import geometric_mean
 from ..uarch.config import MachineConfig
-from .runner import BenchmarkRun, run_suite
+from . import metrics as exp_metrics
+from . import registry
+from .runner import BenchmarkRun
+from .spec import ExperimentSpec, Sweep, configured_variant
 
 
 @dataclass
@@ -29,10 +32,9 @@ class Fig7Result:
     profitable_names: List[str]
 
     def _mean(self, names, attr) -> float:
-        rows = [r for r in self.rows if r.name in names]
-        if not rows:
-            return 0.0
-        return sum(getattr(r, attr) for r in rows) / len(rows)
+        return exp_metrics.mean(
+            getattr(r, attr) for r in self.rows if r.name in names
+        )
 
     @property
     def profitable_at_least_2(self) -> float:
@@ -69,10 +71,8 @@ class Fig7Result:
         return table + "\n" + summary
 
 
-def run_fig7(
-    machine: Optional[MachineConfig] = None, suite_name: str = "spec2017"
-) -> Fig7Result:
-    runs = run_suite(suite_name, machine)
+def _derive(sweep: Sweep) -> Fig7Result:
+    runs = sweep.runs()
     rows = []
     for run in runs:
         stats = run.phases[0].loopfrog
@@ -84,8 +84,49 @@ def run_fig7(
                 all_4=stats.threadlet_utilization(4),
             )
         )
-    profitable = [r.name for r in runs if r.speedup_percent > 1.0]
-    return Fig7Result(rows, profitable)
+    return Fig7Result(rows, exp_metrics.profitable_names(runs))
+
+
+def _json(result: Fig7Result) -> Dict[str, Any]:
+    return {
+        "rows": sorted(
+            (
+                {
+                    "name": r.name,
+                    "at_least_2": r.at_least_2,
+                    "at_least_3": r.at_least_3,
+                    "all_4": r.all_4,
+                }
+                for r in result.rows
+            ),
+            key=lambda r: r["name"],
+        ),
+        "profitable": sorted(result.profitable_names),
+        "profitable_at_least_2": result.profitable_at_least_2,
+        "overall_at_least_2": result.overall_at_least_2,
+        "profitable_all_4": result.profitable_all_4,
+        "overall_all_4": result.overall_all_4,
+    }
+
+
+SPEC = registry.register(ExperimentSpec(
+    name="fig7",
+    title="Figure 7: speculative threadlet utilisation over time",
+    kind="figure",
+    suites=("spec2017",),
+    derive=_derive,
+    to_json=_json,
+    description="How often >=2/>=3/4 threadlet contexts are active, on "
+                "profitable benchmarks vs overall.",
+))
+
+
+def run_fig7(
+    machine: Optional[MachineConfig] = None, suite_name: str = "spec2017"
+) -> Fig7Result:
+    return registry.run_experiment(
+        "fig7", suites=(suite_name,), variants=(configured_variant(machine),)
+    ).result
 
 
 def in_region_geomean_speedup(runs: List[BenchmarkRun]) -> float:

@@ -10,11 +10,13 @@ two thirds of it from five benchmarks."""
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Any, Dict, List, Optional
 
 from ..analysis.report import format_table
 from ..uarch.config import MachineConfig
-from .runner import run_suite
+from . import metrics as exp_metrics
+from . import registry
+from .spec import ExperimentSpec, Sweep, configured_variant
 
 
 @dataclass
@@ -35,15 +37,15 @@ class Fig8Result:
 
     @property
     def mean_arch_ratio(self) -> float:
-        return sum(r.arch_ratio for r in self.rows) / len(self.rows)
+        return exp_metrics.mean(r.arch_ratio for r in self.rows)
 
     @property
     def mean_failed_ratio(self) -> float:
-        return sum(r.failed_ratio for r in self.rows) / len(self.rows)
+        return exp_metrics.mean(r.failed_ratio for r in self.rows)
 
     @property
     def mean_useful_ratio(self) -> float:
-        return sum(r.useful_ratio for r in self.rows) / len(self.rows)
+        return exp_metrics.mean(r.useful_ratio for r in self.rows)
 
     def render(self) -> str:
         table = format_table(
@@ -65,12 +67,9 @@ class Fig8Result:
         return table + "\n" + summary
 
 
-def run_fig8(
-    machine: Optional[MachineConfig] = None, suite_name: str = "spec2017"
-) -> Fig8Result:
-    runs = run_suite(suite_name, machine, dynamic_deselection=False)
+def _derive(sweep: Sweep) -> Fig8Result:
     rows = []
-    for run in runs:
+    for run in sweep.runs():
         base = run.phases[0].baseline
         frog = run.phases[0].loopfrog
         base_ipc = base.arch_instructions / base.cycles
@@ -85,3 +84,50 @@ def run_fig8(
             )
         )
     return Fig8Result(rows)
+
+
+def _json(result: Fig8Result) -> Dict[str, Any]:
+    return {
+        "rows": sorted(
+            (
+                {
+                    "name": r.name,
+                    "arch_ratio": r.arch_ratio,
+                    "spec_ratio": r.spec_ratio,
+                    "failed_ratio": r.failed_ratio,
+                }
+                for r in result.rows
+            ),
+            key=lambda r: r["name"],
+        ),
+        "mean_arch_ratio": result.mean_arch_ratio,
+        "mean_useful_ratio": result.mean_useful_ratio,
+        "mean_failed_ratio": result.mean_failed_ratio,
+    }
+
+
+SPEC = registry.register(ExperimentSpec(
+    name="fig8",
+    title="Figure 8: committed IPC relative to baseline",
+    kind="figure",
+    suites=("spec2017",),
+    # Deselection would snap unprofitable benchmarks back to their
+    # baseline cycle counts and hide the failed-speculation overhead this
+    # figure exists to show.
+    variants=(configured_variant(label="default",
+                                 dynamic_deselection=False),),
+    derive=_derive,
+    to_json=_json,
+    description="Commit-bandwidth decomposition: architectural vs "
+                "successful-speculative vs squashed instructions.",
+))
+
+
+def run_fig8(
+    machine: Optional[MachineConfig] = None, suite_name: str = "spec2017"
+) -> Fig8Result:
+    return registry.run_experiment(
+        "fig8",
+        suites=(suite_name,),
+        variants=(configured_variant(machine, dynamic_deselection=False),),
+    ).result

@@ -8,11 +8,14 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from functools import partial
+from typing import Any, Dict, List, Optional, Tuple
 
 from ..analysis.report import format_series
 from ..uarch.config import MachineConfig, default_machine
-from .runner import run_suite, suite_geomean
+from . import metrics as exp_metrics
+from . import registry
+from .spec import ExperimentSpec, Sweep, Variant
 
 SIZES = (512, 2048, 8192, 32768)
 
@@ -44,11 +47,51 @@ def machine_with_ssb_size(size_bytes: int) -> MachineConfig:
     return machine
 
 
+def _variants(sizes) -> Tuple[Variant, ...]:
+    return tuple(
+        Variant(
+            label=f"ssb-{size}",
+            machine=partial(machine_with_ssb_size, size),
+            params={"size": size},
+        )
+        for size in sizes
+    )
+
+
+def _derive(sweep: Sweep) -> Fig9Result:
+    points = []
+    for variant in sweep.spec.variants:
+        runs = sweep.runs(variant=variant.label)
+        points.append(
+            (variant.params["size"], exp_metrics.geomean_percent(runs))
+        )
+    return Fig9Result(points)
+
+
+def _json(result: Fig9Result) -> Dict[str, Any]:
+    return {
+        "points": [
+            {"ssb_bytes": s, "geomean_percent": v} for s, v in result.points
+        ]
+    }
+
+
+SPEC = registry.register(ExperimentSpec(
+    name="fig9",
+    title="Figure 9: sensitivity to SSB size",
+    kind="figure",
+    suites=("spec2017",),
+    variants=_variants(SIZES),
+    derive=_derive,
+    to_json=_json,
+    description="Geomean speedup as the store speculation buffer shrinks "
+                "from 32 KiB to 512 B.",
+))
+
+
 def run_fig9(
     sizes=SIZES, suite_name: str = "spec2017", only: Optional[List[str]] = None
 ) -> Fig9Result:
-    points = []
-    for size in sizes:
-        runs = run_suite(suite_name, machine_with_ssb_size(size), only=only)
-        points.append((size, (suite_geomean(runs) - 1.0) * 100.0))
-    return Fig9Result(points)
+    return registry.run_experiment(
+        "fig9", suites=(suite_name,), variants=_variants(sizes), only=only
+    ).result

@@ -7,12 +7,13 @@ in-region speedup."""
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Any, Dict, Optional
 
 from ..analysis.report import format_table
 from ..analysis.speedup import geometric_mean
 from ..uarch.config import MachineConfig
-from .runner import run_suite
+from . import registry
+from .spec import ExperimentSpec, Sweep, configured_variant
 
 
 @dataclass
@@ -51,12 +52,46 @@ class LoopsReport:
         return table + summary
 
 
+def _derive(sweep: Sweep) -> LoopsReport:
+    speedups: Dict[str, float] = {}
+    for run in sweep.runs():
+        speedups.update(run.region_speedups())
+    return LoopsReport(speedups)
+
+
+def _json(result: LoopsReport) -> Dict[str, Any]:
+    return {
+        "loop_speedups": dict(sorted(result.loop_speedups.items())),
+        "count": result.count,
+        "max_speedup": result.max_speedup,
+        "over_2x": result.loops_over(2.0),
+        "over_20_percent": result.loops_over(1.2),
+        "geomean": result.geomean,
+    }
+
+
+SPEC = registry.register(ExperimentSpec(
+    name="loops",
+    title="Section 6.3: per-loop speedup distribution",
+    kind="report",
+    suites=("spec2017", "spec2006"),
+    # Deselection snaps unprofitable loops to baseline and would hide the
+    # tail of the distribution.
+    variants=(configured_variant(label="default",
+                                 dynamic_deselection=False),),
+    derive=_derive,
+    to_json=_json,
+    description="Region-level speedups across both suites: count, max, "
+                "loops over 2x / +20%, geomean in-region speedup.",
+))
+
+
 def run_loops_report(
     machine: Optional[MachineConfig] = None,
     suite_names=("spec2017", "spec2006"),
 ) -> LoopsReport:
-    speedups: Dict[str, float] = {}
-    for name in suite_names:
-        for run in run_suite(name, machine, dynamic_deselection=False):
-            speedups.update(run.region_speedups())
-    return LoopsReport(speedups)
+    return registry.run_experiment(
+        "loops",
+        suites=tuple(suite_names),
+        variants=(configured_variant(machine, dynamic_deselection=False),),
+    ).result

@@ -1,0 +1,62 @@
+"""Shared derived-metric helpers for the experiment layer.
+
+Every figure/table used to reimplement the same three computations —
+suite geometric means, per-benchmark speedup lookup, and "profitable"
+filtering — inside its own result dataclass.  They live here once, with
+direct unit tests (``tests/test_experiment_metrics.py``), and the result
+dataclasses call in.
+
+All helpers duck-type against :class:`~repro.experiments.runner.BenchmarkRun`
+(anything with ``.name``, ``.speedup`` and ``.speedup_percent`` works), so
+they serve both live runs and deserialized results.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+from ..analysis.speedup import geometric_mean
+
+#: The paper's "accelerated" threshold (section 6.2): a benchmark counts
+#: as profitable when its whole-program speedup exceeds 1%.
+PROFITABLE_THRESHOLD_PERCENT = 1.0
+
+
+def suite_geomean(runs: Sequence) -> float:
+    """Geometric-mean speedup across benchmark runs (paper's headline)."""
+    return geometric_mean([r.speedup for r in runs])
+
+
+def geomean_percent(runs: Sequence) -> float:
+    """Geometric-mean speedup expressed the paper's way: (gm - 1) * 100."""
+    return (suite_geomean(runs) - 1.0) * 100.0
+
+
+def speedup_of(runs: Iterable, name: str) -> float:
+    """Percent speedup of the named benchmark; ``KeyError`` if absent."""
+    for run in runs:
+        if run.name == name:
+            return run.speedup_percent
+    raise KeyError(name)
+
+
+def profitable(
+    runs: Iterable, threshold_percent: float = PROFITABLE_THRESHOLD_PERCENT
+) -> List:
+    """Runs accelerated by more than ``threshold_percent``."""
+    return [r for r in runs if r.speedup_percent > threshold_percent]
+
+
+def profitable_names(
+    runs: Iterable, threshold_percent: float = PROFITABLE_THRESHOLD_PERCENT
+) -> List[str]:
+    """Names of the profitable runs, in run order."""
+    return [r.name for r in profitable(runs, threshold_percent)]
+
+
+def mean(values: Iterable[float], default: float = 0.0) -> float:
+    """Arithmetic mean; ``default`` on empty input (no ZeroDivisionError)."""
+    values = list(values)
+    if not values:
+        return default
+    return sum(values) / len(values)

@@ -8,11 +8,13 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Optional
 
 from ..analysis.report import format_table
 from ..uarch.config import MachineConfig, default_machine
-from .runner import run_suite, suite_geomean
+from . import metrics as exp_metrics
+from . import registry
+from .spec import ExperimentSpec, Sweep, Variant
 
 
 @dataclass
@@ -57,10 +59,9 @@ def machine_without_packing() -> MachineConfig:
     return machine
 
 
-def run_packing_ablation(suite_name: str = "spec2017",
-                         only: Optional[List[str]] = None) -> PackingResult:
-    runs_with = run_suite(suite_name, default_machine(), only=only)
-    runs_without = run_suite(suite_name, machine_without_packing(), only=only)
+def _derive(sweep: Sweep) -> PackingResult:
+    runs_with = sweep.runs(variant="with packing")
+    runs_without = sweep.runs(variant="without packing")
 
     per_benchmark: Dict[str, Dict[str, float]] = {}
     affected = []
@@ -81,10 +82,45 @@ def run_packing_ablation(suite_name: str = "spec2017",
 
     mean_factor = sum(factors) / len(factors) if factors else 1.0
     return PackingResult(
-        geomean_with_percent=(suite_geomean(runs_with) - 1.0) * 100.0,
-        geomean_without_percent=(suite_geomean(runs_without) - 1.0) * 100.0,
+        geomean_with_percent=exp_metrics.geomean_percent(runs_with),
+        geomean_without_percent=exp_metrics.geomean_percent(runs_without),
         affected=affected,
         mean_packing_factor=mean_factor,
         max_packing_factor=max_factor,
         per_benchmark=per_benchmark,
     )
+
+
+def _json(result: PackingResult) -> Dict[str, Any]:
+    return {
+        "geomean_with_percent": result.geomean_with_percent,
+        "geomean_without_percent": result.geomean_without_percent,
+        "delta_pp": result.delta_pp,
+        "affected": sorted(result.affected),
+        "mean_packing_factor": result.mean_packing_factor,
+        "max_packing_factor": result.max_packing_factor,
+        "per_benchmark": dict(sorted(result.per_benchmark.items())),
+    }
+
+
+SPEC = registry.register(ExperimentSpec(
+    name="packing",
+    title="Section 6.5: iteration-packing ablation",
+    kind="ablation",
+    suites=("spec2017",),
+    variants=(
+        Variant(label="with packing"),
+        Variant(label="without packing", machine=machine_without_packing),
+    ),
+    derive=_derive,
+    to_json=_json,
+    description="Speedup with and without packing short iterations into "
+                "one threadlet activation.",
+))
+
+
+def run_packing_ablation(suite_name: str = "spec2017",
+                         only: Optional[List[str]] = None) -> PackingResult:
+    return registry.run_experiment(
+        "packing", suites=(suite_name,), only=only
+    ).result

@@ -40,7 +40,7 @@ from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Tuple
 
-from ..analysis.speedup import BenchmarkResult, geometric_mean, weighted_time
+from ..analysis.speedup import BenchmarkResult, weighted_time
 from ..results.digest import machine_digest, run_digest, workload_digest
 from ..results.store import get_default_store
 from ..uarch.config import MachineConfig, baseline_machine, default_machine
@@ -48,6 +48,7 @@ from ..uarch.core import Engine
 from ..uarch.statistics import SimStats
 from ..workloads.base import Benchmark, Workload
 from ..workloads.suites import suite
+from .metrics import suite_geomean  # noqa: F401  (historical home; re-exported)
 
 # In-process result cache.  Keyed by content digests — NOT by workload
 # name — so two workloads that happen to share a name but differ in
@@ -384,10 +385,39 @@ def run_suite(
     ]
 
 
-def suite_geomean(runs: List[BenchmarkRun]) -> float:
-    """Geometric-mean speedup across benchmark runs."""
-    return geometric_mean([r.speedup for r in runs])
-
-
 def clear_cache() -> None:
     _CACHE.clear()
+
+
+# -- cell identity (the experiment sweep engine's accounting) -----------------
+
+#: Public alias: normalise a ``sampling`` parameter exactly like the run
+#: functions do (None/False -> exact, True -> default config, config -> it).
+resolve_sampling = _sampling_config
+
+
+def cell_key(workload: Workload, machine: MachineConfig, sampling=None):
+    """Hashable identity of one simulation cell.
+
+    Exact and sampled runs live in disjoint key spaces, mirroring their
+    disjoint cache/store digests — a sampled estimate never counts as a
+    hit for an exact cell or vice versa.
+    """
+    config = _sampling_config(sampling)
+    if config is None:
+        return ("exact",) + _cache_key(workload, machine)
+    from ..results.digest import sampled_run_digest
+
+    return ("sampled", sampled_run_digest(workload, machine, config))
+
+
+def cell_cached(workload: Workload, machine: MachineConfig, sampling=None) -> bool:
+    """Whether the cell is already in the in-process cache (it would not
+    simulate *or* touch the persistent store if requested now)."""
+    config = _sampling_config(sampling)
+    if config is None:
+        return _cache_key(workload, machine) in _CACHE
+    from ..results.digest import sampled_run_digest
+    from ..sampling.runner import _CACHE as sampled_cache
+
+    return sampled_run_digest(workload, machine, config) in sampled_cache

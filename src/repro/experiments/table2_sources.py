@@ -8,7 +8,7 @@ category: memory parallelism (17 loops / 29%), control dependencies
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Optional
 
 from ..analysis.categorize import (
     CategoryShare,
@@ -18,7 +18,9 @@ from ..analysis.categorize import (
 from ..analysis.report import format_table
 from ..uarch.config import MachineConfig
 from ..workloads.base import ALL_CATEGORIES
-from .runner import BenchmarkRun, run_suite
+from . import metrics as exp_metrics
+from . import registry
+from .spec import ExperimentSpec, Sweep, configured_variant
 
 _CATEGORY_TITLES = {
     "memory_parallelism": ("True parallelism", "Memory parallelism"),
@@ -71,14 +73,9 @@ class Table2Result:
         )
 
 
-def run_table2(
-    machine: Optional[MachineConfig] = None,
-    suite_names=("spec2017", "spec2006"),
-) -> Table2Result:
-    runs: List[BenchmarkRun] = []
-    for name in suite_names:
-        runs.extend(run_suite(name, machine))
-    profitable = [r for r in runs if r.speedup_percent > 1.0]
+def _derive(sweep: Sweep) -> Table2Result:
+    runs = sweep.runs()
+    profitable = exp_metrics.profitable(runs)
     shares = categorize_runs(profitable)
     classified = phase_classifications(profitable)
     expected: Dict[str, str] = {}
@@ -87,3 +84,41 @@ def run_table2(
             if workload.category in ALL_CATEGORIES:
                 expected[workload.name] = workload.category
     return Table2Result(shares, classified, expected)
+
+
+def _json(result: Table2Result) -> Dict[str, Any]:
+    return {
+        "shares": [
+            {
+                "category": s.category,
+                "loops": s.loops,
+                "speedup_fraction": s.speedup_fraction,
+            }
+            for s in result.shares
+        ],
+        "classified": dict(sorted(result.classified.items())),
+        "classification_agreement": result.classification_agreement,
+    }
+
+
+SPEC = registry.register(ExperimentSpec(
+    name="table2",
+    title="Table 2: sources of performance gains",
+    kind="table",
+    suites=("spec2017", "spec2006"),
+    derive=_derive,
+    to_json=_json,
+    description="Attributes each profitable benchmark's gain to a dominant "
+                "mechanism (parallelism vs prefetching sub-categories).",
+))
+
+
+def run_table2(
+    machine: Optional[MachineConfig] = None,
+    suite_names=("spec2017", "spec2006"),
+) -> Table2Result:
+    return registry.run_experiment(
+        "table2",
+        suites=tuple(suite_names),
+        variants=(configured_variant(machine),),
+    ).result

@@ -11,7 +11,7 @@ deployment)."""
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Any, Dict, List, Optional
 
 from ..analysis.report import format_table
 from ..analysis.speedup import geometric_mean
@@ -24,7 +24,9 @@ from ..tls import (
 )
 from ..uarch.config import MachineConfig
 from ..workloads.suites import suite
-from .runner import run_suite, suite_geomean
+from . import metrics as exp_metrics
+from . import registry
+from .spec import ExperimentSpec, Sweep, configured_variant
 
 
 @dataclass
@@ -63,28 +65,29 @@ class Table3Result:
         )
 
 
-def run_table3(
-    machine: Optional[MachineConfig] = None,
-    suite_name: str = "spec2017",
-    only: Optional[List[str]] = None,
-) -> Table3Result:
+def _derive(sweep: Sweep) -> Table3Result:
     # LoopFrog speedup from the cycle-level model.
-    frog_runs = run_suite(suite_name, machine, only=only)
-    frog_speedup = suite_geomean(frog_runs)
+    frog_speedup = exp_metrics.suite_geomean(sweep.runs())
 
+    # The TLS schemes run on task traces, not the cycle model; they don't
+    # go through the sweep's cell cache.
+    only = sweep.only
     multiscalar_speedups = []
     stampede_speedups = []
     task_sizes = []
-    for benchmark in suite(suite_name):
-        if only is not None and benchmark.name not in only:
-            continue
-        for workload, _ in benchmark.phases:
-            memory, regs = workload.fresh_input()
-            trace = extract_tasks(workload.program, memory, regs)
-            if trace.mean_parallel_task_size():
-                task_sizes.append(trace.mean_parallel_task_size())
-            multiscalar_speedups.append(simulate_multiscalar(trace).speedup)
-            stampede_speedups.append(simulate_stampede(trace).speedup)
+    for suite_name in sweep.spec.suites:
+        for benchmark in suite(suite_name):
+            if only is not None and benchmark.name not in only:
+                continue
+            for workload, _ in benchmark.phases:
+                memory, regs = workload.fresh_input()
+                trace = extract_tasks(workload.program, memory, regs)
+                if trace.mean_parallel_task_size():
+                    task_sizes.append(trace.mean_parallel_task_size())
+                multiscalar_speedups.append(
+                    simulate_multiscalar(trace).speedup
+                )
+                stampede_speedups.append(simulate_stampede(trace).speedup)
 
     ms_config = MultiscalarConfig()
     st_config = StampedeConfig()
@@ -119,3 +122,46 @@ def run_table3(
     ]
     mean_task = sum(task_sizes) / len(task_sizes) if task_sizes else 0.0
     return Table3Result(rows, mean_task)
+
+
+def _json(result: Table3Result) -> Dict[str, Any]:
+    return {
+        "rows": [
+            {
+                "scheme": r.scheme,
+                "speedup": r.speedup,
+                "cores": r.cores,
+                "area": r.area,
+                "baseline": r.baseline,
+                "task_sizes": r.task_sizes,
+                "deployment": r.deployment,
+            }
+            for r in result.rows
+        ],
+        "mean_task_size": result.mean_task_size,
+    }
+
+
+SPEC = registry.register(ExperimentSpec(
+    name="table3",
+    title="Table 3: comparison with classic TLS/SpMT schemes",
+    kind="table",
+    suites=("spec2017",),
+    derive=_derive,
+    to_json=_json,
+    description="LoopFrog vs STAMPede and Multiscalar epoch models on the "
+                "same task traces, each over its own baseline.",
+))
+
+
+def run_table3(
+    machine: Optional[MachineConfig] = None,
+    suite_name: str = "spec2017",
+    only: Optional[List[str]] = None,
+) -> Table3Result:
+    return registry.run_experiment(
+        "table3",
+        suites=(suite_name,),
+        variants=(configured_variant(machine),),
+        only=only,
+    ).result

@@ -185,6 +185,49 @@ def test_committed_baseline_is_loadable_and_current_schema():
     assert record["instructions_per_second"] > 0
 
 
+def test_exp_dispatch_within_ceiling_passes(records, capsys):
+    rc = _main(
+        records("base.json"),
+        records("cur.json", exp_dispatch_seconds=0.01,
+                exp_dispatch_cells=32),
+    )
+    assert rc == 0
+    assert "exp dispatch" in capsys.readouterr().out
+
+
+def test_exp_dispatch_over_ceiling_fails(records, capsys):
+    ceiling = bench_compare.EXP_DISPATCH_CEILING
+    too_slow = BASE_RECORD["wall_seconds"] * ceiling * 2
+    rc = _main(
+        records("base.json"),
+        records("cur.json", exp_dispatch_seconds=too_slow,
+                exp_dispatch_cells=32),
+    )
+    assert rc == 1
+    out = capsys.readouterr().out
+    assert "FAIL exp dispatch" in out
+
+
+def test_exp_dispatch_skipped_for_old_records(records, capsys):
+    """Records that predate ``exp_dispatch_seconds`` must not crash or
+    fail the gate."""
+    rc = _main(records("base.json"), records("cur.json"))
+    assert rc == 0
+    assert "exp dispatch" not in capsys.readouterr().out
+
+
+def test_committed_baseline_has_exp_dispatch_fields():
+    """The committed record must carry the registry-overhead measurement
+    (and sit comfortably under the ceiling), or the CI gate would
+    silently skip it."""
+    record = bench_compare.load_record(str(TOOLS.parent / "BENCH_engine.json"))
+    assert record["exp_dispatch_cells"] > 0
+    assert (
+        record["exp_dispatch_seconds"]
+        <= bench_compare.EXP_DISPATCH_CEILING * record["wall_seconds"]
+    )
+
+
 def test_invalid_record_rejected(tmp_path):
     bad = tmp_path / "bad.json"
     bad.write_text(json.dumps({"hello": "world"}))

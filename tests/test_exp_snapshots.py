@@ -1,0 +1,105 @@
+"""Snapshot tests pinning the determinism of experiment artifacts.
+
+``repro exp`` output is meant to be diffable: running the same experiment
+twice — in the same process or across processes — must produce the same
+rendered text and byte-identical JSON artifacts.  These tests pin the
+ordering rules (rows sorted by (suite, name), ``sort_keys`` JSON, no
+timestamps) so nondeterminism can't creep back in.
+"""
+
+import json
+
+from repro.experiments import registry, run_suite
+from repro.experiments.spec import run_rows
+
+SUBSET17 = ["imagick", "x264"]
+BOTH = SUBSET17 + ["libquantum", "mcf06"]
+
+
+def test_repeat_runs_produce_identical_payloads():
+    first = registry.run_experiment("fig9", only=SUBSET17)
+    second = registry.run_experiment("fig9", only=SUBSET17)
+    assert first.render() == second.render()
+    # Cell counters legitimately differ between invocations (cold cache
+    # vs warm); the experiment data itself must be identical.
+    a, b = first.to_json(), second.to_json()
+    a.pop("cells")
+    b.pop("cells")
+    assert a == b
+    assert json.dumps(a, sort_keys=True) == json.dumps(b, sort_keys=True)
+
+
+def test_payload_key_set_is_pinned():
+    payload = registry.run_experiment("fig9", only=SUBSET17).to_json()
+    assert set(payload) == {
+        "cells", "data", "experiment", "kind", "render",
+        "sampled", "suites", "title", "variants",
+    }
+
+
+def test_run_rows_sorted_by_suite_then_name():
+    # Feed rows in deliberately scrambled order: 2017 runs first, each
+    # suite's runs reversed.
+    runs_2017 = run_suite("spec2017", only=SUBSET17)
+    runs_2006 = run_suite("spec2006", only=BOTH)
+    scrambled = list(reversed(runs_2017)) + list(reversed(runs_2006))
+    rows = run_rows(scrambled)
+    keys = [(r["suite"], r["name"]) for r in rows]
+    assert keys == sorted(keys)
+    assert keys[0][0] == "spec2006"
+    assert set(rows[0]) == {
+        "suite", "name", "baseline_cycles", "loopfrog_cycles",
+        "speedup_percent", "deselected",
+    }
+
+
+def test_two_suite_payload_rows_are_suite_sorted():
+    payload = registry.run_experiment("fig6", only=BOTH).to_json()
+    keys = [(r["suite"], r["name"]) for r in payload["data"]["benchmarks"]]
+    assert keys == sorted(keys)
+
+
+def test_artifact_trees_are_byte_identical(tmp_path):
+    names = ["fig9", "bloom"]
+    # Warm every cell first so both invocations see identical (all-cached)
+    # counters — the artifact bytes include them.
+    registry.run_all(names, only=SUBSET17)
+    dirs = []
+    for sub in ("a", "b"):
+        out = tmp_path / sub
+        runs = registry.run_all(names, only=SUBSET17)
+        registry.write_artifacts(runs, str(out))
+        dirs.append(out)
+
+    a_files = sorted(p.name for p in dirs[0].iterdir())
+    b_files = sorted(p.name for p in dirs[1].iterdir())
+    assert a_files == b_files
+    assert a_files == ["bloom.json", "bloom.txt", "fig9.json", "fig9.txt",
+                       "manifest.json"]
+    for name in a_files:
+        assert (dirs[0] / name).read_bytes() == (dirs[1] / name).read_bytes()
+
+
+def test_manifest_has_no_timestamps_or_volatile_fields(tmp_path):
+    runs = registry.run_all(["fig9"], only=SUBSET17)
+    registry.write_artifacts(runs, str(tmp_path))
+    raw = (tmp_path / "manifest.json").read_text()
+    manifest = json.loads(raw)
+    assert set(manifest) == {"tool", "experiments", "cells"}
+    # Serialized with sort_keys and a trailing newline, like every other
+    # artifact, so the files diff cleanly.
+    assert raw == json.dumps(manifest, indent=2, sort_keys=True) + "\n"
+    for banned in ("time", "date", "duration", "seconds", "host"):
+        assert banned not in raw.lower()
+
+
+def test_json_artifact_matches_in_process_payload(tmp_path):
+    [run] = registry.run_all(["fig9"], only=SUBSET17)
+    registry.write_artifacts([run], str(tmp_path))
+    on_disk = json.loads((tmp_path / "fig9.json").read_text())
+    in_process = json.loads(json.dumps(run.to_json(), sort_keys=True))
+    # The cell counters legitimately differ between invocations (warm vs
+    # cold cache); everything else must match exactly.
+    on_disk.pop("cells")
+    in_process.pop("cells")
+    assert on_disk == in_process

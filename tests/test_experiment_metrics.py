@@ -1,0 +1,94 @@
+"""Direct unit tests for the shared derived-metric helpers
+(repro.experiments.metrics) — the computations every figure/table result
+dataclass leans on."""
+
+from dataclasses import dataclass
+
+import pytest
+
+from repro.experiments import metrics
+
+
+@dataclass
+class FakeRun:
+    name: str
+    speedup: float
+
+    @property
+    def speedup_percent(self) -> float:
+        return (self.speedup - 1.0) * 100.0
+
+
+RUNS = [
+    FakeRun("imagick", 1.86),
+    FakeRun("omnetpp", 1.54),
+    FakeRun("leela", 1.002),
+    FakeRun("xz", 0.999),
+]
+
+
+def test_suite_geomean_matches_hand_computation():
+    value = metrics.suite_geomean(RUNS)
+    product = 1.86 * 1.54 * 1.002 * 0.999
+    assert value == pytest.approx(product ** 0.25)
+
+
+def test_suite_geomean_single_run_is_identity():
+    assert metrics.suite_geomean([FakeRun("a", 1.25)]) == pytest.approx(1.25)
+
+
+def test_suite_geomean_empty_raises():
+    with pytest.raises(ValueError):
+        metrics.suite_geomean([])
+
+
+def test_geomean_percent_is_paper_convention():
+    assert metrics.geomean_percent([FakeRun("a", 1.10)]) == pytest.approx(10.0)
+    assert metrics.geomean_percent([FakeRun("a", 1.0)]) == pytest.approx(0.0)
+
+
+def test_speedup_of_finds_named_run():
+    assert metrics.speedup_of(RUNS, "omnetpp") == pytest.approx(54.0)
+
+
+def test_speedup_of_missing_name_raises_keyerror():
+    with pytest.raises(KeyError):
+        metrics.speedup_of(RUNS, "nonexistent")
+
+
+def test_profitable_uses_paper_threshold():
+    assert metrics.PROFITABLE_THRESHOLD_PERCENT == 1.0
+    names = [r.name for r in metrics.profitable(RUNS)]
+    assert names == ["imagick", "omnetpp"]  # leela at +0.2% is excluded
+
+
+def test_profitable_threshold_is_strict():
+    @dataclass
+    class PinnedRun:
+        name: str
+        speedup_percent: float
+
+    edge = PinnedRun("edge", 1.0)  # exactly at the threshold
+    assert metrics.profitable([edge]) == []
+    assert metrics.profitable([edge], threshold_percent=0.5) == [edge]
+
+
+def test_profitable_names_preserves_run_order():
+    shuffled = [RUNS[1], RUNS[3], RUNS[0]]
+    assert metrics.profitable_names(shuffled) == ["omnetpp", "imagick"]
+
+
+def test_mean_basic_and_empty_default():
+    assert metrics.mean([1.0, 2.0, 3.0]) == pytest.approx(2.0)
+    assert metrics.mean([]) == 0.0
+    assert metrics.mean([], default=1.5) == 1.5
+    assert metrics.mean(iter([4.0])) == 4.0  # accepts any iterable
+
+
+def test_helpers_duck_type_against_real_benchmark_runs():
+    from repro.experiments import run_suite
+
+    runs = run_suite("spec2017", only=["imagick", "xz"])
+    assert metrics.suite_geomean(runs) > 1.0
+    assert metrics.speedup_of(runs, "imagick") > 50.0
+    assert metrics.profitable_names(runs) == ["imagick"]

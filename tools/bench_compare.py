@@ -18,6 +18,11 @@ nonzero when either gate fails:
   15% absorbs ordinary machine noise while still catching a 20% slowdown;
   ``--runs N`` measures N times and keeps the best, squeezing noise
   further.  Raise ``--tolerance`` on shared/virtualized hardware.
+* **Experiment-dispatch gate.**  The declarative experiment registry's
+  warm-cache dispatch pass (``exp_dispatch_seconds``) must stay below a
+  fixed fraction of the subset's cold simulation wall time, so the
+  spec/registry layer can never silently regress suite throughput.
+  Skipped when either record predates the field.
 
 ``--current FILE`` compares two existing records without simulating
 (useful for tests and offline analysis); ``--output FILE`` saves the fresh
@@ -30,6 +35,9 @@ import sys
 
 DEFAULT_BASELINE = "BENCH_engine.json"
 DEFAULT_TOLERANCE = 0.15
+# Warm registry dispatch must stay below this fraction of the subset's
+# cold simulation wall time (see measure_exp_dispatch in bench_engine.py).
+EXP_DISPATCH_CEILING = 0.10
 
 
 def load_record(path):
@@ -150,6 +158,29 @@ def compare(baseline, current, tolerance=DEFAULT_TOLERANCE):
                 f"FAIL lint throughput: {(1 - lint_ratio) * 100:.1f}% "
                 f"slower than baseline, exceeds the "
                 f"{tolerance * 100:.0f}% tolerance"
+            )
+
+    # -- experiment-dispatch gate (skipped for records predating the field) --
+    # The declarative registry (docs/experiments.md) is bookkeeping on top
+    # of the runner: its warm-cache dispatch pass must stay a small
+    # fraction of the subset's cold simulation wall time, or spec dispatch
+    # has started to eat into suite throughput.
+    cur_dispatch = current.get("exp_dispatch_seconds")
+    cur_wall = current.get("wall_seconds")
+    if cur_dispatch is not None and cur_wall:
+        dispatch_ratio = cur_dispatch / cur_wall
+        lines.append(
+            f"exp dispatch: {cur_dispatch:.4f}s for "
+            f"{current.get('exp_dispatch_cells', '?')} warm cells, "
+            f"{dispatch_ratio:.1%} of simulation wall time "
+            f"(ceiling {EXP_DISPATCH_CEILING:.0%})"
+        )
+        if dispatch_ratio > EXP_DISPATCH_CEILING:
+            ok = False
+            lines.append(
+                f"FAIL exp dispatch: registry overhead is "
+                f"{dispatch_ratio:.1%} of suite wall time, exceeds the "
+                f"{EXP_DISPATCH_CEILING:.0%} ceiling"
             )
     return ok, lines
 

@@ -81,6 +81,40 @@ def measure_lint(benchmarks):
     }
 
 
+def measure_exp_dispatch(benchmarks):
+    """Warm-cache wall time of one registry experiment over the subset.
+
+    A cold pass through ``repro.experiments.registry`` populates the
+    in-process cell cache (store disabled, so nothing leaks to disk);
+    the timed second pass then costs only spec dispatch, sweep
+    bookkeeping, ``derive`` and rendering — the pure overhead the
+    declarative experiment layer adds on top of the runner.  The
+    fig9 spec is used because its four-variant sweep exercises the
+    grid walk and it renders cleanly on a subset.
+    """
+    from repro.experiments import registry
+    from repro.experiments.runner import clear_cache
+    from repro.results import get_default_store, set_default_store
+
+    names = [b.name for b in benchmarks]
+    saved_store = get_default_store()
+    set_default_store(None)
+    clear_cache()
+    try:
+        registry.run_experiment("fig9", only=names, jobs=1)  # warm the cache
+        start = time.perf_counter()
+        run = registry.run_experiment("fig9", only=names, jobs=1)
+        run.to_json()
+        elapsed = time.perf_counter() - start
+    finally:
+        clear_cache()
+        set_default_store(saved_store)
+    return {
+        "exp_dispatch_seconds": round(elapsed, 4),
+        "exp_dispatch_cells": run.counters.cells_total,
+    }
+
+
 def run_bench():
     benchmarks = suite(BENCH_SUITE)[:BENCH_COUNT]
     machines = [("baseline", baseline_machine()), ("loopfrog", default_machine())]
@@ -129,6 +163,7 @@ def run_bench():
             benchmarks
         ),
         **measure_lint(benchmarks),
+        **measure_exp_dispatch(benchmarks),
     }
 
 
@@ -153,6 +188,10 @@ def main(argv=None):
         f"lint: {result['lint_loops']} loops in "
         f"{result['lint_wall_seconds']}s -> "
         f"{result['lint_loops_per_second']:.0f} loops/s"
+    )
+    print(
+        f"exp dispatch: {result['exp_dispatch_cells']} warm cells in "
+        f"{result['exp_dispatch_seconds']}s"
     )
     print(f"wrote {args.output}")
     return 0
