@@ -1,9 +1,13 @@
 """Fast-forward functional executor: closure-compiled architectural interp.
 
-The detailed engine sustains ~50k instr/s; reaching interesting program
-regions of long workloads needs two orders of magnitude more.  This module
-trades the generality of :func:`repro.uarch.executor.execute_one` for
-speed while keeping its architectural semantics bit-exact:
+Reaching interesting program regions of long workloads needs orders of
+magnitude more throughput than detailed simulation (BENCH_engine.json
+has the current ratio; the detailed engine's own fast path —
+:mod:`repro.uarch.fastpath`, which borrows this module's
+closure-compilation technique — narrows but nowhere near closes the
+gap).  This module trades the generality of
+:func:`repro.uarch.executor.execute_one` for speed while keeping its
+architectural semantics bit-exact:
 
 * every static instruction is compiled once into a specialised closure —
   operand register names, immediates, masks and the static next-pc are

@@ -26,7 +26,7 @@ class _TaggedEntry:
         self.useful = 0
 
 
-@dataclass
+@dataclass(slots=True)
 class Prediction:
     """Outcome of a lookup: predicted direction + metadata for update."""
 

@@ -24,6 +24,9 @@ from .statistics import SimStats
 class _CacheLevel:
     """One level of set-associative cache (timing only)."""
 
+    __slots__ = ("name", "assoc", "line", "latency", "num_sets", "sets",
+                 "mshrs", "inflight", "_stamp")
+
     def __init__(self, name: str, size: int, assoc: int, line: int,
                  latency: int, mshrs: int):
         self.name = name
@@ -82,6 +85,8 @@ class _CacheLevel:
 
 class _StridePrefetcher:
     """Per-PC stride detector issuing ``degree`` prefetches ahead."""
+
+    __slots__ = ("degree", "table")
 
     def __init__(self, degree: int):
         self.degree = degree

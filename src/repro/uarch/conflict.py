@@ -24,6 +24,8 @@ from ..obs import metrics as _metrics
 class GranuleSet:
     """Exact set of granule IDs (the reference implementation)."""
 
+    __slots__ = ("_set",)
+
     def __init__(self):
         self._set: Set[int] = set()
 

@@ -29,6 +29,7 @@ Model structure (see DESIGN.md "Timing-model fidelity notes"):
 from __future__ import annotations
 
 import heapq
+import os
 from typing import Dict, List, Optional, Set, Tuple
 
 from ..errors import ExecutionError, SimulationError
@@ -47,6 +48,15 @@ from .caches import MemoryHierarchy
 from .config import MachineConfig
 from .conflict import ConflictDetector
 from .executor import DISPATCH as _EXEC_DISPATCH
+from .fastpath import (
+    FLAG_BRANCH,
+    FLAG_HALT,
+    FLAG_HINT,
+    FLAG_LOAD,
+    FLAG_MEM,
+    FLAG_STORE,
+    fast_program,
+)
 from .memory_state import SparseMemory
 from .packing import IterationPacker
 from .ssb import SpeculativeStateBuffer
@@ -62,6 +72,41 @@ from .threadlet import Threadlet, ThreadletState
 ENGINE_SCHEMA_VERSION = 1
 
 
+# ---------------------------------------------------------------------------
+# Fast path vs reference path selection.
+#
+# Engine.step() has two implementations of every phase: the optimized fast
+# path (compiled fetch closures, cached slot orders, batched per-cycle
+# stats, idle-cycle skipping) and the original reference path.  Both must
+# produce bit-identical cycles and statistics — the parity suite
+# (tests/test_engine_parity.py) and the bench_compare semantics gate
+# enforce this.  The mode is resolved once per Engine at construction:
+# the REPRO_ENGINE_REFERENCE environment variable forces the reference
+# path (for debugging suspected fast-path bugs and for the CI parity
+# job), and set_engine_reference_mode() overrides it in-process.
+# ---------------------------------------------------------------------------
+
+_REFERENCE_ENV = "REPRO_ENGINE_REFERENCE"
+_reference_override: Optional[bool] = None
+
+
+def set_engine_reference_mode(enabled: Optional[bool]) -> None:
+    """Force (True/False) or clear (None) the engine path selection.
+
+    Overrides the ``REPRO_ENGINE_REFERENCE`` environment variable for
+    engines constructed afterwards; existing engines keep their binding.
+    """
+    global _reference_override
+    _reference_override = None if enabled is None else bool(enabled)
+
+
+def engine_reference_mode() -> bool:
+    """True when new engines should use the unoptimized reference path."""
+    if _reference_override is not None:
+        return _reference_override
+    return os.environ.get(_REFERENCE_ENV, "") not in ("", "0")
+
+
 # Shared default for PipelineInstr.mem_dep_writers: it is only ever
 # iterated (dispatch) or replaced wholesale (fetch of a load), never
 # mutated in place, so all non-load instructions can share one tuple.
@@ -72,7 +117,7 @@ class PipelineInstr:
     """One dynamic instruction in flight."""
 
     __slots__ = (
-        "seq", "slot", "pc", "instr", "op_class", "op_index", "consumers",
+        "seq", "slot", "pc", "instr", "op_index", "consumers",
         "num_pending", "dispatched", "issued", "ready_cycle", "committed",
         "squashed", "mem_addr", "mem_size", "taken", "mispredicted",
         "dest_is_fp", "mem_dep_writers", "is_load", "is_store",
@@ -83,7 +128,6 @@ class PipelineInstr:
         self.slot = slot
         self.pc = pc
         self.instr = instr
-        self.op_class = instr.op_class
         self.op_index = instr.op_index
         self.consumers: List["PipelineInstr"] = []
         self.num_pending = 0
@@ -248,6 +292,59 @@ class Engine:
         # disabled) leaves timing and statistics bit-identical.
         self._tracer = current_tracer()
 
+        # Fast-path state (harmless but unused on the reference path).
+        self._progress = 0               # per-advance activity counter
+        self._exec_out = [0, False]      # handler scratch: [mem_addr, taken]
+        self._pcs_active = -1            # batched per-cycle stats: run key
+        self._pcs_region: Optional[str] = None
+        self._pcs_count = 0              # cycles accumulated under the key
+        n_slots = self.lf.num_threadlets
+        self._older_cache: List[List[int]] = [[] for _ in range(n_slots)]
+        self._younger_cache: List[List[int]] = [[] for _ in range(n_slots)]
+
+        # Path selection (see set_engine_reference_mode above).  Instance
+        # attributes shadow the class methods, so binding the _fast_*
+        # variants here swaps the whole step() pipeline without any
+        # per-cycle mode tests; the reference engine binds nothing and
+        # runs the original methods.
+        self.reference_mode = engine_reference_mode()
+        if self.reference_mode:
+            self._advance = self._reference_advance
+        else:
+            self._fast_prog = fast_program(program)
+            self._advance = self._fast_advance
+            self.step = self._fast_step
+            self._process_completions = self._fast_process_completions
+            self._commit = self._fast_commit
+            self._issue = self._fast_issue
+            self._dispatch = self._fast_dispatch
+            self._fetch = self._fast_fetch
+            self._per_cycle_stats = self._fast_per_cycle_stats
+            self._older_slots = self._cached_older_slots
+            self._younger_slots = self._cached_younger_slots
+        self._order_changed()
+
+    def use_reference_path(self) -> None:
+        """Rebind this engine instance onto the reference step pipeline.
+
+        Instrumentation that wraps the per-stage helpers (e.g.
+        :class:`~repro.uarch.trace.Tracer` hooking ``_fetch_one`` /
+        ``_dispatch_one``) needs the reference path, because the fast
+        path inlines those helpers into monolithic loops.  Removing the
+        instance-attribute shadows restores the class methods; both
+        paths are bit-identical, so results do not change.
+        """
+        if self.reference_mode:
+            return
+        self.reference_mode = True
+        self._advance = self._reference_advance
+        for name in (
+            "step", "_process_completions", "_commit", "_issue",
+            "_dispatch", "_fetch", "_per_cycle_stats",
+            "_older_slots", "_younger_slots",
+        ):
+            self.__dict__.pop(name, None)
+
     def _warm_caches(self) -> None:
         """Pre-warm the L2 with the workload's initialised data and the L1I
         with the program text, modelling a benchmark past its warmup phase
@@ -257,9 +354,19 @@ class Engine:
         line = self.machine.memory.line_size
         for addr in self.memory.written_addresses():
             self.hierarchy.l2.insert(addr // line)
-        for pc in range(len(self.program)):
-            self.hierarchy.l1i.insert((pc * 4) // line)
-            self.hierarchy.l2.insert((pc * 4) // line)
+        self._warm_text()
+
+    def _warm_text(self) -> None:
+        """Insert the whole program text into L1I+L2 (shared by the
+        constructor's whole-working-set warmup and :meth:`apply_warmup`,
+        so the two entry points cannot drift)."""
+        line = self.machine.memory.line_size
+        l1i_insert = self.hierarchy.l1i.insert
+        l2_insert = self.hierarchy.l2.insert
+        for pc in range(self._program_len):
+            text_line = (pc * 4) // line
+            l1i_insert(text_line)
+            l2_insert(text_line)
 
     # ------------------------------------------------------------------
     # Public API
@@ -279,6 +386,7 @@ class Engine:
                 self._run_loop(max_cycles)
                 span.attrs["cycles"] = self.cycle
                 span.attrs["arch_instructions"] = self.stats.arch_instructions
+        self._flush_cycle_stats()
         self.stats.cycles = self.cycle
         return self.stats
 
@@ -303,10 +411,7 @@ class Engine:
             line_addr = addr // line
             self.hierarchy.l2.insert(line_addr)
             self.hierarchy.l1d.insert(line_addr)
-        for pc in range(len(self.program)):
-            text_line = (pc * 4) // line
-            self.hierarchy.l1i.insert(text_line)
-            self.hierarchy.l2.insert(text_line)
+        self._warm_text()
         for pc, target in warmup.branch_targets:
             self.predictor.btb.insert(pc, target)
         tage = self.predictor.tage
@@ -347,13 +452,14 @@ class Engine:
         warm_instructions = 0
         warm_pending = warmup_instructions > 0
         progress = 0
+        advance = self._advance
         while not self.finished:
             if self.cycle >= max_cycles:
                 raise SimulationError(
                     f"{self.program.name}: window exceeded {max_cycles} "
                     f"cycles (arch pc={self.order[0].pc})"
                 )
-            self.step()
+            advance(max_cycles)
             progress = (
                 stats.arch_instructions + stats.spec_committed_instructions
             )
@@ -364,6 +470,7 @@ class Engine:
                 target_total = progress + n_instructions
             if not warm_pending and progress >= target_total:
                 break
+        self._flush_cycle_stats()
         stats.cycles = self.cycle
         return WindowResult(
             stats=stats,
@@ -375,13 +482,78 @@ class Engine:
         )
 
     def _run_loop(self, max_cycles: int) -> None:
+        advance = self._advance
         while not self.finished:
             if self.cycle >= max_cycles:
                 raise SimulationError(
                     f"{self.program.name}: exceeded {max_cycles} cycles "
                     f"(arch pc={self.order[0].pc})"
                 )
-            self.step()
+            advance(max_cycles)
+
+    def _reference_advance(self, max_cycles: int) -> None:
+        self.step()
+
+    def _fast_advance(self, max_cycles: int) -> None:
+        """One step, then skip ahead over provably idle cycles.
+
+        ``_progress`` counts every state-changing pipeline event of the
+        step (fetches, dispatches, issues, completions, retires, order
+        mutations).  When a step makes no progress, nothing in the engine
+        changes cycle-to-cycle except gates that compare against
+        ``self.cycle`` — so the machine stays frozen until the earliest
+        such gate opens, and the cycles in between can be counted without
+        simulating them.  _skip_idle computes that earliest wake event
+        conservatively and bails out (no skip) whenever any gate cannot
+        be bounded.
+        """
+        self._progress = 0
+        self.step()
+        if self._progress == 0 and not self.ready and not self.finished:
+            self._skip_idle(max_cycles)
+
+    def _skip_idle(self, max_cycles: int) -> None:
+        cycle = self.cycle
+        wake: Optional[int] = None
+        completions = self.completions
+        if completions:
+            wake = completions[0][0]
+        order = self.order
+        # Threadlet-commit gate: the oldest threadlet is drained and only
+        # waiting out the conflict-check latency before handing over.
+        t0 = order[0]
+        if (
+            t0.state is ThreadletState.HALTED
+            and t0.successor is not None
+            and not t0.inflight
+            and not t0.fetch_queue
+        ):
+            gate = t0.halt_cycle + self.lf.conflict_check_latency
+            if gate > cycle and (wake is None or gate < wake):
+                wake = gate
+        running = ThreadletState.RUNNING
+        for t in order:
+            if t.ssb_stalled:
+                return  # per-cycle ssb_stall_cycles accounting must run
+            if t.state is running and not t.fetch_done:
+                if len(t.fetch_queue) >= t.fetch_queue_size:
+                    continue  # drain needs dispatch -> completions cover it
+                if t.fetch_stall_branch is not None:
+                    continue  # resolution is a completion event
+                stall = t.fetch_stall_until
+                if stall <= cycle + 1:
+                    return  # fetch could act next cycle; cannot skip
+                if wake is None or stall < wake:
+                    wake = stall
+        if wake is None or wake <= cycle + 1:
+            return
+        if wake > max_cycles:
+            wake = max_cycles
+            if wake <= cycle + 1:
+                return
+        # Jump to the cycle before the event; the next step() lands on it.
+        self._pcs_count += wake - cycle - 1
+        self.cycle = wake - 1
 
     def step(self) -> None:
         """Advance the machine by one cycle."""
@@ -407,6 +579,32 @@ class Engine:
     def _younger_slots(self, threadlet: Threadlet) -> List[int]:
         idx = self.order.index(threadlet)
         return [t.slot for t in self.order[idx + 1 :]]
+
+    # Fast-path variants: the per-slot orders are recomputed only when
+    # ``order`` mutates (_order_changed below), not on every speculative
+    # memory access.  The cached lists are read-only to all consumers
+    # (SSB versioned reads, conflict-detector write checks).
+
+    def _cached_older_slots(self, threadlet: Threadlet) -> List[int]:
+        return self._older_cache[threadlet.slot]
+
+    def _cached_younger_slots(self, threadlet: Threadlet) -> List[int]:
+        return self._younger_cache[threadlet.slot]
+
+    def _order_changed(self) -> None:
+        """Rebuild the slot-order caches; called at every ``order``
+        mutation site (spawn, squash refresh, threadlet commit, finish).
+        Mutating the order is pipeline progress, so this also feeds the
+        fast path's idle detector."""
+        self._progress += 1
+        older = self._older_cache
+        younger = self._younger_cache
+        order = self.order
+        n = len(order)
+        for i in range(n):
+            slot = order[i].slot
+            older[slot] = [order[j].slot for j in range(i - 1, -1, -1)]
+            younger[slot] = [order[j].slot for j in range(i + 1, n)]
 
     def _spec_load(self, t: Threadlet, addr: int, size: int) -> int:
         result = self.ssb.read(addr, size, self._older_slots(t), t.slot)
@@ -710,6 +908,7 @@ class Engine:
         t.region = region
         t.region_label = region_label
         self.order.append(free)
+        self._order_changed()
         self.stats.threadlets_spawned += 1
         self._region_stats(t, region_label).epochs_spawned += 1
         if self._tracer is not None:
@@ -855,6 +1054,7 @@ class Engine:
 
     def _refresh_order(self) -> None:
         self.order = [t for t in self.order if t.active]
+        self._order_changed()
 
     # ------------------------------------------------------------------
     # Dispatch
@@ -1119,6 +1319,7 @@ class Engine:
             self.ssb.squash(t.slot)  # slice is empty (arch wrote directly)
             t.recycle()
             self.order.pop(0)
+            self._order_changed()
             # The successor becomes architectural: merge its slice (atomic
             # commit, section 4.1.4) and expose its lines to the cache.
             new_arch = self.order[0]
@@ -1144,6 +1345,8 @@ class Engine:
             self._drop_threadlet(t, reason="end")
             t.recycle()
         self.order = self.order[:1]
+        self._order_changed()
+        self._flush_cycle_stats()
 
     # ------------------------------------------------------------------
     # Per-cycle statistics
@@ -1164,6 +1367,858 @@ class Engine:
         region = self.order[0].stat_region
         if region is not None:
             stats.region(region).arch_cycles += 1
+
+    def _fast_per_cycle_stats(self) -> None:
+        # Batched variant: per-cycle histogram/region increments are
+        # run-length encoded on the (active count, region) key and flushed
+        # when the key changes, at _finish, and at run()/run_window() end.
+        order = self.order
+        active = len(order)
+        region = order[0].stat_region
+        if active == self._pcs_active and region == self._pcs_region:
+            self._pcs_count += 1
+            return
+        if self._pcs_count:
+            self._flush_cycle_stats()
+        self._pcs_active = active
+        self._pcs_region = region
+        self._pcs_count = 1
+
+    def _flush_cycle_stats(self) -> None:
+        count = self._pcs_count
+        if not count:
+            return
+        stats = self.stats
+        active = self._pcs_active
+        cycles = stats.active_threadlet_cycles
+        cycles[active] = cycles.get(active, 0) + count
+        region = self._pcs_region
+        if region is not None:
+            stats.region(region).arch_cycles += count
+        self._pcs_count = 0
+
+    # ------------------------------------------------------------------
+    # Fast-path phase variants.  Each mirrors its reference method above
+    # gate-for-gate (the parity suite proves bit-identical cycles and
+    # stats); the differences are pure mechanics — attribute hoisting,
+    # inlined helpers, compiled fetch closures — plus ``_progress``
+    # accounting feeding the idle-cycle skipper in _fast_advance.
+    # ------------------------------------------------------------------
+
+    def _fast_process_completions(self) -> None:
+        completions = self.completions
+        cycle = self.cycle
+        if not completions or completions[0][0] > cycle:
+            return
+        ready = self.ready
+        heappop = heapq.heappop
+        heappush = heapq.heappush
+        popped = 0
+        while completions and completions[0][0] <= cycle:
+            _, _, pi = heappop(completions)
+            popped += 1
+            if pi.squashed:
+                continue
+            for consumer in pi.consumers:
+                if consumer.squashed or consumer.issued:
+                    continue
+                consumer.num_pending -= 1
+                if consumer.num_pending <= 0 and consumer.dispatched:
+                    heappush(ready, (consumer.seq, consumer))
+        self._progress += popped
+
+    def _fast_commit(self) -> None:
+        budget = self.core.commit_width
+        cycle = self.cycle
+        stats = self.stats
+        committed = 0
+        for t in self.order:
+            inflight = t.inflight
+            if inflight:
+                is_arch = t.is_arch
+                rob_used = self.rob_used
+                lq_used = self.lq_used
+                sq_used = self.sq_used
+                int_used = self.int_regs_used
+                fp_used = self.fp_regs_used
+                arch_count = 0
+                spec_count = 0
+                halted = False
+                while budget > 0 and inflight:
+                    pi = inflight[0]
+                    if not (pi.issued and pi.ready_cycle is not None
+                            and pi.ready_cycle <= cycle):
+                        break
+                    inflight.popleft()
+                    # Inlined _release_entry(pi, committed=True); pi.issued
+                    # is known True here, so the iq_used branch is dead.
+                    rob_used -= 1
+                    if pi.is_load:
+                        lq_used -= 1
+                    if pi.is_store:
+                        sq_used -= 1
+                    if pi.instr.dest is not None:
+                        if pi.dest_is_fp:
+                            fp_used -= 1
+                        else:
+                            int_used -= 1
+                    pi.committed = True
+                    budget -= 1
+                    committed += 1
+                    if is_arch:
+                        arch_count += 1
+                        if pi.instr.opcode is Opcode.HALT:
+                            halted = True
+                            break
+                    else:
+                        spec_count += 1
+                self.rob_used = rob_used
+                self.lq_used = lq_used
+                self.sq_used = sq_used
+                self.int_regs_used = int_used
+                self.fp_regs_used = fp_used
+                t.epoch_committed += arch_count + spec_count
+                if arch_count:
+                    stats.arch_instructions += arch_count
+                    region = t.stat_region
+                    if region is not None:
+                        stats.region(region).arch_instructions += arch_count
+                if spec_count:
+                    t.committed_while_spec += spec_count
+                if halted:
+                    self._progress += committed
+                    self._finish()
+                    return
+            if t.faulted and t.is_arch and not t.inflight and t.fetch_done:
+                raise ExecutionError(
+                    f"{self.program.name}: architectural fault: {t.faulted}"
+                )
+        self._progress += committed
+
+    def _fast_issue(self) -> None:
+        ready = self.ready
+        if not ready:
+            return
+        budget = self.core.issue_width
+        ports = self._fu_ports_template[:]
+        retry: List[Tuple[int, PipelineInstr]] = []
+        cycle = self.cycle
+        heappop = heapq.heappop
+        heappush = heapq.heappush
+        completions = self.completions
+        latency = self._fu_latency_by_index
+        lf_enabled = self.lf.enabled
+        access_data = self.hierarchy.access_data
+        threadlets = self.threadlets
+        ssb_read_latency = self.lf.ssb_read_latency
+        ssb_write_latency = self.lf.ssb_write_latency
+        issued = 0
+        while budget > 0 and ready:
+            seq, pi = heappop(ready)
+            if pi.squashed or pi.issued:
+                continue
+            ci = pi.op_index
+            if ports[ci] <= 0:
+                retry.append((seq, pi))
+                continue
+            ports[ci] -= 1
+            budget -= 1
+            # Inlined _issue_one.
+            pi.issued = True
+            issued += 1
+            done_at = cycle + latency[ci]
+            if pi.is_load:
+                fill = access_data(pi.mem_addr, cycle, False, pi.pc)
+                if lf_enabled and not threadlets[pi.slot].is_arch:
+                    done_at = max(cycle + ssb_read_latency, fill)
+                else:
+                    done_at = max(done_at, fill)
+            elif pi.is_store:
+                if lf_enabled and not threadlets[pi.slot].is_arch:
+                    done_at = cycle + ssb_write_latency
+                else:
+                    access_data(pi.mem_addr, cycle, True, pi.pc)
+                    done_at = cycle + 1
+            pi.ready_cycle = done_at
+            heappush(completions, (done_at, seq, pi))
+        for item in retry:
+            heappush(ready, item)
+        self.iq_used -= issued
+        self.stats.issued_instructions += issued
+        self._progress += issued
+
+    def _fast_dispatch(self) -> None:
+        core = self.core
+        rob_size = core.rob_size
+        iq_size = core.iq_size
+        if self.rob_used >= rob_size or self.iq_used >= iq_size:
+            # Shared-resource exhaustion stops dispatch before any state
+            # changes (the reference returns on its first queue head).
+            return
+        budget = core.dispatch_width
+        lq_size = core.lq_size
+        sq_size = core.sq_size
+        int_size = core.int_phys_regs
+        fp_size = core.fp_phys_regs
+        rob_used = self.rob_used
+        iq_used = self.iq_used
+        lq_used = self.lq_used
+        sq_used = self.sq_used
+        int_used = self.int_regs_used
+        fp_used = self.fp_regs_used
+        cycle = self.cycle
+        ready = self.ready
+        heappush = heapq.heappush
+        g = self.lf.granule_bytes
+        dispatched = 0
+        for t in self.order:
+            fetch_queue = t.fetch_queue
+            if not fetch_queue:
+                continue
+            rename = t.rename
+            inflight = t.inflight
+            store_writers = t.store_writers
+            while budget > 0 and fetch_queue:
+                pi = fetch_queue[0]
+                # Reference returns (stops dispatch entirely) on shared
+                # rob/iq/phys-reg exhaustion and breaks (next threadlet)
+                # on lq/sq exhaustion; budget=0 emulates the return.
+                if rob_used >= rob_size or iq_used >= iq_size:
+                    budget = 0
+                    break
+                is_load = pi.is_load
+                is_store = pi.is_store
+                if is_load and lq_used >= lq_size:
+                    break
+                if is_store and sq_used >= sq_size:
+                    break
+                instr = pi.instr
+                dest = instr.dest
+                if dest is not None:
+                    if pi.dest_is_fp:
+                        if fp_used >= fp_size:
+                            budget = 0
+                            break
+                        fp_used += 1
+                    else:
+                        if int_used >= int_size:
+                            budget = 0
+                            break
+                        int_used += 1
+                fetch_queue.popleft()
+                # Inlined _dispatch_one.
+                rob_used += 1
+                iq_used += 1
+                if is_load:
+                    lq_used += 1
+                if is_store:
+                    sq_used += 1
+                deps: Optional[List[PipelineInstr]] = None
+                for reg in instr._reads:
+                    producer = rename.get(reg)
+                    if (
+                        producer is not None
+                        and not producer.squashed
+                        and not (producer.issued
+                                 and producer.ready_cycle is not None
+                                 and producer.ready_cycle <= cycle)
+                    ):
+                        if deps is None:
+                            deps = [producer]
+                        else:
+                            deps.append(producer)
+                if is_load and (store_writers or pi.mem_dep_writers):
+                    seq = pi.seq
+                    mem_addr = pi.mem_addr
+                    for granule in range(
+                        mem_addr // g, (mem_addr + pi.mem_size - 1) // g + 1
+                    ):
+                        writer = store_writers.get(granule)
+                        if (
+                            writer is not None
+                            and writer.seq < seq
+                            and not writer.squashed
+                            and not (writer.issued
+                                     and writer.ready_cycle is not None
+                                     and writer.ready_cycle <= cycle)
+                        ):
+                            if deps is None:
+                                deps = [writer]
+                            else:
+                                deps.append(writer)
+                    for writer in pi.mem_dep_writers:
+                        if (
+                            writer is not None
+                            and writer.seq < seq
+                            and not writer.squashed
+                            and not (writer.issued
+                                     and writer.ready_cycle is not None
+                                     and writer.ready_cycle <= cycle)
+                        ):
+                            if deps is None:
+                                deps = [writer]
+                            else:
+                                deps.append(writer)
+                if deps is not None:
+                    if len(deps) == 1:
+                        unique_deps = deps
+                    else:
+                        unique_deps = []
+                        seen: Set[int] = set()
+                        for dep in deps:
+                            if id(dep) not in seen:
+                                seen.add(id(dep))
+                                unique_deps.append(dep)
+                    pi.num_pending = len(unique_deps)
+                    for dep in unique_deps:
+                        dep.consumers.append(pi)
+                for reg in instr._writes:
+                    rename[reg] = pi
+                pi.dispatched = True
+                inflight.append(pi)
+                dispatched += 1
+                if pi.num_pending == 0:
+                    heappush(ready, (pi.seq, pi))
+                budget -= 1
+            if budget <= 0:
+                break
+        self.rob_used = rob_used
+        self.iq_used = iq_used
+        self.lq_used = lq_used
+        self.sq_used = sq_used
+        self.int_regs_used = int_used
+        self.fp_regs_used = fp_used
+        self.stats.dispatched_instructions += dispatched
+        self._progress += dispatched
+
+    def _fast_step(self) -> None:
+        """``step()`` binding for fast engines.
+
+        Dispatches to the monolithic single-threadlet step — the
+        dominant case on both machine configs (the baseline never
+        spawns, and LoopFrog runs spend most cycles outside parallel
+        regions) — or to the generic phase sequence when several
+        threadlets are active.  Phase order and gates are identical
+        either way; the monolith only shares one set of hoisted locals
+        across what would otherwise be seven method calls per cycle.
+        """
+        if len(self.order) == 1:
+            self._fast_step_single()
+            return
+        self.cycle += 1
+        self._fast_process_completions()
+        self._fast_commit()
+        if self.finished:
+            return
+        self._threadlet_commit()
+        self._fast_issue()
+        self._fast_dispatch()
+        self._fast_fetch()
+        self._fast_per_cycle_stats()
+
+    def _fast_step_single(self) -> None:
+        """One cycle with exactly one active threadlet.
+
+        Inlines every step phase for ``order == [t]``: the per-phase
+        ``order`` iterations collapse to direct accesses, and the rare
+        multi-threadlet machinery (epoch handover) falls back to the
+        generic ``_threadlet_commit``, which provably cannot mutate
+        ``order`` here (a lone threadlet has ``successor is None`` —
+        successors always live in ``order``).  Stage-for-stage this is
+        the same sequence as :meth:`step`; the parity suite holds it to
+        bit-identical cycles and stats.
+        """
+        cycle = self.cycle + 1
+        self.cycle = cycle
+        progress = 0
+        heappop = heapq.heappop
+        heappush = heapq.heappush
+
+        # --- completions ---
+        completions = self.completions
+        ready = self.ready
+        if completions and completions[0][0] <= cycle:
+            while completions and completions[0][0] <= cycle:
+                _, _, pi = heappop(completions)
+                progress += 1
+                if pi.squashed:
+                    continue
+                for consumer in pi.consumers:
+                    if consumer.squashed or consumer.issued:
+                        continue
+                    consumer.num_pending -= 1
+                    if consumer.num_pending <= 0 and consumer.dispatched:
+                        heappush(ready, (consumer.seq, consumer))
+
+        # --- commit ---
+        t = self.order[0]
+        stats = self.stats
+        inflight = t.inflight
+        if inflight and (pi := inflight[0]).issued \
+                and pi.ready_cycle is not None and pi.ready_cycle <= cycle:
+            budget = self.core.commit_width
+            is_arch = t.is_arch
+            rob_used = self.rob_used
+            lq_used = self.lq_used
+            sq_used = self.sq_used
+            int_used = self.int_regs_used
+            fp_used = self.fp_regs_used
+            arch_count = 0
+            spec_count = 0
+            halted = False
+            while True:
+                inflight.popleft()
+                # Inlined _release_entry(pi, committed=True); see
+                # _fast_commit for the dead-branch argument.
+                rob_used -= 1
+                if pi.is_load:
+                    lq_used -= 1
+                if pi.is_store:
+                    sq_used -= 1
+                if pi.instr.dest is not None:
+                    if pi.dest_is_fp:
+                        fp_used -= 1
+                    else:
+                        int_used -= 1
+                pi.committed = True
+                budget -= 1
+                progress += 1
+                if is_arch:
+                    arch_count += 1
+                    if pi.instr.opcode is Opcode.HALT:
+                        halted = True
+                        break
+                else:
+                    spec_count += 1
+                if budget <= 0 or not inflight:
+                    break
+                pi = inflight[0]
+                if not (pi.issued and pi.ready_cycle is not None
+                        and pi.ready_cycle <= cycle):
+                    break
+            self.rob_used = rob_used
+            self.lq_used = lq_used
+            self.sq_used = sq_used
+            self.int_regs_used = int_used
+            self.fp_regs_used = fp_used
+            t.epoch_committed += arch_count + spec_count
+            if arch_count:
+                stats.arch_instructions += arch_count
+                region = t.stat_region
+                if region is not None:
+                    stats.region(region).arch_instructions += arch_count
+            if spec_count:
+                t.committed_while_spec += spec_count
+            if halted:
+                self._progress += progress
+                self._finish()
+                return
+        if t.faulted and t.is_arch and not t.inflight and t.fetch_done:
+            raise ExecutionError(
+                f"{self.program.name}: architectural fault: {t.faulted}"
+            )
+
+        # --- threadlet commit ---
+        fetch_queue = t.fetch_queue
+        if not inflight and not fetch_queue:
+            if t.fetch_done and t.faulted is None:
+                # Program end: the reference step still runs the
+                # remaining phases this cycle after _finish, so fall
+                # through rather than returning.
+                self._finish()
+            elif t.state is ThreadletState.HALTED:
+                self._threadlet_commit()
+
+        # --- issue ---
+        if ready:
+            budget = self.core.issue_width
+            ports = self._fu_ports_template[:]
+            retry: List[Tuple[int, PipelineInstr]] = []
+            latency = self._fu_latency_by_index
+            lf_enabled = self.lf.enabled
+            access_data = self.hierarchy.access_data
+            threadlets = self.threadlets
+            ssb_read_latency = self.lf.ssb_read_latency
+            ssb_write_latency = self.lf.ssb_write_latency
+            issued = 0
+            while budget > 0 and ready:
+                seq, pi = heappop(ready)
+                if pi.squashed or pi.issued:
+                    continue
+                ci = pi.op_index
+                if ports[ci] <= 0:
+                    retry.append((seq, pi))
+                    continue
+                ports[ci] -= 1
+                budget -= 1
+                pi.issued = True
+                issued += 1
+                done_at = cycle + latency[ci]
+                if pi.is_load:
+                    fill = access_data(pi.mem_addr, cycle, False, pi.pc)
+                    if lf_enabled and not threadlets[pi.slot].is_arch:
+                        done_at = max(cycle + ssb_read_latency, fill)
+                    else:
+                        done_at = max(done_at, fill)
+                elif pi.is_store:
+                    if lf_enabled and not threadlets[pi.slot].is_arch:
+                        done_at = cycle + ssb_write_latency
+                    else:
+                        access_data(pi.mem_addr, cycle, True, pi.pc)
+                        done_at = cycle + 1
+                pi.ready_cycle = done_at
+                heappush(completions, (done_at, seq, pi))
+            for item in retry:
+                heappush(ready, item)
+            self.iq_used -= issued
+            stats.issued_instructions += issued
+            progress += issued
+
+        # --- dispatch ---
+        # Pre-gate on shared-resource backpressure: with the ROB or IQ
+        # full the loop would break before any state change, so skip the
+        # prologue entirely (common under memory stalls).
+        if fetch_queue and (rob_used := self.rob_used) < (
+            rob_size := (core := self.core).rob_size
+        ) and (iq_used := self.iq_used) < (iq_size := core.iq_size):
+            budget = core.dispatch_width
+            lq_size = core.lq_size
+            sq_size = core.sq_size
+            int_size = core.int_phys_regs
+            fp_size = core.fp_phys_regs
+            lq_used = self.lq_used
+            sq_used = self.sq_used
+            int_used = self.int_regs_used
+            fp_used = self.fp_regs_used
+            g = self.lf.granule_bytes
+            rename = t.rename
+            store_writers = t.store_writers
+            dispatched = 0
+            while budget > 0 and fetch_queue:
+                pi = fetch_queue[0]
+                if rob_used >= rob_size or iq_used >= iq_size:
+                    break
+                is_load = pi.is_load
+                is_store = pi.is_store
+                if is_load and lq_used >= lq_size:
+                    break
+                if is_store and sq_used >= sq_size:
+                    break
+                instr = pi.instr
+                dest = instr.dest
+                if dest is not None:
+                    if pi.dest_is_fp:
+                        if fp_used >= fp_size:
+                            break
+                        fp_used += 1
+                    else:
+                        if int_used >= int_size:
+                            break
+                        int_used += 1
+                fetch_queue.popleft()
+                rob_used += 1
+                iq_used += 1
+                if is_load:
+                    lq_used += 1
+                if is_store:
+                    sq_used += 1
+                deps: Optional[List[PipelineInstr]] = None
+                for reg in instr._reads:
+                    producer = rename.get(reg)
+                    if (
+                        producer is not None
+                        and not producer.squashed
+                        and not (producer.issued
+                                 and producer.ready_cycle is not None
+                                 and producer.ready_cycle <= cycle)
+                    ):
+                        if deps is None:
+                            deps = [producer]
+                        else:
+                            deps.append(producer)
+                if is_load and (store_writers or pi.mem_dep_writers):
+                    seq = pi.seq
+                    mem_addr = pi.mem_addr
+                    for granule in range(
+                        mem_addr // g, (mem_addr + pi.mem_size - 1) // g + 1
+                    ):
+                        writer = store_writers.get(granule)
+                        if (
+                            writer is not None
+                            and writer.seq < seq
+                            and not writer.squashed
+                            and not (writer.issued
+                                     and writer.ready_cycle is not None
+                                     and writer.ready_cycle <= cycle)
+                        ):
+                            if deps is None:
+                                deps = [writer]
+                            else:
+                                deps.append(writer)
+                    for writer in pi.mem_dep_writers:
+                        if (
+                            writer is not None
+                            and writer.seq < seq
+                            and not writer.squashed
+                            and not (writer.issued
+                                     and writer.ready_cycle is not None
+                                     and writer.ready_cycle <= cycle)
+                        ):
+                            if deps is None:
+                                deps = [writer]
+                            else:
+                                deps.append(writer)
+                if deps is not None:
+                    if len(deps) == 1:
+                        unique_deps = deps
+                    else:
+                        unique_deps = []
+                        seen: Set[int] = set()
+                        for dep in deps:
+                            if id(dep) not in seen:
+                                seen.add(id(dep))
+                                unique_deps.append(dep)
+                    pi.num_pending = len(unique_deps)
+                    for dep in unique_deps:
+                        dep.consumers.append(pi)
+                for reg in instr._writes:
+                    rename[reg] = pi
+                pi.dispatched = True
+                t.inflight.append(pi)
+                dispatched += 1
+                if pi.num_pending == 0:
+                    heappush(ready, (pi.seq, pi))
+                budget -= 1
+            self.rob_used = rob_used
+            self.iq_used = iq_used
+            self.lq_used = lq_used
+            self.sq_used = sq_used
+            self.int_regs_used = int_used
+            self.fp_regs_used = fp_used
+            stats.dispatched_instructions += dispatched
+            progress += dispatched
+
+        # --- fetch ---
+        # Pre-gate, mirroring the loop-entry gates of
+        # _fast_fetch_threadlet in the same order: calls that cannot
+        # fetch and have no state to change (queue full, unresolved
+        # branch, icache stall) skip the whole call and its prologue.
+        # ~70% of per-threadlet fetch calls bail at one of these gates.
+        if t.state is ThreadletState.RUNNING and not t.fetch_done:
+            if len(t.fetch_queue) < t.fetch_queue_size:
+                br = t.fetch_stall_branch
+                if br is None:
+                    if t.fetch_stall_until <= cycle:
+                        self._fast_fetch_threadlet(t, self.core.fetch_width)
+                elif br.squashed or (
+                    br.issued and br.ready_cycle is not None
+                    and br.ready_cycle <= cycle
+                ):
+                    # Resolution clears the stall inside the loop.
+                    self._fast_fetch_threadlet(t, self.core.fetch_width)
+
+        # --- per-cycle stats ---
+        order = self.order  # a fetch hint may have spawned a successor
+        active = len(order)
+        region = order[0].stat_region
+        if active == self._pcs_active and region == self._pcs_region:
+            self._pcs_count += 1
+        else:
+            if self._pcs_count:
+                self._flush_cycle_stats()
+            self._pcs_active = active
+            self._pcs_region = region
+            self._pcs_count = 1
+        if progress:
+            self._progress += progress
+
+    def _fast_fetch(self) -> None:
+        budget = self.core.fetch_width
+        running = ThreadletState.RUNNING
+        cycle = self.cycle
+        # The order snapshot is defensive: a hint-spawned successor joins
+        # ``order`` mid-loop but would not have been fetched this cycle
+        # by the reference path either (its snapshot was taken before
+        # the spawn).
+        for t in list(self.order):
+            if budget <= 0:
+                break
+            if t.state is not running or t.fetch_done:
+                continue
+            # Pre-gate, mirroring the loop-entry gates of
+            # _fast_fetch_threadlet in the same order (see
+            # _fast_step_single): gated calls have no state to change.
+            if len(t.fetch_queue) >= t.fetch_queue_size:
+                continue
+            br = t.fetch_stall_branch
+            if br is None:
+                if t.fetch_stall_until > cycle:
+                    continue
+            elif not br.squashed and not (
+                br.issued and br.ready_cycle is not None
+                and br.ready_cycle <= cycle
+            ):
+                continue
+            budget = self._fast_fetch_threadlet(t, budget)
+
+    def _fast_fetch_threadlet(self, t: Threadlet, budget: int) -> int:
+        cycle = self.cycle
+        program_len = self._program_len
+        access_instruction = self.hierarchy.access_instruction
+        running = ThreadletState.RUNNING
+        fetch_queue = t.fetch_queue
+        queue_size = t.fetch_queue_size
+        lf_enabled = self.lf.enabled
+        fp = self._fast_prog
+        handlers = fp.handlers
+        flags = fp.flags
+        instructions = self._instructions
+        stats = self.stats
+        out = self._exec_out
+        regs = t.regs
+        regs_written = t.regs_written
+        read_before_write = t.regs_read_before_write
+        is_arch = t.is_arch
+        cached_view = t.mem_view
+        if cached_view is not None and cached_view[0] is is_arch:
+            view = cached_view[1]
+        else:
+            view = self._view_for(t)
+        slot = t.slot
+        # Per-instruction counters batched into locals; written back at
+        # loop exit (and flushed before hint handling, which reads
+        # ``seq``/``epoch_fetched`` through spawn decisions).
+        seq = self.seq
+        epoch_fetched = t.epoch_fetched
+        fetched = 0
+        # Same-cycle same-line L1I memo: consecutive fetches on one line
+        # within this call reuse the ready cycle.  Exact: between two such
+        # accesses nothing else touches the L1I/L2 (fetch-time memory ops
+        # go to the SSB/SparseMemory, data-cache traffic happens at
+        # issue), and skipping the redundant LRU stamp bump preserves the
+        # relative stamp order that replacement decisions depend on.
+        line_size = self.machine.memory.line_size
+        last_line = -1
+        last_ready = 0
+        while budget > 0:
+            if t.fetch_done or t.state is not running:
+                break
+            if len(fetch_queue) >= queue_size:
+                break
+            branch = t.fetch_stall_branch
+            if branch is not None:
+                if branch.squashed:
+                    t.fetch_stall_branch = None
+                elif (branch.issued and branch.ready_cycle is not None
+                      and branch.ready_cycle <= cycle):
+                    t.fetch_stall_branch = None
+                    t.fetch_stall_until = (
+                        branch.ready_cycle + self.core.mispredict_penalty
+                    )
+                else:
+                    break
+            if t.fetch_stall_until > cycle:
+                break
+            pc = t.pc
+            if not 0 <= pc < program_len:
+                t.faulted = f"pc {pc} out of range"
+                t.fetch_done = True
+                break
+
+            line = (pc * 4) // line_size
+            if line == last_line:
+                ready = last_ready
+            else:
+                ready = access_instruction(pc, cycle)
+                last_line = line
+                last_ready = ready
+            if ready > cycle + 1:
+                t.fetch_stall_until = ready
+                break
+
+            fl = flags[pc]
+            instr = instructions[pc]
+
+            if fl & FLAG_STORE and not is_arch and lf_enabled:
+                addr = int(regs[instr.srcs[1]]) + int(instr.imm or 0)
+                if not self._ssb_can_accept(t, addr, instr.size):
+                    t.ssb_stalled = True
+                    self._region_stats(t).ssb_stall_cycles += 1
+                    break
+            t.ssb_stalled = False
+
+            # Inlined _fetch_one on compiled handlers.
+            pi = PipelineInstr(seq, slot, pc, instr)
+            seq += 1
+
+            for reg in instr._reads:
+                if reg not in regs_written:
+                    read_before_write.add(reg)
+
+            if fl & FLAG_HALT:
+                t.fetch_done = True
+                fetch_queue.append(pi)
+                epoch_fetched += 1
+                fetched += 1
+                budget -= 1
+                continue
+
+            try:
+                if fl & FLAG_MEM:
+                    self._current_pi = pi
+                    if fl & FLAG_LOAD:
+                        self._last_writers = []
+                        next_pc = handlers[pc](regs, view, out)
+                        pi.mem_dep_writers = self._last_writers
+                    else:
+                        next_pc = handlers[pc](regs, view, out)
+                    pi.mem_addr = out[0]
+                    pi.mem_size = instr.size
+                else:
+                    next_pc = handlers[pc](regs, view, out)
+            except ExecutionError as exc:
+                t.faulted = str(exc)
+                t.fetch_done = True
+                budget -= 1
+                break
+            regs_written.update(instr._writes)
+
+            taken = False
+            if fl & FLAG_BRANCH:
+                taken = out[1]
+                pi.taken = taken
+                stats.branches += 1
+                correct, target_known = self.predictor.predict_instruction(
+                    pc, instr, taken, next_pc, slot
+                )
+                if not correct:
+                    stats.branch_mispredicts += 1
+                    pi.mispredicted = True
+                    t.fetch_stall_branch = pi
+                elif taken and not target_known:
+                    stats.btb_misses += 1
+                    t.fetch_stall_until = cycle + self.core.btb_miss_penalty
+
+            fetch_queue.append(pi)
+            epoch_fetched += 1
+            fetched += 1
+            t.pc = next_pc
+
+            if fl & FLAG_HINT:
+                self.seq = seq
+                t.epoch_fetched = epoch_fetched
+                self._handle_hint(t, instr)
+            budget -= 1
+            if taken:
+                break  # at most one taken branch per threadlet per cycle
+        # ``seq`` advances even on a faulting instruction (matching the
+        # reference _fetch_one), so write it back unconditionally.
+        self.seq = seq
+        if fetched:
+            t.epoch_fetched = epoch_fetched
+            stats.fetched_instructions += fetched
+            self._progress += fetched
+        return budget
 
     # Current PipelineInstr whose functional execution is in progress; used
     # by the memory views to attribute SSB writes to instructions.

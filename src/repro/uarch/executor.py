@@ -8,6 +8,12 @@ path passes :class:`~repro.uarch.memory_state.SparseMemory` directly.
 
 The executor treats LoopFrog hints as nops, matching the paper's guarantee
 that hint instructions never change sequential semantics (section 3).
+
+Two closure-compiled siblings trade this module's generality for speed —
+:mod:`repro.sampling.fastforward` (architectural-only fast-forwarding)
+and :mod:`repro.uarch.fastpath` (the detailed engine's fast path).  Both
+are differentially tested against the dispatch-table semantics here,
+which stays the oracle.
 """
 
 from __future__ import annotations

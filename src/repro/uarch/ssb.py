@@ -28,7 +28,7 @@ from .config import LoopFrogConfig
 from .memory_state import SparseMemory
 
 
-@dataclass
+@dataclass(slots=True)
 class SSBReadResult:
     """Outcome of a speculative read."""
 
@@ -40,6 +40,11 @@ class SSBReadResult:
 
 class SSBSlice:
     """Per-threadlet speculative store buffer slice."""
+
+    __slots__ = (
+        "slot", "config", "data", "writers", "lines", "line_bytes",
+        "granule_bytes", "capacity_lines", "num_sets", "victim_lines",
+    )
 
     def __init__(self, slot: int, config: LoopFrogConfig):
         self.slot = slot

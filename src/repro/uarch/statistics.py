@@ -11,7 +11,7 @@ from dataclasses import dataclass, field
 from typing import Dict
 
 
-@dataclass
+@dataclass(slots=True)
 class RegionStats:
     """Per parallel-region (loop) statistics, keyed by region label."""
 
@@ -30,7 +30,7 @@ class RegionStats:
     packing_detaches: int = 0
 
 
-@dataclass
+@dataclass(slots=True)
 class SimStats:
     """Whole-run statistics for one timing simulation."""
 

@@ -23,7 +23,7 @@ class ThreadletState(enum.Enum):
     DRAINING = "draining"  # slot flushing its slice after commit
 
 
-@dataclass
+@dataclass(slots=True)
 class Checkpoint:
     """Register snapshot for squash-and-restart (section 4)."""
 
@@ -36,7 +36,23 @@ class Checkpoint:
 
 
 class Threadlet:
-    """One threadlet context.  The engine owns the lifecycle."""
+    """One threadlet context.  The engine owns the lifecycle.
+
+    ``__slots__`` because threadlet attributes are on the engine's
+    per-cycle hot path (fetch gates, queue peeks, state checks).
+    """
+
+    __slots__ = (
+        "slot", "fetch_queue_size", "state", "is_arch", "epoch", "regs",
+        "pc", "fetch_queue", "fetch_done", "fetch_stall_until",
+        "fetch_stall_branch", "ssb_stalled", "mem_view", "inflight",
+        "rename", "store_writers", "region", "region_label", "stat_region",
+        "successor", "predecessor", "checkpoint", "skip_reattaches",
+        "packed_factor", "packed_prediction", "start_regs",
+        "regs_read_before_write", "regs_written", "epoch_fetched",
+        "epoch_committed", "committed_while_spec", "halt_cycle", "faulted",
+        "detach_seq",
+    )
 
     def __init__(self, slot: int, fetch_queue_size: int):
         self.slot = slot

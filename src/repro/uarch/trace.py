@@ -66,6 +66,10 @@ class Tracer:
         """Wrap the engine's stage methods to record activity."""
         tracer = cls(max_instructions)
         tracer._engine = engine
+        # The fast path inlines the per-stage helpers hooked below, so a
+        # traced engine must run the reference pipeline (bit-identical
+        # timing, just observable stage calls).
+        engine.use_reference_path()
 
         fetch_one = engine._fetch_one
         dispatch_one = engine._dispatch_one

@@ -1,0 +1,170 @@
+"""Differential parity: the fast-path engine vs the reference engine.
+
+The fast path (``core.py``: compiled per-instruction closures, merged
+single-threadlet step, slot-order caches, batched statistics) claims to
+be *bit-identical* to the reference pipeline it replaced.  This suite is
+that claim, mechanised:
+
+* the 50 seeded fuzz programs from :mod:`tests.test_differential`, and
+* every workload of every registered suite (spec2017, spec2006, longrun),
+
+each run through both engine paths on both machine configurations, with
+the full :class:`~repro.uarch.statistics.SimStats` record — cycles,
+every counter, per-region breakdowns — plus the observability metric
+snapshot asserted equal field-for-field.  A separate case proves
+:meth:`Engine.run_window` (the sampled-simulation entry point) agrees on
+warmup/measured boundaries too.
+
+The fast leg pins reference mode *off* explicitly, so the suite still
+compares fast-vs-reference (rather than reference-vs-reference) when CI
+runs the whole test tier under ``REPRO_ENGINE_REFERENCE=1``.
+"""
+
+import dataclasses
+import functools
+
+import pytest
+
+from repro.compiler import compile_frog
+from repro.obs.metrics import load_all
+from repro.uarch.config import baseline_machine, default_machine
+from repro.uarch.core import Engine, set_engine_reference_mode
+from repro.workloads.suites import SUITE_NAMES, suite
+
+from tests.test_differential import (
+    NUM_PROGRAMS,
+    _fresh_memory,
+    _initial_regs,
+    generate_program,
+)
+
+MACHINES = {
+    "baseline": baseline_machine,
+    "loopfrog": default_machine,
+}
+
+_METRICS = load_all()
+
+
+@functools.lru_cache(maxsize=None)
+def _fuzz_program(seed: int):
+    return compile_frog(generate_program(seed)).program
+
+
+def _run_stats(program, memory, regs, machine, *, reference, max_cycles=None):
+    """Construct and run one engine with the path pinned explicitly."""
+    set_engine_reference_mode(reference)
+    try:
+        engine = Engine(machine, program, memory, regs)
+    finally:
+        set_engine_reference_mode(None)
+    assert engine.reference_mode is reference
+    if max_cycles is None:
+        return engine.run()
+    return engine.run(max_cycles=max_cycles)
+
+
+def _assert_parity(ref_stats, fast_stats, label):
+    assert fast_stats.cycles == ref_stats.cycles, (
+        f"{label}: cycles diverged "
+        f"(reference {ref_stats.cycles}, fast {fast_stats.cycles})"
+    )
+    ref_record = dataclasses.asdict(ref_stats)
+    fast_record = dataclasses.asdict(fast_stats)
+    if fast_record != ref_record:
+        diverged = sorted(
+            key for key in ref_record
+            if fast_record.get(key) != ref_record[key]
+        )
+        raise AssertionError(
+            f"{label}: SimStats diverged in fields {diverged}"
+        )
+    assert _METRICS.collect(fast_stats) == _METRICS.collect(ref_stats), (
+        f"{label}: obs metric snapshot diverged"
+    )
+
+
+# ---------------------------------------------------------------------------
+# Fuzz corpus parity
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("machine_name", sorted(MACHINES))
+@pytest.mark.parametrize("seed", range(NUM_PROGRAMS))
+def test_fuzz_program_parity(seed, machine_name):
+    program = _fuzz_program(seed)
+    machine = MACHINES[machine_name]
+    ref = _run_stats(
+        program, _fresh_memory(seed), _initial_regs(seed), machine(),
+        reference=True,
+    )
+    fast = _run_stats(
+        program, _fresh_memory(seed), _initial_regs(seed), machine(),
+        reference=False,
+    )
+    _assert_parity(ref, fast, f"fuzz seed {seed} on {machine_name}")
+
+
+# ---------------------------------------------------------------------------
+# Suite workload parity
+# ---------------------------------------------------------------------------
+
+def _suite_cases():
+    for suite_name in SUITE_NAMES:
+        for benchmark in suite(suite_name):
+            yield pytest.param(
+                suite_name, benchmark.name,
+                id=f"{suite_name}-{benchmark.name}",
+            )
+
+
+@pytest.mark.parametrize("machine_name", sorted(MACHINES))
+@pytest.mark.parametrize("suite_name,bench_name", list(_suite_cases()))
+def test_suite_workload_parity(suite_name, bench_name, machine_name):
+    benchmark = next(
+        b for b in suite(suite_name) if b.name == bench_name
+    )
+    machine = MACHINES[machine_name]
+    for workload, _weight in benchmark.phases:
+        runs = {}
+        for reference in (True, False):
+            memory, regs = workload.fresh_input()
+            runs[reference] = _run_stats(
+                workload.program, memory, regs, machine(),
+                reference=reference, max_cycles=workload.max_cycles,
+            )
+        _assert_parity(
+            runs[True], runs[False],
+            f"{suite_name}:{workload.name} on {machine_name}",
+        )
+
+
+# ---------------------------------------------------------------------------
+# Sampled-window entry point parity
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("machine_name", sorted(MACHINES))
+def test_run_window_parity(machine_name):
+    workload = suite("spec2017")[0].phases[0][0]
+    machine = MACHINES[machine_name]
+    windows = {}
+    for reference in (True, False):
+        memory, regs = workload.fresh_input()
+        set_engine_reference_mode(reference)
+        try:
+            engine = Engine(machine(), workload.program, memory, regs)
+        finally:
+            set_engine_reference_mode(None)
+        windows[reference] = engine.run_window(
+            2_000, warmup_instructions=500,
+        )
+    ref, fast = windows[True], windows[False]
+    for field in (
+        "warmup_instructions", "warmup_cycles",
+        "measured_instructions", "measured_cycles", "finished",
+    ):
+        assert getattr(fast, field) == getattr(ref, field), (
+            f"run_window {field} diverged on {machine_name}"
+        )
+    _assert_parity(
+        ref.stats, fast.stats, f"run_window stats on {machine_name}"
+    )

@@ -142,6 +142,14 @@ def compare(baseline, current, tolerance=DEFAULT_TOLERANCE):
                 f"ratio {b_ratio:.3f})"
             )
 
+    # -- fast-path speedup (informational; parity is gated by tests) ---------
+    cur_ref = current.get("reference_instructions_per_second")
+    if cur_ref:
+        lines.append(
+            f"fast path: {cur_ips / cur_ref:.2f}x the reference engine "
+            f"({cur_ref:.0f} instr/s reference)"
+        )
+
     # -- lint-throughput gate (skipped for records predating the field) ------
     base_lint = baseline.get("lint_loops_per_second")
     cur_lint = current.get("lint_loops_per_second")

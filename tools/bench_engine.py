@@ -11,9 +11,12 @@ measures raw engine speed, never cache hits.
 
 Besides the aggregate, the record carries a ``per_benchmark`` breakdown
 (so bench_compare.py can name the worst regressor on a throughput
-failure) and ``fast_forward_instructions_per_second`` — the steady-state
-throughput of the functional fast-forward executor that sampled
-simulation (docs/sampling.md) uses to skip between detailed windows.
+failure), ``reference_instructions_per_second`` (the unoptimized
+reference engine on the same subset — the fast-path speedup is the
+ratio), a per-step-phase ``phases`` breakdown from a profiled pass, and
+``fast_forward_instructions_per_second`` — the steady-state throughput
+of the functional fast-forward executor that sampled simulation
+(docs/sampling.md) uses to skip between detailed windows.
 """
 
 import argparse
@@ -115,6 +118,59 @@ def measure_exp_dispatch(benchmarks):
     }
 
 
+def measure_reference(benchmarks, machines):
+    """Throughput of the unoptimized reference engine on the same subset.
+
+    Together with the headline ``instructions_per_second`` this makes the
+    fast-path speedup visible directly in BENCH_engine.json; the parity
+    suite (tests/test_engine_parity.py) proves the two paths bit-identical.
+    """
+    from repro.uarch.core import set_engine_reference_mode
+
+    set_engine_reference_mode(True)
+    try:
+        instructions = 0
+        start = time.perf_counter()
+        for benchmark in benchmarks:
+            for workload, _weight in benchmark.phases:
+                for _label, machine in machines:
+                    stats = _simulate(workload, machine)
+                    instructions += stats.arch_instructions
+        elapsed = time.perf_counter() - start
+    finally:
+        set_engine_reference_mode(None)
+    return round(instructions / elapsed, 1) if elapsed else 0.0
+
+
+def measure_phases(benchmarks, machines):
+    """Per-step-phase wall breakdown of the fast path (profiled pass).
+
+    Runs the subset once more under cProfile and folds the phase-method
+    cumtimes with the same logic as tools/profile_engine.py, so the bench
+    record shows where engine time goes without re-deriving it by hand.
+    The profiled pass is separate from the timed pass — profiling
+    overhead never contaminates ``instructions_per_second``.
+    """
+    import cProfile
+    import pstats
+
+    try:
+        from profile_engine import _phase_breakdown
+    except ImportError:  # imported as a package module rather than a script
+        from tools.profile_engine import _phase_breakdown
+
+    profiler = cProfile.Profile()
+    start = time.perf_counter()
+    profiler.enable()
+    for benchmark in benchmarks:
+        for workload, _weight in benchmark.phases:
+            for _label, machine in machines:
+                _simulate(workload, machine)
+    profiler.disable()
+    wall = time.perf_counter() - start
+    return _phase_breakdown(pstats.Stats(profiler), wall)
+
+
 def run_bench():
     benchmarks = suite(BENCH_SUITE)[:BENCH_COUNT]
     machines = [("baseline", baseline_machine()), ("loopfrog", default_machine())]
@@ -159,6 +215,10 @@ def run_bench():
         "instructions_per_second": round(instructions / elapsed, 1),
         "cycles_per_second": round(cycles / elapsed, 1),
         "per_benchmark": per_benchmark,
+        "reference_instructions_per_second": measure_reference(
+            benchmarks, machines
+        ),
+        "phases": measure_phases(benchmarks, machines),
         "fast_forward_instructions_per_second": measure_fast_forward(
             benchmarks
         ),
@@ -181,6 +241,11 @@ def main(argv=None):
         f"{result['wall_seconds']}s -> "
         f"{result['instructions_per_second']:.0f} instr/s"
     )
+    ref = result["reference_instructions_per_second"]
+    if ref:
+        speedup = result["instructions_per_second"] / ref
+        print(f"reference path: {ref:.0f} instr/s "
+              f"(fast path is {speedup:.2f}x)")
     ff = result["fast_forward_instructions_per_second"]
     ratio = ff / result["instructions_per_second"]
     print(f"fast-forward: {ff:.0f} instr/s ({ratio:.1f}x detailed)")
