@@ -180,15 +180,35 @@ def _apply_runner_options(args: argparse.Namespace) -> None:
 
 def cmd_suite(args: argparse.Namespace) -> int:
     from .experiments import run_suite, suite_geomean
+    from .workloads import available_suites
 
     _apply_runner_options(args)
-    runs = run_suite(args.name, only=args.only.split(",") if args.only else None,
+    name = args.name
+    if args.spec:
+        from .workloads.spec import SuiteSpec, load_spec_file, register_spec_suite
+
+        document = load_spec_file(args.spec)
+        if not isinstance(document, SuiteSpec):
+            raise ReproError(
+                f"{args.spec}: --spec needs a suite document "
+                f"('suite:' + 'benchmarks:'), not bare workload specs"
+            )
+        register_spec_suite(document)
+        name = name or document.name
+    if not name:
+        raise ReproError("suite needs a name (or --spec FILE)")
+    if name not in available_suites():
+        raise ReproError(
+            f"unknown suite {name!r}; choose from: "
+            f"{', '.join(available_suites())}"
+        )
+    runs = run_suite(name, only=args.only.split(",") if args.only else None,
                      sampling=True if args.sampled else None)
     items = [(r.name, r.speedup_percent)
              for r in sorted(runs, key=lambda r: -r.speedup)]
     geomean = (suite_geomean(runs) - 1) * 100
     mode = " (sampled)" if args.sampled else ""
-    print(format_bars(items, title=f"{args.name}: whole-program speedup"
+    print(format_bars(items, title=f"{name}: whole-program speedup"
                                    f"{mode} (geomean {geomean:+.1f}%)"))
     return 0
 
@@ -354,9 +374,12 @@ def cmd_trace(args: argparse.Namespace) -> int:
 
 
 def cmd_workloads(args: argparse.Namespace) -> int:
-    from .workloads import SUITE_NAMES, suite
+    from .workloads import available_suites, suite
 
-    for suite_name in SUITE_NAMES:
+    if args.action == "gen":
+        return _cmd_workloads_gen(args)
+
+    for suite_name in available_suites():
         print(f"{suite_name}:")
         for bench in suite(suite_name):
             flag = "profitable" if bench.profitable else "no-speedup"
@@ -365,6 +388,97 @@ def cmd_workloads(args: argparse.Namespace) -> int:
             )
             print(f"  {bench.name:14s} [{flag:10s}] {phases}")
         print()
+    return 0
+
+
+def _cmd_workloads_gen(args: argparse.Namespace) -> int:
+    """``repro workloads gen SPEC``: materialize spec-defined workloads."""
+    from .workloads.spec import SuiteSpec, build_suite, load_spec_file
+
+    if not args.spec:
+        raise ReproError("workloads gen needs a spec file argument")
+    document = load_spec_file(args.spec)
+    if isinstance(document, SuiteSpec):
+        benchmarks = build_suite(document)
+        print(f"suite {document.name}: {len(benchmarks)} benchmark(s)")
+        workloads = []
+        for bench in benchmarks:
+            phases = ", ".join(
+                f"{w.name} (w={weight:.2f})" for w, weight in bench.phases
+            )
+            print(f"  {bench.name:14s} {phases}")
+            workloads.extend(w for w, _ in bench.phases)
+    else:
+        workloads = [spec.instantiate() for spec in document]
+    print()
+    for workload in workloads:
+        program = workload.program
+        hinted = sum(
+            1 for r in workload.compiled().hint_reports if r.annotated
+        )
+        print(f"{workload.name:24s} seed={workload.seed:<8d} "
+              f"{len(program.instructions):5d} instr, "
+              f"{hinted} hinted loop(s)")
+    if args.out:
+        os.makedirs(args.out, exist_ok=True)
+        for workload in workloads:
+            path = os.path.join(args.out, f"{workload.name}.frog")
+            with open(path, "w") as fh:
+                fh.write(workload.source)
+        print(f"\nwrote {len(workloads)} .frog file(s) to {args.out}")
+    return 0
+
+
+def cmd_fuzz(args: argparse.Namespace) -> int:
+    import json
+
+    from .fuzz import FuzzConfig, load_corpus, run_fuzz, write_corpus
+    from .fuzz.corpus import DEFAULT_CORPUS_DIR, replay_entry
+
+    corpus_dir = args.corpus or DEFAULT_CORPUS_DIR
+
+    if args.replay:
+        entries = load_corpus(corpus_dir)
+        failures = 0
+        for entry in entries:
+            ok, message = replay_entry(entry)
+            status = "ok" if ok else "FAIL"
+            print(f"{status:4s} {entry.name}: {message}")
+            if not ok:
+                failures += 1
+        print(f"replayed {len(entries)} corpus entr(ies), "
+              f"{failures} failure(s)")
+        return 1 if failures else 0
+
+    if args.budget < 1:
+        raise ReproError(f"--budget must be >= 1, got {args.budget}")
+    if args.max_mutations < 0:
+        raise ReproError(
+            f"--max-mutations must be >= 0, got {args.max_mutations}"
+        )
+    config = FuzzConfig(
+        seed=args.seed, budget=args.budget,
+        max_mutations=args.max_mutations,
+    )
+    log = None if args.json else print
+    report = run_fuzz(config, log=log)
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        counts = ", ".join(
+            f"{name}={count}"
+            for name, count in sorted(report.oracle_counts.items())
+        ) or "none"
+        print(f"seed {report.seed}, budget {report.budget}: "
+              f"{report.cases} case(s), {report.executions} execution(s), "
+              f"{report.crashes} crash(es)")
+        print(f"oracle hits: {counts}")
+        print(f"survivors: {len(report.survivors)} unique "
+              f"({report.programs_per_second:.0f} programs/s)")
+    if args.write:
+        paths = write_corpus(report.survivors, corpus_dir)
+        print(f"wrote {len(paths)} corpus file(s) to {corpus_dir}",
+              file=sys.stderr)
     return 0
 
 
@@ -421,8 +535,13 @@ def build_parser() -> argparse.ArgumentParser:
     add_runner_options(p)
     p.set_defaults(func=cmd_lint)
 
-    p = sub.add_parser("suite", help="run a SPEC stand-in suite")
-    p.add_argument("name", choices=["spec2017", "spec2006", "longrun"])
+    p = sub.add_parser("suite", help="run a SPEC stand-in or spec-file suite")
+    p.add_argument("name", nargs="?",
+                   help="built-in suite (spec2017, spec2006, longrun) or a "
+                        "suite registered via --spec")
+    p.add_argument("--spec", metavar="FILE",
+                   help="register the suite defined in this spec file "
+                        "(docs/workloads.md) before running")
     p.add_argument("--only", help="comma-separated benchmark names")
     p.add_argument("--sampled", action="store_true",
                    help="estimate phases with sampled simulation "
@@ -491,8 +610,41 @@ def build_parser() -> argparse.ArgumentParser:
     add_runner_options(p)
     p.set_defaults(func=cmd_experiment)
 
-    p = sub.add_parser("workloads", help="list benchmarks and phases")
+    p = sub.add_parser(
+        "workloads",
+        help="list benchmarks and phases, or materialize a spec file",
+    )
+    p.add_argument("action", nargs="?", choices=["list", "gen"],
+                   default="list",
+                   help="'list' (default) or 'gen SPEC' to instantiate "
+                        "workloads from a spec file (docs/workloads.md)")
+    p.add_argument("spec", nargs="?", metavar="SPEC",
+                   help="with gen: the spec .yaml file")
+    p.add_argument("--out", metavar="DIR",
+                   help="with gen: also write one .frog source per workload")
     p.set_defaults(func=cmd_workloads)
+
+    p = sub.add_parser(
+        "fuzz",
+        help="seed-pinned mutation fuzzing of generated Frog programs",
+    )
+    p.add_argument("--seed", type=int, default=0,
+                   help="session seed (default 0); the (seed, budget) pair "
+                        "replays byte-identically")
+    p.add_argument("--budget", type=int, default=50, metavar="N",
+                   help="candidate programs to generate (default 50)")
+    p.add_argument("--max-mutations", type=int, default=3, metavar="N",
+                   help="mutations applied per candidate, 0..N (default 3)")
+    p.add_argument("--corpus", metavar="DIR",
+                   help="corpus directory (default tests/fuzz_corpus)")
+    p.add_argument("--write", action="store_true",
+                   help="write minimized survivors into the corpus")
+    p.add_argument("--replay", action="store_true",
+                   help="replay the corpus instead of fuzzing: every "
+                        "entry's oracle must fire again on both engines")
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable session report")
+    p.set_defaults(func=cmd_fuzz)
 
     p = sub.add_parser(
         "trace",

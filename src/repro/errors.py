@@ -58,3 +58,11 @@ class SimulationError(ReproError):
 
 class WorkloadError(ReproError):
     """Raised when a named workload or suite cannot be constructed."""
+
+
+class SpecError(WorkloadError):
+    """Raised when a workload spec (YAML or dict) is malformed."""
+
+
+class FuzzError(ReproError):
+    """Raised when a fuzzing session or corpus operation cannot proceed."""

@@ -1,0 +1,32 @@
+"""Performance fuzzing: mutate generated Frog programs, hunt pathologies.
+
+The fuzzer draws seed-pinned random loop nests (:mod:`.model`), perturbs
+them with named mutators (:mod:`.mutators`), executes each candidate on
+the functional executor and the LoopFrog core, and keeps the ones an
+*interestingness oracle* flags (:mod:`.oracles`): differential state
+divergence, static-verdict/observed-squash disagreement, squash storms,
+packing pathologies, SSB overflow.  Survivors are minimized and frozen
+into a corpus directory (:mod:`.corpus`) that
+``tests/test_fuzz_regressions.py`` replays as permanent named workloads.
+"""
+
+from .corpus import corpus_workloads, load_corpus, write_corpus
+from .engine import FuzzConfig, FuzzReport, Survivor, run_fuzz
+from .model import LoopSpec, ProgramSpec, StmtSpec
+from .oracles import ORACLES, OracleOutcome, evaluate_case
+
+__all__ = [
+    "FuzzConfig",
+    "FuzzReport",
+    "LoopSpec",
+    "ORACLES",
+    "OracleOutcome",
+    "ProgramSpec",
+    "StmtSpec",
+    "Survivor",
+    "corpus_workloads",
+    "evaluate_case",
+    "load_corpus",
+    "run_fuzz",
+    "write_corpus",
+]

@@ -1,0 +1,158 @@
+"""Named, deterministic mutation operators over :class:`ProgramSpec`.
+
+Each mutator takes ``(spec, rng)`` and returns a new spec (the tree is
+immutable).  All randomness flows through the passed ``random.Random``,
+so a (seed, budget) pair replays to byte-identical candidates.  The
+registry is ordered and name-keyed: sessions draw mutators by index from
+their private rng, and corpus entries can name which mutations produced
+them.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, List, Tuple
+
+from .model import (
+    MAX_NESTED_TRIP,
+    MAX_OFFSET,
+    MAX_TRIP,
+    STMT_CARRIED,
+    STMT_KINDS,
+    STMT_SHARED,
+    LoopSpec,
+    ProgramSpec,
+    StmtSpec,
+)
+
+Mutator = Callable[[ProgramSpec, random.Random], ProgramSpec]
+
+
+def _replace_loop(spec: ProgramSpec, index: int,
+                  loop: LoopSpec) -> ProgramSpec:
+    loops = list(spec.loops)
+    loops[index] = loop
+    return ProgramSpec(loops=tuple(loops), input_seed=spec.input_seed)
+
+
+def _pick_loop(spec: ProgramSpec, rng: random.Random) -> int:
+    return rng.randrange(len(spec.loops))
+
+
+def _with(loop: LoopSpec, **kwargs) -> LoopSpec:
+    fields = {
+        "trip": loop.trip, "stride": loop.stride, "offset": loop.offset,
+        "pragma": loop.pragma, "nested_trip": loop.nested_trip,
+        "stmts": loop.stmts,
+    }
+    fields.update(kwargs)
+    return LoopSpec(**fields)
+
+
+def perturb_stride(spec: ProgramSpec, rng: random.Random) -> ProgramSpec:
+    """Stride perturbation: exercises conflict-granule aliasing."""
+    i = _pick_loop(spec, rng)
+    loop = spec.loops[i]
+    choices = [s for s in (1, 2, 3, 4, 5, 8) if s != loop.stride]
+    return _replace_loop(spec, i, _with(loop, stride=rng.choice(choices)))
+
+
+def perturb_offset(spec: ProgramSpec, rng: random.Random) -> ProgramSpec:
+    """Offset perturbation: shifts which granules iterations touch."""
+    i = _pick_loop(spec, rng)
+    loop = spec.loops[i]
+    return _replace_loop(
+        spec, i, _with(loop, offset=rng.randrange(MAX_OFFSET + 1))
+    )
+
+
+def toggle_pragma(spec: ProgramSpec, rng: random.Random) -> ProgramSpec:
+    """Hint placement: annotate or un-annotate one loop."""
+    i = _pick_loop(spec, rng)
+    loop = spec.loops[i]
+    return _replace_loop(spec, i, _with(loop, pragma=not loop.pragma))
+
+
+def inject_conflict(spec: ProgramSpec, rng: random.Random) -> ProgramSpec:
+    """Conflict injection: add a shared-cell RMW or carried dependence."""
+    i = _pick_loop(spec, rng)
+    loop = spec.loops[i]
+    stmt = StmtSpec(
+        kind=rng.choice([STMT_SHARED, STMT_CARRIED]),
+        scale=rng.choice([1, 2, 3]),
+        distance=rng.choice([1, 2, 4, 8]),
+    )
+    return _replace_loop(spec, i, _with(loop, stmts=loop.stmts + (stmt,)))
+
+
+def drop_stmt(spec: ProgramSpec, rng: random.Random) -> ProgramSpec:
+    """Remove one statement (loops keep at least one)."""
+    candidates = [
+        i for i, loop in enumerate(spec.loops) if len(loop.stmts) > 1
+    ]
+    if not candidates:
+        return spec
+    i = rng.choice(candidates)
+    loop = spec.loops[i]
+    k = rng.randrange(len(loop.stmts))
+    stmts = loop.stmts[:k] + loop.stmts[k + 1:]
+    return _replace_loop(spec, i, _with(loop, stmts=stmts))
+
+
+def mutate_trip(spec: ProgramSpec, rng: random.Random) -> ProgramSpec:
+    """Trip-count mutation, biased to the interesting extremes (0, 1,
+    packing-relevant smalls, and the cap)."""
+    i = _pick_loop(spec, rng)
+    loop = spec.loops[i]
+    choices = [t for t in (0, 1, 2, 3, 5, 8, 13, 21, 34, MAX_TRIP)
+               if t != loop.trip]
+    return _replace_loop(spec, i, _with(loop, trip=rng.choice(choices)))
+
+
+def nest_loop(spec: ProgramSpec, rng: random.Random) -> ProgramSpec:
+    """Nesting mutation: add, resize or remove an inner loop."""
+    i = _pick_loop(spec, rng)
+    loop = spec.loops[i]
+    choices = [n for n in (0, 2, 4, MAX_NESTED_TRIP)
+               if n != loop.nested_trip]
+    return _replace_loop(
+        spec, i, _with(loop, nested_trip=rng.choice(choices))
+    )
+
+
+def mutate_stmt_kind(spec: ProgramSpec, rng: random.Random) -> ProgramSpec:
+    """Swap one statement's kind, keeping its scale/distance."""
+    i = _pick_loop(spec, rng)
+    loop = spec.loops[i]
+    k = rng.randrange(len(loop.stmts))
+    old = loop.stmts[k]
+    kind = rng.choice([kd for kd in STMT_KINDS if kd != old.kind])
+    stmts = list(loop.stmts)
+    stmts[k] = StmtSpec(kind=kind, scale=old.scale, distance=old.distance)
+    return _replace_loop(spec, i, _with(loop, stmts=tuple(stmts)))
+
+
+MUTATORS: Dict[str, Mutator] = {
+    "perturb_stride": perturb_stride,
+    "perturb_offset": perturb_offset,
+    "toggle_pragma": toggle_pragma,
+    "inject_conflict": inject_conflict,
+    "drop_stmt": drop_stmt,
+    "mutate_trip": mutate_trip,
+    "nest_loop": nest_loop,
+    "mutate_stmt_kind": mutate_stmt_kind,
+}
+
+MUTATOR_NAMES: Tuple[str, ...] = tuple(MUTATORS)
+
+
+def apply_mutations(
+    spec: ProgramSpec, rng: random.Random, count: int
+) -> Tuple[ProgramSpec, List[str]]:
+    """Apply ``count`` randomly-chosen mutators; returns (spec, names)."""
+    names: List[str] = []
+    for _ in range(count):
+        name = MUTATOR_NAMES[rng.randrange(len(MUTATOR_NAMES))]
+        spec = MUTATORS[name](spec, rng)
+        names.append(name)
+    return spec, names

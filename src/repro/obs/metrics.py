@@ -212,6 +212,7 @@ def load_all() -> MetricsRegistry:
     from ..analysis import lint  # noqa: F401
     from ..compiler import pipeline  # noqa: F401
     from ..experiments import spec  # noqa: F401
+    from ..fuzz import engine  # noqa: F401
     from ..sampling import runner  # noqa: F401
     from ..uarch import (  # noqa: F401
         caches, conflict, core, executor, packing, ssb,

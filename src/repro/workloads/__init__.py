@@ -13,16 +13,27 @@ from .base import (
 )
 from .suites import (
     SUITE_NAMES,
+    available_suites,
     get_benchmark,
     get_workload,
     profitable_2017,
+    register_suite,
     suite,
+)
+from .spec import (
+    BenchmarkSpec,
+    SuiteSpec,
+    WorkloadSpec,
+    load_spec_file,
+    register_spec_suite,
+    template_names,
 )
 from . import generators, longrun
 
 __all__ = [
     "ALL_CATEGORIES",
     "Benchmark",
+    "BenchmarkSpec",
     "CATEGORY_BRANCH_PREFETCH",
     "CATEGORY_CONTROL",
     "CATEGORY_DATA_PREFETCH",
@@ -30,11 +41,18 @@ __all__ = [
     "CATEGORY_MEMORY",
     "CATEGORY_NONE",
     "SUITE_NAMES",
+    "SuiteSpec",
     "Workload",
+    "WorkloadSpec",
+    "available_suites",
     "get_benchmark",
     "get_workload",
+    "load_spec_file",
     "profitable_2017",
+    "register_spec_suite",
+    "register_suite",
     "suite",
+    "template_names",
     "generators",
     "longrun",
 ]

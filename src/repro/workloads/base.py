@@ -53,6 +53,23 @@ class Workload:
     _compiled: Optional[CompileResult] = field(default=None, repr=False)
     _compiled_nohints: Optional[CompileResult] = field(default=None, repr=False)
 
+    # Fields whose mutation changes the workload's identity: the memoized
+    # content digest (results/digest.py) and — for source/name — the
+    # compiled-program caches must be dropped, or a mutated workload would
+    # silently serve results computed for the old inputs.
+    _IDENTITY_FIELDS = frozenset(
+        {"name", "source", "setup", "seed", "max_cycles"}
+    )
+    _COMPILE_FIELDS = frozenset({"name", "source"})
+
+    def __setattr__(self, key: str, value) -> None:
+        if key in self._IDENTITY_FIELDS:
+            self.__dict__.pop("_repro_digest", None)
+            if key in self._COMPILE_FIELDS:
+                self.__dict__["_compiled"] = None
+                self.__dict__["_compiled_nohints"] = None
+        object.__setattr__(self, key, value)
+
     def compiled(self, hints: bool = True) -> CompileResult:
         """Compile (cached).  ``hints=False`` strips the pragma effect."""
         if hints:

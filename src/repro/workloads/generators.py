@@ -119,7 +119,9 @@ def event_queue(name: str, nodes: int = 220, spread: int = 4096,
             nxt = ids[pos + 1] if pos + 1 < nodes else 0
             mem.store_int(A0 + 8 * node, nxt)
             mem.store_int(A1 + 8 * node, rng.randrange(1 << 30))
-        return {"r1": A0, "r2": A1, "r3": A2, "r4": ids[0]}
+        # nodes=0 means an empty list: start from the null node (zero-trip
+        # walk) instead of indexing into an empty id list.
+        return {"r1": A0, "r2": A1, "r3": A2, "r4": ids[0] if ids else 0}
 
     return Workload(name, source, setup, seed=seed,
                     description="linked-list walk with data-dependent branches")

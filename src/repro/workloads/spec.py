@@ -1,0 +1,387 @@
+"""Declarative workload specs: suites as data instead of code.
+
+A :class:`WorkloadSpec` names a kernel *template* (one of the public
+generator functions in :mod:`repro.workloads.generators`), the parameters
+to instantiate it with, and an optional seed / cycle budget / category
+override.  Specs round-trip through a deterministic YAML subset
+(:mod:`repro.workloads.specyaml`), so a suite is now a checked-in data
+file rather than a Python module — the fmperf pattern of homogeneous /
+heterogeneous / realistic workload specs.
+
+A spec file holds one of three document shapes:
+
+* a single spec mapping (``template: ... / name: ...``),
+* a list of spec mappings,
+* a suite mapping (``suite: NAME`` + ``benchmarks:`` each with weighted
+  ``phases`` of specs), which :func:`register_spec_suite` makes visible
+  to ``repro suite`` / ``get_workload`` alongside the built-in stand-ins.
+
+The template registry is discovered by introspection: every public
+function in ``generators`` whose first parameter is ``name`` is a
+template, and its keyword defaults define the legal spec parameters.
+Adding a generator automatically adds a template.
+"""
+
+from __future__ import annotations
+
+import inspect
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from ..errors import SpecError
+from . import generators, specyaml
+from .base import ALL_CATEGORIES, Benchmark, CATEGORY_NONE, Workload
+
+__all__ = [
+    "WorkloadSpec",
+    "BenchmarkSpec",
+    "SuiteSpec",
+    "template_names",
+    "template_params",
+    "parse_spec_document",
+    "load_spec_file",
+    "build_suite",
+    "register_spec_suite",
+]
+
+
+# ---------------------------------------------------------------------------
+# Template registry (discovered from the generator module)
+# ---------------------------------------------------------------------------
+
+
+def _discover_templates() -> Dict[str, Any]:
+    templates: Dict[str, Any] = {}
+    for name in dir(generators):
+        if name.startswith("_"):
+            continue
+        fn = getattr(generators, name)
+        if not inspect.isfunction(fn) or fn.__module__ != generators.__name__:
+            continue
+        params = list(inspect.signature(fn).parameters)
+        if not params or params[0] != "name":
+            continue  # helpers like serial_section are not templates
+        templates[name] = fn
+    return templates
+
+
+_TEMPLATES: Dict[str, Any] = _discover_templates()
+
+
+def template_names() -> List[str]:
+    """Every registered kernel template id, sorted."""
+    return sorted(_TEMPLATES)
+
+
+def template_params(template: str) -> Dict[str, Any]:
+    """``{param: default}`` for a template (excluding ``name``/``seed``)."""
+    fn = _TEMPLATES.get(template)
+    if fn is None:
+        raise SpecError(
+            f"unknown template {template!r}; choose from: "
+            f"{', '.join(template_names())}"
+        )
+    out = {}
+    for pname, param in inspect.signature(fn).parameters.items():
+        if pname in ("name", "seed"):
+            continue
+        out[pname] = param.default
+    return out
+
+
+# ---------------------------------------------------------------------------
+# WorkloadSpec
+# ---------------------------------------------------------------------------
+
+_SPEC_KEYS = ("template", "name", "params", "seed", "max_cycles", "category")
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """A frozen, hashable description of one workload instantiation."""
+
+    template: str
+    name: str
+    params: Tuple[Tuple[str, Any], ...] = ()
+    seed: Optional[int] = None
+    max_cycles: Optional[int] = None
+    category: str = ""
+
+    def __post_init__(self):
+        if isinstance(self.params, dict):
+            object.__setattr__(
+                self, "params", tuple(sorted(self.params.items()))
+            )
+        else:
+            object.__setattr__(
+                self, "params", tuple(sorted(tuple(p) for p in self.params))
+            )
+        if not self.name or not isinstance(self.name, str):
+            raise SpecError("spec needs a non-empty string 'name'")
+        legal = template_params(self.template)  # validates the template too
+        for key, _value in self.params:
+            if key not in legal:
+                raise SpecError(
+                    f"{self.name}: template {self.template!r} has no "
+                    f"parameter {key!r}; valid parameters: "
+                    f"{', '.join(sorted(legal))}"
+                )
+        if self.seed is not None and not isinstance(self.seed, int):
+            raise SpecError(f"{self.name}: seed must be an integer")
+        if self.category and self.category not in (
+            ALL_CATEGORIES + (CATEGORY_NONE,)
+        ):
+            raise SpecError(
+                f"{self.name}: unknown category {self.category!r}"
+            )
+
+    # -- conversion ----------------------------------------------------------
+
+    def params_dict(self) -> Dict[str, Any]:
+        return dict(self.params)
+
+    def to_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {"template": self.template, "name": self.name}
+        if self.params:
+            out["params"] = self.params_dict()
+        if self.seed is not None:
+            out["seed"] = self.seed
+        if self.max_cycles is not None:
+            out["max_cycles"] = self.max_cycles
+        if self.category:
+            out["category"] = self.category
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Any) -> "WorkloadSpec":
+        if not isinstance(data, dict):
+            raise SpecError(
+                f"workload spec must be a mapping, got "
+                f"{type(data).__name__}"
+            )
+        unknown = sorted(set(data) - set(_SPEC_KEYS))
+        if unknown:
+            raise SpecError(
+                f"unknown spec key(s) {', '.join(unknown)}; valid keys: "
+                f"{', '.join(_SPEC_KEYS)}"
+            )
+        if "template" not in data:
+            raise SpecError("workload spec needs a 'template' key")
+        if "name" not in data:
+            raise SpecError("workload spec needs a 'name' key")
+        params = data.get("params") or {}
+        if not isinstance(params, dict):
+            raise SpecError(
+                f"{data.get('name')}: 'params' must be a mapping"
+            )
+        return cls(
+            template=data["template"],
+            name=data["name"],
+            params=tuple(sorted(params.items())),
+            seed=data.get("seed"),
+            max_cycles=data.get("max_cycles"),
+            category=data.get("category") or "",
+        )
+
+    def to_yaml(self) -> str:
+        return specyaml.dump(self.to_dict())
+
+    @classmethod
+    def from_yaml(cls, text: str) -> "WorkloadSpec":
+        return cls.from_dict(specyaml.load(text))
+
+    # -- instantiation -------------------------------------------------------
+
+    def instantiate(self) -> Workload:
+        """Build the concrete :class:`Workload` this spec describes.
+
+        The spec seed is passed to the generator call itself, so it reaches
+        the setup ``random.Random`` through the normal ``Workload.seed``
+        path — there is no post-hoc mutation that could race the digest or
+        compile caches.
+        """
+        fn = _TEMPLATES[self.template]
+        kwargs = self.params_dict()
+        if self.seed is not None:
+            kwargs["seed"] = self.seed
+        try:
+            workload = fn(self.name, **kwargs)
+        except SpecError:
+            raise
+        except Exception as exc:
+            raise SpecError(
+                f"{self.name}: template {self.template!r} rejected "
+                f"params {kwargs!r}: {exc}"
+            ) from exc
+        if self.max_cycles is not None:
+            workload.max_cycles = self.max_cycles
+        if self.category:
+            workload.category = self.category
+        return workload
+
+
+# ---------------------------------------------------------------------------
+# Suite specs
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class BenchmarkSpec:
+    """One benchmark of a spec-defined suite: weighted workload specs."""
+
+    name: str
+    phases: Tuple[Tuple[WorkloadSpec, float], ...]
+    category: str = CATEGORY_NONE
+    profitable: bool = True
+    spec_behaviour: str = ""
+
+    @classmethod
+    def from_dict(cls, data: Any) -> "BenchmarkSpec":
+        if not isinstance(data, dict):
+            raise SpecError("benchmark entry must be a mapping")
+        if "name" not in data:
+            raise SpecError("benchmark entry needs a 'name' key")
+        name = data["name"]
+        raw_phases = data.get("phases")
+        if not isinstance(raw_phases, list) or not raw_phases:
+            raise SpecError(
+                f"benchmark {name!r} needs a non-empty 'phases' list"
+            )
+        phases = []
+        for entry in raw_phases:
+            if not isinstance(entry, dict):
+                raise SpecError(
+                    f"benchmark {name!r}: each phase must be a mapping"
+                )
+            entry = dict(entry)
+            weight = entry.pop("weight", 1.0)
+            if not isinstance(weight, (int, float)) or weight <= 0:
+                raise SpecError(
+                    f"benchmark {name!r}: phase weight must be positive"
+                )
+            phases.append((WorkloadSpec.from_dict(entry), float(weight)))
+        category = data.get("category") or CATEGORY_NONE
+        if category not in ALL_CATEGORIES + (CATEGORY_NONE,):
+            raise SpecError(
+                f"benchmark {name!r}: unknown category {category!r}"
+            )
+        return cls(
+            name=name,
+            phases=tuple(phases),
+            category=category,
+            profitable=bool(data.get("profitable", True)),
+            spec_behaviour=data.get("spec_behaviour") or "",
+        )
+
+
+@dataclass(frozen=True)
+class SuiteSpec:
+    """A whole spec-defined suite (``suite:`` + ``benchmarks:``)."""
+
+    name: str
+    benchmarks: Tuple[BenchmarkSpec, ...] = field(default_factory=tuple)
+    description: str = ""
+
+    @classmethod
+    def from_dict(cls, data: Any) -> "SuiteSpec":
+        name = data.get("suite")
+        if not name or not isinstance(name, str):
+            raise SpecError("suite spec needs a non-empty 'suite' name")
+        unknown = sorted(set(data) - {"suite", "benchmarks", "description"})
+        if unknown:
+            raise SpecError(
+                f"unknown suite key(s): {', '.join(unknown)}"
+            )
+        raw = data.get("benchmarks")
+        if not isinstance(raw, list) or not raw:
+            raise SpecError(
+                f"suite {name!r} needs a non-empty 'benchmarks' list"
+            )
+        return cls(
+            name=name,
+            benchmarks=tuple(BenchmarkSpec.from_dict(b) for b in raw),
+            description=str(data.get("description") or ""),
+        )
+
+
+# ---------------------------------------------------------------------------
+# Documents
+# ---------------------------------------------------------------------------
+
+
+def parse_spec_document(
+    obj: Any,
+) -> Union[List[WorkloadSpec], SuiteSpec]:
+    """Classify and parse a loaded YAML document.
+
+    Returns a list of :class:`WorkloadSpec` (single-spec and list-of-spec
+    documents) or a :class:`SuiteSpec` (suite documents).
+    """
+    if isinstance(obj, dict) and "suite" in obj:
+        return SuiteSpec.from_dict(obj)
+    if isinstance(obj, dict):
+        return [WorkloadSpec.from_dict(obj)]
+    if isinstance(obj, list):
+        specs = [WorkloadSpec.from_dict(entry) for entry in obj]
+        if not specs:
+            raise SpecError("spec file contains an empty list")
+        names = [s.name for s in specs]
+        dupes = sorted({n for n in names if names.count(n) > 1})
+        if dupes:
+            raise SpecError(f"duplicate workload name(s): {', '.join(dupes)}")
+        return specs
+    raise SpecError(
+        "spec file must contain a spec mapping, a list of specs, or a "
+        "suite mapping"
+    )
+
+
+def load_spec_file(path: str) -> Union[List[WorkloadSpec], SuiteSpec]:
+    """Read + parse a spec file, wrapping errors with the file name."""
+    with open(path) as fh:
+        text = fh.read()
+    try:
+        return parse_spec_document(specyaml.load(text))
+    except SpecError as exc:
+        raise SpecError(f"{path}: {exc}") from exc
+
+
+def build_suite(suite_spec: SuiteSpec) -> List[Benchmark]:
+    """Instantiate every benchmark of a suite spec as live objects."""
+    seen: Dict[str, str] = {}
+    benchmarks = []
+    for bench in suite_spec.benchmarks:
+        phases = []
+        for wspec, weight in bench.phases:
+            if wspec.name in seen:
+                raise SpecError(
+                    f"suite {suite_spec.name!r}: workload name "
+                    f"{wspec.name!r} used by both {seen[wspec.name]!r} "
+                    f"and {bench.name!r}"
+                )
+            seen[wspec.name] = bench.name
+            workload = wspec.instantiate()
+            if not workload.category:
+                workload.category = bench.category
+            phases.append((workload, weight))
+        benchmarks.append(
+            Benchmark(
+                bench.name,
+                suite_spec.name,
+                phases,
+                category=bench.category,
+                profitable=bench.profitable,
+                spec_behaviour=bench.spec_behaviour,
+            )
+        )
+    return benchmarks
+
+
+def register_spec_suite(suite_spec: SuiteSpec) -> List[Benchmark]:
+    """Build a suite spec and register it with the suite registry, so
+    ``repro suite NAME`` / ``get_workload`` resolve it like a built-in."""
+    from .suites import register_suite
+
+    benchmarks = build_suite(suite_spec)
+    register_suite(suite_spec.name, benchmarks)
+    return benchmarks

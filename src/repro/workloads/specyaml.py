@@ -1,0 +1,359 @@
+"""A deterministic YAML subset: just enough for workload specs.
+
+The repo deliberately has zero runtime dependencies (``pyproject.toml``
+declares ``dependencies = []``), so workload spec files cannot rely on
+PyYAML being installed.  This module implements the small subset the spec
+and fuzz-corpus formats need — nested mappings, lists (including lists of
+mappings), and int/float/bool/null/string scalars — with two properties
+PyYAML does not guarantee:
+
+* **Byte-determinism.**  :func:`dump` sorts mapping keys and uses a fixed
+  2-space indent, so identical objects always serialize to identical
+  bytes.  The fuzz corpus relies on this for its byte-reproducibility
+  contract (same seed, same budget -> same corpus files).
+* **Clean one-line errors.**  :func:`load` raises
+  :class:`~repro.errors.SpecError` with a ``line N:`` prefix, matching
+  the CLI error contract (``error: ...``, exit 1).
+
+Not supported (by design): anchors, aliases, tags, flow style, multi-line
+scalars, documents.  Spec files using those fail with a clear error.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Tuple
+
+from ..errors import SpecError
+
+__all__ = ["dump", "load"]
+
+
+# ---------------------------------------------------------------------------
+# Emission
+# ---------------------------------------------------------------------------
+
+_QUOTE_TRIGGERS = set(":#{}[]&*!|>'\"%@`,")
+
+
+def _scalar(value: Any) -> str:
+    if value is None:
+        return "null"
+    if value is True:
+        return "true"
+    if value is False:
+        return "false"
+    if isinstance(value, int):
+        return str(value)
+    if isinstance(value, float):
+        return repr(value)
+    if isinstance(value, str):
+        return _string(value)
+    raise SpecError(f"cannot serialize {type(value).__name__} value {value!r}")
+
+
+def _string(text: str) -> str:
+    """Quote only when the bare form would not round-trip as a string."""
+    if text == "":
+        return '""'
+    needs_quote = (
+        text != text.strip()
+        or text.lower() in ("null", "true", "false", "yes", "no", "~")
+        or any(ch in _QUOTE_TRIGGERS for ch in text)
+        or "\n" in text
+        or _parses_as_number(text)
+        or text[0] in "-? "
+    )
+    if not needs_quote:
+        return text
+    escaped = text.replace("\\", "\\\\").replace('"', '\\"')
+    escaped = escaped.replace("\n", "\\n").replace("\t", "\\t")
+    return f'"{escaped}"'
+
+
+def _parses_as_number(text: str) -> bool:
+    try:
+        int(text, 0)
+        return True
+    except ValueError:
+        pass
+    try:
+        float(text)
+        return True
+    except ValueError:
+        return False
+
+
+def _dump_lines(obj: Any, indent: int, lines: List[str]) -> None:
+    pad = "  " * indent
+    if isinstance(obj, dict):
+        if not obj:
+            raise SpecError("cannot serialize an empty mapping")
+        for key in sorted(obj):
+            if not isinstance(key, str):
+                raise SpecError(f"mapping keys must be strings, got {key!r}")
+            value = obj[key]
+            if isinstance(value, (dict, list)) and value:
+                lines.append(f"{pad}{_string(key)}:")
+                _dump_lines(value, indent + 1, lines)
+            elif isinstance(value, list):  # empty list
+                lines.append(f"{pad}{_string(key)}: []")
+            elif isinstance(value, dict):  # empty dict
+                lines.append(f"{pad}{_string(key)}: {{}}")
+            else:
+                lines.append(f"{pad}{_string(key)}: {_scalar(value)}")
+    elif isinstance(obj, list):
+        for item in obj:
+            if isinstance(item, dict) and item:
+                first = True
+                for key in sorted(item):
+                    value = item[key]
+                    prefix = f"{pad}- " if first else f"{pad}  "
+                    first = False
+                    if isinstance(value, (dict, list)) and value:
+                        lines.append(f"{prefix}{_string(key)}:")
+                        _dump_lines(value, indent + 2, lines)
+                    elif isinstance(value, list):
+                        lines.append(f"{prefix}{_string(key)}: []")
+                    elif isinstance(value, dict):
+                        lines.append(f"{prefix}{_string(key)}: {{}}")
+                    else:
+                        lines.append(
+                            f"{prefix}{_string(key)}: {_scalar(value)}"
+                        )
+            elif isinstance(item, list):
+                raise SpecError("nested bare lists are not supported")
+            else:
+                lines.append(f"{pad}- {_scalar(item)}")
+    else:
+        lines.append(f"{pad}{_scalar(obj)}")
+
+
+def dump(obj: Any) -> str:
+    """Serialize ``obj`` to deterministic YAML (sorted keys, LF lines)."""
+    lines: List[str] = []
+    _dump_lines(obj, 0, lines)
+    return "\n".join(lines) + "\n"
+
+
+# ---------------------------------------------------------------------------
+# Parsing
+# ---------------------------------------------------------------------------
+
+
+def _parse_scalar(text: str, line_no: int) -> Any:
+    text = text.strip()
+    if text in ("null", "~", ""):
+        return None
+    if text == "true":
+        return True
+    if text == "false":
+        return False
+    if text == "[]":
+        return []
+    if text == "{}":
+        return {}
+    if text.startswith('"'):
+        if not text.endswith('"') or len(text) < 2:
+            raise SpecError(f"line {line_no}: unterminated string {text!r}")
+        body = text[1:-1]
+        out = []
+        i = 0
+        while i < len(body):
+            ch = body[i]
+            if ch == "\\":
+                if i + 1 >= len(body):
+                    raise SpecError(
+                        f"line {line_no}: dangling escape in {text!r}"
+                    )
+                nxt = body[i + 1]
+                out.append({"n": "\n", "t": "\t"}.get(nxt, nxt))
+                i += 2
+            else:
+                out.append(ch)
+                i += 1
+        return "".join(out)
+    if text.startswith("'"):
+        if not text.endswith("'") or len(text) < 2:
+            raise SpecError(f"line {line_no}: unterminated string {text!r}")
+        return text[1:-1].replace("''", "'")
+    for base in (10, 0):
+        try:
+            return int(text, base)
+        except ValueError:
+            pass
+    try:
+        return float(text)
+    except ValueError:
+        pass
+    if any(ch in text for ch in "{}[]"):
+        raise SpecError(
+            f"line {line_no}: flow-style collections are not supported: "
+            f"{text!r}"
+        )
+    return text
+
+
+def _split_key(text: str, line_no: int) -> Tuple[str, str]:
+    """Split ``key: rest`` (the key may be quoted)."""
+    if text.startswith(('"', "'")):
+        quote = text[0]
+        end = text.find(quote, 1)
+        if quote == '"':
+            while end > 0 and text[end - 1] == "\\":
+                end = text.find(quote, end + 1)
+        if end < 0:
+            raise SpecError(f"line {line_no}: unterminated key in {text!r}")
+        key = _parse_scalar(text[: end + 1], line_no)
+        rest = text[end + 1:].lstrip()
+        if not rest.startswith(":"):
+            raise SpecError(f"line {line_no}: expected ':' after key")
+        return str(key), rest[1:].strip()
+    idx = text.find(":")
+    if idx < 0:
+        raise SpecError(f"line {line_no}: expected 'key: value', got {text!r}")
+    return text[:idx].strip(), text[idx + 1:].strip()
+
+
+class _Parser:
+    def __init__(self, text: str):
+        self.lines: List[Tuple[int, int, str]] = []  # (line_no, indent, body)
+        for i, raw in enumerate(text.splitlines(), 1):
+            stripped = raw.split("#", 1)[0].rstrip() if not (
+                '"' in raw or "'" in raw
+            ) else self._strip_comment(raw)
+            if not stripped.strip():
+                continue
+            if "\t" in raw[: len(raw) - len(raw.lstrip())]:
+                raise SpecError(f"line {i}: tabs are not allowed in indentation")
+            indent = len(stripped) - len(stripped.lstrip())
+            self.lines.append((i, indent, stripped.strip()))
+        self.pos = 0
+
+    @staticmethod
+    def _strip_comment(raw: str) -> str:
+        """Strip a trailing comment, respecting quoted strings."""
+        in_quote = ""
+        for i, ch in enumerate(raw):
+            if in_quote:
+                if ch == in_quote and (in_quote != '"' or raw[i - 1] != "\\"):
+                    in_quote = ""
+            elif ch in "\"'":
+                in_quote = ch
+            elif ch == "#" and (i == 0 or raw[i - 1] in " \t"):
+                return raw[:i].rstrip()
+        return raw.rstrip()
+
+    def peek(self) -> Tuple[int, int, str]:
+        return self.lines[self.pos]
+
+    def done(self) -> bool:
+        return self.pos >= len(self.lines)
+
+    def parse_block(self, indent: int) -> Any:
+        line_no, line_indent, body = self.peek()
+        if line_indent < indent:
+            raise SpecError(f"line {line_no}: unexpected dedent")
+        if body.startswith("- ") or body == "-":
+            return self.parse_list(line_indent)
+        return self.parse_map(line_indent)
+
+    def parse_map(self, indent: int) -> Any:
+        out = {}
+        while not self.done():
+            line_no, line_indent, body = self.peek()
+            if line_indent < indent:
+                break
+            if line_indent > indent:
+                raise SpecError(f"line {line_no}: unexpected indent")
+            if body.startswith("- ") or body == "-":
+                raise SpecError(
+                    f"line {line_no}: list item inside a mapping block"
+                )
+            key, rest = _split_key(body, line_no)
+            if key in out:
+                raise SpecError(f"line {line_no}: duplicate key {key!r}")
+            self.pos += 1
+            if rest:
+                out[key] = _parse_scalar(rest, line_no)
+            elif not self.done() and self.peek()[1] > indent:
+                out[key] = self.parse_block(self.peek()[1])
+            else:
+                out[key] = None
+        return out
+
+    def parse_list(self, indent: int) -> Any:
+        out = []
+        while not self.done():
+            line_no, line_indent, body = self.peek()
+            if line_indent < indent:
+                break
+            if line_indent > indent:
+                raise SpecError(f"line {line_no}: unexpected indent")
+            if not (body.startswith("- ") or body == "-"):
+                break
+            rest = body[2:].strip() if body.startswith("- ") else ""
+            if not rest:
+                self.pos += 1
+                if not self.done() and self.peek()[1] > indent:
+                    out.append(self.parse_block(self.peek()[1]))
+                else:
+                    out.append(None)
+            elif ":" in rest and not rest.startswith(('"', "'")) or (
+                rest.startswith(('"', "'")) and self._looks_like_kv(rest)
+            ):
+                # "- key: value" opens an inline mapping whose further keys
+                # sit two spaces deeper (aligned under the key).
+                out.append(self._parse_item_map(indent + 2, line_no, rest))
+            else:
+                self.pos += 1
+                out.append(_parse_scalar(rest, line_no))
+        return out
+
+    @staticmethod
+    def _looks_like_kv(rest: str) -> bool:
+        quote = rest[0]
+        end = rest.find(quote, 1)
+        return end > 0 and rest[end + 1:].lstrip().startswith(":")
+
+    def _parse_item_map(self, indent: int, line_no: int, first: str) -> Any:
+        key, rest = _split_key(first, line_no)
+        self.pos += 1
+        item = {}
+        if rest:
+            item[key] = _parse_scalar(rest, line_no)
+        elif not self.done() and self.peek()[1] > indent:
+            item[key] = self.parse_block(self.peek()[1])
+        else:
+            item[key] = None
+        while not self.done():
+            nxt_no, nxt_indent, nxt_body = self.peek()
+            if nxt_indent != indent or nxt_body.startswith("- "):
+                break
+            k, rest = _split_key(nxt_body, nxt_no)
+            if k in item:
+                raise SpecError(f"line {nxt_no}: duplicate key {k!r}")
+            self.pos += 1
+            if rest:
+                item[k] = _parse_scalar(rest, nxt_no)
+            elif not self.done() and self.peek()[1] > nxt_indent:
+                item[k] = self.parse_block(self.peek()[1])
+            else:
+                item[k] = None
+        return item
+
+
+def load(text: str) -> Any:
+    """Parse the YAML subset.  Raises :class:`SpecError` with ``line N:``."""
+    parser = _Parser(text)
+    if parser.done():
+        return None
+    if len(parser.lines) == 1 and not (
+        parser.lines[0][2].startswith("- ") or ":" in parser.lines[0][2]
+    ):
+        line_no, _, body = parser.lines[0]
+        return _parse_scalar(body, line_no)
+    result = parser.parse_block(parser.lines[0][1])
+    if not parser.done():
+        line_no, _, body = parser.peek()
+        raise SpecError(f"line {line_no}: unexpected content {body!r}")
+    return result

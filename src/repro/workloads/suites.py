@@ -323,9 +323,30 @@ _SUITES: Dict[str, List[Benchmark]] = {}
 SUITE_NAMES = ("spec2017", "spec2006", "longrun")
 
 
+def register_suite(name: str, benchmarks: List[Benchmark]) -> None:
+    """Register a dynamically-built suite (spec files, fuzz corpora).
+
+    Registered suites resolve through :func:`suite`, :func:`get_workload`
+    and :func:`get_benchmark` exactly like the built-ins; re-registering a
+    built-in name is an error, re-registering a dynamic one replaces it.
+    """
+    if name in SUITE_NAMES:
+        raise WorkloadError(
+            f"cannot register suite {name!r}: shadows a built-in suite"
+        )
+    if not benchmarks:
+        raise WorkloadError(f"suite {name!r} has no benchmarks")
+    _SUITES[name] = _fill_categories(list(benchmarks))
+
+
+def available_suites() -> List[str]:
+    """Built-in suite names plus any registered spec suites."""
+    return list(SUITE_NAMES) + sorted(set(_SUITES) - set(SUITE_NAMES))
+
+
 def suite(name: str) -> List[Benchmark]:
-    """The benchmarks of ``"spec2017"``, ``"spec2006"`` or ``"longrun"``
-    (cached)."""
+    """The benchmarks of a built-in (``"spec2017"``, ``"spec2006"``,
+    ``"longrun"``) or registered suite (cached)."""
     if name not in _SUITES:
         if name == "spec2017":
             _SUITES[name] = _fill_categories(_spec2017())
@@ -336,12 +357,15 @@ def suite(name: str) -> List[Benchmark]:
 
             _SUITES[name] = _fill_categories(_longrun())
         else:
-            raise WorkloadError(f"unknown suite {name!r}")
+            raise WorkloadError(
+                f"unknown suite {name!r}; choose from: "
+                f"{', '.join(available_suites())}"
+            )
     return _SUITES[name]
 
 
 def get_benchmark(name: str) -> Benchmark:
-    for suite_name in SUITE_NAMES:
+    for suite_name in available_suites():
         for bench in suite(suite_name):
             if bench.name == name:
                 return bench
@@ -350,7 +374,7 @@ def get_benchmark(name: str) -> Benchmark:
 
 def get_workload(name: str) -> Workload:
     """Find a workload (phase) by name across all suites."""
-    for suite_name in SUITE_NAMES:
+    for suite_name in available_suites():
         for bench in suite(suite_name):
             for workload, _ in bench.phases:
                 if workload.name == name:

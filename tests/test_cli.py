@@ -351,3 +351,160 @@ def test_froglint_tool(conflict_file, frog_file, capsys):
     assert froglint.main(["--fail-on-conflict", conflict_file]) == 2
     out = capsys.readouterr().out
     assert "must-conflict" in out
+
+
+# ---------------------------------------------------------------------------
+# workloads gen / suite --spec / fuzz (docs/workloads.md)
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture
+def spec_file(tmp_path):
+    path = tmp_path / "specs.yaml"
+    path.write_text(
+        "- template: stream_op\n"
+        "  name: cli_stream\n"
+        "  params:\n"
+        "    n: 16\n"
+        "  seed: 3\n"
+        "- template: tiny_loop\n"
+        "  name: cli_tiny\n"
+        "  params:\n"
+        "    outer: 4\n"
+    )
+    return str(path)
+
+
+@pytest.fixture
+def suite_spec_file(tmp_path):
+    path = tmp_path / "suite.yaml"
+    path.write_text(
+        "suite: cli_suite\n"
+        "benchmarks:\n"
+        "  - name: cli_bench\n"
+        "    phases:\n"
+        "      - template: stream_op\n"
+        "        name: cli_suite_stream\n"
+        "        params:\n"
+        "          n: 16\n"
+    )
+    return str(path)
+
+
+def test_workloads_list_still_works(capsys):
+    assert main(["workloads"]) == 0
+    out = capsys.readouterr().out
+    assert "spec2017" in out
+
+
+def test_workloads_gen_lists_specs(spec_file, capsys):
+    assert main(["workloads", "gen", spec_file]) == 0
+    out = capsys.readouterr().out
+    assert "cli_stream" in out
+    assert "seed=3" in out
+    assert "hinted loop" in out
+
+
+def test_workloads_gen_writes_frog_files(spec_file, tmp_path, capsys):
+    out_dir = tmp_path / "frogs"
+    assert main(["workloads", "gen", spec_file, "--out", str(out_dir)]) == 0
+    names = sorted(p.name for p in out_dir.glob("*.frog"))
+    assert names == ["cli_stream.frog", "cli_tiny.frog"]
+    assert "#pragma loopfrog" in (out_dir / "cli_stream.frog").read_text()
+
+
+def test_workloads_gen_requires_spec(capsys):
+    assert main(["workloads", "gen"]) == 1
+    err = capsys.readouterr().err
+    assert err.startswith("error:")
+    assert len(err.strip().splitlines()) == 1
+
+
+def test_workloads_gen_malformed_yaml(tmp_path, capsys):
+    bad = tmp_path / "bad.yaml"
+    bad.write_text("template: [flow, style]\n")
+    assert main(["workloads", "gen", str(bad)]) == 1
+    captured = capsys.readouterr()
+    assert captured.err.startswith("error:")
+    assert len(captured.err.strip().splitlines()) == 1
+    assert "Traceback" not in captured.err + captured.out
+
+
+def test_workloads_gen_unknown_template(tmp_path, capsys):
+    bad = tmp_path / "unk.yaml"
+    bad.write_text("template: no_such_template\nname: x\n")
+    assert main(["workloads", "gen", str(bad)]) == 1
+    err = capsys.readouterr().err
+    assert err.startswith("error:")
+    assert "unknown template" in err
+    assert len(err.strip().splitlines()) == 1
+
+
+def test_suite_with_spec_file(suite_spec_file, capsys):
+    assert main(["suite", "--spec", suite_spec_file]) == 0
+    out = capsys.readouterr().out
+    assert "cli_suite" in out
+    assert "cli_bench" in out
+
+
+def test_suite_spec_workload_document_rejected(spec_file, capsys):
+    # A plain workload list is not a suite document.
+    assert main(["suite", "--spec", spec_file]) == 1
+    err = capsys.readouterr().err
+    assert err.startswith("error:")
+
+
+def test_suite_unknown_name_clean_error(capsys):
+    assert main(["suite", "nope"]) == 1
+    err = capsys.readouterr().err
+    assert err.startswith("error:")
+
+
+def test_fuzz_smoke_session(capsys):
+    assert main(["fuzz", "--seed", "3", "--budget", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "seed 3, budget 2" in out
+    assert "survivors:" in out
+
+
+def test_fuzz_json_output(capsys):
+    import json
+
+    assert main(["fuzz", "--seed", "3", "--budget", "2", "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["seed"] == 3
+    assert payload["cases"] == 2
+
+
+def test_fuzz_rejects_bad_budget(capsys):
+    assert main(["fuzz", "--budget", "0"]) == 1
+    err = capsys.readouterr().err
+    assert err.startswith("error:")
+    assert len(err.strip().splitlines()) == 1
+
+
+def test_fuzz_replay_empty_corpus(tmp_path, capsys):
+    empty = tmp_path / "corpus"
+    empty.mkdir()
+    assert main(["fuzz", "--replay", "--corpus", str(empty)]) == 1
+    err = capsys.readouterr().err
+    assert err.startswith("error:")
+    assert "no .yaml entries" in err
+
+
+def test_fuzz_replay_missing_corpus(capsys):
+    assert main(["fuzz", "--replay", "--corpus", "/nonexistent/dir"]) == 1
+    err = capsys.readouterr().err
+    assert err.startswith("error:")
+
+
+def test_fuzz_write_and_replay_roundtrip(tmp_path, capsys):
+    corpus = tmp_path / "corpus"
+    assert main([
+        "fuzz", "--seed", "3", "--budget", "4",
+        "--corpus", str(corpus), "--write",
+    ]) == 0
+    capsys.readouterr()
+    assert main(["fuzz", "--replay", "--corpus", str(corpus)]) == 0
+    out = capsys.readouterr().out
+    assert "0 failure(s)" in out

@@ -1,0 +1,108 @@
+"""Replay the checked-in fuzz corpus as a permanent regression suite.
+
+Every file in ``tests/fuzz_corpus/`` is one minimized fuzz survivor.  The
+replay contract: the oracle that originally flagged the program must fire
+again, on the fast *and* the reference engine path, and the two paths
+must stay bit-identical to each other.  For every oracle except
+``state_divergence`` the LoopFrog core must also commit exactly the
+functional executor's memory (divergence survivors *pin* a known engine
+bug — see docs/workloads.md — so for those the mismatch is the expected
+behaviour until the engine is fixed).
+"""
+
+import os
+
+import pytest
+
+from repro.fuzz.corpus import (
+    DEFAULT_CORPUS_DIR,
+    entry_workload,
+    load_corpus,
+    replay_entry,
+)
+from repro.fuzz.engine import execute_spec
+from repro.fuzz.oracles import ORACLES
+from repro.uarch.core import set_engine_reference_mode
+
+CORPUS_DIR = os.path.join(os.path.dirname(__file__), "fuzz_corpus")
+
+
+def _entries():
+    return load_corpus(CORPUS_DIR)
+
+
+ENTRIES = _entries()
+
+
+def test_corpus_is_populated():
+    assert len(ENTRIES) >= 5
+    # More than one failure mode is represented.
+    assert len({e.oracle for e in ENTRIES}) >= 2
+
+
+def test_default_corpus_dir_matches():
+    assert os.path.abspath(CORPUS_DIR) == os.path.abspath(
+        os.path.join(os.path.dirname(__file__), "..", DEFAULT_CORPUS_DIR)
+    )
+
+
+@pytest.mark.parametrize(
+    "entry", ENTRIES, ids=[e.name for e in ENTRIES]
+)
+def test_replay_oracle_still_fires(entry):
+    ok, message = replay_entry(entry)
+    assert ok, f"{entry.name}: {message}"
+
+
+@pytest.mark.parametrize(
+    "entry", ENTRIES, ids=[e.name for e in ENTRIES]
+)
+def test_replay_state_contract(entry):
+    """Non-divergence survivors must match the functional executor."""
+    if entry.oracle == "state_divergence":
+        pytest.skip("entry pins a known divergence (see docs/workloads.md)")
+    case = execute_spec(entry.program)
+    assert case.frog_image == case.exec_image
+
+
+def test_entries_are_minimized():
+    """The minimizer must have reached a fixpoint on every entry: no
+    strictly-simpler neighbour may still fire the recorded oracle."""
+    from repro.fuzz.engine import _shrink_candidates
+
+    for entry in ENTRIES:
+        oracle = ORACLES[entry.oracle]
+        for candidate in _shrink_candidates(entry.program):
+            try:
+                detail = oracle(execute_spec(candidate))
+            except Exception:
+                detail = None
+            assert detail is None, (
+                f"{entry.name}: simpler neighbour still fires"
+            )
+
+
+def test_entries_convert_to_workloads():
+    for entry in ENTRIES:
+        workload = entry_workload(entry)
+        assert workload.name == entry.name
+        memory, regs = workload.fresh_input()
+        ref_memory, ref_regs = entry.program.fresh_input()
+        assert regs == ref_regs
+        img = lambda m: {  # noqa: E731
+            a: m.load_byte(a) for a in m.written_addresses()
+        }
+        assert img(memory) == img(ref_memory)
+
+
+def test_replay_reports_engine_parity():
+    """replay_entry's parity leg really exercises both engine paths."""
+    entry = ENTRIES[0]
+    set_engine_reference_mode(True)
+    try:
+        reference = execute_spec(entry.program)
+    finally:
+        set_engine_reference_mode(None)
+    fast = execute_spec(entry.program)
+    assert fast.stats.cycles == reference.stats.cycles
+    assert fast.frog_image == reference.frog_image

@@ -150,6 +150,21 @@ def compare(baseline, current, tolerance=DEFAULT_TOLERANCE):
             f"({cur_ref:.0f} instr/s reference)"
         )
 
+    # -- fuzz throughput (informational; no gate — the fuzz session mixes
+    # compile, differential execution and minimization, so its programs/s
+    # moves with all of them and a dedicated floor would double-gate) -------
+    cur_fuzz = current.get("fuzz_programs_per_second")
+    if cur_fuzz:
+        base_fuzz = baseline.get("fuzz_programs_per_second")
+        baseline_note = (
+            f" (baseline {base_fuzz:.0f})" if base_fuzz else ""
+        )
+        lines.append(
+            f"fuzz: {cur_fuzz:.0f} programs/s over "
+            f"{current.get('fuzz_programs', '?')} executions"
+            f"{baseline_note}"
+        )
+
     # -- lint-throughput gate (skipped for records predating the field) ------
     base_lint = baseline.get("lint_loops_per_second")
     cur_lint = current.get("lint_loops_per_second")

@@ -118,6 +118,26 @@ def measure_exp_dispatch(benchmarks):
     }
 
 
+def measure_fuzz():
+    """Fuzzing throughput: generated-and-executed programs per second.
+
+    One short pinned session (seed/budget fixed, so the work is identical
+    across commits).  Programs/s counts every execution the session pays
+    for — generation, oracle evaluation and minimization re-runs — which
+    is what bounds how much coverage a CI fuzz-smoke budget buys.
+    """
+    from repro.fuzz import FuzzConfig, run_fuzz
+
+    config = FuzzConfig(seed=3, budget=8, max_mutations=2, minimize_steps=40)
+    run_fuzz(FuzzConfig(seed=3, budget=1))  # warm compiler/engine imports
+    report = run_fuzz(config)
+    return {
+        "fuzz_programs": report.executions,
+        "fuzz_wall_seconds": round(report.wall_seconds, 3),
+        "fuzz_programs_per_second": round(report.programs_per_second, 1),
+    }
+
+
 def measure_reference(benchmarks, machines):
     """Throughput of the unoptimized reference engine on the same subset.
 
@@ -224,6 +244,7 @@ def run_bench():
         ),
         **measure_lint(benchmarks),
         **measure_exp_dispatch(benchmarks),
+        **measure_fuzz(),
     }
 
 
@@ -257,6 +278,11 @@ def main(argv=None):
     print(
         f"exp dispatch: {result['exp_dispatch_cells']} warm cells in "
         f"{result['exp_dispatch_seconds']}s"
+    )
+    print(
+        f"fuzz: {result['fuzz_programs']} programs in "
+        f"{result['fuzz_wall_seconds']}s -> "
+        f"{result['fuzz_programs_per_second']:.0f} programs/s"
     )
     print(f"wrote {args.output}")
     return 0
