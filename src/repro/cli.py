@@ -37,6 +37,12 @@ the persistent result cache) and ``--store-dir DIR`` (cache location,
 default ``.repro-results/``).  ``suite`` additionally accepts
 ``--sampled`` to estimate every phase with sampled simulation instead of
 running it in full.
+
+The global ``--engine-mode MODE`` option (before the subcommand) pins
+the detailed engine's execution mode — ``reference``, ``fast`` or
+``epoch-parallel`` (the default).  All modes are bit-identical in cycles
+and statistics (docs/microarchitecture.md); the flag only trades
+simulation speed for debuggability.
 """
 
 from __future__ import annotations
@@ -487,6 +493,15 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="LoopFrog reproduction: compile, simulate, reproduce.",
     )
+    from .uarch.core import ENGINE_MODES
+
+    parser.add_argument(
+        "--engine-mode", choices=ENGINE_MODES, metavar="MODE",
+        help="detailed-engine execution mode: "
+             f"{'|'.join(ENGINE_MODES)} (default: epoch-parallel; all "
+             "modes are bit-identical, so this only affects speed; "
+             "overrides REPRO_ENGINE_MODE)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     p = sub.add_parser("compile", help="compile a Frog file")
@@ -676,6 +691,10 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    if getattr(args, "engine_mode", None):
+        from .uarch.core import set_engine_mode
+
+        set_engine_mode(args.engine_mode)
     try:
         return args.func(args)
     except ReproError as exc:

@@ -31,6 +31,20 @@ from .model import (
 DEFAULT_CORPUS_DIR = os.path.join("tests", "fuzz_corpus")
 
 
+# Replay expectations (the ``expect`` corpus key):
+#
+# * ``oracle-fires`` (default) — the recorded oracle must still fire; the
+#   entry pins an *open* engine defect or a deliberate severity signal.
+# * ``states-match`` — the entry pinned a since-fixed defect: the oracle
+#   must NOT fire any more, the LoopFrog core must commit exactly the
+#   functional executor's memory, and the program must still *exercise*
+#   the fixed path (see :func:`fixed_path_trigger`), so a regression
+#   flips the replay red again.
+EXPECT_ORACLE_FIRES = "oracle-fires"
+EXPECT_STATES_MATCH = "states-match"
+_EXPECTATIONS = (EXPECT_ORACLE_FIRES, EXPECT_STATES_MATCH)
+
+
 @dataclass(frozen=True)
 class CorpusEntry:
     """One corpus file, parsed."""
@@ -41,6 +55,7 @@ class CorpusEntry:
     case_seed: int
     mutations: Tuple[str, ...]
     program: ProgramSpec
+    expect: str = EXPECT_ORACLE_FIRES
 
     @classmethod
     def from_dict(cls, data: object, path: str = "") -> "CorpusEntry":
@@ -54,6 +69,12 @@ class CorpusEntry:
             program = ProgramSpec.from_dict(data["program"])
         except FuzzError as exc:
             raise FuzzError(f"{where}{exc}") from exc
+        expect = str(data.get("expect", EXPECT_ORACLE_FIRES))
+        if expect not in _EXPECTATIONS:
+            raise FuzzError(
+                f"{where}unknown expect {expect!r} "
+                f"(choose from {', '.join(_EXPECTATIONS)})"
+            )
         return cls(
             name=str(data["name"]),
             oracle=str(data["oracle"]),
@@ -61,6 +82,7 @@ class CorpusEntry:
             case_seed=int(data.get("case_seed", 0)),
             mutations=tuple(data.get("mutations") or ()),
             program=program,
+            expect=expect,
         )
 
 
@@ -132,13 +154,37 @@ def corpus_workloads(directory: Optional[str] = None) -> List[Workload]:
     return [entry_workload(entry) for entry in entries]
 
 
+def fixed_path_trigger(case) -> Optional[str]:
+    """Does a case exercise the since-fixed cross-region packing path?
+
+    The schema-v2 fix cancels pending packed-iteration skips when an
+    epoch exits its region at SYNC; a ``states-match`` survivor must
+    still reach that cancellation (and commit clean state), or it has
+    stopped covering the defect it pins.  Returns a detail string when
+    the trigger holds, like an oracle, so the minimizer can descend on
+    it; ``None`` otherwise.
+    """
+    if case.frog_image != case.exec_image:
+        return None
+    cancelled = case.stats.packing_skips_cancelled
+    if cancelled <= 0:
+        return None
+    return (
+        f"{cancelled} pending packed skip(s) cancelled at region exit; "
+        f"committed state matches the functional executor"
+    )
+
+
 def replay_entry(entry: CorpusEntry) -> Tuple[bool, str]:
     """Re-execute a corpus entry on both engine paths.
 
-    The contract: the oracle that flagged the entry must fire again on
-    the fast *and* the reference engine, and the two paths must agree on
-    every statistic (the bit-identical parity invariant).  Returns
-    ``(ok, message)``.
+    The contract depends on the entry's expectation.  ``oracle-fires``:
+    the oracle that flagged the entry must fire again on the fast *and*
+    the reference engine.  ``states-match``: the oracle must fire on
+    neither, the LoopFrog core must commit the functional executor's
+    exact memory, and :func:`fixed_path_trigger` must still hold.  In
+    both cases the two engine paths must agree on every statistic (the
+    bit-identical parity invariant).  Returns ``(ok, message)``.
     """
     import dataclasses
 
@@ -163,13 +209,22 @@ def replay_entry(entry: CorpusEntry) -> Tuple[bool, str]:
             set_engine_reference_mode(None)
     except ReproError as exc:
         return False, f"crashed: {exc}"
+    if dataclasses.asdict(fast.stats) != dataclasses.asdict(reference.stats):
+        return False, "fast/reference engine stats diverged"
+    if fast.frog_image != reference.frog_image:
+        return False, "fast/reference engine memory diverged"
+    if entry.expect == EXPECT_STATES_MATCH:
+        if oracle(fast) is not None:
+            return False, f"{entry.oracle} fires again (fix regressed)"
+        detail = fixed_path_trigger(fast)
+        if detail is None:
+            if fast.frog_image != fast.exec_image:
+                return False, "committed state diverged (fix regressed)"
+            return False, "entry no longer exercises the fixed path"
+        return True, detail
     fast_detail = oracle(fast)
     if fast_detail is None:
         return False, "oracle no longer fires on the fast engine"
     if oracle(reference) is None:
         return False, "oracle no longer fires on the reference engine"
-    if dataclasses.asdict(fast.stats) != dataclasses.asdict(reference.stats):
-        return False, "fast/reference engine stats diverged"
-    if fast.frog_image != reference.frog_image:
-        return False, "fast/reference engine memory diverged"
     return True, fast_detail

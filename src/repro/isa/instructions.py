@@ -228,6 +228,13 @@ class Instruction:
             self._writes = (self.dest,)
         else:
             self._writes = ()
+        # Static per-instruction fields the timing model copies into every
+        # dynamic PipelineInstr; one tuple unpack there instead of six
+        # attribute chases on the fetch hot path.
+        self._pi_static = (
+            self.op_index, self.dest_is_fp, self.is_load, self.is_store,
+            op is Opcode.HALT, self.dest is not None,
+        )
 
     def reads(self) -> Tuple[str, ...]:
         """Register names this instruction reads."""

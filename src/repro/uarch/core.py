@@ -69,48 +69,104 @@ from .threadlet import Threadlet, ThreadletState
 # from older engines are invalidated across sessions.  Pure speedups that
 # keep outputs bit-identical (like the hot-path work in this module) must
 # NOT bump it — that is what keeps warm re-runs instant across versions.
-ENGINE_SCHEMA_VERSION = 1
+#
+# v2: pending packed-iteration skips are cancelled when an epoch leaves
+# its region at SYNC (the fuzz-found cross-region state-divergence fix),
+# which changes cycle counts and committed state on affected programs.
+ENGINE_SCHEMA_VERSION = 2
 
 
 # ---------------------------------------------------------------------------
-# Fast path vs reference path selection.
+# Engine execution-mode selection.
 #
-# Engine.step() has two implementations of every phase: the optimized fast
-# path (compiled fetch closures, cached slot orders, batched per-cycle
-# stats, idle-cycle skipping) and the original reference path.  Both must
-# produce bit-identical cycles and statistics — the parity suite
-# (tests/test_engine_parity.py) and the bench_compare semantics gate
+# Engine.step() has three bindings of the same timing semantics:
+#
+# * ``reference`` — the original per-phase methods, one call per stage per
+#   cycle.  Slowest; the ground truth every other mode is compared to.
+# * ``fast`` — the optimized serial path (compiled fetch closures, cached
+#   slot orders, batched per-cycle stats, idle-cycle skipping).
+# * ``epoch-parallel`` — the fast path plus *episode* execution: runs of
+#   cycles whose threadlet population is stable are simulated by
+#   cross-cycle monolithic loops with epoch-granularity batched hazard
+#   and statistics bookkeeping (see _ep_advance below).
+#
+# All modes must produce bit-identical cycles and statistics — the parity
+# suite (tests/test_engine_parity.py) and the bench_compare semantics gate
 # enforce this.  The mode is resolved once per Engine at construction:
-# the REPRO_ENGINE_REFERENCE environment variable forces the reference
-# path (for debugging suspected fast-path bugs and for the CI parity
-# job), and set_engine_reference_mode() overrides it in-process.
+# the REPRO_ENGINE_MODE environment variable picks a mode by name, the
+# legacy REPRO_ENGINE_REFERENCE variable forces the reference path (for
+# debugging and the CI parity job), and set_engine_mode() /
+# set_engine_reference_mode() override both in-process.
 # ---------------------------------------------------------------------------
 
 _REFERENCE_ENV = "REPRO_ENGINE_REFERENCE"
-_reference_override: Optional[bool] = None
+_MODE_ENV = "REPRO_ENGINE_MODE"
+ENGINE_MODES = ("reference", "fast", "epoch-parallel")
+_mode_override: Optional[str] = None
+
+
+def set_engine_mode(mode: Optional[str]) -> None:
+    """Force an engine mode by name, or clear the override (``None``).
+
+    Overrides both environment variables for engines constructed
+    afterwards; existing engines keep their binding.
+    """
+    global _mode_override
+    if mode is not None and mode not in ENGINE_MODES:
+        raise ValueError(
+            f"unknown engine mode {mode!r} "
+            f"(choose from {', '.join(ENGINE_MODES)})"
+        )
+    _mode_override = mode
+
+
+def engine_mode() -> str:
+    """The mode new engines will bind: reference|fast|epoch-parallel.
+
+    ``epoch-parallel`` is the default: it is bit-identical to the other
+    two (gated by the parity matrix) and the fastest.
+    """
+    if _mode_override is not None:
+        return _mode_override
+    env = os.environ.get(_MODE_ENV, "")
+    if env:
+        if env not in ENGINE_MODES:
+            raise ValueError(
+                f"unknown {_MODE_ENV} value {env!r} "
+                f"(choose from {', '.join(ENGINE_MODES)})"
+            )
+        return env
+    if os.environ.get(_REFERENCE_ENV, "") not in ("", "0"):
+        return "reference"
+    return "epoch-parallel"
 
 
 def set_engine_reference_mode(enabled: Optional[bool]) -> None:
-    """Force (True/False) or clear (None) the engine path selection.
-
-    Overrides the ``REPRO_ENGINE_REFERENCE`` environment variable for
-    engines constructed afterwards; existing engines keep their binding.
-    """
-    global _reference_override
-    _reference_override = None if enabled is None else bool(enabled)
+    """Legacy toggle: force the reference path (True), force the fast
+    path (False), or clear the override (None).  Kept because the
+    reference/fast split predates named modes; new code should call
+    :func:`set_engine_mode`."""
+    set_engine_mode(
+        None if enabled is None else ("reference" if enabled else "fast")
+    )
 
 
 def engine_reference_mode() -> bool:
     """True when new engines should use the unoptimized reference path."""
-    if _reference_override is not None:
-        return _reference_override
-    return os.environ.get(_REFERENCE_ENV, "") not in ("", "0")
+    return engine_mode() == "reference"
 
 
 # Shared default for PipelineInstr.mem_dep_writers: it is only ever
 # iterated (dispatch) or replaced wholesale (fetch of a load), never
 # mutated in place, so all non-load instructions can share one tuple.
 _NO_WRITERS: Tuple["PipelineInstr", ...] = ()
+
+# Sentinel completion cycle for not-yet-issued instructions.  Issue is
+# the only place that assigns ready_cycle (always alongside
+# ``issued = True``), so ``pi.ready_cycle <= cycle`` alone is the exact
+# "issued and complete" test — no separate issued/None guards needed on
+# the hot paths.
+_NEVER_READY = 1 << 62
 
 
 class PipelineInstr:
@@ -121,6 +177,7 @@ class PipelineInstr:
         "num_pending", "dispatched", "issued", "ready_cycle", "committed",
         "squashed", "mem_addr", "mem_size", "taken", "mispredicted",
         "dest_is_fp", "mem_dep_writers", "is_load", "is_store",
+        "is_halt", "has_dest",
     )
 
     def __init__(self, seq: int, slot: int, pc: int, instr: Instruction):
@@ -128,25 +185,30 @@ class PipelineInstr:
         self.slot = slot
         self.pc = pc
         self.instr = instr
-        self.op_index = instr.op_index
         self.consumers: List["PipelineInstr"] = []
         self.num_pending = 0
         self.dispatched = False
         self.issued = False
-        self.ready_cycle: Optional[int] = None
+        # Completion time; _NEVER_READY until issue assigns the real
+        # cycle, so "done" is a single integer comparison with no
+        # issued/None guards.
+        self.ready_cycle: int = _NEVER_READY
         self.committed = False
         self.squashed = False
         self.mem_addr: Optional[int] = None
         self.mem_size = 0
         self.taken = False
         self.mispredicted = False
-        self.dest_is_fp = instr.dest_is_fp
         self.mem_dep_writers = _NO_WRITERS
-        self.is_load = instr.is_load
-        self.is_store = instr.is_store
+        # Commit/dispatch hot-path flags, precomputed per static
+        # instruction: one tuple unpack instead of six .instr chases.
+        (
+            self.op_index, self.dest_is_fp, self.is_load, self.is_store,
+            self.is_halt, self.has_dest,
+        ) = instr._pi_static
 
     def done(self, cycle: int) -> bool:
-        return self.issued and self.ready_cycle is not None and self.ready_cycle <= cycle
+        return self.ready_cycle <= cycle
 
     def __repr__(self) -> str:
         return f"PI(seq={self.seq}, slot={self.slot}, pc={self.pc}, {self.instr.opcode.value})"
@@ -302,17 +364,33 @@ class Engine:
         self._older_cache: List[List[int]] = [[] for _ in range(n_slots)]
         self._younger_cache: List[List[int]] = [[] for _ in range(n_slots)]
 
-        # Path selection (see set_engine_reference_mode above).  Instance
+        # Epoch-parallel episode accounting (engine attributes, NOT
+        # SimStats: statistics must stay bit-identical across modes, so
+        # mode-specific bookkeeping lives outside the parity surface).
+        self.ep_episodes_single = 0   # single-threadlet episodes run
+        self.ep_episodes_multi = 0    # multi-threadlet episodes run
+        self.ep_cycles_single = 0     # cycles simulated inside them
+        self.ep_cycles_multi = 0
+
+        # Path selection (see set_engine_mode above).  Instance
         # attributes shadow the class methods, so binding the _fast_*
         # variants here swaps the whole step() pipeline without any
         # per-cycle mode tests; the reference engine binds nothing and
-        # runs the original methods.
-        self.reference_mode = engine_reference_mode()
+        # runs the original methods.  Epoch-parallel engines bind the
+        # same per-cycle fast pipeline (episodes bail out to it around
+        # irregular events) plus the episode-based _advance;
+        # run_window() always observes progress mid-run, so it falls
+        # back to the serial fast advance (see _window_advance).
+        mode = engine_mode()
+        self.engine_mode = mode
+        self.reference_mode = mode == "reference"
         if self.reference_mode:
             self._advance = self._reference_advance
+            self._window_advance = self._reference_advance
         else:
             self._fast_prog = fast_program(program)
             self._advance = self._fast_advance
+            self._window_advance = self._fast_advance
             self.step = self._fast_step
             self._process_completions = self._fast_process_completions
             self._commit = self._fast_commit
@@ -322,6 +400,8 @@ class Engine:
             self._per_cycle_stats = self._fast_per_cycle_stats
             self._older_slots = self._cached_older_slots
             self._younger_slots = self._cached_younger_slots
+            if mode == "epoch-parallel":
+                self._advance = self._ep_advance
         self._order_changed()
 
     def use_reference_path(self) -> None:
@@ -337,7 +417,9 @@ class Engine:
         if self.reference_mode:
             return
         self.reference_mode = True
+        self.engine_mode = "reference"
         self._advance = self._reference_advance
+        self._window_advance = self._reference_advance
         for name in (
             "step", "_process_completions", "_commit", "_issue",
             "_dispatch", "_fetch", "_per_cycle_stats",
@@ -382,10 +464,19 @@ class Engine:
                 "simulate",
                 program=self.program.name,
                 loopfrog=self.lf.enabled,
+                engine_mode=self.engine_mode,
             ) as span:
                 self._run_loop(max_cycles)
                 span.attrs["cycles"] = self.cycle
                 span.attrs["arch_instructions"] = self.stats.arch_instructions
+                if self.engine_mode == "epoch-parallel":
+                    # Episode attribution: how the run decomposed into
+                    # cross-cycle monolith executions (engine counters,
+                    # deliberately outside SimStats — see __init__).
+                    span.attrs["ep_episodes_single"] = self.ep_episodes_single
+                    span.attrs["ep_episodes_multi"] = self.ep_episodes_multi
+                    span.attrs["ep_cycles_single"] = self.ep_cycles_single
+                    span.attrs["ep_cycles_multi"] = self.ep_cycles_multi
         self._flush_cycle_stats()
         self.stats.cycles = self.cycle
         return self.stats
@@ -452,7 +543,12 @@ class Engine:
         warm_instructions = 0
         warm_pending = warmup_instructions > 0
         progress = 0
-        advance = self._advance
+        # Serial advance even under epoch-parallel mode: an episode can
+        # run arbitrarily far past the window target before returning,
+        # while this loop must observe committed progress every advance.
+        # This is the mode's documented fallback-to-serial rule — see
+        # docs/microarchitecture.md.
+        advance = self._window_advance
         while not self.finished:
             if self.cycle >= max_cycles:
                 raise SimulationError(
@@ -554,6 +650,978 @@ class Engine:
         # Jump to the cycle before the event; the next step() lands on it.
         self._pcs_count += wake - cycle - 1
         self.cycle = wake - 1
+
+    # ------------------------------------------------------------------
+    # Epoch-parallel engine mode (docs/microarchitecture.md)
+    # ------------------------------------------------------------------
+
+    def _ep_advance(self, max_cycles: int) -> None:
+        """Epoch-parallel advance: one *episode* per call.
+
+        An episode is a maximal run of cycles over which the active
+        threadlet population is stable.  Single-threadlet episodes (the
+        serial program, or a drained region tail) run through a
+        cross-cycle specialization of the single-threadlet cycle that
+        keeps all hot engine state in locals for the episode's whole
+        lifetime; multi-threadlet episodes simulate the concurrent
+        threadlet epochs through the batched fast phases, reconciling
+        them in commit order every cycle.  Both are held bit-identical
+        to the reference engine by the parity suite; an episode ends
+        when the population changes (a detach spawns, an epoch commits
+        or is squashed, the program finishes) or the cycle budget runs
+        out, and the next call re-dispatches on the new population.
+        """
+        if len(self.order) == 1:
+            self._ep_run_single(max_cycles)
+        else:
+            self._ep_run_multi(max_cycles)
+
+    def _ep_run_multi(self, max_cycles: int) -> None:
+        """Run one multi-threadlet episode (concurrent epochs).
+
+        Cycle-for-cycle this is ``_fast_step`` on the multi-threadlet
+        branch plus the idle-skip of ``_fast_advance``, with the phase
+        bodies inlined so the engine-level hoists (heaps, widths,
+        latencies, stats) happen once per *episode* rather than once
+        per phase call per cycle, and the batched issue/dispatch/commit
+        totals flush once per episode.  Unlike the single-threadlet
+        monolith, engine state stays canonical on ``self`` *between
+        phases*: epoch handover, conflict squashes and hint-spawns all
+        run through out-of-line helpers (``_threadlet_commit``,
+        ``_fast_fetch_threadlet``) that read and mutate the engine
+        directly, so occupancy counters are only localized within a
+        phase, exactly like the per-cycle fast phases they mirror.  The
+        episode ends when the population returns to one (handover,
+        squash, program end) or the budget expires.
+        """
+        stats = self.stats
+        completions = self.completions
+        ready = self.ready
+        heappop = heapq.heappop
+        heappush = heapq.heappush
+        core = self.core
+        commit_width = core.commit_width
+        issue_width = core.issue_width
+        dispatch_width = core.dispatch_width
+        fetch_width = core.fetch_width
+        rob_size = core.rob_size
+        iq_size = core.iq_size
+        lq_size = core.lq_size
+        sq_size = core.sq_size
+        int_size = core.int_phys_regs
+        fp_size = core.fp_phys_regs
+        latency = self._fu_latency_by_index
+        ports_template = self._fu_ports_template
+        lf_enabled = self.lf.enabled
+        ssb_read_latency = self.lf.ssb_read_latency
+        ssb_write_latency = self.lf.ssb_write_latency
+        g = self.lf.granule_bytes
+        access_data = self.hierarchy.access_data
+        threadlets = self.threadlets
+        fetch_threadlet = self._fast_fetch_threadlet
+        skip_idle = self._skip_idle
+        running = ThreadletState.RUNNING
+        halted_state = ThreadletState.HALTED
+        start_cycle = self.cycle
+        issued_total = 0
+        dispatched_total = 0
+
+        while True:
+            cycle = self.cycle
+            if cycle >= max_cycles:
+                break
+            cycle += 1
+            self.cycle = cycle
+            self._progress = 0
+            progress = 0
+            order = self.order
+
+            # --- completions ---
+            if completions and completions[0][0] <= cycle:
+                while completions and completions[0][0] <= cycle:
+                    _, _, pi = heappop(completions)
+                    progress += 1
+                    if pi.squashed:
+                        continue
+                    for consumer in pi.consumers:
+                        if consumer.squashed or consumer.issued:
+                            continue
+                        consumer.num_pending -= 1
+                        if consumer.num_pending <= 0 and consumer.dispatched:
+                            heappush(ready, (consumer.seq, consumer))
+
+            # --- commit (mirrors _fast_commit) ---
+            budget = commit_width
+            finished_now = False
+            for t in order:
+                inflight = t.inflight
+                if inflight:
+                    is_arch = t.is_arch
+                    rob_used = self.rob_used
+                    lq_used = self.lq_used
+                    sq_used = self.sq_used
+                    int_used = self.int_regs_used
+                    fp_used = self.fp_regs_used
+                    arch_count = 0
+                    spec_count = 0
+                    halted = False
+                    while budget > 0 and inflight:
+                        pi = inflight[0]
+                        if not (pi.ready_cycle <= cycle):
+                            break
+                        inflight.popleft()
+                        rob_used -= 1
+                        if pi.is_load:
+                            lq_used -= 1
+                        if pi.is_store:
+                            sq_used -= 1
+                        if pi.has_dest:
+                            if pi.dest_is_fp:
+                                fp_used -= 1
+                            else:
+                                int_used -= 1
+                        pi.committed = True
+                        budget -= 1
+                        progress += 1
+                        if is_arch:
+                            arch_count += 1
+                            if pi.is_halt:
+                                halted = True
+                                break
+                        else:
+                            spec_count += 1
+                    self.rob_used = rob_used
+                    self.lq_used = lq_used
+                    self.sq_used = sq_used
+                    self.int_regs_used = int_used
+                    self.fp_regs_used = fp_used
+                    t.epoch_committed += arch_count + spec_count
+                    if arch_count:
+                        stats.arch_instructions += arch_count
+                        region = t.stat_region
+                        if region is not None:
+                            stats.region(region).arch_instructions += arch_count
+                    if spec_count:
+                        t.committed_while_spec += spec_count
+                    if halted:
+                        self._finish()
+                        finished_now = True
+                        break
+                if t.faulted and t.is_arch and not t.inflight and t.fetch_done:
+                    if issued_total:
+                        stats.issued_instructions += issued_total
+                    if dispatched_total:
+                        stats.dispatched_instructions += dispatched_total
+                    raise ExecutionError(
+                        f"{self.program.name}: architectural fault: {t.faulted}"
+                    )
+            if finished_now:
+                break
+
+            # --- threadlet commit ---
+            # Inlined entry gate: the helper only acts when the oldest
+            # threadlet is fully drained and either finished the program
+            # or halted its epoch; anything else returns after the same
+            # checks.  It may pop/rebind ``order`` (handover) or finish
+            # the program (_finish flushes the cycle-stat run), so
+            # re-read both afterwards.
+            t0 = order[0]
+            if not t0.inflight and not t0.fetch_queue and (
+                (t0.fetch_done and t0.faulted is None)
+                or t0.state is halted_state
+            ):
+                # No finished check here: like _fast_step, the remaining
+                # phases (and this cycle's stats) still run after a
+                # program-end _finish; the loop exits at the cycle's end.
+                self._threadlet_commit()
+                order = self.order
+
+            # --- issue (mirrors _fast_issue) ---
+            if ready:
+                budget = issue_width
+                ports = ports_template[:]
+                retry: List[Tuple[int, PipelineInstr]] = []
+                issued = 0
+                while budget > 0 and ready:
+                    seq, pi = heappop(ready)
+                    if pi.squashed or pi.issued:
+                        continue
+                    ci = pi.op_index
+                    if ports[ci] <= 0:
+                        retry.append((seq, pi))
+                        continue
+                    ports[ci] -= 1
+                    budget -= 1
+                    pi.issued = True
+                    issued += 1
+                    done_at = cycle + latency[ci]
+                    if pi.is_load:
+                        fill = access_data(pi.mem_addr, cycle, False, pi.pc)
+                        if lf_enabled and not threadlets[pi.slot].is_arch:
+                            done_at = max(cycle + ssb_read_latency, fill)
+                        else:
+                            done_at = max(done_at, fill)
+                    elif pi.is_store:
+                        if lf_enabled and not threadlets[pi.slot].is_arch:
+                            done_at = cycle + ssb_write_latency
+                        else:
+                            access_data(pi.mem_addr, cycle, True, pi.pc)
+                            done_at = cycle + 1
+                    pi.ready_cycle = done_at
+                    heappush(completions, (done_at, seq, pi))
+                for item in retry:
+                    heappush(ready, item)
+                self.iq_used -= issued
+                issued_total += issued
+                progress += issued
+
+            # --- dispatch (mirrors _fast_dispatch) ---
+            if self.rob_used < rob_size and self.iq_used < iq_size:
+                budget = dispatch_width
+                rob_used = self.rob_used
+                iq_used = self.iq_used
+                lq_used = self.lq_used
+                sq_used = self.sq_used
+                int_used = self.int_regs_used
+                fp_used = self.fp_regs_used
+                dispatched = 0
+                for t in order:
+                    fetch_queue = t.fetch_queue
+                    if not fetch_queue:
+                        continue
+                    rename = t.rename
+                    inflight = t.inflight
+                    store_writers = t.store_writers
+                    while budget > 0 and fetch_queue:
+                        pi = fetch_queue[0]
+                        if rob_used >= rob_size or iq_used >= iq_size:
+                            budget = 0
+                            break
+                        is_load = pi.is_load
+                        is_store = pi.is_store
+                        if is_load and lq_used >= lq_size:
+                            break
+                        if is_store and sq_used >= sq_size:
+                            break
+                        instr = pi.instr
+                        if pi.has_dest:
+                            if pi.dest_is_fp:
+                                if fp_used >= fp_size:
+                                    budget = 0
+                                    break
+                                fp_used += 1
+                            else:
+                                if int_used >= int_size:
+                                    budget = 0
+                                    break
+                                int_used += 1
+                        fetch_queue.popleft()
+                        rob_used += 1
+                        iq_used += 1
+                        if is_load:
+                            lq_used += 1
+                        if is_store:
+                            sq_used += 1
+                        deps: Optional[List[PipelineInstr]] = None
+                        for reg in instr._reads:
+                            producer = rename.get(reg)
+                            if (
+                                producer is not None
+                                and not producer.squashed
+                                and not (producer.ready_cycle <= cycle)
+                            ):
+                                if deps is None:
+                                    deps = [producer]
+                                else:
+                                    deps.append(producer)
+                        if is_load and (store_writers or pi.mem_dep_writers):
+                            seq = pi.seq
+                            mem_addr = pi.mem_addr
+                            for granule in range(
+                                mem_addr // g,
+                                (mem_addr + pi.mem_size - 1) // g + 1,
+                            ):
+                                writer = store_writers.get(granule)
+                                if (
+                                    writer is not None
+                                    and writer.seq < seq
+                                    and not writer.squashed
+                                    and not (writer.ready_cycle <= cycle)
+                                ):
+                                    if deps is None:
+                                        deps = [writer]
+                                    else:
+                                        deps.append(writer)
+                            for writer in pi.mem_dep_writers:
+                                if (
+                                    writer is not None
+                                    and writer.seq < seq
+                                    and not writer.squashed
+                                    and not (writer.ready_cycle <= cycle)
+                                ):
+                                    if deps is None:
+                                        deps = [writer]
+                                    else:
+                                        deps.append(writer)
+                        if deps is not None:
+                            if len(deps) == 1:
+                                unique_deps = deps
+                            else:
+                                unique_deps = []
+                                seen: Set[int] = set()
+                                for dep in deps:
+                                    if id(dep) not in seen:
+                                        seen.add(id(dep))
+                                        unique_deps.append(dep)
+                            pi.num_pending = len(unique_deps)
+                            for dep in unique_deps:
+                                dep.consumers.append(pi)
+                        for reg in instr._writes:
+                            rename[reg] = pi
+                        pi.dispatched = True
+                        inflight.append(pi)
+                        dispatched += 1
+                        if pi.num_pending == 0:
+                            heappush(ready, (pi.seq, pi))
+                        budget -= 1
+                    if budget <= 0:
+                        break
+                self.rob_used = rob_used
+                self.iq_used = iq_used
+                self.lq_used = lq_used
+                self.sq_used = sq_used
+                self.int_regs_used = int_used
+                self.fp_regs_used = fp_used
+                dispatched_total += dispatched
+                progress += dispatched
+
+            # --- fetch (mirrors _fast_fetch) ---
+            budget = fetch_width
+            for t in list(order):
+                if budget <= 0:
+                    break
+                if t.state is not running or t.fetch_done:
+                    continue
+                if len(t.fetch_queue) >= t.fetch_queue_size:
+                    continue
+                br = t.fetch_stall_branch
+                if br is None:
+                    if t.fetch_stall_until > cycle:
+                        continue
+                elif not br.squashed and not (
+                    br.ready_cycle <= cycle
+                ):
+                    continue
+                budget = fetch_threadlet(t, budget)
+
+            # --- per-cycle stats ---
+            order = self.order  # hints may have spawned or squashed
+            active = len(order)
+            region = order[0].stat_region
+            if active == self._pcs_active and region == self._pcs_region:
+                self._pcs_count += 1
+            else:
+                if self._pcs_count:
+                    self._flush_cycle_stats()
+                self._pcs_active = active
+                self._pcs_region = region
+                self._pcs_count = 1
+
+            if self.finished or active == 1:
+                break
+            if progress == 0 and self._progress == 0 and not ready:
+                skip_idle(max_cycles)
+        if issued_total:
+            stats.issued_instructions += issued_total
+        if dispatched_total:
+            stats.dispatched_instructions += dispatched_total
+        self.ep_episodes_multi += 1
+        self.ep_cycles_multi += self.cycle - start_cycle
+
+    def _ep_run_single(self, max_cycles: int) -> None:
+        """Run one single-threadlet episode (cross-cycle monolith).
+
+        Mirrors ``_fast_step_single`` gate-for-gate, but the per-cycle
+        prologue/epilogue (attribute hoisting, occupancy-counter loads
+        and stores, batched-stat writebacks) runs once per *episode*
+        instead of once per cycle: the cycle counter, sequence number,
+        occupancy counters, per-cycle-stat run-length state and the
+        batched fetch/dispatch/issue totals all live in locals across
+        cycles.  This is sound because a lone threadlet's episode
+        invariants hold until the population changes: ``order[0]`` has
+        ``successor is None`` (successors always live in ``order``), so
+        no handover, squash, or restart can rebind the hoisted
+        threadlet containers mid-episode, and the out-of-line calls
+        that could (hint handling, program finish) get a full state
+        writeback first.  The cross-cycle L1I line memo is exact: an
+        L1I hit's only side effect is re-stamping the line's LRU entry,
+        and while the memo is valid the line is already the
+        most-recently-used line in its set (no other fetch touches the
+        L1I — prefetchers fill L1D/L2 only), so the skipped re-stamp
+        cannot change any replacement decision; data traffic never
+        touches L1I state, so no invalidation is needed.
+        """
+        # --- episode prologue: engine-level hoists -----------------------
+        order = self.order
+        t = order[0]
+        core = self.core
+        stats = self.stats
+        completions = self.completions
+        ready = self.ready
+        heappop = heapq.heappop
+        heappush = heapq.heappush
+        commit_width = core.commit_width
+        issue_width = core.issue_width
+        dispatch_width = core.dispatch_width
+        fetch_width = core.fetch_width
+        rob_size = core.rob_size
+        iq_size = core.iq_size
+        lq_size = core.lq_size
+        sq_size = core.sq_size
+        int_size = core.int_phys_regs
+        fp_size = core.fp_phys_regs
+        mispredict_penalty = core.mispredict_penalty
+        btb_miss_penalty = core.btb_miss_penalty
+        latency = self._fu_latency_by_index
+        ports_template = self._fu_ports_template
+        lf_enabled = self.lf.enabled
+        ssb_read_latency = self.lf.ssb_read_latency
+        ssb_write_latency = self.lf.ssb_write_latency
+        access_data = self.hierarchy.access_data
+        access_instruction = self.hierarchy.access_instruction
+        predict_instruction = self.predictor.predict_instruction
+        fp = self._fast_prog
+        handlers = fp.handlers
+        flags = fp.flags
+        instructions = self._instructions
+        program_len = self._program_len
+        line_size = self.machine.memory.line_size
+        out = self._exec_out
+        running = ThreadletState.RUNNING
+        halted_state = ThreadletState.HALTED
+
+        # --- threadlet-level hoists (stable per the episode invariants) --
+        slot = t.slot
+        regs = t.regs
+        fetch_queue = t.fetch_queue
+        queue_size = t.fetch_queue_size
+        inflight = t.inflight
+        rename = t.rename
+        store_writers = t.store_writers
+        regs_written = t.regs_written
+        read_before_write = t.regs_read_before_write
+        pcs_tracked = t.pcs_tracked
+        is_arch = t.is_arch
+        cached_view = t.mem_view
+        if cached_view is not None and cached_view[0] is is_arch:
+            view = cached_view[1]
+        else:
+            view = self._view_for(t)
+        g = self.lf.granule_bytes
+
+        # --- cross-cycle state: lives in locals until writeback ----------
+        start_cycle = cycle = self.cycle
+        seq = self.seq
+        rob_used = self.rob_used
+        iq_used = self.iq_used
+        lq_used = self.lq_used
+        sq_used = self.sq_used
+        int_used = self.int_regs_used
+        fp_used = self.fp_regs_used
+        pcs_active = self._pcs_active
+        pcs_region = self._pcs_region
+        pcs_count = self._pcs_count
+        epoch_fetched = t.epoch_fetched
+        fetched_total = 0
+        dispatched_total = 0
+        issued_total = 0
+        last_line = -1  # cross-cycle L1I line memo (docstring argument)
+        last_ready = 0
+
+        while True:
+            if cycle >= max_cycles:
+                break  # writeback below; _run_loop raises on the budget
+            cycle += 1
+            progress = 0
+
+            # --- completions ---
+            if completions and completions[0][0] <= cycle:
+                while completions and completions[0][0] <= cycle:
+                    _, _, pi = heappop(completions)
+                    progress += 1
+                    if pi.squashed:
+                        continue
+                    for consumer in pi.consumers:
+                        if consumer.squashed or consumer.issued:
+                            continue
+                        consumer.num_pending -= 1
+                        if consumer.num_pending <= 0 and consumer.dispatched:
+                            heappush(ready, (consumer.seq, consumer))
+
+            # --- commit ---
+            if inflight and (pi := inflight[0]).ready_cycle <= cycle:
+                budget = commit_width
+                arch_count = 0
+                spec_count = 0
+                halted_prog = False
+                while True:
+                    inflight.popleft()
+                    rob_used -= 1
+                    if pi.is_load:
+                        lq_used -= 1
+                    if pi.is_store:
+                        sq_used -= 1
+                    if pi.has_dest:
+                        if pi.dest_is_fp:
+                            fp_used -= 1
+                        else:
+                            int_used -= 1
+                    pi.committed = True
+                    budget -= 1
+                    progress += 1
+                    if is_arch:
+                        arch_count += 1
+                        if pi.is_halt:
+                            halted_prog = True
+                            break
+                    else:
+                        spec_count += 1
+                    if budget <= 0 or not inflight:
+                        break
+                    pi = inflight[0]
+                    if not (pi.ready_cycle <= cycle):
+                        break
+                t.epoch_committed += arch_count + spec_count
+                if arch_count:
+                    stats.arch_instructions += arch_count
+                    region = t.stat_region
+                    if region is not None:
+                        stats.region(region).arch_instructions += arch_count
+                if spec_count:
+                    t.committed_while_spec += spec_count
+                if halted_prog:
+                    # Program HALT committed: like the reference step,
+                    # the cycle ends here (no later phases, no per-cycle
+                    # stats for this cycle).  Full writeback, then finish.
+                    self.cycle = cycle
+                    self.seq = seq
+                    self.rob_used = rob_used
+                    self.iq_used = iq_used
+                    self.lq_used = lq_used
+                    self.sq_used = sq_used
+                    self.int_regs_used = int_used
+                    self.fp_regs_used = fp_used
+                    self._pcs_active = pcs_active
+                    self._pcs_region = pcs_region
+                    self._pcs_count = pcs_count
+                    t.epoch_fetched = epoch_fetched
+                    if fetched_total:
+                        stats.fetched_instructions += fetched_total
+                    if dispatched_total:
+                        stats.dispatched_instructions += dispatched_total
+                    if issued_total:
+                        stats.issued_instructions += issued_total
+                    self._finish()
+                    self.ep_episodes_single += 1
+                    self.ep_cycles_single += cycle - start_cycle
+                    return
+            if t.faulted and is_arch and not inflight and t.fetch_done:
+                self.cycle = cycle
+                self.seq = seq
+                self.rob_used = rob_used
+                self.iq_used = iq_used
+                self.lq_used = lq_used
+                self.sq_used = sq_used
+                self.int_regs_used = int_used
+                self.fp_regs_used = fp_used
+                self._pcs_active = pcs_active
+                self._pcs_region = pcs_region
+                self._pcs_count = pcs_count
+                t.epoch_fetched = epoch_fetched
+                if fetched_total:
+                    stats.fetched_instructions += fetched_total
+                if dispatched_total:
+                    stats.dispatched_instructions += dispatched_total
+                if issued_total:
+                    stats.issued_instructions += issued_total
+                raise ExecutionError(
+                    f"{self.program.name}: architectural fault: {t.faulted}"
+                )
+
+            # --- threadlet commit ---
+            finishing = False
+            if not inflight and not fetch_queue:
+                if t.fetch_done and t.faulted is None:
+                    # Program end: the reference step runs the remaining
+                    # phases this cycle after _finish, so fall through.
+                    # _finish flushes the cycle-stat run through the
+                    # engine attributes -> full writeback first, then
+                    # re-seed the flushed accumulators.
+                    self.cycle = cycle
+                    self.seq = seq
+                    self.rob_used = rob_used
+                    self.iq_used = iq_used
+                    self.lq_used = lq_used
+                    self.sq_used = sq_used
+                    self.int_regs_used = int_used
+                    self.fp_regs_used = fp_used
+                    self._pcs_active = pcs_active
+                    self._pcs_region = pcs_region
+                    self._pcs_count = pcs_count
+                    t.epoch_fetched = epoch_fetched
+                    if fetched_total:
+                        stats.fetched_instructions += fetched_total
+                        fetched_total = 0
+                    if dispatched_total:
+                        stats.dispatched_instructions += dispatched_total
+                        dispatched_total = 0
+                    if issued_total:
+                        stats.issued_instructions += issued_total
+                        issued_total = 0
+                    self._finish()
+                    pcs_count = 0  # _finish flushed the run
+                    finishing = True
+                elif t.state is halted_state:
+                    # Provably a no-op for a lone threadlet (successor is
+                    # None), but mirror the fast path's call: it reads
+                    # ``self.cycle`` for the conflict-check gate.
+                    self.cycle = cycle
+                    self._threadlet_commit()
+
+            # --- issue ---
+            if ready:
+                budget = issue_width
+                ports = ports_template[:]
+                retry: List[Tuple[int, PipelineInstr]] = []
+                issued = 0
+                while budget > 0 and ready:
+                    iseq, pi = heappop(ready)
+                    if pi.squashed or pi.issued:
+                        continue
+                    ci = pi.op_index
+                    if ports[ci] <= 0:
+                        retry.append((iseq, pi))
+                        continue
+                    ports[ci] -= 1
+                    budget -= 1
+                    pi.issued = True
+                    issued += 1
+                    done_at = cycle + latency[ci]
+                    # Every live pipeline instr belongs to t here, so
+                    # ``threadlets[pi.slot].is_arch`` is the hoisted flag.
+                    if pi.is_load:
+                        fill = access_data(pi.mem_addr, cycle, False, pi.pc)
+                        if lf_enabled and not is_arch:
+                            done_at = max(cycle + ssb_read_latency, fill)
+                        else:
+                            done_at = max(done_at, fill)
+                    elif pi.is_store:
+                        if lf_enabled and not is_arch:
+                            done_at = cycle + ssb_write_latency
+                        else:
+                            access_data(pi.mem_addr, cycle, True, pi.pc)
+                            done_at = cycle + 1
+                    pi.ready_cycle = done_at
+                    heappush(completions, (done_at, iseq, pi))
+                for item in retry:
+                    heappush(ready, item)
+                iq_used -= issued
+                issued_total += issued
+                progress += issued
+
+            # --- dispatch ---
+            if fetch_queue and rob_used < rob_size and iq_used < iq_size:
+                budget = dispatch_width
+                dispatched = 0
+                while budget > 0 and fetch_queue:
+                    pi = fetch_queue[0]
+                    if rob_used >= rob_size or iq_used >= iq_size:
+                        break
+                    is_load = pi.is_load
+                    is_store = pi.is_store
+                    if is_load and lq_used >= lq_size:
+                        break
+                    if is_store and sq_used >= sq_size:
+                        break
+                    instr = pi.instr
+                    if pi.has_dest:
+                        if pi.dest_is_fp:
+                            if fp_used >= fp_size:
+                                break
+                            fp_used += 1
+                        else:
+                            if int_used >= int_size:
+                                break
+                            int_used += 1
+                    fetch_queue.popleft()
+                    rob_used += 1
+                    iq_used += 1
+                    if is_load:
+                        lq_used += 1
+                    if is_store:
+                        sq_used += 1
+                    deps: Optional[List[PipelineInstr]] = None
+                    for reg in instr._reads:
+                        producer = rename.get(reg)
+                        if (
+                            producer is not None
+                            and not producer.squashed
+                            and not (producer.ready_cycle <= cycle)
+                        ):
+                            if deps is None:
+                                deps = [producer]
+                            else:
+                                deps.append(producer)
+                    if is_load and (store_writers or pi.mem_dep_writers):
+                        dseq = pi.seq
+                        mem_addr = pi.mem_addr
+                        for granule in range(
+                            mem_addr // g, (mem_addr + pi.mem_size - 1) // g + 1
+                        ):
+                            writer = store_writers.get(granule)
+                            if (
+                                writer is not None
+                                and writer.seq < dseq
+                                and not writer.squashed
+                                and not (writer.ready_cycle <= cycle)
+                            ):
+                                if deps is None:
+                                    deps = [writer]
+                                else:
+                                    deps.append(writer)
+                        for writer in pi.mem_dep_writers:
+                            if (
+                                writer is not None
+                                and writer.seq < dseq
+                                and not writer.squashed
+                                and not (writer.ready_cycle <= cycle)
+                            ):
+                                if deps is None:
+                                    deps = [writer]
+                                else:
+                                    deps.append(writer)
+                    if deps is not None:
+                        if len(deps) == 1:
+                            unique_deps = deps
+                        else:
+                            unique_deps = []
+                            seen: Set[int] = set()
+                            for dep in deps:
+                                if id(dep) not in seen:
+                                    seen.add(id(dep))
+                                    unique_deps.append(dep)
+                        pi.num_pending = len(unique_deps)
+                        for dep in unique_deps:
+                            dep.consumers.append(pi)
+                    for reg in instr._writes:
+                        rename[reg] = pi
+                    pi.dispatched = True
+                    inflight.append(pi)
+                    dispatched += 1
+                    if pi.num_pending == 0:
+                        heappush(ready, (pi.seq, pi))
+                    budget -= 1
+                dispatched_total += dispatched
+                progress += dispatched
+
+            # --- fetch ---
+            if t.state is running and not t.fetch_done \
+                    and len(fetch_queue) < queue_size:
+                br = t.fetch_stall_branch
+                if br is None:
+                    can_fetch = t.fetch_stall_until <= cycle
+                else:
+                    can_fetch = br.squashed or (
+                        br.ready_cycle <= cycle
+                    )
+                if can_fetch:
+                    budget = fetch_width
+                    fetched = 0
+                    while budget > 0:
+                        if t.fetch_done or t.state is not running:
+                            break
+                        if len(fetch_queue) >= queue_size:
+                            break
+                        branch = t.fetch_stall_branch
+                        if branch is not None:
+                            if branch.squashed:
+                                t.fetch_stall_branch = None
+                            elif (branch.ready_cycle <= cycle):
+                                t.fetch_stall_branch = None
+                                t.fetch_stall_until = (
+                                    branch.ready_cycle + mispredict_penalty
+                                )
+                            else:
+                                break
+                        if t.fetch_stall_until > cycle:
+                            break
+                        pc = t.pc
+                        if not 0 <= pc < program_len:
+                            t.faulted = f"pc {pc} out of range"
+                            t.fetch_done = True
+                            break
+
+                        line = (pc * 4) // line_size
+                        if line == last_line:
+                            ready_at = last_ready
+                        else:
+                            ready_at = access_instruction(pc, cycle)
+                            last_line = line
+                            last_ready = ready_at
+                        if ready_at > cycle + 1:
+                            t.fetch_stall_until = ready_at
+                            break
+
+                        fl = flags[pc]
+                        instr = instructions[pc]
+
+                        if fl & FLAG_STORE and not is_arch and lf_enabled:
+                            addr = int(regs[instr.srcs[1]]) + int(instr.imm or 0)
+                            if not self._ssb_can_accept(t, addr, instr.size):
+                                t.ssb_stalled = True
+                                self._region_stats(t).ssb_stall_cycles += 1
+                                break
+                        t.ssb_stalled = False
+
+                        pi = PipelineInstr(seq, slot, pc, instr)
+                        seq += 1
+
+                        if pc in pcs_tracked:
+                            track = False
+                        else:
+                            pcs_tracked.add(pc)
+                            track = True
+                            for reg in instr._reads:
+                                if reg not in regs_written:
+                                    read_before_write.add(reg)
+
+                        if fl & FLAG_HALT:
+                            t.fetch_done = True
+                            fetch_queue.append(pi)
+                            epoch_fetched += 1
+                            fetched += 1
+                            budget -= 1
+                            continue
+
+                        try:
+                            if fl & FLAG_MEM:
+                                self._current_pi = pi
+                                if fl & FLAG_LOAD:
+                                    self._last_writers = []
+                                    next_pc = handlers[pc](regs, view, out)
+                                    pi.mem_dep_writers = self._last_writers
+                                else:
+                                    next_pc = handlers[pc](regs, view, out)
+                                pi.mem_addr = out[0]
+                                pi.mem_size = instr.size
+                            else:
+                                next_pc = handlers[pc](regs, view, out)
+                        except ExecutionError as exc:
+                            t.faulted = str(exc)
+                            t.fetch_done = True
+                            budget -= 1
+                            break
+                        if track:
+                            regs_written.update(instr._writes)
+
+                        taken = False
+                        if fl & FLAG_BRANCH:
+                            taken = out[1]
+                            pi.taken = taken
+                            stats.branches += 1
+                            correct, target_known = predict_instruction(
+                                pc, instr, taken, next_pc, slot
+                            )
+                            if not correct:
+                                stats.branch_mispredicts += 1
+                                pi.mispredicted = True
+                                t.fetch_stall_branch = pi
+                            elif taken and not target_known:
+                                stats.btb_misses += 1
+                                t.fetch_stall_until = cycle + btb_miss_penalty
+
+                        fetch_queue.append(pi)
+                        epoch_fetched += 1
+                        fetched += 1
+                        t.pc = next_pc
+
+                        if fl & FLAG_HINT:
+                            # Hint handling reads cycle/seq/epoch_fetched
+                            # through the engine (spawn decisions, packer
+                            # training, trace events): sync them first,
+                            # then re-read ``order`` — a detach appends a
+                            # successor in place.
+                            self.cycle = cycle
+                            self.seq = seq
+                            t.epoch_fetched = epoch_fetched
+                            self._handle_hint(t, instr)
+                            order = self.order
+                        budget -= 1
+                        if taken:
+                            break  # at most one taken branch per cycle
+                    fetched_total += fetched
+                    progress += fetched
+
+            # --- per-cycle stats (run-length batched in locals) ---
+            active = len(order)
+            region = t.stat_region
+            if active == pcs_active and region == pcs_region:
+                pcs_count += 1
+            else:
+                if pcs_count:
+                    hist = stats.active_threadlet_cycles
+                    hist[pcs_active] = hist.get(pcs_active, 0) + pcs_count
+                    if pcs_region is not None:
+                        stats.region(pcs_region).arch_cycles += pcs_count
+                pcs_active = active
+                pcs_region = region
+                pcs_count = 1
+
+            if finishing:
+                break
+            if active != 1:
+                break  # a detach spawned: the episode is over
+
+            # --- idle skip (single-threadlet _skip_idle, inlined) ---
+            if progress == 0 and not ready and not t.ssb_stalled:
+                wake = completions[0][0] if completions else None
+                can_skip = True
+                if t.state is running and not t.fetch_done \
+                        and len(fetch_queue) < queue_size \
+                        and t.fetch_stall_branch is None:
+                    stall = t.fetch_stall_until
+                    if stall <= cycle + 1:
+                        can_skip = False
+                    elif wake is None or stall < wake:
+                        wake = stall
+                if can_skip and wake is not None and wake > cycle + 1:
+                    if wake > max_cycles:
+                        wake = max_cycles
+                    if wake > cycle + 1:
+                        pcs_count += wake - cycle - 1
+                        cycle = wake - 1
+
+        # --- episode writeback -------------------------------------------
+        self.cycle = cycle
+        self.seq = seq
+        self.rob_used = rob_used
+        self.iq_used = iq_used
+        self.lq_used = lq_used
+        self.sq_used = sq_used
+        self.int_regs_used = int_used
+        self.fp_regs_used = fp_used
+        self._pcs_active = pcs_active
+        self._pcs_region = pcs_region
+        self._pcs_count = pcs_count
+        t.epoch_fetched = epoch_fetched
+        if fetched_total:
+            stats.fetched_instructions += fetched_total
+        if dispatched_total:
+            stats.dispatched_instructions += dispatched_total
+        if issued_total:
+            stats.issued_instructions += issued_total
+        self.ep_episodes_single += 1
+        self.ep_cycles_single += cycle - start_cycle
 
     def step(self) -> None:
         """Advance the machine by one cycle."""
@@ -854,6 +1922,17 @@ class Engine:
                 t.region = None
                 t.region_label = None
                 t.stat_region = None
+                # Pending packed-iteration skips die with the region: an
+                # over-packed epoch that exits the loop early must not
+                # carry them into a later region, where they would swallow
+                # that region's reattaches and make the spawner re-execute
+                # iterations its successor chain also runs (the fuzz-found
+                # cross-region state divergence: duplicated RMW iterations
+                # are not idempotent).
+                if t.skip_reattaches:
+                    self.stats.packing_skips_cancelled += t.skip_reattaches
+                    t.skip_reattaches = 0
+                t.packed_factor = 1
             return
 
     def _try_spawn(self, t: Threadlet, region: int, region_label: str) -> None:
@@ -1243,8 +2322,7 @@ class Engine:
             inflight = t.inflight
             while budget > 0 and inflight:
                 pi = inflight[0]
-                if not (pi.issued and pi.ready_cycle is not None
-                        and pi.ready_cycle <= cycle):
+                if not (pi.ready_cycle <= cycle):
                     break
                 inflight.popleft()
                 self._release_entry(pi, committed=True)
@@ -1446,8 +2524,7 @@ class Engine:
                 halted = False
                 while budget > 0 and inflight:
                     pi = inflight[0]
-                    if not (pi.issued and pi.ready_cycle is not None
-                            and pi.ready_cycle <= cycle):
+                    if not (pi.ready_cycle <= cycle):
                         break
                     inflight.popleft()
                     # Inlined _release_entry(pi, committed=True); pi.issued
@@ -1457,7 +2534,7 @@ class Engine:
                         lq_used -= 1
                     if pi.is_store:
                         sq_used -= 1
-                    if pi.instr.dest is not None:
+                    if pi.has_dest:
                         if pi.dest_is_fp:
                             fp_used -= 1
                         else:
@@ -1467,7 +2544,7 @@ class Engine:
                     committed += 1
                     if is_arch:
                         arch_count += 1
-                        if pi.instr.opcode is Opcode.HALT:
+                        if pi.is_halt:
                             halted = True
                             break
                     else:
@@ -1593,8 +2670,7 @@ class Engine:
                 if is_store and sq_used >= sq_size:
                     break
                 instr = pi.instr
-                dest = instr.dest
-                if dest is not None:
+                if pi.has_dest:
                     if pi.dest_is_fp:
                         if fp_used >= fp_size:
                             budget = 0
@@ -1619,9 +2695,7 @@ class Engine:
                     if (
                         producer is not None
                         and not producer.squashed
-                        and not (producer.issued
-                                 and producer.ready_cycle is not None
-                                 and producer.ready_cycle <= cycle)
+                        and not (producer.ready_cycle <= cycle)
                     ):
                         if deps is None:
                             deps = [producer]
@@ -1638,9 +2712,7 @@ class Engine:
                             writer is not None
                             and writer.seq < seq
                             and not writer.squashed
-                            and not (writer.issued
-                                     and writer.ready_cycle is not None
-                                     and writer.ready_cycle <= cycle)
+                            and not (writer.ready_cycle <= cycle)
                         ):
                             if deps is None:
                                 deps = [writer]
@@ -1651,9 +2723,7 @@ class Engine:
                             writer is not None
                             and writer.seq < seq
                             and not writer.squashed
-                            and not (writer.issued
-                                     and writer.ready_cycle is not None
-                                     and writer.ready_cycle <= cycle)
+                            and not (writer.ready_cycle <= cycle)
                         ):
                             if deps is None:
                                 deps = [writer]
@@ -1754,8 +2824,7 @@ class Engine:
         t = self.order[0]
         stats = self.stats
         inflight = t.inflight
-        if inflight and (pi := inflight[0]).issued \
-                and pi.ready_cycle is not None and pi.ready_cycle <= cycle:
+        if inflight and (pi := inflight[0]).ready_cycle <= cycle:
             budget = self.core.commit_width
             is_arch = t.is_arch
             rob_used = self.rob_used
@@ -1775,7 +2844,7 @@ class Engine:
                     lq_used -= 1
                 if pi.is_store:
                     sq_used -= 1
-                if pi.instr.dest is not None:
+                if pi.has_dest:
                     if pi.dest_is_fp:
                         fp_used -= 1
                     else:
@@ -1785,7 +2854,7 @@ class Engine:
                 progress += 1
                 if is_arch:
                     arch_count += 1
-                    if pi.instr.opcode is Opcode.HALT:
+                    if pi.is_halt:
                         halted = True
                         break
                 else:
@@ -1793,8 +2862,7 @@ class Engine:
                 if budget <= 0 or not inflight:
                     break
                 pi = inflight[0]
-                if not (pi.issued and pi.ready_cycle is not None
-                        and pi.ready_cycle <= cycle):
+                if not (pi.ready_cycle <= cycle):
                     break
             self.rob_used = rob_used
             self.lq_used = lq_used
@@ -1905,8 +2973,7 @@ class Engine:
                 if is_store and sq_used >= sq_size:
                     break
                 instr = pi.instr
-                dest = instr.dest
-                if dest is not None:
+                if pi.has_dest:
                     if pi.dest_is_fp:
                         if fp_used >= fp_size:
                             break
@@ -1928,9 +2995,7 @@ class Engine:
                     if (
                         producer is not None
                         and not producer.squashed
-                        and not (producer.issued
-                                 and producer.ready_cycle is not None
-                                 and producer.ready_cycle <= cycle)
+                        and not (producer.ready_cycle <= cycle)
                     ):
                         if deps is None:
                             deps = [producer]
@@ -1947,9 +3012,7 @@ class Engine:
                             writer is not None
                             and writer.seq < seq
                             and not writer.squashed
-                            and not (writer.issued
-                                     and writer.ready_cycle is not None
-                                     and writer.ready_cycle <= cycle)
+                            and not (writer.ready_cycle <= cycle)
                         ):
                             if deps is None:
                                 deps = [writer]
@@ -1960,9 +3023,7 @@ class Engine:
                             writer is not None
                             and writer.seq < seq
                             and not writer.squashed
-                            and not (writer.issued
-                                     and writer.ready_cycle is not None
-                                     and writer.ready_cycle <= cycle)
+                            and not (writer.ready_cycle <= cycle)
                         ):
                             if deps is None:
                                 deps = [writer]
@@ -2011,8 +3072,7 @@ class Engine:
                     if t.fetch_stall_until <= cycle:
                         self._fast_fetch_threadlet(t, self.core.fetch_width)
                 elif br.squashed or (
-                    br.issued and br.ready_cycle is not None
-                    and br.ready_cycle <= cycle
+                    br.ready_cycle <= cycle
                 ):
                     # Resolution clears the stall inside the loop.
                     self._fast_fetch_threadlet(t, self.core.fetch_width)
@@ -2055,8 +3115,7 @@ class Engine:
                 if t.fetch_stall_until > cycle:
                     continue
             elif not br.squashed and not (
-                br.issued and br.ready_cycle is not None
-                and br.ready_cycle <= cycle
+                br.ready_cycle <= cycle
             ):
                 continue
             budget = self._fast_fetch_threadlet(t, budget)
@@ -2078,6 +3137,7 @@ class Engine:
         regs = t.regs
         regs_written = t.regs_written
         read_before_write = t.regs_read_before_write
+        pcs_tracked = t.pcs_tracked
         is_arch = t.is_arch
         cached_view = t.mem_view
         if cached_view is not None and cached_view[0] is is_arch:
@@ -2109,8 +3169,7 @@ class Engine:
             if branch is not None:
                 if branch.squashed:
                     t.fetch_stall_branch = None
-                elif (branch.issued and branch.ready_cycle is not None
-                      and branch.ready_cycle <= cycle):
+                elif (branch.ready_cycle <= cycle):
                     t.fetch_stall_branch = None
                     t.fetch_stall_until = (
                         branch.ready_cycle + self.core.mispredict_penalty
@@ -2151,9 +3210,17 @@ class Engine:
             pi = PipelineInstr(seq, slot, pc, instr)
             seq += 1
 
-            for reg in instr._reads:
-                if reg not in regs_written:
-                    read_before_write.add(reg)
+            # First execution of a pc this epoch folds its register sets
+            # into the epoch trackers; re-executions are provably no-ops
+            # (see Threadlet.pcs_tracked) and skip both updates.
+            if pc in pcs_tracked:
+                track = False
+            else:
+                pcs_tracked.add(pc)
+                track = True
+                for reg in instr._reads:
+                    if reg not in regs_written:
+                        read_before_write.add(reg)
 
             if fl & FLAG_HALT:
                 t.fetch_done = True
@@ -2181,7 +3248,8 @@ class Engine:
                 t.fetch_done = True
                 budget -= 1
                 break
-            regs_written.update(instr._writes)
+            if track:
+                regs_written.update(instr._writes)
 
             taken = False
             if fl & FLAG_BRANCH:

@@ -211,6 +211,12 @@ _metrics.register(
                         "uarch.packing",
                         "Sum of packing factors over all packed detaches",
                         unit="iterations", source="packing_factor_sum"),
+    _metrics.MetricSpec("uarch.packing.skips_cancelled", _metrics.COUNTER,
+                        "uarch.packing",
+                        "Pending packed-iteration skips cancelled at an "
+                        "early region exit (SYNC before the skips were "
+                        "consumed)",
+                        unit="iterations", source="packing_skips_cancelled"),
     _metrics.MetricSpec("uarch.packing.max_factor", _metrics.GAUGE,
                         "uarch.packing",
                         "Largest packing factor used in the run",

@@ -187,17 +187,32 @@ class SpeculativeStateBuffer:
         """Versioned read: newest value per granule from own slice, then
         older slices (newest first), then main memory (figure 5)."""
         search_order = [own_slot] + list(older_slots)
-        # A slice with no buffered bytes can never supply a value; dropping
-        # it here keeps the per-byte scan short (common case: the read
-        # misses every slice and falls through to main memory).
-        slices = [sl for sl in (self.slices[s] for s in search_order) if sl.data]
+        # A slice can only supply bytes from granules present in its
+        # writer map (write() stamps every covered granule; clear() wipes
+        # both maps together), so slices with no buffered bytes — or none
+        # in the read's granule range — are dropped before the per-byte
+        # scan (common case: the read misses every slice and falls
+        # through to main memory).
+        gsize = self.config.granule_bytes
+        g0 = addr // gsize
+        g1 = (addr + size - 1) // gsize
+        if g0 == g1:
+            slices = [
+                sl for sl in (self.slices[s] for s in search_order)
+                if sl.data and g0 in sl.writers
+            ]
+        else:
+            granules = range(g0, g1 + 1)
+            slices = [
+                sl for sl in (self.slices[s] for s in search_order)
+                if sl.data and any(g in sl.writers for g in granules)
+            ]
         if not slices:
             return SSBReadResult(value=self.memory.load(addr, size))
         value = 0
         forwarded: Set[int] = set()
         hit_own = False
         writers: List[object] = []
-        gsize = self.config.granule_bytes
         seen_granules: Set[int] = set()
         for i in range(size):
             byte_addr = addr + i

@@ -72,6 +72,11 @@ class SimStats:
     packing_factor_sum: int = 0
     packing_events: int = 0
     max_packing_factor: int = 1
+    # Pending packed-iteration skips cancelled because their epoch left
+    # the region at SYNC before consuming them (each would otherwise have
+    # swallowed a reattach of a *later* region — the cross-region state
+    # divergence fixed in engine schema v2).
+    packing_skips_cancelled: int = 0
 
     # Histogram: cycles with exactly k threadlets active (fig 7).
     active_threadlet_cycles: Dict[int, int] = field(default_factory=dict)

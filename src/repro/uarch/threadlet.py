@@ -49,7 +49,8 @@ class Threadlet:
         "rename", "store_writers", "region", "region_label", "stat_region",
         "successor", "predecessor", "checkpoint", "skip_reattaches",
         "packed_factor", "packed_prediction", "start_regs",
-        "regs_read_before_write", "regs_written", "epoch_fetched",
+        "regs_read_before_write", "regs_written", "pcs_tracked",
+        "epoch_fetched",
         "epoch_committed", "committed_while_spec", "halt_cycle", "faulted",
         "detach_seq",
     )
@@ -92,6 +93,11 @@ class Threadlet:
         self.start_regs: Dict[str, float] = {}   # epoch-start register values
         self.regs_read_before_write: Set[str] = set()
         self.regs_written: Set[str] = set()
+        # pcs whose read/write register sets were already folded into the
+        # two sets above this epoch (fast-path gate: re-executing a pc
+        # can add nothing new — regs_written only grows within an epoch,
+        # so the first execution's adds are a superset of any later one's).
+        self.pcs_tracked: Set[int] = set()
 
         # Bookkeeping.
         self.epoch_fetched = 0
@@ -136,6 +142,7 @@ class Threadlet:
         self.start_regs = dict(regs)
         self.regs_read_before_write = set()
         self.regs_written = set()
+        self.pcs_tracked = set()
         self.epoch_fetched = 0
         self.epoch_committed = 0
         self.committed_while_spec = 0
@@ -171,6 +178,7 @@ class Threadlet:
         self.start_regs = dict(cp.regs)
         self.regs_read_before_write = set()
         self.regs_written = set()
+        self.pcs_tracked = set()
         self.epoch_fetched = 0
         self.epoch_committed = 0
         self.committed_while_spec = 0

@@ -1,23 +1,27 @@
-"""Differential parity: the fast-path engine vs the reference engine.
+"""Differential parity: every engine mode vs the reference engine.
 
-The fast path (``core.py``: compiled per-instruction closures, merged
-single-threadlet step, slot-order caches, batched statistics) claims to
-be *bit-identical* to the reference pipeline it replaced.  This suite is
-that claim, mechanised:
+The engine has three execution modes (``repro.uarch.core.ENGINE_MODES``):
+the per-phase ``reference`` pipeline, the serial ``fast`` path (compiled
+per-instruction closures, merged single-threadlet step, slot-order
+caches, batched statistics), and ``epoch-parallel`` (the fast path plus
+episode execution: cross-cycle monolithic loops with epoch-granularity
+batched hazard and statistics bookkeeping).  Both optimized modes claim
+to be *bit-identical* to the reference pipeline.  This suite is that
+claim, mechanised as a three-way parity matrix:
 
 * the 50 seeded fuzz programs from :mod:`tests.test_differential`, and
 * every workload of every registered suite (spec2017, spec2006, longrun),
 
-each run through both engine paths on both machine configurations, with
-the full :class:`~repro.uarch.statistics.SimStats` record — cycles,
+each run through all three engine modes on both machine configurations,
+with the full :class:`~repro.uarch.statistics.SimStats` record — cycles,
 every counter, per-region breakdowns — plus the observability metric
 snapshot asserted equal field-for-field.  A separate case proves
 :meth:`Engine.run_window` (the sampled-simulation entry point) agrees on
 warmup/measured boundaries too.
 
-The fast leg pins reference mode *off* explicitly, so the suite still
-compares fast-vs-reference (rather than reference-vs-reference) when CI
-runs the whole test tier under ``REPRO_ENGINE_REFERENCE=1``.
+Every leg pins its mode explicitly with ``set_engine_mode``, so the
+suite still compares all three modes when CI runs the whole test tier
+under ``REPRO_ENGINE_REFERENCE=1`` or ``REPRO_ENGINE_MODE=...``.
 """
 
 import dataclasses
@@ -28,7 +32,7 @@ import pytest
 from repro.compiler import compile_frog
 from repro.obs.metrics import load_all
 from repro.uarch.config import baseline_machine, default_machine
-from repro.uarch.core import Engine, set_engine_reference_mode
+from repro.uarch.core import ENGINE_MODES, Engine, set_engine_mode
 from repro.workloads.suites import SUITE_NAMES, suite
 
 from tests.test_differential import (
@@ -43,6 +47,9 @@ MACHINES = {
     "loopfrog": default_machine,
 }
 
+# The optimized modes, each compared field-for-field to "reference".
+OPTIMIZED_MODES = tuple(m for m in ENGINE_MODES if m != "reference")
+
 _METRICS = load_all()
 
 
@@ -51,37 +58,44 @@ def _fuzz_program(seed: int):
     return compile_frog(generate_program(seed)).program
 
 
-def _run_stats(program, memory, regs, machine, *, reference, max_cycles=None):
-    """Construct and run one engine with the path pinned explicitly."""
-    set_engine_reference_mode(reference)
+def _run_stats(program, memory, regs, machine, *, mode, max_cycles=None):
+    """Construct and run one engine with the mode pinned explicitly."""
+    set_engine_mode(mode)
     try:
         engine = Engine(machine, program, memory, regs)
     finally:
-        set_engine_reference_mode(None)
-    assert engine.reference_mode is reference
+        set_engine_mode(None)
+    assert engine.engine_mode == mode
     if max_cycles is None:
         return engine.run()
     return engine.run(max_cycles=max_cycles)
 
 
-def _assert_parity(ref_stats, fast_stats, label):
-    assert fast_stats.cycles == ref_stats.cycles, (
+def _assert_parity(ref_stats, mode_stats, mode, label):
+    assert mode_stats.cycles == ref_stats.cycles, (
         f"{label}: cycles diverged "
-        f"(reference {ref_stats.cycles}, fast {fast_stats.cycles})"
+        f"(reference {ref_stats.cycles}, {mode} {mode_stats.cycles})"
     )
     ref_record = dataclasses.asdict(ref_stats)
-    fast_record = dataclasses.asdict(fast_stats)
-    if fast_record != ref_record:
+    mode_record = dataclasses.asdict(mode_stats)
+    if mode_record != ref_record:
         diverged = sorted(
             key for key in ref_record
-            if fast_record.get(key) != ref_record[key]
+            if mode_record.get(key) != ref_record[key]
         )
         raise AssertionError(
-            f"{label}: SimStats diverged in fields {diverged}"
+            f"{label}: SimStats diverged from reference in mode {mode} "
+            f"in fields {diverged}"
         )
-    assert _METRICS.collect(fast_stats) == _METRICS.collect(ref_stats), (
-        f"{label}: obs metric snapshot diverged"
+    assert _METRICS.collect(mode_stats) == _METRICS.collect(ref_stats), (
+        f"{label}: obs metric snapshot diverged in mode {mode}"
     )
+
+
+def _assert_matrix(runs, label):
+    """``runs`` maps mode name -> SimStats for one (program, machine)."""
+    for mode in OPTIMIZED_MODES:
+        _assert_parity(runs["reference"], runs[mode], mode, label)
 
 
 # ---------------------------------------------------------------------------
@@ -93,15 +107,14 @@ def _assert_parity(ref_stats, fast_stats, label):
 def test_fuzz_program_parity(seed, machine_name):
     program = _fuzz_program(seed)
     machine = MACHINES[machine_name]
-    ref = _run_stats(
-        program, _fresh_memory(seed), _initial_regs(seed), machine(),
-        reference=True,
-    )
-    fast = _run_stats(
-        program, _fresh_memory(seed), _initial_regs(seed), machine(),
-        reference=False,
-    )
-    _assert_parity(ref, fast, f"fuzz seed {seed} on {machine_name}")
+    runs = {
+        mode: _run_stats(
+            program, _fresh_memory(seed), _initial_regs(seed), machine(),
+            mode=mode,
+        )
+        for mode in ENGINE_MODES
+    }
+    _assert_matrix(runs, f"fuzz seed {seed} on {machine_name}")
 
 
 # ---------------------------------------------------------------------------
@@ -126,15 +139,14 @@ def test_suite_workload_parity(suite_name, bench_name, machine_name):
     machine = MACHINES[machine_name]
     for workload, _weight in benchmark.phases:
         runs = {}
-        for reference in (True, False):
+        for mode in ENGINE_MODES:
             memory, regs = workload.fresh_input()
-            runs[reference] = _run_stats(
+            runs[mode] = _run_stats(
                 workload.program, memory, regs, machine(),
-                reference=reference, max_cycles=workload.max_cycles,
+                mode=mode, max_cycles=workload.max_cycles,
             )
-        _assert_parity(
-            runs[True], runs[False],
-            f"{suite_name}:{workload.name} on {machine_name}",
+        _assert_matrix(
+            runs, f"{suite_name}:{workload.name} on {machine_name}"
         )
 
 
@@ -147,24 +159,28 @@ def test_run_window_parity(machine_name):
     workload = suite("spec2017")[0].phases[0][0]
     machine = MACHINES[machine_name]
     windows = {}
-    for reference in (True, False):
+    for mode in ENGINE_MODES:
         memory, regs = workload.fresh_input()
-        set_engine_reference_mode(reference)
+        set_engine_mode(mode)
         try:
             engine = Engine(machine(), workload.program, memory, regs)
         finally:
-            set_engine_reference_mode(None)
-        windows[reference] = engine.run_window(
+            set_engine_mode(None)
+        windows[mode] = engine.run_window(
             2_000, warmup_instructions=500,
         )
-    ref, fast = windows[True], windows[False]
-    for field in (
-        "warmup_instructions", "warmup_cycles",
-        "measured_instructions", "measured_cycles", "finished",
-    ):
-        assert getattr(fast, field) == getattr(ref, field), (
-            f"run_window {field} diverged on {machine_name}"
+    ref = windows["reference"]
+    for mode in OPTIMIZED_MODES:
+        cur = windows[mode]
+        for field in (
+            "warmup_instructions", "warmup_cycles",
+            "measured_instructions", "measured_cycles", "finished",
+        ):
+            assert getattr(cur, field) == getattr(ref, field), (
+                f"run_window {field} diverged on {machine_name} "
+                f"in mode {mode}"
+            )
+        _assert_parity(
+            ref.stats, cur.stats, mode,
+            f"run_window stats on {machine_name}",
         )
-    _assert_parity(
-        ref.stats, fast.stats, f"run_window stats on {machine_name}"
-    )

@@ -1,13 +1,15 @@
 """Replay the checked-in fuzz corpus as a permanent regression suite.
 
 Every file in ``tests/fuzz_corpus/`` is one minimized fuzz survivor.  The
-replay contract: the oracle that originally flagged the program must fire
-again, on the fast *and* the reference engine path, and the two paths
-must stay bit-identical to each other.  For every oracle except
-``state_divergence`` the LoopFrog core must also commit exactly the
-functional executor's memory (divergence survivors *pin* a known engine
-bug — see docs/workloads.md — so for those the mismatch is the expected
-behaviour until the engine is fixed).
+replay contract depends on the entry's ``expect`` key.  ``oracle-fires``
+entries pin live failure signals: the oracle that originally flagged the
+program must fire again, on the fast *and* the reference engine path.
+``states-match`` entries pin a *fixed* defect (the cross-region packing
+divergence repaired in engine schema v2): the oracle must fire on
+neither path, the LoopFrog core must commit exactly the functional
+executor's memory, and the program must still reach the repaired path
+(``fixed_path_trigger``).  In both cases the engine paths must stay
+bit-identical to each other.
 """
 
 import os
@@ -16,7 +18,9 @@ import pytest
 
 from repro.fuzz.corpus import (
     DEFAULT_CORPUS_DIR,
+    EXPECT_STATES_MATCH,
     entry_workload,
+    fixed_path_trigger,
     load_corpus,
     replay_entry,
 )
@@ -58,23 +62,41 @@ def test_replay_oracle_still_fires(entry):
     "entry", ENTRIES, ids=[e.name for e in ENTRIES]
 )
 def test_replay_state_contract(entry):
-    """Non-divergence survivors must match the functional executor."""
-    if entry.oracle == "state_divergence":
-        pytest.skip("entry pins a known divergence (see docs/workloads.md)")
+    """Every survivor must now match the functional executor: the
+    divergence entries were fixed (and flipped to ``states-match``), and
+    no other oracle tolerates committed-state drift."""
     case = execute_spec(entry.program)
     assert case.frog_image == case.exec_image
 
 
+def test_divergence_entries_flipped_and_triggering():
+    """The former divergence pins are flipped and still reach the
+    repaired cross-region packing path."""
+    flipped = [e for e in ENTRIES if e.expect == EXPECT_STATES_MATCH]
+    assert len(flipped) >= 4
+    assert all(e.oracle == "state_divergence" for e in flipped)
+    for entry in flipped:
+        case = execute_spec(entry.program)
+        assert fixed_path_trigger(case) is not None, (
+            f"{entry.name}: no longer exercises the fixed path"
+        )
+
+
 def test_entries_are_minimized():
     """The minimizer must have reached a fixpoint on every entry: no
-    strictly-simpler neighbour may still fire the recorded oracle."""
+    strictly-simpler neighbour may still satisfy the entry's predicate
+    (the recorded oracle, or — for flipped entries — the fixed-path
+    trigger)."""
     from repro.fuzz.engine import _shrink_candidates
 
     for entry in ENTRIES:
-        oracle = ORACLES[entry.oracle]
+        if entry.expect == EXPECT_STATES_MATCH:
+            predicate = fixed_path_trigger
+        else:
+            predicate = ORACLES[entry.oracle]
         for candidate in _shrink_candidates(entry.program):
             try:
-                detail = oracle(execute_spec(candidate))
+                detail = predicate(execute_spec(candidate))
             except Exception:
                 detail = None
             assert detail is None, (

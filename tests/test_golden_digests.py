@@ -33,18 +33,18 @@ GOLDEN = {
     "imagick_conv": {
         "workload": "3a940ea1a24892df540cb25882f7ea32"
                     "ef76729a70e46d2e0f7bc24caaff7227",
-        "run_baseline": "8747981e229bd862c0f452c10112016"
-                        "68425157682611ea011a0f47153a866c7",
-        "run_loopfrog": "b988ae7a13994078159aa94348dde55"
-                        "bbae9fb3a22d1d023cd1a6f906638b7ee",
+        "run_baseline": "462527654dba0f1b713471ce17d0ced"
+                        "1ca7ee8da1a5828df3dba919b84f18d4c",
+        "run_loopfrog": "3107ba40d0c68eb77f1f0b11e87c1b7"
+                        "4c97d9b3ca48aca1746e4ba35a731bb74",
     },
     "omnetpp_events": {
         "workload": "1da1f2dda1fe071fd1a42d82fc8e47b7"
                     "916fdc4d43fb430a16ba42bd2002f2e7",
-        "run_baseline": "adecb4641efc07e5c754a7f1cae9092"
-                        "ee1b59dca7ddd5dede73b4a5106e29d7d",
-        "run_loopfrog": "88120d2571ab7c7a4768ed619c0762c"
-                        "21939d2d1fbf2897861ee45b65e6b988a",
+        "run_baseline": "0d375367a0f7149e4db0902fb4850ae"
+                        "0dea4fee8117dfd5829908a17fdff3bc5",
+        "run_loopfrog": "61bef74bf8e68dbf60bff5dccd23be0"
+                        "40bd28702c3cb5685ad38eeb7f031b42c",
     },
 }
 

@@ -9,11 +9,15 @@ phases) so numbers are comparable across commits.  Runs are cold: the
 in-process cache and the persistent store are both bypassed, so this
 measures raw engine speed, never cache hits.
 
-Besides the aggregate, the record carries a ``per_benchmark`` breakdown
-(so bench_compare.py can name the worst regressor on a throughput
-failure), ``reference_instructions_per_second`` (the unoptimized
-reference engine on the same subset — the fast-path speedup is the
-ratio), a per-step-phase ``phases`` breakdown from a profiled pass, and
+The headline ``instructions_per_second`` measures the *default* engine
+mode (epoch-parallel).  Besides the aggregate, the record carries a
+``per_benchmark`` breakdown (so bench_compare.py can name the worst
+regressor on a throughput failure), per-mode throughput for all three
+engine modes (``reference_instructions_per_second``,
+``fast_instructions_per_second``,
+``epoch_parallel_instructions_per_second`` — the mode speedups are the
+ratios; the parity matrix proves the modes bit-identical), a
+per-step-phase ``phases`` breakdown from a profiled pass, and
 ``fast_forward_instructions_per_second`` — the steady-state throughput
 of the functional fast-forward executor that sampled simulation
 (docs/sampling.md) uses to skip between detailed windows.
@@ -138,16 +142,17 @@ def measure_fuzz():
     }
 
 
-def measure_reference(benchmarks, machines):
-    """Throughput of the unoptimized reference engine on the same subset.
+def measure_mode(benchmarks, machines, mode):
+    """Throughput of one pinned engine mode on the same subset.
 
-    Together with the headline ``instructions_per_second`` this makes the
-    fast-path speedup visible directly in BENCH_engine.json; the parity
-    suite (tests/test_engine_parity.py) proves the two paths bit-identical.
+    Together with the headline ``instructions_per_second`` (the default
+    mode, epoch-parallel) this makes the per-mode speedups visible
+    directly in BENCH_engine.json; the parity matrix
+    (tests/test_engine_parity.py) proves all modes bit-identical.
     """
-    from repro.uarch.core import set_engine_reference_mode
+    from repro.uarch.core import set_engine_mode
 
-    set_engine_reference_mode(True)
+    set_engine_mode(mode)
     try:
         instructions = 0
         start = time.perf_counter()
@@ -158,7 +163,7 @@ def measure_reference(benchmarks, machines):
                     instructions += stats.arch_instructions
         elapsed = time.perf_counter() - start
     finally:
-        set_engine_reference_mode(None)
+        set_engine_mode(None)
     return round(instructions / elapsed, 1) if elapsed else 0.0
 
 
@@ -235,8 +240,14 @@ def run_bench():
         "instructions_per_second": round(instructions / elapsed, 1),
         "cycles_per_second": round(cycles / elapsed, 1),
         "per_benchmark": per_benchmark,
-        "reference_instructions_per_second": measure_reference(
-            benchmarks, machines
+        "reference_instructions_per_second": measure_mode(
+            benchmarks, machines, "reference"
+        ),
+        "fast_instructions_per_second": measure_mode(
+            benchmarks, machines, "fast"
+        ),
+        "epoch_parallel_instructions_per_second": measure_mode(
+            benchmarks, machines, "epoch-parallel"
         ),
         "phases": measure_phases(benchmarks, machines),
         "fast_forward_instructions_per_second": measure_fast_forward(
@@ -266,7 +277,13 @@ def main(argv=None):
     if ref:
         speedup = result["instructions_per_second"] / ref
         print(f"reference path: {ref:.0f} instr/s "
-              f"(fast path is {speedup:.2f}x)")
+              f"(default mode is {speedup:.2f}x)")
+    fast = result["fast_instructions_per_second"]
+    ep = result["epoch_parallel_instructions_per_second"]
+    if fast and ep:
+        print(f"modes: fast {fast:.0f} instr/s, "
+              f"epoch-parallel {ep:.0f} instr/s "
+              f"({ep / fast:.2f}x serial fast)")
     ff = result["fast_forward_instructions_per_second"]
     ratio = ff / result["instructions_per_second"]
     print(f"fast-forward: {ff:.0f} instr/s ({ratio:.1f}x detailed)")

@@ -14,8 +14,13 @@ default) under cProfile and reports two views:
 
 The JSON output is the before/after evidence artifact for engine perf
 work: run it on the parent commit and on your branch, and diff the
-phase seconds.  ``--reference`` profiles the unoptimized reference
-path (equivalent to setting ``REPRO_ENGINE_REFERENCE=1``).
+phase seconds.  ``--mode {reference,fast,epoch-parallel}`` pins the
+engine mode to profile (default: the session default, epoch-parallel);
+``--reference`` is a legacy alias for ``--mode reference``.  Under
+epoch-parallel the breakdown additionally attributes time to the two
+episode monoliths (``episode_single``/``episode_multi``) and reports
+per-episode counts, so the epoch-batched paths and the serial
+reconciliation fallback are visible separately.
 """
 
 import argparse
@@ -39,6 +44,13 @@ PHASE_METHODS = {
     # The fast path merges every phase into one monolithic step for the
     # dominant single-threadlet case; attribute it as its own phase.
     "single_threadlet_step": "_fast_step_single",
+    # The epoch-parallel mode executes *episodes* — maximal runs of
+    # cycles with a stable threadlet population — as cross-cycle
+    # monoliths.  Each call is one episode, so the calls column is the
+    # episode count: "episode_single" covers lone-threadlet epochs,
+    # "episode_multi" the multi-threadlet (reconciliation) epochs.
+    "episode_single": "_ep_run_single",
+    "episode_multi": "_ep_run_multi",
 }
 
 
@@ -117,11 +129,35 @@ def _phase_breakdown(stats, wall_seconds):
     return phases
 
 
-def run_profile(suite_name, count, top, reference=False):
-    if reference:
-        from repro.uarch import core as _core
+def _episode_attribution(phases):
+    """Per-episode view of the epoch-parallel monoliths.
 
-        _core.set_engine_reference_mode(True)
+    Each ``_ep_run_*`` call is one episode, so calls/seconds of those
+    phase rows convert directly into episode counts and mean per-episode
+    cost — the reconciliation-overhead evidence for perf work.
+    """
+    episodes = {}
+    for phase, kind in (("episode_single", "single"),
+                        ("episode_multi", "multi")):
+        entry = phases.get(phase)
+        if not entry or not entry["calls"]:
+            continue
+        episodes[kind] = {
+            "episodes": entry["calls"],
+            "seconds": entry["seconds"],
+            "mean_microseconds": round(
+                entry["seconds"] / entry["calls"] * 1e6, 2
+            ),
+        }
+    return episodes
+
+
+def run_profile(suite_name, count, top, mode=None):
+    from repro.uarch import core as _core
+
+    if mode is not None:
+        _core.set_engine_mode(mode)
+    resolved_mode = _core.engine_mode()
     profiler = cProfile.Profile()
     start = time.perf_counter()
     profiler.enable()
@@ -129,10 +165,12 @@ def run_profile(suite_name, count, top, reference=False):
     profiler.disable()
     wall = time.perf_counter() - start
     stats = pstats.Stats(profiler)
+    phases = _phase_breakdown(stats, wall)
     return {
         "suite": suite_name,
         "benchmark_count": count,
-        "reference_path": bool(reference),
+        "engine_mode": resolved_mode,
+        "reference_path": resolved_mode == "reference",
         "wall_seconds": round(wall, 3),
         "instructions": totals["instructions"],
         "cycles": totals["cycles"],
@@ -140,7 +178,8 @@ def run_profile(suite_name, count, top, reference=False):
         "instructions_per_second": round(
             totals["instructions"] / wall, 1
         ) if wall else 0.0,
-        "phases": _phase_breakdown(stats, wall),
+        "phases": phases,
+        "episodes": _episode_attribution(phases),
         "top_functions": _function_rows(stats, top),
     }
 
@@ -152,14 +191,22 @@ def main(argv=None):
                         help="benchmarks of the suite to profile")
     parser.add_argument("--top", type=int, default=25,
                         help="hot functions to report")
+    parser.add_argument("--mode", choices=("reference", "fast",
+                                           "epoch-parallel"),
+                        help="engine mode to profile (default: the "
+                             "session default, epoch-parallel)")
     parser.add_argument("--reference", action="store_true",
-                        help="profile the unoptimized reference path")
+                        help="legacy alias for --mode reference")
     parser.add_argument("--output", metavar="FILE",
                         help="write the JSON report here (default: stdout)")
     args = parser.parse_args(argv)
+    mode = args.mode
+    if args.reference:
+        if mode and mode != "reference":
+            parser.error("--reference conflicts with --mode " + mode)
+        mode = "reference"
 
-    report = run_profile(args.suite, args.count, args.top,
-                         reference=args.reference)
+    report = run_profile(args.suite, args.count, args.top, mode=mode)
     payload = json.dumps(report, indent=2) + "\n"
     if args.output:
         with open(args.output, "w") as fh:
@@ -175,10 +222,18 @@ def main(argv=None):
     print(
         f"# {report['instructions']} instr in {report['wall_seconds']}s "
         f"-> {report['instructions_per_second']:.0f} instr/s "
-        f"({'reference' if report['reference_path'] else 'fast'} path)",
+        f"({report['engine_mode']} mode)",
         file=sys.stderr,
     )
     print(f"# phases: {summary}", file=sys.stderr)
+    episodes = report.get("episodes") or {}
+    for kind in sorted(episodes):
+        e = episodes[kind]
+        print(
+            f"# episodes[{kind}]: {e['episodes']} x "
+            f"{e['mean_microseconds']}us = {e['seconds']}s",
+            file=sys.stderr,
+        )
     return 0
 
 
